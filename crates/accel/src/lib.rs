@@ -1,0 +1,31 @@
+//! Cycle-approximate simulator of the AQ2PNN FPGA accelerator.
+//!
+//! The paper deploys two ZCU104 boards (200 MHz fabric, 1000 Mbps LAN)
+//! and reports throughput, communication, power and energy efficiency
+//! (Tables 3–5). Real boards are not available to this reproduction, so
+//! this crate models the accelerator from first principles:
+//!
+//! * [`hw`] — the hardware configuration: AS-GEMM array geometry
+//!   (`BLOCK_IN × BLOCK_OUT` at initiation interval 1, paper Fig. 2),
+//!   AS-ALU lanes, SCM throughput, DRAM bandwidth, clock.
+//! * [`resources`] — a bottom-up LUT/FF/DSP/BRAM model composed per
+//!   module, calibrated so the totals land on the paper's Table 3, plus
+//!   the VTA plaintext baseline for the same table.
+//! * [`power`] — a resource-utilization power model reproducing the
+//!   7.2–7.7 W per-party envelope of Table 4.
+//! * [`perf`] — executes a compiled [`aq2pnn::instq::Program`] through
+//!   the cycle model and the network model, yielding fps / MiB / W /
+//!   fps-per-W — one [`perf::PerfReport`] per Table 4 row.
+//!
+//! Absolute seconds depend on implementation constants the paper does not
+//! publish (per-message software latency on the ARM cores dominates); the
+//! defaults are calibrated on the paper's LeNet5 row and documented in
+//! EXPERIMENTS.md. Orderings and scaling trends are model-driven.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hw;
+pub mod perf;
+pub mod power;
+pub mod resources;

@@ -1,0 +1,70 @@
+//! Board power model (paper Table 4's 7.2–7.7 W per party).
+
+use crate::resources::Resources;
+
+/// Static board power: PS (ARM cores), DRAM, clocking, NIC — drawn
+/// regardless of fabric activity.
+pub const BOARD_STATIC_W: f64 = 3.0;
+
+/// Dynamic per-resource coefficients at 200 MHz, full toggle.
+const W_PER_DSP: f64 = 1.5e-3;
+const W_PER_BRAM: f64 = 3.0e-3;
+const W_PER_LUT: f64 = 8.0e-6;
+const W_PER_FF: f64 = 2.0e-6;
+
+/// Per-party board power for the given resources at a fabric utilization
+/// in `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if `utilization` is outside `[0, 1]`.
+#[must_use]
+pub fn party_watts(res: &Resources, utilization: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&utilization), "utilization must be in [0,1]");
+    let dynamic = res.dsp as f64 * W_PER_DSP
+        + res.bram * W_PER_BRAM
+        + res.lut as f64 * W_PER_LUT
+        + res.ff as f64 * W_PER_FF;
+    BOARD_STATIC_W + dynamic * utilization
+}
+
+/// Utilization heuristic from the compute intensity of a model: small
+/// models leave the array partially idle; ImageNet-scale models keep it
+/// hot. Maps GEMM MAC counts onto `[0.91, 1.0]` logarithmically —
+/// bracketing the paper's measured 7.2 W (LeNet5) … 7.7 W (VGG16) span.
+#[must_use]
+pub fn utilization_for_macs(macs: u64) -> f64 {
+    let lg = (macs.max(1) as f64).log10();
+    (0.91 + 0.0225 * (lg - 6.0).clamp(0.0, 4.0)).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hw::HwConfig;
+    use crate::resources::aq2pnn_total;
+
+    #[test]
+    fn full_utilization_lands_in_paper_envelope() {
+        let res = aq2pnn_total(&HwConfig::zcu104());
+        let w = party_watts(&res, 1.0);
+        assert!((7.0..8.0).contains(&w), "full-util power {w} W");
+    }
+
+    #[test]
+    fn small_models_draw_less() {
+        let res = aq2pnn_total(&HwConfig::zcu104());
+        let small = party_watts(&res, utilization_for_macs(500_000));
+        let big = party_watts(&res, utilization_for_macs(5_000_000_000));
+        assert!(small < big);
+        assert!((7.0..8.0).contains(&small), "{small}");
+        assert!((7.0..8.0).contains(&big), "{big}");
+    }
+
+    #[test]
+    #[should_panic(expected = "utilization")]
+    fn bad_utilization_rejected() {
+        let res = aq2pnn_total(&HwConfig::zcu104());
+        let _ = party_watts(&res, 1.5);
+    }
+}

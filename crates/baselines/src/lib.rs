@@ -1,0 +1,18 @@
+//! Baselines for the AQ2PNN evaluation.
+//!
+//! Two kinds, mirroring the paper's methodology (Sec. 6.1: "All solutions
+//! adhere to the platform configurations specified in the original
+//! papers", i.e. the SOTA rows of Table 4 are *reported* numbers):
+//!
+//! * [`reported`] — the published Falcon / CryptFlow / CryptGPU figures the
+//!   paper compares against, encoded as clearly-labelled constants.
+//! * [`fixed_ring`] — the Fig. 9(b) "previous works" flow executed on
+//!   *our own* engine: a fixed 32- or 64-bit ring with no adaptivity.
+//!   This is the apples-to-apples ablation isolating what adaptive
+//!   quantization itself buys.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fixed_ring;
+pub mod reported;

@@ -1,0 +1,190 @@
+//! Published SOTA numbers (paper Table 4 and Sec. 5.2/6), verbatim.
+//!
+//! These are *reported* values from the cited papers' own testbeds — the
+//! same sourcing the paper uses for its comparison rows. Nothing here is
+//! measured by this reproduction; the harnesses print them side by side
+//! with our measured/modeled AQ2PNN rows.
+
+use serde::{Deserialize, Serialize};
+
+/// Which system a row describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum System {
+    /// Falcon (Wagh et al.), honest-majority 3PC.
+    Falcon,
+    /// CryptFlow (Kumar et al.), ABY2-based 2PC, CPU.
+    Cryptflow,
+    /// CryptGPU (Tan et al.), GPU, run in its 2-out-of-2 setting.
+    CryptGpu,
+    /// AQ2PNN as reported by the paper (16-bit).
+    Aq2pnnPaper,
+}
+
+impl System {
+    /// Display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            System::Falcon => "Falcon",
+            System::Cryptflow => "Cryptflow",
+            System::CryptGpu => "CryptGPU",
+            System::Aq2pnnPaper => "AQ2PNN (paper)",
+        }
+    }
+}
+
+/// One reported Table 4 row.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReportedRow {
+    /// The system.
+    pub system: System,
+    /// Model + dataset label, e.g. `"lenet5-mnist"`.
+    pub workload: &'static str,
+    /// Throughput, frames per second.
+    pub tput_fps: f64,
+    /// Communication volume, MiB.
+    pub comm_mib: f64,
+    /// Power per machine, W.
+    pub power_w: f64,
+    /// Number of machines the power figure multiplies over.
+    pub machines: u32,
+    /// Energy efficiency, fps/W (as reported).
+    pub efficiency: f64,
+}
+
+impl ReportedRow {
+    /// Total platform power (all machines).
+    #[must_use]
+    pub fn total_power_w(&self) -> f64 {
+        self.power_w * f64::from(self.machines)
+    }
+}
+
+/// All rows of paper Table 4.
+#[must_use]
+pub fn table4() -> Vec<ReportedRow> {
+    use System::{Aq2pnnPaper, CryptGpu, Cryptflow, Falcon};
+    vec![
+        // Small-size models.
+        ReportedRow { system: Falcon, workload: "lenet5-mnist", tput_fps: 26.316, comm_mib: 2.29, power_w: 133.0, machines: 3, efficiency: 0.065_354 },
+        ReportedRow { system: Aq2pnnPaper, workload: "lenet5-mnist", tput_fps: 16.68, comm_mib: 0.95, power_w: 7.2, machines: 2, efficiency: 1.158_333 },
+        ReportedRow { system: Falcon, workload: "alexnet-mnist", tput_fps: 9.091, comm_mib: 4.02, power_w: 139.0, machines: 3, efficiency: 0.021_801 },
+        ReportedRow { system: Aq2pnnPaper, workload: "alexnet-mnist", tput_fps: 6.081, comm_mib: 1.2, power_w: 7.4, machines: 2, efficiency: 0.410_878 },
+        // Medium-size models.
+        ReportedRow { system: Falcon, workload: "vgg16-cifar10", tput_fps: 0.694, comm_mib: 40.45, power_w: 185.0, machines: 3, efficiency: 0.001_250 },
+        ReportedRow { system: CryptGpu, workload: "vgg16-cifar10", tput_fps: 0.467, comm_mib: 56.20, power_w: 289.0, machines: 2, efficiency: 0.000_807 },
+        ReportedRow { system: Aq2pnnPaper, workload: "vgg16-cifar10", tput_fps: 0.352, comm_mib: 28.87, power_w: 7.7, machines: 2, efficiency: 0.022_857 },
+        // Large-size models.
+        ReportedRow { system: Cryptflow, workload: "resnet50-imagenet", tput_fps: 0.039, comm_mib: 6900.0, power_w: 178.0, machines: 2, efficiency: 0.000_110 },
+        ReportedRow { system: CryptGpu, workload: "resnet50-imagenet", tput_fps: 0.107, comm_mib: 3080.0, power_w: 306.0, machines: 2, efficiency: 0.000_175 },
+        ReportedRow { system: Aq2pnnPaper, workload: "resnet50-imagenet", tput_fps: 0.071, comm_mib: 1120.0, power_w: 7.7, machines: 2, efficiency: 0.004_610 },
+        ReportedRow { system: CryptGpu, workload: "vgg16-imagenet", tput_fps: 0.106, comm_mib: 2750.0, power_w: 315.0, machines: 2, efficiency: 0.000_168 },
+        ReportedRow { system: Aq2pnnPaper, workload: "vgg16-imagenet", tput_fps: 0.038, comm_mib: 1410.0, power_w: 7.7, machines: 2, efficiency: 0.002_468 },
+    ]
+}
+
+/// Paper Table 2's reported accuracies (%), per dataset/model:
+/// (float32 baseline, previous-works quantization, AQ2PNN 16-bit).
+#[must_use]
+pub fn table2_accuracy() -> Vec<(&'static str, f64, f64, f64)> {
+    vec![
+        ("lenet5-mnist", 99.26, 96.85, 99.34),
+        ("alexnet-mnist", 99.09, 97.42, 99.11),
+        ("vgg16-cifar10", 92.28, 91.98, 91.69),
+        ("resnet18-cifar10", 93.02, 92.79, 93.06),
+        ("vgg16-imagenet", 73.02, 72.73, 72.08),
+        ("resnet18-imagenet", 73.06, 72.87, 72.59),
+        ("resnet50-imagenet", 77.72, 77.47, 76.24),
+    ]
+}
+
+/// Paper Table 7 (ResNet18-ImageNet) and Table 8 (VGG16-ImageNet):
+/// per bit-width `(bits, top1_max, fps_max, comm_max, top1_avg, fps_avg,
+/// comm_avg)` with max/avg pooling.
+#[must_use]
+pub fn table7_resnet18() -> Vec<(u32, f64, f64, f64, f64, f64, f64)> {
+    vec![
+        (32, 73.06, 0.157, 894.0, 65.23, 86.48, 618.0),
+        (24, 72.87, 0.198, 520.0, 64.79, 86.16, 361.0),
+        (16, 72.60, 0.243, 246.0, 64.93, 86.30, 172.0),
+        (14, 67.00, 0.276, 194.0, 54.04, 78.64, 136.0),
+        (12, 29.63, 0.311, 147.0, 19.86, 40.33, 104.0),
+    ]
+}
+
+/// Paper Table 8 rows (VGG16-ImageNet).
+#[must_use]
+pub fn table8_vgg16() -> Vec<(u32, f64, f64, f64, f64, f64, f64)> {
+    vec![
+        (32, 73.02, 0.030, 5216.0, 68.24, 0.040, 3145.0),
+        (24, 72.73, 0.033, 3015.0, 68.27, 0.041, 1823.0),
+        (16, 72.08, 0.038, 1412.0, 68.17, 0.045, 858.0),
+        (14, 71.60, 0.043, 1104.0, 66.64, 0.050, 673.0),
+        (12, 35.18, 0.049, 835.0, 11.37, 0.061, 809.0),
+    ]
+}
+
+/// Paper Table 6: ImageNet validation accuracy with Max vs Average
+/// pooling after retraining: `(model, avg, max)`.
+#[must_use]
+pub fn table6_pooling() -> Vec<(&'static str, f64, f64)> {
+    vec![
+        ("resnet18-imagenet", 65.234, 72.872),
+        ("resnet50-imagenet", 70.42, 77.47),
+        ("vgg16-imagenet", 68.24, 72.73),
+    ]
+}
+
+/// Paper Table 5: operator-wise profiling of ResNet50 building block 6:
+/// `(bits, conv_ms, abrelu_ms, bnreq_ms, comm_mib)`.
+#[must_use]
+pub fn table5_block6() -> Vec<(u32, f64, f64, f64, f64)> {
+    vec![(32, 42.76, 140.01, 13.87, 36.92), (16, 40.12, 65.83, 10.65, 18.46)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_efficiency_consistent_with_power() {
+        for row in table4() {
+            let eff = row.tput_fps / row.total_power_w();
+            assert!(
+                (eff - row.efficiency).abs() / row.efficiency < 0.02,
+                "{} {}: {eff} vs {}",
+                row.system.name(),
+                row.workload,
+                row.efficiency
+            );
+        }
+    }
+
+    #[test]
+    fn paper_headline_claims_hold_in_reported_data() {
+        let rows = table4();
+        let find = |sys: System, wl: &str| {
+            rows.iter().find(|r| r.system == sys && r.workload == wl).copied().unwrap()
+        };
+        // "energy efficiency … 26.3× (ResNet50 vs CryptGPU)".
+        let aq = find(System::Aq2pnnPaper, "resnet50-imagenet");
+        let gpu = find(System::CryptGpu, "resnet50-imagenet");
+        let ratio = aq.efficiency / gpu.efficiency;
+        assert!((25.0..28.0).contains(&ratio), "efficiency ratio {ratio}");
+        // "41.9× vs Cryptflow".
+        let cf = find(System::Cryptflow, "resnet50-imagenet");
+        let ratio = aq.efficiency / cf.efficiency;
+        assert!((40.0..44.0).contains(&ratio), "vs cryptflow {ratio}");
+        // "communication reduced 2.75× vs CryptGPU on ResNet50".
+        let ratio = gpu.comm_mib / aq.comm_mib;
+        assert!((2.6..2.9).contains(&ratio), "comm ratio {ratio}");
+    }
+
+    #[test]
+    fn table7_shows_the_12bit_cliff() {
+        let rows = table7_resnet18();
+        let acc16 = rows.iter().find(|r| r.0 == 16).unwrap().1;
+        let acc12 = rows.iter().find(|r| r.0 == 12).unwrap().1;
+        assert!(acc16 - acc12 > 40.0, "cliff {acc16} -> {acc12}");
+    }
+}

@@ -1,0 +1,17 @@
+fn main() {
+    for (spec, paper) in [
+        (aq2pnn_nn::zoo::resnet50_imagenet(), 1120.0),
+        (aq2pnn_nn::zoo::vgg16_imagenet(), 1412.0),
+        (aq2pnn_nn::zoo::resnet18_imagenet(), 246.0),
+        (aq2pnn_nn::zoo::lenet5(), 0.95),
+        (aq2pnn_nn::zoo::vgg16_cifar(), 28.87),
+    ] {
+        let cfg = aq2pnn::ProtocolConfig::paper(16);
+        let p = aq2pnn::instq::compile_spec(&spec, &cfg).unwrap();
+        println!("{:<22} ours {:>9.2} MiB (online)   paper {:>8.2} MiB   ratio {:.2}", spec.name, p.online_total_mib(), paper, p.online_total_mib()/paper);
+        for prefix in ["conv", "fc", "abrelu", "maxpool", "output"] {
+            let b = p.bytes_for_phase_prefix(prefix) as f64 / (1024.0*1024.0);
+            if b > 0.005 { println!("    {:<9} {:>9.2} MiB", prefix, b); }
+        }
+    }
+}

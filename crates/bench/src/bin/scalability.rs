@@ -1,0 +1,52 @@
+//! **Sec. 6.4** — scalability with model depth and input size.
+//!
+//! Two paper observations: (1) AlexNet → VGG16 at CIFAR10 (2.6× more
+//! layers) costs ~17× throughput and ~24× communication; (2) scaling the
+//! *input image* ~49× (32² → 224²) grows communication ~49× but hurts
+//! throughput far less, because the handshake count stays constant while
+//! transfers stream.
+
+use aq2pnn::instq::compile_spec;
+use aq2pnn::ProtocolConfig;
+use aq2pnn_accel::hw::HwConfig;
+use aq2pnn_accel::perf::estimate;
+use aq2pnn_bench::header;
+use aq2pnn_nn::spec::TensorShape;
+use aq2pnn_nn::zoo;
+
+fn main() {
+    let hw = HwConfig::zcu104();
+    let cfg = ProtocolConfig::paper(16);
+    let run = |spec: &aq2pnn_nn::spec::ModelSpec| {
+        let p = compile_spec(spec, &cfg).expect("compiles");
+        let r = estimate(&p, &hw);
+        (r.fps, r.comm_mib, p.online_messages())
+    };
+
+    header("Sec. 6.4 — depth scaling (CIFAR10 geometry)");
+    let (a_fps, a_mib, a_msg) = run(&zoo::alexnet_cifar());
+    let (v_fps, v_mib, v_msg) = run(&zoo::vgg16_cifar());
+    println!("AlexNet : {a_fps:>8.3} fps, {a_mib:>8.2} MiB, {a_msg} msgs");
+    println!("VGG16   : {v_fps:>8.3} fps, {v_mib:>8.2} MiB, {v_msg} msgs");
+    println!(
+        "depth ratio effects: throughput ÷{:.1} (paper ÷17.3), comm ×{:.1} (paper ×24)",
+        a_fps / v_fps,
+        v_mib / a_mib
+    );
+
+    header("Sec. 6.4 — input-size scaling (same architecture)");
+    let small = zoo::alexnet(TensorShape::Chw(3, 32, 32), 10);
+    let big = zoo::alexnet(TensorShape::Chw(3, 224, 224), 10);
+    let (s_fps, s_mib, s_msg) = run(&small);
+    let (b_fps, b_mib, b_msg) = run(&big);
+    let px = (224.0f64 * 224.0) / (32.0 * 32.0);
+    println!("32×32   : {s_fps:>8.3} fps, {s_mib:>8.2} MiB, {s_msg} msgs");
+    println!("224×224 : {b_fps:>8.3} fps, {b_mib:>8.2} MiB, {b_msg} msgs");
+    println!(
+        "input ×{px:.0} pixels: comm ×{:.1} (paper ~×49), throughput ÷{:.1} \
+         (paper ÷9.26), messages ×{:.2} (paper: handshake count constant)",
+        b_mib / s_mib,
+        s_fps / b_fps,
+        b_msg as f64 / s_msg as f64
+    );
+}

@@ -1,0 +1,44 @@
+//! **Table 3** — FPGA resource consumption: AQ2PNN vs VTA (plaintext).
+
+use aq2pnn_accel::hw::HwConfig;
+use aq2pnn_accel::resources::{
+    aq2pnn_total, as_alu, buffers, gemm_array, load_store_control, paper_reference, sec_comm,
+    vta_baseline,
+};
+use aq2pnn_bench::header;
+
+fn main() {
+    let hw = HwConfig::zcu104();
+    header("Table 3 — resource consumption");
+    println!("{:<28} {:>9} {:>9} {:>6} {:>7}", "module", "LUT", "FF", "DSP", "BRAM");
+    for (name, r) in [
+        ("AS-GEMM array (256 C-C MU)", gemm_array(&hw)),
+        ("AS-ALU", as_alu(&hw)),
+        ("Sec-COMM (A2BM+SCM+OT)", sec_comm(&hw)),
+        ("buffers (Fig. 1)", buffers(&hw)),
+        ("LOAD/STORE + INST Q", load_store_control(&hw)),
+    ] {
+        println!("{name:<28} {:>9} {:>9} {:>6} {:>7.1}", r.lut, r.ff, r.dsp, r.bram);
+    }
+    let total = aq2pnn_total(&hw);
+    let paper = paper_reference();
+    let vta = vta_baseline();
+    println!("{:-<62}", "");
+    println!(
+        "{:<28} {:>9} {:>9} {:>6} {:>7.1}  ×2 parties",
+        "AQ2PNN total (model)", total.lut, total.ff, total.dsp, total.bram
+    );
+    println!(
+        "{:<28} {:>9} {:>9} {:>6} {:>7.1}  ×2 parties",
+        "AQ2PNN total (paper)", paper.lut, paper.ff, paper.dsp, paper.bram
+    );
+    println!(
+        "{:<28} {:>9} {:>9} {:>6} {:>7.1}",
+        "VTA (paper, plaintext)", vta.lut, vta.ff, vta.dsp, vta.bram
+    );
+    println!(
+        "\n2PC tax: {:.1}× LUT, {:.1}× DSP over the plaintext VTA datapath.",
+        total.lut as f64 / vta.lut as f64,
+        total.dsp as f64 / vta.dsp as f64
+    );
+}

@@ -1,0 +1,63 @@
+//! Protocol-level error type.
+
+use aq2pnn_ot::OtError;
+use aq2pnn_ring::ShapeError;
+use aq2pnn_transport::TransportError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by the 2PC protocol layer.
+#[derive(Debug)]
+pub enum ProtocolError {
+    /// The party-to-party channel failed.
+    Transport(TransportError),
+    /// An oblivious-transfer sub-protocol failed.
+    Ot(OtError),
+    /// Tensor shapes disagreed inside a protocol operation.
+    Shape(ShapeError),
+    /// The model/spec cannot be executed by the engine.
+    Model(String),
+    /// The two parties diverged (desynchronized protocol state).
+    Desync(String),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Transport(e) => write!(f, "transport failure: {e}"),
+            ProtocolError::Ot(e) => write!(f, "oblivious transfer failure: {e}"),
+            ProtocolError::Shape(e) => write!(f, "shape error in protocol op: {e}"),
+            ProtocolError::Model(msg) => write!(f, "model not executable: {msg}"),
+            ProtocolError::Desync(msg) => write!(f, "parties desynchronized: {msg}"),
+        }
+    }
+}
+
+impl Error for ProtocolError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ProtocolError::Transport(e) => Some(e),
+            ProtocolError::Ot(e) => Some(e),
+            ProtocolError::Shape(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TransportError> for ProtocolError {
+    fn from(e: TransportError) -> Self {
+        ProtocolError::Transport(e)
+    }
+}
+
+impl From<OtError> for ProtocolError {
+    fn from(e: OtError) -> Self {
+        ProtocolError::Ot(e)
+    }
+}
+
+impl From<ShapeError> for ProtocolError {
+    fn from(e: ShapeError) -> Self {
+        ProtocolError::Shape(e)
+    }
+}

@@ -1,0 +1,295 @@
+//! AS-GEMM: arithmetic-share general matrix multiplication (paper
+//! Sec. 4.1.2, Figs. 2–3).
+//!
+//! Ciphertext×ciphertext multiplication opens the Beaver masks
+//! `E = IN − A`, `F = W − B` and evaluates paper Eq. 1 locally:
+//!
+//! ```text
+//! OUT_i = −i·E⊗F + IN_i⊗F + E⊗W_i + Z_i      (i ∈ {0, 1})
+//! ```
+//!
+//! The hardware realizes this with a `BLOCK_IN × BLOCK_OUT` array of C-C
+//! multiplication units at initiation interval 1; functionally the array
+//! computes exactly [`secure_matmul`], and [`cc_mul_unit`] is the scalar
+//! Fig. 2(b) unit used by the worked example of Fig. 3.
+
+use crate::{PartyContext, ProtocolError};
+use aq2pnn_ring::{Ring, RingTensor};
+use aq2pnn_sharing::beaver::ring_matmul;
+use aq2pnn_sharing::{AShare, PartyId};
+
+/// The scalar C-C multiplication unit of paper Fig. 2(b):
+/// `−i·e·f + in_i·f + e·w_i + z_i` on the ring.
+#[must_use]
+pub fn cc_mul_unit(
+    ring: Ring,
+    party: PartyId,
+    in_i: u64,
+    w_i: u64,
+    e: u64,
+    f: u64,
+    z_i: u64,
+) -> u64 {
+    let ef = ring.mul(e, f);
+    let neg_ief = if party.index() == 1 { ring.neg(ef) } else { 0 };
+    let mut acc = neg_ief;
+    acc = ring.add(acc, ring.mul(in_i, f));
+    acc = ring.add(acc, ring.mul(e, w_i));
+    ring.add(acc, z_i)
+}
+
+/// Secure matrix multiplication `⟦OUT⟧ ← ⟦IN⟧ ⊗ ⟦W⟧` over additive shares.
+///
+/// Consumes one matrix Beaver triple from the party's dealer stream and
+/// one round of simultaneous exchange (the masked `E` and `F` matrices,
+/// sent together, bit-packed at the ring width — the conv-layer "Data
+/// Exchange" of paper Sec. 5.1).
+///
+/// Both parties must call this in lockstep with share tensors of matching
+/// shapes: `in_share [m,k]`, `w_share [k,n]`.
+///
+/// # Errors
+///
+/// Returns [`ProtocolError::Shape`] on malformed operands,
+/// [`ProtocolError::Transport`] if the peer disconnects, or
+/// [`ProtocolError::Desync`] if the peer's message has the wrong size.
+pub fn secure_matmul(
+    ctx: &mut PartyContext,
+    in_share: &AShare,
+    w_share: &AShare,
+) -> Result<AShare, ProtocolError> {
+    let ring = in_share.ring();
+    let (ishape, wshape) = (in_share.shape(), w_share.shape());
+    if ishape.len() != 2 || wshape.len() != 2 || ishape[1] != wshape[0] || ring != w_share.ring()
+    {
+        return Err(ProtocolError::Shape(aq2pnn_ring::ShapeError::ShapeMismatch {
+            lhs: ishape.to_vec(),
+            rhs: wshape.to_vec(),
+        }));
+    }
+    let (m, k, n) = (ishape[0], ishape[1], wshape[1]);
+
+    // Offline material.
+    let triple = ctx.next_matmul_triple(ring, m, k, n);
+
+    // ⟦E⟧ = ⟦IN⟧ − ⟦A⟧, ⟦F⟧ = ⟦W⟧ − ⟦B⟧; open both in one exchange.
+    let e_share = in_share.as_tensor().sub(&triple.a)?;
+    let f_share = w_share.as_tensor().sub(&triple.b)?;
+    let mut payload = Vec::with_capacity(m * k + k * n);
+    payload.extend_from_slice(e_share.as_slice());
+    payload.extend_from_slice(f_share.as_slice());
+    let peer = ctx.ep.exchange_bits(&payload, ring.bits(), payload.len())?;
+    if peer.len() != payload.len() {
+        return Err(ProtocolError::Desync(format!(
+            "gemm mask exchange: expected {} elements, got {}",
+            payload.len(),
+            peer.len()
+        )));
+    }
+    let e = RingTensor::from_raw(
+        ring,
+        vec![m, k],
+        e_share
+            .as_slice()
+            .iter()
+            .zip(&peer[..m * k])
+            .map(|(&a, &b)| ring.add(a, b))
+            .collect(),
+    )?;
+    let f = RingTensor::from_raw(
+        ring,
+        vec![k, n],
+        f_share
+            .as_slice()
+            .iter()
+            .zip(&peer[m * k..])
+            .map(|(&a, &b)| ring.add(a, b))
+            .collect(),
+    )?;
+
+    // Eq. 1, evaluated matrix-wise.
+    let in_f = ring_matmul(in_share.as_tensor(), &f)?;
+    let e_w = ring_matmul(&e, w_share.as_tensor())?;
+    let mut out = in_f.add(&e_w)?.add(&triple.z)?;
+    if ctx.id.index() == 1 {
+        let ef = ring_matmul(&e, &f)?;
+        out = out.sub(&ef)?;
+    }
+    Ok(AShare::from_tensor(out))
+}
+
+/// Structured AS-GEMM with an offline weight mask:
+/// `⟦OUT⟧ = expand(⟦IN⟧) ⊗ ⟦W⟧` where `expand` is a public linear map
+/// (im2col for convolutions, identity for fully-connected layers).
+///
+/// Two communication refinements over [`secure_matmul`], both from the
+/// paper (Sec. 4.1.2):
+///
+/// * the input mask `E = IN − A` is exchanged at **feature-map size** and
+///   expanded locally — im2col's `k²` duplication never hits the wire;
+/// * the weight mask `F = W − B` is static per model, so its one-time
+///   opening is tagged with the `offline-f` phase (the pre-deployed
+///   AS-WGT-MSK buffer) and excluded from online communication counts.
+///
+/// # Errors
+///
+/// Propagates transport failures; returns [`ProtocolError::Desync`] on
+/// mismatched message sizes.
+pub fn secure_matmul_expanded(
+    ctx: &mut PartyContext,
+    in_share: &AShare,
+    w_share: &AShare,
+    expand: impl Fn(&RingTensor) -> RingTensor,
+) -> Result<AShare, ProtocolError> {
+    let ring = in_share.ring();
+    let wshape = w_share.shape().to_vec();
+    if wshape.len() != 2 || ring != w_share.ring() {
+        return Err(ProtocolError::Shape(aq2pnn_ring::ShapeError::ShapeMismatch {
+            lhs: in_share.shape().to_vec(),
+            rhs: wshape,
+        }));
+    }
+
+    // Offline material: compact triple with Z = expand(A) ⊗ B.
+    let triple =
+        ctx.next_expanded_triple(ring, in_share.shape(), &[wshape[0], wshape[1]], &expand);
+
+    // One-time opening of F = W − B (offline phase, pre-deployed mask).
+    let online_phase = ctx.ep.phase();
+    ctx.ep.set_phase("offline-f");
+    let f_share = w_share.as_tensor().sub(&triple.b)?;
+    let f_peer = ctx.ep.exchange_bits(f_share.as_slice(), ring.bits(), f_share.len())?;
+    if f_peer.len() != f_share.len() {
+        return Err(ProtocolError::Desync("offline F exchange size mismatch".into()));
+    }
+    let f = RingTensor::from_raw(
+        ring,
+        wshape.clone(),
+        f_share.as_slice().iter().zip(&f_peer).map(|(&a, &b)| ring.add(a, b)).collect(),
+    )?;
+    ctx.ep.set_phase(online_phase);
+
+    // Online: open E = IN − A at feature-map size.
+    let e_share = in_share.as_tensor().sub(&triple.a)?;
+    let e_peer = ctx.ep.exchange_bits(e_share.as_slice(), ring.bits(), e_share.len())?;
+    if e_peer.len() != e_share.len() {
+        return Err(ProtocolError::Desync("online E exchange size mismatch".into()));
+    }
+    let e_img = RingTensor::from_raw(
+        ring,
+        in_share.shape().to_vec(),
+        e_share.as_slice().iter().zip(&e_peer).map(|(&a, &b)| ring.add(a, b)).collect(),
+    )?;
+
+    // Local expansion and Eq. 1.
+    let e = expand(&e_img);
+    let in_cols = expand(in_share.as_tensor());
+    let in_f = ring_matmul(&in_cols, &f)?;
+    let e_w = ring_matmul(&e, w_share.as_tensor())?;
+    let mut out = in_f.add(&e_w)?.add(&triple.z)?;
+    if ctx.id.index() == 1 {
+        out = out.sub(&ring_matmul(&e, &f)?)?;
+    }
+    Ok(AShare::from_tensor(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::run_pair;
+    use crate::ProtocolConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn share_pair(ring: Ring, shape: Vec<usize>, vals: &[i64], seed: u64) -> (AShare, AShare) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = RingTensor::from_signed(ring, shape, vals).unwrap();
+        AShare::share(&t, &mut rng)
+    }
+
+    #[test]
+    fn cc_mul_unit_matches_fig3_structure() {
+        // rec(out) must equal rec(in)·rec(w) for any sharing and triple.
+        let ring = Ring::new(16);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let (x, w) = (ring.sample(&mut rng), ring.sample(&mut rng));
+            let (a, b) = (ring.sample(&mut rng), ring.sample(&mut rng));
+            let z = ring.mul(a, b);
+            // Shares.
+            let (xi, ai, wi, zi) = (
+                ring.sample(&mut rng),
+                ring.sample(&mut rng),
+                ring.sample(&mut rng),
+                ring.sample(&mut rng),
+            );
+            let (xj, aj, wj, zj) =
+                (ring.sub(x, xi), ring.sub(a, ai), ring.sub(w, wi), ring.sub(z, zi));
+            let e = ring.sub(x, a);
+            let f = ring.sub(w, b);
+            let oi = cc_mul_unit(ring, PartyId::User, xi, wi, e, f, zi);
+            let oj = cc_mul_unit(ring, PartyId::ModelProvider, xj, wj, e, f, zj);
+            assert_eq!(ring.add(oi, oj), ring.mul(x, w));
+            let _ = (ai, aj); // masks only enter through e
+        }
+    }
+
+    #[test]
+    fn secure_matmul_matches_plaintext() {
+        let cfg = ProtocolConfig::paper(16);
+        let ring = cfg.q1();
+        let a_vals: Vec<i64> = (0..6).map(|i| i * 3 - 7).collect(); // 2x3
+        let b_vals: Vec<i64> = (0..12).map(|i| 5 - i).collect(); // 3x4
+        let (a0, a1) = share_pair(ring, vec![2, 3], &a_vals, 11);
+        let (b0, b1) = share_pair(ring, vec![3, 4], &b_vals, 12);
+
+        let (o0, o1) = run_pair(&cfg, move |ctx| {
+            let (ins, ws) = match ctx.id {
+                PartyId::User => (a0.clone(), b0.clone()),
+                PartyId::ModelProvider => (a1.clone(), b1.clone()),
+            };
+            secure_matmul(ctx, &ins, &ws).unwrap()
+        });
+
+        let rec = AShare::recover(&o0, &o1).unwrap();
+        let pa = RingTensor::from_signed(ring, vec![2, 3], &a_vals).unwrap();
+        let pb = RingTensor::from_signed(ring, vec![3, 4], &b_vals).unwrap();
+        assert_eq!(rec, ring_matmul(&pa, &pb).unwrap());
+    }
+
+    #[test]
+    fn secure_matmul_counts_mask_exchange_bytes() {
+        let cfg = ProtocolConfig::paper(16);
+        let ring = cfg.q1();
+        let (a0, a1) = share_pair(ring, vec![4, 4], &[1; 16], 3);
+        let (b0, b1) = share_pair(ring, vec![4, 4], &[2; 16], 4);
+        let (o0, _o1) = run_pair(&cfg, move |ctx| {
+            let (ins, ws) = match ctx.id {
+                PartyId::User => (a0.clone(), b0.clone()),
+                PartyId::ModelProvider => (a1.clone(), b1.clone()),
+            };
+            let out = secure_matmul(ctx, &ins, &ws).unwrap();
+            (out, ctx.ep.stats())
+        });
+        let (_, stats) = o0;
+        // 32 elements (E 16 + F 16) at 16 bits = 64 bytes each way.
+        assert_eq!(stats.bytes_sent, 64);
+        assert_eq!(stats.bytes_received, 64);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let cfg = ProtocolConfig::paper(16);
+        let ring = cfg.q1();
+        let (a0, a1) = share_pair(ring, vec![2, 3], &[0; 6], 5);
+        let (b0, b1) = share_pair(ring, vec![2, 3], &[0; 6], 6);
+        let (r0, _r1) = run_pair(&cfg, move |ctx| {
+            let (ins, ws) = match ctx.id {
+                PartyId::User => (a0.clone(), b0.clone()),
+                PartyId::ModelProvider => (a1.clone(), b1.clone()),
+            };
+            secure_matmul(ctx, &ins, &ws).is_err()
+        });
+        assert!(r0);
+    }
+}

@@ -1,0 +1,89 @@
+//! Two-thread simulation harness: runs both parties of a protocol over an
+//! in-process duplex link. Used by unit tests, integration tests, examples
+//! and the benchmark harnesses.
+
+use crate::engine::{run_party, InferenceOutput, PartyInput};
+use crate::oracle::IdealOracle;
+use crate::{PartyContext, ProtocolConfig, ProtocolError};
+use aq2pnn_nn::quant::QuantModel;
+use aq2pnn_sharing::PartyId;
+use aq2pnn_transport::{duplex, ChannelStats};
+use std::sync::Arc;
+
+/// Runs `f` as both parties on two threads and returns
+/// `(party 0 result, party 1 result)`.
+///
+/// An [`IdealOracle`] is always provisioned so `Exact` share-conversion
+/// configs work transparently.
+///
+/// # Panics
+///
+/// Panics if either party's closure panics.
+pub fn run_pair<T, F>(cfg: &ProtocolConfig, f: F) -> (T, T)
+where
+    T: Send + 'static,
+    F: Fn(&mut PartyContext) -> T + Send + Sync + 'static,
+{
+    let (e0, e1) = duplex();
+    let oracle = Arc::new(IdealOracle::new(cfg.setup_seed ^ 0x0eac1e));
+    let f = Arc::new(f);
+    let (cfg1, f1, o1) = (cfg.clone(), Arc::clone(&f), Arc::clone(&oracle));
+    let handle = std::thread::spawn(move || {
+        let mut ctx = PartyContext::new(PartyId::ModelProvider, e1, cfg1, Some(o1));
+        f1(&mut ctx)
+    });
+    let mut ctx = PartyContext::new(PartyId::User, e0, cfg.clone(), Some(oracle));
+    let r0 = f(&mut ctx);
+    let r1 = handle.join().expect("party 1 panicked");
+    (r0, r1)
+}
+
+/// Result of a simulated two-party inference.
+#[derive(Debug, Clone)]
+pub struct TwoPartyRun {
+    /// The recovered integer logits (revealed to both parties at the end).
+    pub logits: Vec<i64>,
+    /// Communication statistics of party 0 (the user).
+    pub user_stats: ChannelStats,
+    /// Communication statistics of party 1 (the model provider).
+    pub provider_stats: ChannelStats,
+}
+
+/// Runs one full secure inference of `model` on `image` between two
+/// in-process parties and returns the logits plus per-party traffic.
+///
+/// `_seed` reserved for future input-sharing randomization (the sharing
+/// masks currently derive from `cfg.setup_seed`).
+///
+/// # Errors
+///
+/// Propagates any [`ProtocolError`] from either party (party 1's error is
+/// surfaced as a panic message if party 0 succeeded).
+///
+/// # Panics
+///
+/// Panics if the party threads panic or if the two parties recover
+/// different logits (a protocol bug).
+pub fn run_two_party(
+    model: &QuantModel,
+    cfg: &ProtocolConfig,
+    image: &[f32],
+    _seed: u64,
+) -> Result<TwoPartyRun, ProtocolError> {
+    let (e0, e1) = duplex();
+    let oracle = Arc::new(IdealOracle::new(cfg.setup_seed ^ 0x0eac1e));
+    let (cfg1, o1, m1) = (cfg.clone(), Arc::clone(&oracle), model.clone());
+    let handle = std::thread::spawn(move || -> Result<InferenceOutput, ProtocolError> {
+        let mut ctx = PartyContext::new(PartyId::ModelProvider, e1, cfg1, Some(o1));
+        run_party(&mut ctx, &m1, PartyInput::Provider)
+    });
+    let mut ctx = PartyContext::new(PartyId::User, e0, cfg.clone(), Some(oracle));
+    let user = run_party(&mut ctx, model, PartyInput::User(image))?;
+    let provider = handle.join().expect("party 1 panicked")?;
+    assert_eq!(user.logits, provider.logits, "parties recovered different logits");
+    Ok(TwoPartyRun {
+        logits: user.logits,
+        user_stats: user.stats,
+        provider_stats: provider.stats,
+    })
+}

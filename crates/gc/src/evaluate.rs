@@ -1,0 +1,124 @@
+//! Garbled-circuit evaluation.
+
+use crate::circuit::{Circuit, Gate};
+use crate::garble::{hash, Garbled, InputLabels, Label};
+
+fn xor_label(a: Label, b: Label) -> Label {
+    [a[0] ^ b[0], a[1] ^ b[1]]
+}
+
+fn lsb(l: Label) -> bool {
+    l[0] & 1 == 1
+}
+
+/// Evaluates a garbled circuit from active input labels, returning the
+/// active labels of the output wires.
+///
+/// # Panics
+///
+/// Panics if input widths disagree with the circuit.
+#[must_use]
+pub fn evaluate(circ: &Circuit, garbled: &Garbled, inputs: &InputLabels) -> Vec<Label> {
+    assert_eq!(inputs.a.len(), circ.inputs_a.len(), "party A width");
+    assert_eq!(inputs.b.len(), circ.inputs_b.len(), "party B width");
+    let mut active: Vec<Label> = vec![[0, 0]; circ.wires];
+    // Constants: evaluator holds the constant wires' active labels.
+    active[0] = garbled.label(0, false);
+    active[1] = garbled.label(1, true);
+    for (wire, &bit) in circ.inputs_a.iter().zip(&inputs.a) {
+        active[*wire] = garbled.label(*wire, bit);
+    }
+    for (wire, &bit) in circ.inputs_b.iter().zip(&inputs.b) {
+        active[*wire] = garbled.label(*wire, bit);
+    }
+    let mut table_idx = 0usize;
+    for (gid, g) in circ.gates.iter().enumerate() {
+        match *g {
+            Gate::Xor { a, b, out } => {
+                active[out] = xor_label(active[a], active[b]);
+            }
+            Gate::And { a, b, out } => {
+                let (la, lb) = (active[a], active[b]);
+                let row = 2 * usize::from(lsb(la)) + usize::from(lsb(lb));
+                let ct = garbled.tables[table_idx].rows[row];
+                active[out] = xor_label(hash(la, lb, gid as u64), ct);
+                table_idx += 1;
+            }
+        }
+    }
+    circ.outputs.iter().map(|&o| active[o]).collect()
+}
+
+/// Decodes output labels against the circuit's output wires.
+///
+/// # Panics
+///
+/// Panics if a label matches neither candidate (corruption or a wrong
+/// evaluation).
+#[must_use]
+pub fn decode_with(circ: &Circuit, garbled: &Garbled, outputs: &[Label]) -> u64 {
+    let mut v = 0u64;
+    for (i, (&l, &wire)) in outputs.iter().zip(&circ.outputs).enumerate() {
+        if l == garbled.label(wire, true) {
+            v |= 1 << i;
+        } else {
+            assert_eq!(l, garbled.label(wire, false), "invalid output label");
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::{encode_inputs, less_than, relu_on_shares};
+    use crate::garble::{garble, select_input_labels};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn garbled_relu_matches_plaintext() {
+        let bits = 8u32;
+        let circ = relu_on_shares(bits);
+        let mut rng = StdRng::seed_from_u64(7);
+        let garbled = garble(&circ, &mut rng);
+        for x in [-128i64, -50, -1, 0, 1, 42, 127] {
+            let enc = (x as u64) & 0xff;
+            for r in [3u64, 200] {
+                let inputs = encode_inputs(&circ, r, enc.wrapping_sub(r) & 0xff, bits);
+                let labels = select_input_labels(&garbled, &inputs);
+                let out = evaluate(&circ, &garbled, &labels);
+                let got = decode_with(&circ, &garbled, &out);
+                assert_eq!(got, if x > 0 { x as u64 } else { 0 }, "x={x} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn garbled_less_than_exhaustive_4bit() {
+        let circ = less_than(4);
+        let mut rng = StdRng::seed_from_u64(8);
+        let garbled = garble(&circ, &mut rng);
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                let inputs = encode_inputs(&circ, a, b, 4);
+                let labels = select_input_labels(&garbled, &inputs);
+                let out = evaluate(&circ, &garbled, &labels);
+                assert_eq!(decode_with(&circ, &garbled, &out), u64::from(a < b), "{a}<{b}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid output label")]
+    fn corrupted_label_detected() {
+        let circ = relu_on_shares(8);
+        let mut rng = StdRng::seed_from_u64(9);
+        let garbled = garble(&circ, &mut rng);
+        let inputs = encode_inputs(&circ, 1, 1, 8);
+        let labels = select_input_labels(&garbled, &inputs);
+        let mut out = evaluate(&circ, &garbled, &labels);
+        out[0][0] ^= 0xdead;
+        let _ = decode_with(&circ, &garbled, &out);
+    }
+}

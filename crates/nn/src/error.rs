@@ -1,0 +1,36 @@
+//! Error type for model construction and inference.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from model construction, shape inference, or inference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NnError {
+    /// An operator received an input of incompatible shape.
+    ShapeMismatch {
+        /// Operator description.
+        op: String,
+        /// Shape expected by the operator.
+        expected: Vec<usize>,
+        /// Shape actually supplied.
+        actual: Vec<usize>,
+    },
+    /// A spec is structurally invalid (e.g. pooling larger than its input).
+    InvalidSpec(String),
+    /// Quantization failed (e.g. calibration produced a degenerate range).
+    Quantization(String),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::ShapeMismatch { op, expected, actual } => {
+                write!(f, "{op}: expected input shape {expected:?}, got {actual:?}")
+            }
+            NnError::InvalidSpec(msg) => write!(f, "invalid model spec: {msg}"),
+            NnError::Quantization(msg) => write!(f, "quantization failed: {msg}"),
+        }
+    }
+}
+
+impl Error for NnError {}

@@ -1,0 +1,814 @@
+//! Float networks with forward and backward passes.
+//!
+//! [`FloatNet`] instantiates a [`ModelSpec`] with He-initialized weights
+//! and supports SGD training — the "model provider trains in the plaintext
+//! domain" half of the paper's pipeline (Fig. 8 step ①). The layer set
+//! matches the spec language: Conv2d, Linear, BatchNorm (spatial statistics
+//! in training mode), ReLU, Max/Avg pooling, global pooling, flatten and
+//! residual blocks.
+//!
+//! The implementation is deliberately simple (single-sample loops, direct
+//! convolution): the trainable models in this reproduction are small by
+//! design; ImageNet-scale specs are used for cost modeling and synthetic
+//! calibration only.
+
+use crate::data::{Sample, SyntheticVision};
+use crate::spec::{ModelSpec, OpSpec, TensorShape};
+use crate::NnError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Batch-norm numerical floor.
+const BN_EPS: f32 = 1e-5;
+/// Running-statistics momentum.
+const BN_MOMENTUM: f32 = 0.1;
+
+/// One instantiated layer with parameters, gradients and backward caches.
+#[derive(Debug, Clone)]
+pub(crate) enum Layer {
+    Conv2d {
+        in_c: usize,
+        out_c: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        in_hw: (usize, usize),
+        out_hw: (usize, usize),
+        w: Vec<f32>,
+        b: Vec<f32>,
+        dw: Vec<f32>,
+        db: Vec<f32>,
+        cache_in: Vec<f32>,
+    },
+    Linear {
+        in_f: usize,
+        out_f: usize,
+        w: Vec<f32>,
+        b: Vec<f32>,
+        dw: Vec<f32>,
+        db: Vec<f32>,
+        cache_in: Vec<f32>,
+    },
+    BatchNorm {
+        c: usize,
+        spatial: usize,
+        gamma: Vec<f32>,
+        beta: Vec<f32>,
+        dgamma: Vec<f32>,
+        dbeta: Vec<f32>,
+        running_mean: Vec<f32>,
+        running_var: Vec<f32>,
+        cache_xhat: Vec<f32>,
+        cache_inv_std: Vec<f32>,
+    },
+    Relu {
+        cache_mask: Vec<bool>,
+    },
+    MaxPool {
+        k: usize,
+        stride: usize,
+        pad: usize,
+        c: usize,
+        in_hw: (usize, usize),
+        out_hw: (usize, usize),
+        cache_argmax: Vec<usize>,
+    },
+    AvgPool {
+        k: usize,
+        stride: usize,
+        pad: usize,
+        c: usize,
+        in_hw: (usize, usize),
+        out_hw: (usize, usize),
+    },
+    GlobalAvgPool {
+        c: usize,
+        in_hw: (usize, usize),
+    },
+    Flatten,
+    Residual {
+        main: Vec<Layer>,
+        shortcut: Vec<Layer>,
+    },
+}
+
+/// A float network instantiated from a [`ModelSpec`].
+#[derive(Debug, Clone)]
+pub struct FloatNet {
+    spec: ModelSpec,
+    pub(crate) layers: Vec<Layer>,
+}
+
+impl FloatNet {
+    /// Builds the network with He-initialized weights from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidSpec`] if the spec fails shape inference.
+    pub fn init(spec: &ModelSpec, seed: u64) -> Result<Self, NnError> {
+        spec.infer_shapes()?; // validate up front
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut layers = Vec::with_capacity(spec.ops.len());
+        let mut shape = spec.input;
+        for op in &spec.ops {
+            let (layer, out) = build_layer(op, shape, &mut rng)?;
+            layers.push(layer);
+            shape = out;
+        }
+        Ok(FloatNet { spec: spec.clone(), layers })
+    }
+
+    /// The spec this network was built from.
+    #[must_use]
+    pub fn spec(&self) -> &ModelSpec {
+        &self.spec
+    }
+
+    /// Inference forward pass (BatchNorm uses running statistics).
+    #[must_use]
+    pub fn forward(&mut self, image: &[f32]) -> Vec<f32> {
+        forward_layers(&mut self.layers, image.to_vec(), false)
+    }
+
+    /// Training forward pass (BatchNorm uses spatial batch statistics and
+    /// caches for backward).
+    #[must_use]
+    pub fn forward_train(&mut self, image: &[f32]) -> Vec<f32> {
+        forward_layers(&mut self.layers, image.to_vec(), true)
+    }
+
+    /// Backpropagates `grad` (∂loss/∂logits), accumulating parameter
+    /// gradients.
+    pub fn backward(&mut self, grad: &[f32]) {
+        let _ = backward_layers(&mut self.layers, grad.to_vec());
+    }
+
+    /// Zeroes all accumulated gradients.
+    pub fn zero_grads(&mut self) {
+        for l in &mut self.layers {
+            zero_layer(l);
+        }
+    }
+
+    /// Applies one SGD step `w ← w − lr·dw`.
+    pub fn sgd_step(&mut self, lr: f32) {
+        for l in &mut self.layers {
+            step_layer(l, lr);
+        }
+    }
+
+    /// Cross-entropy of logits against a label, plus ∂loss/∂logits.
+    #[must_use]
+    pub fn softmax_ce(logits: &[f32], label: usize) -> (f32, Vec<f32>) {
+        let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = logits.iter().map(|&v| (v - max).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        let probs: Vec<f32> = exps.iter().map(|&e| e / sum).collect();
+        let loss = -(probs[label].max(1e-12)).ln();
+        let mut grad = probs;
+        grad[label] -= 1.0;
+        (loss, grad)
+    }
+
+    /// Trains for `epochs` passes of minibatch SGD; returns the final
+    /// epoch's mean loss.
+    pub fn train_epochs(
+        &mut self,
+        data: &SyntheticVision,
+        epochs: usize,
+        batch: usize,
+        lr: f32,
+    ) -> f32 {
+        let mut rng = StdRng::seed_from_u64(0xda7a);
+        let mut last_loss = f32::NAN;
+        let n = data.train().len();
+        for _ in 0..epochs {
+            let mut order: Vec<usize> = (0..n).collect();
+            // Fisher-Yates shuffle.
+            for i in (1..n).rev() {
+                order.swap(i, rng.gen_range(0..=i));
+            }
+            let mut epoch_loss = 0.0f32;
+            for chunk in order.chunks(batch) {
+                self.zero_grads();
+                for &idx in chunk {
+                    let s = &data.train()[idx];
+                    let logits = self.forward_train(&s.image);
+                    let (loss, grad) = Self::softmax_ce(&logits, s.label);
+                    epoch_loss += loss;
+                    self.backward(&grad);
+                }
+                self.sgd_step(lr / chunk.len() as f32);
+            }
+            last_loss = epoch_loss / n as f32;
+        }
+        last_loss
+    }
+
+    /// Top-1 accuracy over a sample set.
+    #[must_use]
+    pub fn accuracy(&mut self, samples: &[Sample]) -> f64 {
+        if samples.is_empty() {
+            return 0.0;
+        }
+        let correct = samples
+            .iter()
+            .filter(|s| {
+                let logits = self.forward(&s.image);
+                crate::tensor::argmax_i64(
+                    &logits.iter().map(|&v| (v * 1e6) as i64).collect::<Vec<_>>(),
+                ) == s.label
+            })
+            .count();
+        correct as f64 / samples.len() as f64
+    }
+}
+
+fn he_normal(rng: &mut StdRng, fan_in: usize) -> f32 {
+    // Box–Muller.
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos();
+    z * (2.0 / fan_in as f32).sqrt()
+}
+
+fn build_layer(
+    op: &OpSpec,
+    input: TensorShape,
+    rng: &mut StdRng,
+) -> Result<(Layer, TensorShape), NnError> {
+    let out = {
+        // reuse spec inference via a one-op spec
+        let tmp = ModelSpec { name: String::new(), input, ops: vec![op.clone()] };
+        tmp.output_shape()?
+    };
+    let layer = match (op, input, out) {
+        (OpSpec::Conv2d { out_c, k, stride, pad }, TensorShape::Chw(ic, ih, iw), TensorShape::Chw(_, oh, ow)) => {
+            let fan_in = ic * k * k;
+            let w = (0..out_c * fan_in).map(|_| he_normal(rng, fan_in)).collect();
+            Layer::Conv2d {
+                in_c: ic,
+                out_c: *out_c,
+                k: *k,
+                stride: *stride,
+                pad: *pad,
+                in_hw: (ih, iw),
+                out_hw: (oh, ow),
+                w,
+                b: vec![0.0; *out_c],
+                dw: vec![0.0; out_c * fan_in],
+                db: vec![0.0; *out_c],
+                cache_in: Vec::new(),
+            }
+        }
+        (OpSpec::Linear { out: of }, TensorShape::Flat(inf), _) => Layer::Linear {
+            in_f: inf,
+            out_f: *of,
+            w: (0..of * inf).map(|_| he_normal(rng, inf)).collect(),
+            b: vec![0.0; *of],
+            dw: vec![0.0; of * inf],
+            db: vec![0.0; *of],
+            cache_in: Vec::new(),
+        },
+        (OpSpec::BatchNorm, TensorShape::Chw(c, h, w), _) => Layer::BatchNorm {
+            c,
+            spatial: h * w,
+            gamma: vec![1.0; c],
+            beta: vec![0.0; c],
+            dgamma: vec![0.0; c],
+            dbeta: vec![0.0; c],
+            running_mean: vec![0.0; c],
+            running_var: vec![1.0; c],
+            cache_xhat: Vec::new(),
+            cache_inv_std: Vec::new(),
+        },
+        (OpSpec::BatchNorm, TensorShape::Flat(_), _) => {
+            return Err(NnError::InvalidSpec("BatchNorm on flat activations unsupported".into()))
+        }
+        (OpSpec::ReLU, ..) => Layer::Relu { cache_mask: Vec::new() },
+        (OpSpec::MaxPool { k, stride, pad }, TensorShape::Chw(c, ih, iw), TensorShape::Chw(_, oh, ow)) => {
+            Layer::MaxPool {
+                k: *k,
+                stride: *stride,
+                pad: *pad,
+                c,
+                in_hw: (ih, iw),
+                out_hw: (oh, ow),
+                cache_argmax: Vec::new(),
+            }
+        }
+        (OpSpec::AvgPool { k, stride, pad }, TensorShape::Chw(c, ih, iw), TensorShape::Chw(_, oh, ow)) => {
+            Layer::AvgPool { k: *k, stride: *stride, pad: *pad, c, in_hw: (ih, iw), out_hw: (oh, ow) }
+        }
+        (OpSpec::GlobalAvgPool, TensorShape::Chw(c, h, w), _) => {
+            Layer::GlobalAvgPool { c, in_hw: (h, w) }
+        }
+        (OpSpec::Flatten, ..) => Layer::Flatten,
+        (OpSpec::Residual { main, shortcut }, shape, _) => {
+            let mut ml = Vec::new();
+            let mut cur = shape;
+            for sub in main {
+                let (l, o) = build_layer(sub, cur, rng)?;
+                ml.push(l);
+                cur = o;
+            }
+            let mut sl = Vec::new();
+            let mut scur = shape;
+            for sub in shortcut {
+                let (l, o) = build_layer(sub, scur, rng)?;
+                sl.push(l);
+                scur = o;
+            }
+            Layer::Residual { main: ml, shortcut: sl }
+        }
+        (op, input, _) => {
+            return Err(NnError::InvalidSpec(format!("cannot build {op:?} on input {input}")))
+        }
+    };
+    Ok((layer, out))
+}
+
+/// Inference-mode forward through a single (non-residual) layer — used by
+/// the quantizer's calibration pass, which handles residuals itself.
+pub(crate) fn forward_one_eval(l: &mut Layer, x: Vec<f32>) -> Vec<f32> {
+    forward_layer(l, x, false)
+}
+
+fn forward_layers(layers: &mut [Layer], mut x: Vec<f32>, train: bool) -> Vec<f32> {
+    for l in layers {
+        x = forward_layer(l, x, train);
+    }
+    x
+}
+
+#[allow(clippy::too_many_lines)]
+fn forward_layer(l: &mut Layer, x: Vec<f32>, train: bool) -> Vec<f32> {
+    match l {
+        Layer::Conv2d { in_c, out_c, k, stride, pad, in_hw, out_hw, w, b, cache_in, .. } => {
+            let (ih, iw) = *in_hw;
+            let (oh, ow) = *out_hw;
+            let mut out = vec![0.0f32; *out_c * oh * ow];
+            for oc in 0..*out_c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = b[oc];
+                        for ic in 0..*in_c {
+                            for ky in 0..*k {
+                                let iy = (oy * *stride + ky) as i64 - *pad as i64;
+                                if iy < 0 || iy >= ih as i64 {
+                                    continue;
+                                }
+                                for kx in 0..*k {
+                                    let ix = (ox * *stride + kx) as i64 - *pad as i64;
+                                    if ix < 0 || ix >= iw as i64 {
+                                        continue;
+                                    }
+                                    acc += w[((oc * *in_c + ic) * *k + ky) * *k + kx]
+                                        * x[(ic * ih + iy as usize) * iw + ix as usize];
+                                }
+                            }
+                        }
+                        out[(oc * oh + oy) * ow + ox] = acc;
+                    }
+                }
+            }
+            if train {
+                *cache_in = x;
+            }
+            out
+        }
+        Layer::Linear { in_f, out_f, w, b, cache_in, .. } => {
+            let mut out = vec![0.0f32; *out_f];
+            for of in 0..*out_f {
+                let row = &w[of * *in_f..(of + 1) * *in_f];
+                let mut acc = b[of];
+                for (wi, xi) in row.iter().zip(&x) {
+                    acc += wi * xi;
+                }
+                out[of] = acc;
+            }
+            if train {
+                *cache_in = x;
+            }
+            out
+        }
+        Layer::BatchNorm {
+            c,
+            spatial,
+            gamma,
+            beta,
+            running_mean,
+            running_var,
+            cache_xhat,
+            cache_inv_std,
+            ..
+        } => {
+            let n = *spatial as f32;
+            let mut out = vec![0.0f32; x.len()];
+            if train {
+                cache_xhat.resize(x.len(), 0.0);
+                cache_inv_std.resize(*c, 0.0);
+            }
+            for ch in 0..*c {
+                let slice = &x[ch * spatial.to_owned()..(ch + 1) * *spatial];
+                let (mean, var) = if train {
+                    let mean: f32 = slice.iter().sum::<f32>() / n;
+                    let var: f32 =
+                        slice.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / n;
+                    running_mean[ch] = (1.0 - BN_MOMENTUM) * running_mean[ch] + BN_MOMENTUM * mean;
+                    running_var[ch] = (1.0 - BN_MOMENTUM) * running_var[ch] + BN_MOMENTUM * var;
+                    (mean, var)
+                } else {
+                    (running_mean[ch], running_var[ch])
+                };
+                let inv_std = 1.0 / (var + BN_EPS).sqrt();
+                if train {
+                    cache_inv_std[ch] = inv_std;
+                }
+                for (i, &v) in slice.iter().enumerate() {
+                    let xhat = (v - mean) * inv_std;
+                    if train {
+                        cache_xhat[ch * spatial.to_owned() + i] = xhat;
+                    }
+                    out[ch * spatial.to_owned() + i] = gamma[ch] * xhat + beta[ch];
+                }
+            }
+            out
+        }
+        Layer::Relu { cache_mask } => {
+            if train {
+                *cache_mask = x.iter().map(|&v| v > 0.0).collect();
+            }
+            x.into_iter().map(|v| v.max(0.0)).collect()
+        }
+        Layer::MaxPool { k, stride, pad, c, in_hw, out_hw, cache_argmax } => {
+            let (ih, iw) = *in_hw;
+            let (oh, ow) = *out_hw;
+            let mut out = vec![0.0f32; *c * oh * ow];
+            if train {
+                cache_argmax.resize(out.len(), 0);
+            }
+            for ch in 0..*c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0usize;
+                        for ky in 0..*k {
+                            let iy = (oy * *stride + ky) as i64 - *pad as i64;
+                            if iy < 0 || iy >= ih as i64 {
+                                continue;
+                            }
+                            for kx in 0..*k {
+                                let ix = (ox * *stride + kx) as i64 - *pad as i64;
+                                if ix < 0 || ix >= iw as i64 {
+                                    continue;
+                                }
+                                let idx = (ch * ih + iy as usize) * iw + ix as usize;
+                                if x[idx] > best {
+                                    best = x[idx];
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        let o = (ch * oh + oy) * ow + ox;
+                        out[o] = best;
+                        if train {
+                            cache_argmax[o] = best_idx;
+                        }
+                    }
+                }
+            }
+            out
+        }
+        Layer::AvgPool { k, stride, pad, c, in_hw, out_hw } => {
+            let (ih, iw) = *in_hw;
+            let (oh, ow) = *out_hw;
+            let norm = 1.0 / ((*k * *k) as f32);
+            let mut out = vec![0.0f32; *c * oh * ow];
+            for ch in 0..*c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = 0.0f32;
+                        for ky in 0..*k {
+                            let iy = (oy * *stride + ky) as i64 - *pad as i64;
+                            if iy < 0 || iy >= ih as i64 {
+                                continue;
+                            }
+                            for kx in 0..*k {
+                                let ix = (ox * *stride + kx) as i64 - *pad as i64;
+                                if ix < 0 || ix >= iw as i64 {
+                                    continue;
+                                }
+                                acc += x[(ch * ih + iy as usize) * iw + ix as usize];
+                            }
+                        }
+                        out[(ch * oh + oy) * ow + ox] = acc * norm;
+                    }
+                }
+            }
+            out
+        }
+        Layer::GlobalAvgPool { c, in_hw } => {
+            let n = (in_hw.0 * in_hw.1) as f32;
+            (0..*c)
+                .map(|ch| {
+                    x[ch * in_hw.0 * in_hw.1..(ch + 1) * in_hw.0 * in_hw.1].iter().sum::<f32>() / n
+                })
+                .collect()
+        }
+        Layer::Flatten => x,
+        Layer::Residual { main, shortcut } => {
+            let m = forward_layers(main, x.clone(), train);
+            let s = if shortcut.is_empty() { x } else { forward_layers(shortcut, x, train) };
+            m.iter().zip(&s).map(|(a, b)| a + b).collect()
+        }
+    }
+}
+
+fn backward_layers(layers: &mut [Layer], mut g: Vec<f32>) -> Vec<f32> {
+    for l in layers.iter_mut().rev() {
+        g = backward_layer(l, g);
+    }
+    g
+}
+
+#[allow(clippy::too_many_lines)]
+fn backward_layer(l: &mut Layer, g: Vec<f32>) -> Vec<f32> {
+    match l {
+        Layer::Conv2d { in_c, out_c, k, stride, pad, in_hw, out_hw, w, dw, db, cache_in, .. } => {
+            let (ih, iw) = *in_hw;
+            let (oh, ow) = *out_hw;
+            let x = cache_in;
+            let mut gin = vec![0.0f32; *in_c * ih * iw];
+            for oc in 0..*out_c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let go = g[(oc * oh + oy) * ow + ox];
+                        if go == 0.0 {
+                            continue;
+                        }
+                        db[oc] += go;
+                        for ic in 0..*in_c {
+                            for ky in 0..*k {
+                                let iy = (oy * *stride + ky) as i64 - *pad as i64;
+                                if iy < 0 || iy >= ih as i64 {
+                                    continue;
+                                }
+                                for kx in 0..*k {
+                                    let ix = (ox * *stride + kx) as i64 - *pad as i64;
+                                    if ix < 0 || ix >= iw as i64 {
+                                        continue;
+                                    }
+                                    let widx = ((oc * *in_c + ic) * *k + ky) * *k + kx;
+                                    let xidx = (ic * ih + iy as usize) * iw + ix as usize;
+                                    dw[widx] += x[xidx] * go;
+                                    gin[xidx] += w[widx] * go;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            gin
+        }
+        Layer::Linear { in_f, out_f, w, dw, db, cache_in, .. } => {
+            let x = cache_in;
+            let mut gin = vec![0.0f32; *in_f];
+            for of in 0..*out_f {
+                let go = g[of];
+                db[of] += go;
+                let row = &w[of * *in_f..(of + 1) * *in_f];
+                let drow = &mut dw[of * *in_f..(of + 1) * *in_f];
+                for i in 0..*in_f {
+                    drow[i] += x[i] * go;
+                    gin[i] += row[i] * go;
+                }
+            }
+            gin
+        }
+        Layer::BatchNorm { c, spatial, gamma, dgamma, dbeta, cache_xhat, cache_inv_std, .. } => {
+            let n = *spatial as f32;
+            let mut gin = vec![0.0f32; g.len()];
+            for ch in 0..*c {
+                let base = ch * *spatial;
+                let gslice = &g[base..base + *spatial];
+                let xhat = &cache_xhat[base..base + *spatial];
+                let sum_g: f32 = gslice.iter().sum();
+                let sum_gx: f32 = gslice.iter().zip(xhat).map(|(a, b)| a * b).sum();
+                dbeta[ch] += sum_g;
+                dgamma[ch] += sum_gx;
+                let scale = gamma[ch] * cache_inv_std[ch];
+                for i in 0..*spatial {
+                    gin[base + i] = scale * (gslice[i] - sum_g / n - xhat[i] * sum_gx / n);
+                }
+            }
+            gin
+        }
+        Layer::Relu { cache_mask } => g
+            .into_iter()
+            .zip(cache_mask.iter())
+            .map(|(v, &m)| if m { v } else { 0.0 })
+            .collect(),
+        Layer::MaxPool { c, in_hw, out_hw, cache_argmax, .. } => {
+            let mut gin = vec![0.0f32; *c * in_hw.0 * in_hw.1];
+            for (o, &go) in g.iter().enumerate() {
+                gin[cache_argmax[o]] += go;
+            }
+            let _ = out_hw;
+            gin
+        }
+        Layer::AvgPool { k, stride, pad, c, in_hw, out_hw } => {
+            let (ih, iw) = *in_hw;
+            let (oh, ow) = *out_hw;
+            let norm = 1.0 / ((*k * *k) as f32);
+            let mut gin = vec![0.0f32; *c * ih * iw];
+            for ch in 0..*c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let go = g[(ch * oh + oy) * ow + ox] * norm;
+                        for ky in 0..*k {
+                            let iy = (oy * *stride + ky) as i64 - *pad as i64;
+                            if iy < 0 || iy >= ih as i64 {
+                                continue;
+                            }
+                            for kx in 0..*k {
+                                let ix = (ox * *stride + kx) as i64 - *pad as i64;
+                                if ix < 0 || ix >= iw as i64 {
+                                    continue;
+                                }
+                                gin[(ch * ih + iy as usize) * iw + ix as usize] += go;
+                            }
+                        }
+                    }
+                }
+            }
+            gin
+        }
+        Layer::GlobalAvgPool { c, in_hw } => {
+            let n = in_hw.0 * in_hw.1;
+            let mut gin = vec![0.0f32; *c * n];
+            for ch in 0..*c {
+                let go = g[ch] / n as f32;
+                for v in &mut gin[ch * n..(ch + 1) * n] {
+                    *v = go;
+                }
+            }
+            gin
+        }
+        Layer::Flatten => g,
+        Layer::Residual { main, shortcut } => {
+            let gm = backward_layers(main, g.clone());
+            let gs = if shortcut.is_empty() { g } else { backward_layers(shortcut, g) };
+            gm.iter().zip(&gs).map(|(a, b)| a + b).collect()
+        }
+    }
+}
+
+fn zero_layer(l: &mut Layer) {
+    match l {
+        Layer::Conv2d { dw, db, .. } | Layer::Linear { dw, db, .. } => {
+            dw.iter_mut().for_each(|v| *v = 0.0);
+            db.iter_mut().for_each(|v| *v = 0.0);
+        }
+        Layer::BatchNorm { dgamma, dbeta, .. } => {
+            dgamma.iter_mut().for_each(|v| *v = 0.0);
+            dbeta.iter_mut().for_each(|v| *v = 0.0);
+        }
+        Layer::Residual { main, shortcut } => {
+            main.iter_mut().for_each(zero_layer);
+            shortcut.iter_mut().for_each(zero_layer);
+        }
+        _ => {}
+    }
+}
+
+fn step_layer(l: &mut Layer, lr: f32) {
+    match l {
+        Layer::Conv2d { w, b, dw, db, .. } | Layer::Linear { w, b, dw, db, .. } => {
+            for (wi, di) in w.iter_mut().zip(dw.iter()) {
+                *wi -= lr * di;
+            }
+            for (bi, di) in b.iter_mut().zip(db.iter()) {
+                *bi -= lr * di;
+            }
+        }
+        Layer::BatchNorm { gamma, beta, dgamma, dbeta, .. } => {
+            for (gi, di) in gamma.iter_mut().zip(dgamma.iter()) {
+                *gi -= lr * di;
+            }
+            for (bi, di) in beta.iter_mut().zip(dbeta.iter()) {
+                *bi -= lr * di;
+            }
+        }
+        Layer::Residual { main, shortcut } => {
+            main.iter_mut().for_each(|l| step_layer(l, lr));
+            shortcut.iter_mut().for_each(|l| step_layer(l, lr));
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::SyntheticVision;
+    use crate::zoo;
+
+    #[test]
+    fn forward_shapes() {
+        let mut net = FloatNet::init(&zoo::tiny_cnn(4), 1).unwrap();
+        let x = vec![0.1f32; 3 * 16 * 16];
+        assert_eq!(net.forward(&x).len(), 4);
+        let mut lenet = FloatNet::init(&zoo::lenet5(), 1).unwrap();
+        assert_eq!(lenet.forward(&vec![0.0; 28 * 28]).len(), 10);
+    }
+
+    #[test]
+    fn residual_net_forward() {
+        let mut net = FloatNet::init(&zoo::tiny_resnet(4), 2).unwrap();
+        assert_eq!(net.forward(&vec![0.2f32; 3 * 16 * 16]).len(), 4);
+    }
+
+    #[test]
+    fn softmax_ce_gradient_sums_to_zero() {
+        let (loss, grad) = FloatNet::softmax_ce(&[1.0, 2.0, -1.0], 1);
+        assert!(loss > 0.0);
+        assert!(grad.iter().sum::<f32>().abs() < 1e-6);
+        assert!(grad[1] < 0.0);
+    }
+
+    /// Finite-difference gradient check on a small conv+fc net.
+    #[test]
+    fn gradients_match_finite_differences() {
+        let spec = ModelSpec {
+            name: "gc".into(),
+            input: TensorShape::Chw(1, 5, 5),
+            ops: vec![
+                OpSpec::Conv2d { out_c: 2, k: 3, stride: 1, pad: 1 },
+                OpSpec::ReLU,
+                OpSpec::MaxPool { k: 2, stride: 2, pad: 0 },
+                OpSpec::Flatten,
+                OpSpec::Linear { out: 3 },
+            ],
+        };
+        let mut net = FloatNet::init(&spec, 3).unwrap();
+        let x: Vec<f32> = (0..25).map(|i| (i as f32 / 25.0) - 0.4).collect();
+        let label = 2;
+
+        // Analytic gradient for one conv weight and one linear weight.
+        net.zero_grads();
+        let logits = net.forward_train(&x);
+        let (_, grad) = FloatNet::softmax_ce(&logits, label);
+        net.backward(&grad);
+        let (aw, al) = match (&net.layers[0], &net.layers[4]) {
+            (Layer::Conv2d { dw, .. }, Layer::Linear { dw: dl, .. }) => (dw[4], dl[7]),
+            _ => unreachable!(),
+        };
+
+        // Numeric gradient.
+        let eps = 1e-3f32;
+        let loss_at = |net: &mut FloatNet| {
+            let logits = net.forward_train(&x);
+            FloatNet::softmax_ce(&logits, label).0
+        };
+        let perturb_conv = |net: &mut FloatNet, d: f32| {
+            if let Layer::Conv2d { w, .. } = &mut net.layers[0] {
+                w[4] += d;
+            }
+        };
+        perturb_conv(&mut net, eps);
+        let lp = loss_at(&mut net);
+        perturb_conv(&mut net, -2.0 * eps);
+        let lm = loss_at(&mut net);
+        perturb_conv(&mut net, eps);
+        let num_w = (lp - lm) / (2.0 * eps);
+        assert!((aw - num_w).abs() < 2e-2, "conv grad {aw} vs fd {num_w}");
+
+        let perturb_lin = |net: &mut FloatNet, d: f32| {
+            if let Layer::Linear { w, .. } = &mut net.layers[4] {
+                w[7] += d;
+            }
+        };
+        perturb_lin(&mut net, eps);
+        let lp = loss_at(&mut net);
+        perturb_lin(&mut net, -2.0 * eps);
+        let lm = loss_at(&mut net);
+        perturb_lin(&mut net, eps);
+        let num_l = (lp - lm) / (2.0 * eps);
+        assert!((al - num_l).abs() < 2e-2, "linear grad {al} vs fd {num_l}");
+    }
+
+    #[test]
+    fn training_reduces_loss_and_beats_chance() {
+        let data = SyntheticVision::tiny(4, 11);
+        let mut net = FloatNet::init(&zoo::tiny_cnn(4), 5).unwrap();
+        let before = net.accuracy(data.test());
+        let loss0 = net.train_epochs(&data, 1, 8, 0.05);
+        let loss1 = net.train_epochs(&data, 3, 8, 0.05);
+        assert!(loss1 < loss0, "loss did not decrease: {loss0} -> {loss1}");
+        let after = net.accuracy(data.test());
+        assert!(after > before.max(0.5), "accuracy {before} -> {after}");
+    }
+
+    use crate::spec::{ModelSpec, OpSpec, TensorShape};
+}

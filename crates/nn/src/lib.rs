@@ -1,0 +1,55 @@
+//! Quantized DNN substrate for AQ2PNN.
+//!
+//! AQ2PNN evaluates on quantized versions of LeNet5, AlexNet, VGG16,
+//! ResNet18 and ResNet50 (paper Sec. 5–6). This crate is the complete
+//! plaintext side of that story, built from scratch:
+//!
+//! * [`spec`] — shape-level model descriptions ([`spec::ModelSpec`]) with
+//!   shape inference and cost accounting (MACs, parameters, activation and
+//!   comparison counts) — the input to both the 2PC engine and the FPGA
+//!   cost model.
+//! * [`zoo`] — the paper's architectures as specs, at MNIST / CIFAR10 /
+//!   ImageNet geometry, plus small trainable variants.
+//! * [`tensor`] — a minimal f32 NCHW tensor.
+//! * [`float`] — float networks instantiated from a spec with forward
+//!   **and backward** passes (He init, SGD with momentum), so small models
+//!   are genuinely trained inside this repository.
+//! * [`data`] — deterministic synthetic vision datasets standing in for
+//!   MNIST/CIFAR (see DESIGN.md for the substitution rationale).
+//! * [`quant`] — HAWQ-v3-style post-training quantization: symmetric
+//!   per-layer scales, BN folding, dyadic `BNReQ` re-quantization
+//!   (`I_m`, `I_e` of paper Sec. 5.1), and an integer inference engine that
+//!   can optionally wrap its accumulators on a `2^ℓ` ring to emulate the
+//!   ciphertext domain — the mechanism behind the paper's accuracy-vs-ring
+//!   tables.
+//!
+//! # Example: train, quantize, compare
+//!
+//! ```
+//! use aq2pnn_nn::data::SyntheticVision;
+//! use aq2pnn_nn::float::FloatNet;
+//! use aq2pnn_nn::quant::{QuantConfig, QuantModel};
+//! use aq2pnn_nn::zoo;
+//!
+//! let spec = zoo::tiny_cnn(4);
+//! let data = SyntheticVision::tiny(4, 42);
+//! let mut net = FloatNet::init(&spec, 7)?;
+//! net.train_epochs(&data, 1, 8, 0.05);
+//! let q = QuantModel::quantize(&net, &data.calibration(16), &QuantConfig::int8())?;
+//! let logits = q.forward(&data.test_images()[0])?;
+//! assert_eq!(logits.len(), 4);
+//! # Ok::<(), aq2pnn_nn::NnError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod data;
+mod error;
+pub mod float;
+pub mod quant;
+pub mod spec;
+pub mod tensor;
+pub mod zoo;
+
+pub use error::NnError;

@@ -1,0 +1,440 @@
+//! The paper's model zoo as [`ModelSpec`]s.
+//!
+//! Exact geometry for the evaluated architectures (paper Sec. 5.2 / 6):
+//! LeNet5 and AlexNet at MNIST/CIFAR scale, VGG16 and ResNet18 at CIFAR and
+//! ImageNet scale, ResNet50 at ImageNet scale — plus small trainable
+//! variants used for the in-repo accuracy experiments (see DESIGN.md on the
+//! dataset substitution). All specs are plain data; pass them to
+//! [`crate::float::FloatNet`], [`crate::quant::QuantModel`], the 2PC engine,
+//! or the FPGA cost model.
+
+use crate::spec::{ModelSpec, OpSpec, TensorShape};
+
+use OpSpec::{BatchNorm, Conv2d, Flatten, GlobalAvgPool, Linear, MaxPool, ReLU, Residual};
+
+fn conv(out_c: usize, k: usize, stride: usize, pad: usize) -> OpSpec {
+    Conv2d { out_c, k, stride, pad }
+}
+
+fn maxpool(k: usize, stride: usize) -> OpSpec {
+    MaxPool { k, stride, pad: 0 }
+}
+
+/// LeNet5 for MNIST (1×28×28 → 10 classes); the paper's small-size model.
+#[must_use]
+pub fn lenet5() -> ModelSpec {
+    ModelSpec {
+        name: "lenet5-mnist".into(),
+        input: TensorShape::Chw(1, 28, 28),
+        ops: vec![
+            conv(6, 5, 1, 2),
+            ReLU,
+            maxpool(2, 2),
+            conv(16, 5, 1, 0),
+            ReLU,
+            maxpool(2, 2),
+            Flatten,
+            Linear { out: 120 },
+            ReLU,
+            Linear { out: 84 },
+            ReLU,
+            Linear { out: 10 },
+        ],
+    }
+}
+
+/// Small-image AlexNet (the Falcon-lineage MNIST/CIFAR variant: the
+/// stride-4 11×11 stem is kept, which shrinks the feature maps to 8×8
+/// immediately — this is what makes AlexNet's 2PC communication tiny
+/// compared to VGG16 at the same input size, paper Sec. 6.4).
+///
+/// # Panics
+///
+/// Panics if the input is smaller than 16×16.
+#[must_use]
+pub fn alexnet(input: TensorShape, classes: usize) -> ModelSpec {
+    let name = match input {
+        TensorShape::Chw(1, ..) => "alexnet-mnist",
+        TensorShape::Chw(_, h, _) if h > 64 => "alexnet-large",
+        _ => "alexnet-cifar10",
+    };
+    ModelSpec {
+        name: name.into(),
+        input,
+        ops: vec![
+            conv(96, 11, 4, 5),
+            ReLU,
+            MaxPool { k: 3, stride: 2, pad: 0 },
+            conv(256, 5, 1, 2),
+            ReLU,
+            MaxPool { k: 3, stride: 2, pad: 0 },
+            conv(384, 3, 1, 1),
+            ReLU,
+            conv(384, 3, 1, 1),
+            ReLU,
+            conv(256, 3, 1, 1),
+            ReLU,
+            Flatten,
+            Linear { out: 256 },
+            ReLU,
+            Linear { out: 256 },
+            ReLU,
+            Linear { out: classes },
+        ],
+    }
+}
+
+/// AlexNet at MNIST geometry.
+#[must_use]
+pub fn alexnet_mnist() -> ModelSpec {
+    alexnet(TensorShape::Chw(1, 28, 28), 10)
+}
+
+/// AlexNet at CIFAR10 geometry.
+#[must_use]
+pub fn alexnet_cifar() -> ModelSpec {
+    alexnet(TensorShape::Chw(3, 32, 32), 10)
+}
+
+fn vgg_features() -> Vec<OpSpec> {
+    let cfg: &[&[usize]] = &[&[64, 64], &[128, 128], &[256, 256, 256], &[512, 512, 512], &[512, 512, 512]];
+    let mut ops = Vec::new();
+    for stage in cfg {
+        for &c in *stage {
+            ops.push(conv(c, 3, 1, 1));
+            ops.push(BatchNorm);
+            ops.push(ReLU);
+        }
+        ops.push(maxpool(2, 2));
+    }
+    ops
+}
+
+/// VGG16 for CIFAR10: 13 conv layers + a single classifier layer, matching
+/// the paper's CIFAR training setup ("only one linear layer for the final
+/// output", Sec. 5.2).
+#[must_use]
+pub fn vgg16_cifar() -> ModelSpec {
+    let mut ops = vgg_features();
+    ops.push(Flatten);
+    ops.push(Linear { out: 10 });
+    ModelSpec { name: "vgg16-cifar10".into(), input: TensorShape::Chw(3, 32, 32), ops }
+}
+
+/// VGG16 for ImageNet (3×224×224 → 1000), full 4096-wide classifier.
+#[must_use]
+pub fn vgg16_imagenet() -> ModelSpec {
+    let mut ops = vgg_features();
+    ops.push(Flatten);
+    ops.extend([
+        Linear { out: 4096 },
+        ReLU,
+        Linear { out: 4096 },
+        ReLU,
+        Linear { out: 1000 },
+    ]);
+    ModelSpec { name: "vgg16-imagenet".into(), input: TensorShape::Chw(3, 224, 224), ops }
+}
+
+/// A ResNet basic block (two 3×3 convs), with projection shortcut when the
+/// geometry changes. The trailing ReLU (after the add) is appended by the
+/// caller-visible spec.
+fn basic_block(out_c: usize, stride: usize, project: bool) -> Vec<OpSpec> {
+    let shortcut = if project {
+        vec![conv(out_c, 1, stride, 0), BatchNorm]
+    } else {
+        vec![]
+    };
+    vec![
+        Residual {
+            main: vec![
+                conv(out_c, 3, stride, 1),
+                BatchNorm,
+                ReLU,
+                conv(out_c, 3, 1, 1),
+                BatchNorm,
+            ],
+            shortcut,
+        },
+        ReLU,
+    ]
+}
+
+/// A ResNet bottleneck block (1×1 → 3×3 → 1×1×4).
+fn bottleneck_block(mid_c: usize, stride: usize, project: bool) -> Vec<OpSpec> {
+    let out_c = 4 * mid_c;
+    let shortcut = if project {
+        vec![conv(out_c, 1, stride, 0), BatchNorm]
+    } else {
+        vec![]
+    };
+    vec![
+        Residual {
+            main: vec![
+                conv(mid_c, 1, 1, 0),
+                BatchNorm,
+                ReLU,
+                conv(mid_c, 3, stride, 1),
+                BatchNorm,
+                ReLU,
+                conv(out_c, 1, 1, 0),
+                BatchNorm,
+            ],
+            shortcut,
+        },
+        ReLU,
+    ]
+}
+
+/// ResNet18 for ImageNet (3×224×224 → 1000).
+#[must_use]
+pub fn resnet18_imagenet() -> ModelSpec {
+    let mut ops = vec![
+        conv(64, 7, 2, 3),
+        BatchNorm,
+        ReLU,
+        MaxPool { k: 3, stride: 2, pad: 1 },
+    ];
+    for (stage, &c) in [64usize, 128, 256, 512].iter().enumerate() {
+        for block in 0..2 {
+            let stride = if stage > 0 && block == 0 { 2 } else { 1 };
+            let project = block == 0 && stage > 0;
+            ops.extend(basic_block(c, stride, project));
+        }
+    }
+    ops.extend([GlobalAvgPool, Flatten, Linear { out: 1000 }]);
+    ModelSpec { name: "resnet18-imagenet".into(), input: TensorShape::Chw(3, 224, 224), ops }
+}
+
+/// ResNet18 for CIFAR10 (3×32×32 → 10): 3×3 stem, no stem pooling.
+#[must_use]
+pub fn resnet18_cifar() -> ModelSpec {
+    let mut ops = vec![conv(64, 3, 1, 1), BatchNorm, ReLU];
+    for (stage, &c) in [64usize, 128, 256, 512].iter().enumerate() {
+        for block in 0..2 {
+            let stride = if stage > 0 && block == 0 { 2 } else { 1 };
+            let project = block == 0 && stage > 0;
+            ops.extend(basic_block(c, stride, project));
+        }
+    }
+    ops.extend([GlobalAvgPool, Flatten, Linear { out: 10 }]);
+    ModelSpec { name: "resnet18-cifar10".into(), input: TensorShape::Chw(3, 32, 32), ops }
+}
+
+/// ResNet50 for ImageNet (3×224×224 → 1000), the paper's large-size model
+/// with "16 building blocks".
+#[must_use]
+pub fn resnet50_imagenet() -> ModelSpec {
+    let mut ops = vec![
+        conv(64, 7, 2, 3),
+        BatchNorm,
+        ReLU,
+        MaxPool { k: 3, stride: 2, pad: 1 },
+    ];
+    let stages: [(usize, usize); 4] = [(64, 3), (128, 4), (256, 6), (512, 3)];
+    for (stage, &(c, blocks)) in stages.iter().enumerate() {
+        for block in 0..blocks {
+            let stride = if stage > 0 && block == 0 { 2 } else { 1 };
+            let project = block == 0;
+            ops.extend(bottleneck_block(c, stride, project));
+        }
+    }
+    ops.extend([GlobalAvgPool, Flatten, Linear { out: 1000 }]);
+    ModelSpec { name: "resnet50-imagenet".into(), input: TensorShape::Chw(3, 224, 224), ops }
+}
+
+/// A single ResNet50 bottleneck building block as a standalone spec —
+/// used by the operator-wise profiling of paper Table 5 (its case study is
+/// "the 6th building block", the second block of stage 2: 512×28×28 input,
+/// 128-channel bottleneck, identity shortcut).
+#[must_use]
+pub fn resnet50_building_block6() -> ModelSpec {
+    let mut ops = Vec::new();
+    ops.extend(bottleneck_block(128, 1, false));
+    ModelSpec {
+        name: "resnet50-block6".into(),
+        input: TensorShape::Chw(512, 28, 28),
+        ops,
+    }
+}
+
+/// A small trainable CNN for the in-repo synthetic-dataset experiments
+/// (3×16×16 input).
+#[must_use]
+pub fn tiny_cnn(classes: usize) -> ModelSpec {
+    ModelSpec {
+        name: "tiny-cnn".into(),
+        input: TensorShape::Chw(3, 16, 16),
+        ops: vec![
+            conv(8, 3, 1, 1),
+            ReLU,
+            maxpool(2, 2),
+            conv(16, 3, 1, 1),
+            ReLU,
+            maxpool(2, 2),
+            Flatten,
+            Linear { out: 32 },
+            ReLU,
+            Linear { out: classes },
+        ],
+    }
+}
+
+/// A small trainable CNN with BatchNorm and a residual block — exercises
+/// every 2PC operator type (Conv, BNReQ, ABReLU, MaxPool, residual Add) at
+/// test-friendly scale.
+#[must_use]
+pub fn tiny_resnet(classes: usize) -> ModelSpec {
+    let mut ops = vec![conv(8, 3, 1, 1), BatchNorm, ReLU];
+    ops.extend(basic_block(8, 1, false));
+    ops.extend(basic_block(16, 2, true));
+    ops.extend([GlobalAvgPool, Flatten, Linear { out: classes }]);
+    ModelSpec { name: "tiny-resnet".into(), input: TensorShape::Chw(3, 16, 16), ops }
+}
+
+/// A small trainable CNN with AvgPool instead of MaxPool (the Sec. 6.5
+/// comparison at trainable scale).
+#[must_use]
+pub fn tiny_cnn_avgpool(classes: usize) -> ModelSpec {
+    let mut spec = tiny_cnn(classes);
+    spec = spec.with_avg_pooling();
+    spec.name = "tiny-cnn-avgpool".into();
+    spec
+}
+
+/// All ImageNet-scale specs of the paper's evaluation, for sweep harnesses.
+#[must_use]
+pub fn imagenet_zoo() -> Vec<ModelSpec> {
+    vec![resnet18_imagenet(), resnet50_imagenet(), vgg16_imagenet()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::LayerKind;
+
+    #[test]
+    fn lenet5_shapes() {
+        let s = lenet5();
+        assert_eq!(s.output_shape().unwrap(), TensorShape::Flat(10));
+        // Classic LeNet5 parameter count ≈ 61,706.
+        assert_eq!(s.total_params().unwrap(), 61_706);
+    }
+
+    #[test]
+    fn alexnet_output_dims() {
+        assert_eq!(alexnet_mnist().output_shape().unwrap(), TensorShape::Flat(10));
+        assert_eq!(alexnet_cifar().output_shape().unwrap(), TensorShape::Flat(10));
+    }
+
+    #[test]
+    fn vgg16_has_13_convs_and_correct_output() {
+        let s = vgg16_imagenet();
+        let convs = s
+            .layer_costs()
+            .unwrap()
+            .iter()
+            .filter(|l| l.kind == LayerKind::Conv)
+            .count();
+        assert_eq!(convs, 13);
+        assert_eq!(s.output_shape().unwrap(), TensorShape::Flat(1000));
+        // VGG16 ImageNet ≈ 138.4 M params.
+        let p = s.total_params().unwrap();
+        assert!((138_000_000..139_000_000).contains(&p), "params={p}");
+    }
+
+    #[test]
+    fn resnet18_imagenet_structure() {
+        let s = resnet18_imagenet();
+        assert_eq!(s.output_shape().unwrap(), TensorShape::Flat(1000));
+        // Torchvision ResNet18 ≈ 11.69 M params.
+        let p = s.total_params().unwrap();
+        assert!((11_400_000..11_900_000).contains(&p), "params={p}");
+        let convs = s
+            .layer_costs()
+            .unwrap()
+            .iter()
+            .filter(|l| l.kind == LayerKind::Conv)
+            .count();
+        assert_eq!(convs, 20); // 1 stem + 16 block convs + 3 projections
+        // ≈ 1.8 GMACs.
+        let m = s.total_macs().unwrap();
+        assert!((1_700_000_000..1_900_000_000).contains(&m), "macs={m}");
+    }
+
+    #[test]
+    fn resnet50_imagenet_structure() {
+        let s = resnet50_imagenet();
+        assert_eq!(s.output_shape().unwrap(), TensorShape::Flat(1000));
+        // Torchvision ResNet50 ≈ 25.6 M params.
+        let p = s.total_params().unwrap();
+        assert!((25_000_000..26_100_000).contains(&p), "params={p}");
+        // 16 residual blocks (3+4+6+3).
+        let adds = s
+            .layer_costs()
+            .unwrap()
+            .iter()
+            .filter(|l| l.kind == LayerKind::Add)
+            .count();
+        assert_eq!(adds, 16);
+        // ≈ 4.1 GMACs.
+        let m = s.total_macs().unwrap();
+        assert!((3_900_000_000..4_300_000_000).contains(&m), "macs={m}");
+    }
+
+    #[test]
+    fn vgg16_cifar_single_classifier() {
+        let s = vgg16_cifar();
+        let linears = s
+            .layer_costs()
+            .unwrap()
+            .iter()
+            .filter(|l| l.kind == LayerKind::Linear)
+            .count();
+        assert_eq!(linears, 1);
+        assert_eq!(s.output_shape().unwrap(), TensorShape::Flat(10));
+    }
+
+    #[test]
+    fn vgg16_has_more_pooling_comparisons_than_resnet50() {
+        // The Sec. 6.1 observation: VGG16 contains more max-pooling than
+        // ResNet50, degrading its relative 2PC performance.
+        let vgg_pool: u64 = vgg16_imagenet()
+            .layer_costs()
+            .unwrap()
+            .iter()
+            .filter(|l| l.kind == LayerKind::MaxPool)
+            .map(|l| l.comparisons)
+            .sum();
+        let rn_pool: u64 = resnet50_imagenet()
+            .layer_costs()
+            .unwrap()
+            .iter()
+            .filter(|l| l.kind == LayerKind::MaxPool)
+            .map(|l| l.comparisons)
+            .sum();
+        assert!(vgg_pool > rn_pool, "vgg {vgg_pool} vs resnet {rn_pool}");
+    }
+
+    #[test]
+    fn tiny_models_are_valid() {
+        for s in [tiny_cnn(4), tiny_resnet(4), tiny_cnn_avgpool(4)] {
+            assert_eq!(s.output_shape().unwrap(), TensorShape::Flat(4), "{}", s.name);
+        }
+    }
+
+    #[test]
+    fn avg_pool_swap_removes_pool_comparisons() {
+        let s = resnet18_imagenet();
+        let swapped = s.with_avg_pooling();
+        let pool_cmp: u64 = swapped
+            .layer_costs()
+            .unwrap()
+            .iter()
+            .filter(|l| l.kind == LayerKind::MaxPool)
+            .map(|l| l.comparisons)
+            .sum();
+        assert_eq!(pool_cmp, 0);
+        assert!(swapped.total_comparisons().unwrap() < s.total_comparisons().unwrap());
+    }
+}

@@ -1,0 +1,62 @@
+//! Property-based tests for the quantization substrate.
+
+use aq2pnn_nn::quant::Requant;
+use proptest::prelude::*;
+
+proptest! {
+    /// Dyadic approximation stays within 2^-(mult_bits-2) relative error.
+    #[test]
+    fn requant_ratio_error_bounded(
+        ratio in 1e-8f64..32.0,
+        mult_bits in 8u32..=24,
+    ) {
+        let q = Requant::from_ratio(ratio, mult_bits).unwrap();
+        let rel = (q.ratio() - ratio).abs() / ratio;
+        let bound = 1.0 / (1u64 << (mult_bits - 2)) as f64;
+        prop_assert!(rel <= bound, "ratio {ratio} mult_bits {mult_bits}: rel {rel} > {bound}");
+        // The multiplier respects its bit budget.
+        prop_assert!(q.mult > 0 && q.mult < (1 << (mult_bits - 1)));
+    }
+
+    /// Requantization is monotone: a larger accumulator never maps to a
+    /// smaller output (floor shift of a positive-multiplier product).
+    #[test]
+    fn requant_apply_is_monotone(
+        mult in 1i64..(1 << 15),
+        shift in 0u32..30,
+        a in -(1i64 << 40)..(1i64 << 40),
+        delta in 0i64..(1 << 20),
+    ) {
+        let q = Requant { mult, shift };
+        prop_assert!(q.apply(a + delta) >= q.apply(a));
+    }
+
+    /// Requantization commutes with negation up to the floor asymmetry:
+    /// |apply(-a) + apply(a)| ≤ 1.
+    #[test]
+    fn requant_negation_near_symmetric(
+        mult in 1i64..(1 << 15),
+        shift in 1u32..30,
+        a in -(1i64 << 40)..(1i64 << 40),
+    ) {
+        let q = Requant { mult, shift };
+        let s = q.apply(a) + q.apply(-a);
+        prop_assert!((-1..=0).contains(&s), "a={a}: sum {s}");
+    }
+
+    /// apply() tracks the real-valued product within one unit.
+    #[test]
+    fn requant_apply_tracks_real_product(
+        mult in 1i64..(1 << 15),
+        shift in 0u32..30,
+        a in -(1i64 << 30)..(1i64 << 30),
+    ) {
+        let q = Requant { mult, shift };
+        let real = (a as f64) * (mult as f64) / (1u64 << shift) as f64;
+        // Only check when the f64 path is exact enough.
+        if shift <= 31 {
+            let got = q.apply(a) as f64;
+            prop_assert!((got - real).abs() <= 1.0, "a={a}: {got} vs {real}");
+        }
+    }
+}

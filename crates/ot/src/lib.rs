@@ -1,0 +1,62 @@
+//! The AQ2PNN **OT-flow**: hardware-friendly 1-out-of-N oblivious transfer.
+//!
+//! Paper Sec. 4.3.1 builds secure two-party comparison on a
+//! Diffie–Hellman-style OT (after Chou–Orlandi) over "the multiplicative
+//! group of integers modulo Q", with XOR masking and — because the ring is
+//! small — exponentiation by look-up table on the FPGA. This crate
+//! implements that flow:
+//!
+//! * [`OtGroup`] — the exponentiation group: either the odd residues mod
+//!   `2^ℓ` (the paper's choice; `⟨5⟩` is cyclic of order `2^{ℓ-2}`, and the
+//!   power table *is* the hardware LUT) or a prime field for a larger
+//!   security margin.
+//! * [`LabelTable`] — the "non-repeating randomly generated element label
+//!   list" defining the injective, non-surjective `e2l(·)` inquiry.
+//! * [`send_batch`] / [`recv_batch`] — the four-step flow of paper Fig. 4 /
+//!   Eqs. 2–5: ① sender masks `r̂_i = g^{r_i}`; ② receiver returns
+//!   `R = r̂_i^{e2l(choice)} ⊕ g^{r_j}`; ③ sender encrypts every slot `t`
+//!   under `K_t = (R ⊕ r̂_i^{e2l(t)})^{r_i}`; ④ receiver decrypts its slot
+//!   with `KEY_j = r̂_i^{r_j}`. (Eq. 4 is implemented with the
+//!   algebraically-consistent parenthesisation; see [`send_batch`].)
+//!
+//! **Security scope.** The group is deliberately tiny — it is what the
+//! hardware evaluates through a LUT. This is a faithful systems
+//! reproduction of the paper's accelerator, not audited cryptography;
+//! [`OtGroup::prime`] exists to show the protocol is parametric in the
+//! group.
+//!
+//! # Example
+//!
+//! ```
+//! use aq2pnn_ot::{LabelTable, OtGroup, send_batch, recv_batch, OtChoice};
+//! use aq2pnn_transport::duplex;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let group = OtGroup::power_of_two(16);
+//! let labels = LabelTable::generate(4, &group, &mut StdRng::seed_from_u64(1));
+//! let (a, b) = duplex();
+//! let (g2, l2) = (group.clone(), labels.clone());
+//!
+//! // Sender offers 4 messages; receiver picks index 2 and learns only it.
+//! let handle = std::thread::spawn(move || {
+//!     let mut rng = StdRng::seed_from_u64(2);
+//!     send_batch(&a, &g2, &l2, &[vec![10, 20, 30, 40]], 8, &mut rng)
+//! });
+//! let mut rng = StdRng::seed_from_u64(3);
+//! let got = recv_batch(&b, &group, &labels, &[OtChoice { choice: 2, n: 4 }], 8, &mut rng)?;
+//! handle.join().unwrap()?;
+//! assert_eq!(got, vec![30]);
+//! # Ok::<(), aq2pnn_ot::OtError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod flow;
+mod group;
+mod labels;
+
+pub use flow::{recv_batch, send_batch, OtChoice, OtError};
+pub use group::OtGroup;
+pub use labels::LabelTable;

@@ -1,0 +1,88 @@
+//! Error types for ring and tensor operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when constructing or using a [`crate::Ring`] with invalid
+/// parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RingError {
+    /// The requested bit-length is outside `1..=64`.
+    InvalidBits(u32),
+    /// A value does not fit in the signed range of the ring.
+    SignedOutOfRange {
+        /// The offending signed value.
+        value: i64,
+        /// Bit-length of the ring that rejected it.
+        bits: u32,
+    },
+    /// Two operands come from rings of different widths.
+    WidthMismatch {
+        /// Bit-length of the left-hand operand's ring.
+        lhs: u32,
+        /// Bit-length of the right-hand operand's ring.
+        rhs: u32,
+    },
+}
+
+impl fmt::Display for RingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RingError::InvalidBits(bits) => {
+                write!(f, "ring bit-length must be in 1..=64, got {bits}")
+            }
+            RingError::SignedOutOfRange { value, bits } => {
+                write!(f, "signed value {value} does not fit in {bits}-bit two's complement")
+            }
+            RingError::WidthMismatch { lhs, rhs } => {
+                write!(f, "ring width mismatch: {lhs}-bit vs {rhs}-bit")
+            }
+        }
+    }
+}
+
+impl Error for RingError {}
+
+/// Error produced by shape-sensitive [`crate::RingTensor`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShapeError {
+    /// The element count implied by the shape differs from the data length.
+    LengthMismatch {
+        /// Number of elements implied by the shape.
+        expected: usize,
+        /// Number of elements actually supplied.
+        actual: usize,
+    },
+    /// Two tensors that must agree in shape do not.
+    ShapeMismatch {
+        /// Shape of the left-hand tensor.
+        lhs: Vec<usize>,
+        /// Shape of the right-hand tensor.
+        rhs: Vec<usize>,
+    },
+    /// An index addressed a position outside the tensor.
+    IndexOutOfBounds {
+        /// The flat index that was requested.
+        index: usize,
+        /// Number of elements in the tensor.
+        len: usize,
+    },
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShapeError::LengthMismatch { expected, actual } => {
+                write!(f, "shape implies {expected} elements but {actual} were supplied")
+            }
+            ShapeError::ShapeMismatch { lhs, rhs } => {
+                write!(f, "tensor shapes differ: {lhs:?} vs {rhs:?}")
+            }
+            ShapeError::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for tensor of {len} elements")
+            }
+        }
+    }
+}
+
+impl Error for ShapeError {}

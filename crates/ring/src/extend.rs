@@ -1,0 +1,163 @@
+//! Ring-size extension — the "Ring Size Extension" stage of paper Fig. 8.
+//!
+//! The adaptive quantization pipeline shares an `ℓ`-bit secret on a small
+//! ring `Q1 = 2^ℓ` and widens it to `Q2 = 2^L` (`L = ℓ + headroom`) before
+//! the multiply-accumulate-heavy 2PC-Conv2D so intermediate sums do not
+//! overflow. The paper performs the widening *locally*: each party sign
+//! extends its own share ("ring size extension is based on the sign
+//! extension").
+//!
+//! # Why local extension is probabilistic
+//!
+//! Let the secret be `x ∈ Z_{2^ℓ}` with signed value `X = dec(x)` and shares
+//! `x = (x_i + x_j) mod 2^ℓ` with `x_i` uniform. Sign-extending both shares
+//! yields shares of `enc_L(dec_ℓ(x_i) + dec_ℓ(x_j))`; this equals
+//! `enc_L(X)` **iff** `dec_ℓ(x_i) + dec_ℓ(x_j)` stays inside the signed
+//! `ℓ`-bit range `[-2^{ℓ-1}, 2^{ℓ-1})`. Over a uniform `x_i` that fails with
+//! probability exactly `(X+1)/2^ℓ` for `X ≥ 0` and `(-X-1)/2^ℓ` for `X < 0`
+//! — that is, `≈ |X| / 2^ℓ` — see [`failure_probability`] and the
+//! exhaustive census test below. Small secrets on a ring with headroom almost never
+//! fail, which is precisely the paper's "+4 bits is a suitable ring size"
+//! statistical argument (and, at 12 bits and below, the mechanism behind the
+//! accuracy cliff in Tables 7–8).
+//!
+//! The protocol crate exposes both this local strategy and an exact,
+//! dealer-assisted one; this module provides the shared mechanics and the
+//! analysis helpers the ablation benches use.
+
+use crate::Ring;
+
+/// Reinterprets `x` from ring `from` onto ring `to` by sign extension of the
+/// two's-complement value (or wrapping reduction when narrowing).
+///
+/// This is the per-party local step of the paper's ring-size extension.
+///
+/// # Example
+///
+/// ```
+/// use aq2pnn_ring::{extend::sign_extend, Ring};
+///
+/// let (q12, q16) = (Ring::new(12), Ring::new(16));
+/// // Paper Fig. 8: 1111_0110_1101 (12-bit) → 1111_1111_0110_1101 (16-bit).
+/// assert_eq!(sign_extend(q12, q16, 0b1111_0110_1101), 0b1111_1111_0110_1101);
+/// ```
+#[must_use]
+pub fn sign_extend(from: Ring, to: Ring, x: u64) -> u64 {
+    if to.bits() <= from.bits() {
+        return to.reduce(x);
+    }
+    to.encode_signed_wrapping(from.decode_signed(x))
+}
+
+/// Reinterprets `x` from ring `from` onto ring `to` by zero extension of the
+/// unsigned value (or wrapping reduction when narrowing).
+#[must_use]
+pub fn zero_extend(from: Ring, to: Ring, x: u64) -> u64 {
+    if to.bits() <= from.bits() {
+        return to.reduce(x);
+    }
+    from.reduce(x)
+}
+
+/// Whether local sign extension of the share pair `(x_i, x_j)` reproduces
+/// the secret exactly, i.e. whether `dec(x_i) + dec(x_j)` stays inside the
+/// signed range of `from`.
+///
+/// Used by tests and by the extension-failure ablation to census failure
+/// cases without running the protocol.
+#[must_use]
+pub fn local_extension_is_exact(from: Ring, xi: u64, xj: u64) -> bool {
+    let sum = from.decode_signed(xi) + from.decode_signed(xj);
+    sum >= from.min_signed() && sum <= from.max_signed()
+}
+
+/// Exact probability (over a uniform random share) that local sign extension
+/// of a sharing of the signed secret `x` fails.
+///
+/// Exhaustive census (see tests) gives exactly `(x+1)/2^ℓ` failing shares
+/// for `x ≥ 0` and `(-x-1)/2^ℓ` for `x < 0` — approximately `|x|/2^ℓ`. The
+/// asymmetry comes from the asymmetric two's-complement range: `x = -1` can
+/// never fail, while `x = 0` fails for the single share pair
+/// `(−2^{ℓ-1}, −2^{ℓ-1})`.
+///
+/// # Panics
+///
+/// Panics if `x` is outside the signed range of `from`.
+#[must_use]
+pub fn failure_probability(from: Ring, x: i64) -> f64 {
+    assert!(
+        x >= from.min_signed() && x <= from.max_signed(),
+        "secret out of ring range"
+    );
+    let count = if x >= 0 { x + 1 } else { -x - 1 };
+    count as f64 / from.modulus() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_extend_preserves_signed_value() {
+        let (q8, q16) = (Ring::new(8), Ring::new(16));
+        for v in -128..=127i64 {
+            let x = q8.encode_signed(v);
+            assert_eq!(q16.decode_signed(sign_extend(q8, q16, x)), v);
+        }
+    }
+
+    #[test]
+    fn zero_extend_preserves_unsigned_value() {
+        let (q8, q16) = (Ring::new(8), Ring::new(16));
+        assert_eq!(zero_extend(q8, q16, 0xff), 0xff);
+        assert_eq!(zero_extend(q16, q8, 0x1ff), 0xff);
+    }
+
+    #[test]
+    fn same_width_is_identity() {
+        let q = Ring::new(10);
+        assert_eq!(sign_extend(q, q, 0x3ff), 0x3ff);
+    }
+
+    /// Exhaustive census on a 6-bit ring: the number of failing shares for a
+    /// secret X must match the closed form behind [`failure_probability`].
+    #[test]
+    fn failure_census_matches_formula() {
+        let q = Ring::new(6);
+        for x in q.min_signed()..=q.max_signed() {
+            let enc = q.encode_signed(x);
+            let mut failures = 0i64;
+            for r in 0..(1u64 << 6) {
+                let (xi, xj) = (r, q.sub(enc, r));
+                if !local_extension_is_exact(q, xi, xj) {
+                    failures += 1;
+                }
+            }
+            let expected = if x >= 0 { x + 1 } else { -x - 1 };
+            assert_eq!(failures, expected, "secret {x}");
+            let p = failure_probability(q, x);
+            assert!((p - failures as f64 / 64.0).abs() < 1e-12);
+        }
+    }
+
+    /// When extension does not fail, the extended shares recover the secret
+    /// in the big ring.
+    #[test]
+    fn successful_extension_recovers_secret() {
+        let (q1, q2) = (Ring::new(6), Ring::new(10));
+        for x in q1.min_signed()..=q1.max_signed() {
+            let enc = q1.encode_signed(x);
+            for r in 0..(1u64 << 6) {
+                let (xi, xj) = (r, q1.sub(enc, r));
+                let (ei, ej) = (sign_extend(q1, q2, xi), sign_extend(q1, q2, xj));
+                let rec = q2.decode_signed(q2.add(ei, ej));
+                if local_extension_is_exact(q1, xi, xj) {
+                    assert_eq!(rec, x);
+                } else {
+                    // Failure is off by exactly ±2^ℓ.
+                    assert_eq!((rec - x).abs(), 64, "secret {x}, share {r}");
+                }
+            }
+        }
+    }
+}

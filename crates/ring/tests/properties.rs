@@ -1,0 +1,140 @@
+//! Property-based tests for ring arithmetic invariants.
+
+use aq2pnn_ring::{extend, Ring, RingTensor};
+use proptest::prelude::*;
+
+fn arb_ring() -> impl Strategy<Value = Ring> {
+    (1u32..=64).prop_map(Ring::new)
+}
+
+fn ring_and_elems(n: usize) -> impl Strategy<Value = (Ring, Vec<u64>)> {
+    arb_ring().prop_flat_map(move |r| {
+        (
+            Just(r),
+            proptest::collection::vec(any::<u64>().prop_map(move |x| r.reduce(x)), n),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn add_commutative((r, v) in ring_and_elems(2)) {
+        prop_assert_eq!(r.add(v[0], v[1]), r.add(v[1], v[0]));
+    }
+
+    #[test]
+    fn add_associative((r, v) in ring_and_elems(3)) {
+        prop_assert_eq!(r.add(r.add(v[0], v[1]), v[2]), r.add(v[0], r.add(v[1], v[2])));
+    }
+
+    #[test]
+    fn additive_inverse((r, v) in ring_and_elems(1)) {
+        prop_assert_eq!(r.add(v[0], r.neg(v[0])), 0);
+    }
+
+    #[test]
+    fn sub_is_add_neg((r, v) in ring_and_elems(2)) {
+        prop_assert_eq!(r.sub(v[0], v[1]), r.add(v[0], r.neg(v[1])));
+    }
+
+    #[test]
+    fn mul_distributes((r, v) in ring_and_elems(3)) {
+        prop_assert_eq!(
+            r.mul(v[0], r.add(v[1], v[2])),
+            r.add(r.mul(v[0], v[1]), r.mul(v[0], v[2]))
+        );
+    }
+
+    #[test]
+    fn mul_commutative((r, v) in ring_and_elems(2)) {
+        prop_assert_eq!(r.mul(v[0], v[1]), r.mul(v[1], v[0]));
+    }
+
+    #[test]
+    fn signed_codec_roundtrip((r, v) in ring_and_elems(1)) {
+        let x = v[0];
+        prop_assert_eq!(r.encode_signed_wrapping(r.decode_signed(x)), x);
+    }
+
+    #[test]
+    fn decode_range((r, v) in ring_and_elems(1)) {
+        let d = r.decode_signed(v[0]);
+        prop_assert!(d >= r.min_signed() && d <= r.max_signed());
+    }
+
+    #[test]
+    fn msb_iff_negative((r, v) in ring_and_elems(1)) {
+        prop_assert_eq!(r.msb(v[0]), r.decode_signed(v[0]) < 0);
+    }
+
+    #[test]
+    fn pow_adds_exponents(r in (1u32..=32).prop_map(Ring::new), a in any::<u64>(), e1 in 0u64..64, e2 in 0u64..64) {
+        let a = r.reduce(a);
+        prop_assert_eq!(r.pow(a, e1 + e2), r.mul(r.pow(a, e1), r.pow(a, e2)));
+    }
+
+    #[test]
+    fn share_recovery((r, v) in ring_and_elems(2)) {
+        // [x] <- (r, x - r); rec = (x_i + x_j) mod Q
+        let (x, rand) = (v[0], v[1]);
+        let (xi, xj) = (rand, r.sub(x, rand));
+        prop_assert_eq!(r.add(xi, xj), x);
+    }
+
+    #[test]
+    fn sign_extension_roundtrip(
+        from_bits in 2u32..=32,
+        extra in 1u32..=16,
+        raw in any::<u64>(),
+    ) {
+        let from = Ring::new(from_bits);
+        let to = Ring::new((from_bits + extra).min(64));
+        let x = from.reduce(raw);
+        let wide = extend::sign_extend(from, to, x);
+        prop_assert_eq!(to.decode_signed(wide), from.decode_signed(x));
+        // Narrowing back is the inverse.
+        prop_assert_eq!(extend::sign_extend(to, from, wide), x);
+    }
+
+    #[test]
+    fn local_share_extension_failure_matches_predicate(
+        bits in 3u32..=16,
+        secret_raw in any::<u64>(),
+        share_raw in any::<u64>(),
+    ) {
+        let q1 = Ring::new(bits);
+        let q2 = Ring::new(bits + 8);
+        let x = q1.reduce(secret_raw);
+        let xi = q1.reduce(share_raw);
+        let xj = q1.sub(x, xi);
+        let wide = q2.add(
+            extend::sign_extend(q1, q2, xi),
+            extend::sign_extend(q1, q2, xj),
+        );
+        let exact = q2.decode_signed(wide) == q1.decode_signed(x);
+        prop_assert_eq!(exact, extend::local_extension_is_exact(q1, xi, xj));
+    }
+
+    #[test]
+    fn tensor_add_matches_scalar((r, v) in ring_and_elems(8)) {
+        let a = RingTensor::from_raw(r, vec![4], v[..4].to_vec()).unwrap();
+        let b = RingTensor::from_raw(r, vec![4], v[4..].to_vec()).unwrap();
+        let sum = a.add(&b).unwrap();
+        for i in 0..4 {
+            prop_assert_eq!(sum.get(i), r.add(a.get(i), b.get(i)));
+        }
+    }
+
+    #[test]
+    fn shr_arithmetic_is_floor_div(
+        bits in 2u32..=32,
+        raw in any::<u64>(),
+        s in 0u32..8,
+    ) {
+        let r = Ring::new(bits);
+        let x = r.reduce(raw);
+        let v = r.decode_signed(x);
+        let expect = (v as f64 / (1u64 << s) as f64).floor() as i64;
+        prop_assert_eq!(r.decode_signed(r.shr_arithmetic(x, s)), expect);
+    }
+}

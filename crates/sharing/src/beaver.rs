@@ -1,0 +1,124 @@
+//! Beaver multiplication triples — the pre-computed AS-CST buffer contents.
+//!
+//! Ciphertext-ciphertext multiplication (paper Sec. 4.1.2) consumes a triple
+//! `⟦Z⟧ = ⟦A⟧ · ⟦B⟧`: the parties open masked values `E = IN − A` and
+//! `F = W − B` and evaluate paper Eq. 1 locally. Triples are classically
+//! generated offline with HE or OT; this crate's [`crate::dealer`] plays the
+//! trusted-dealer role (explicitly an idealized offline phase — the online
+//! protocol is unchanged).
+
+use aq2pnn_ring::{Ring, RingTensor, ShapeError};
+use serde::{Deserialize, Serialize};
+
+/// One party's share of a Beaver triple `(⟦A⟧, ⟦B⟧, ⟦Z⟧)` with
+/// `Z = A ⊗ B` (matrix product) or `Z = A ⊙ B` (elementwise), depending on
+/// which dealer method produced it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TripleShare {
+    /// Share of the input mask `A` (same shape as the left operand).
+    pub a: RingTensor,
+    /// Share of the weight mask `B` (same shape as the right operand).
+    pub b: RingTensor,
+    /// Share of the product `Z` (shape of the output).
+    pub z: RingTensor,
+}
+
+impl TripleShare {
+    /// The ring all three components live in.
+    #[must_use]
+    pub fn ring(&self) -> Ring {
+        self.a.ring()
+    }
+}
+
+/// Plaintext matrix multiplication over a ring: `C[m,n] = A[m,k] ⊗ B[k,n]`.
+///
+/// Shared by the dealer (to compute `Z`) and by tests that cross-check the
+/// 2PC GEMM against its plaintext counterpart (paper Fig. 3).
+///
+/// # Errors
+///
+/// Returns [`ShapeError::ShapeMismatch`] if the operands are not rank-2
+/// with an agreeing inner dimension, or live on different rings.
+pub fn ring_matmul(a: &RingTensor, b: &RingTensor) -> Result<RingTensor, ShapeError> {
+    let (ra, rb) = (a.ring(), b.ring());
+    if ra != rb || a.shape().len() != 2 || b.shape().len() != 2 || a.shape()[1] != b.shape()[0] {
+        return Err(ShapeError::ShapeMismatch {
+            lhs: a.shape().to_vec(),
+            rhs: b.shape().to_vec(),
+        });
+    }
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let n = b.shape()[1];
+    let mut out = vec![0u64; m * n];
+    let (da, db) = (a.as_slice(), b.as_slice());
+    for i in 0..m {
+        for p in 0..k {
+            let av = da[i * k + p];
+            if av == 0 {
+                continue;
+            }
+            for j in 0..n {
+                out[i * n + j] = ra.add(out[i * n + j], ra.mul(av, db[p * n + j]));
+            }
+        }
+    }
+    RingTensor::from_raw(ra, vec![m, n], out)
+}
+
+/// Plaintext elementwise (Hadamard) product over a ring.
+///
+/// # Errors
+///
+/// Returns [`ShapeError::ShapeMismatch`] if shapes differ.
+pub fn ring_hadamard(a: &RingTensor, b: &RingTensor) -> Result<RingTensor, ShapeError> {
+    let ring = a.ring();
+    a.zip_with(b, |x, y| ring.mul(x, y))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_identity() {
+        let q = Ring::new(16);
+        let a = RingTensor::from_signed(q, vec![2, 2], &[1, 2, 3, 4]).unwrap();
+        let id = RingTensor::from_signed(q, vec![2, 2], &[1, 0, 0, 1]).unwrap();
+        assert_eq!(ring_matmul(&a, &id).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let q = Ring::new(16);
+        let a = RingTensor::from_signed(q, vec![2, 3], &[1, -2, 3, 0, 5, -1]).unwrap();
+        let b = RingTensor::from_signed(q, vec![3, 2], &[2, 1, 0, -1, 4, 4]).unwrap();
+        let c = ring_matmul(&a, &b).unwrap();
+        assert_eq!(c.to_signed(), vec![14, 15, -4, -9]);
+    }
+
+    #[test]
+    fn matmul_wraps_on_ring() {
+        let q = Ring::new(8);
+        let a = RingTensor::from_signed(q, vec![1, 1], &[100]).unwrap();
+        let b = RingTensor::from_signed(q, vec![1, 1], &[3]).unwrap();
+        // 300 mod 256 = 44
+        assert_eq!(ring_matmul(&a, &b).unwrap().to_signed(), vec![44]);
+    }
+
+    #[test]
+    fn matmul_shape_checks() {
+        let q = Ring::new(8);
+        let a = RingTensor::zeros(q, vec![2, 3]);
+        let b = RingTensor::zeros(q, vec![2, 3]);
+        assert!(matches!(ring_matmul(&a, &b), Err(ShapeError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn hadamard_known() {
+        let q = Ring::new(16);
+        let a = RingTensor::from_signed(q, vec![3], &[2, -3, 4]).unwrap();
+        let b = RingTensor::from_signed(q, vec![3], &[5, 6, -7]).unwrap();
+        assert_eq!(ring_hadamard(&a, &b).unwrap().to_signed(), vec![10, -18, -28]);
+    }
+}

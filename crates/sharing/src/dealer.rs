@@ -1,0 +1,194 @@
+//! Trusted dealer for offline pre-computation.
+//!
+//! The paper stores pre-computed triples in the AS-CST buffer and notes that
+//! "the multiplication triple can be generated using homomorphic encryption
+//! or with oblivious transfer" (Sec. 4.1.2). Offline triple generation is
+//! orthogonal to the accelerator design, so this reproduction uses the
+//! standard *trusted dealer* model for the offline phase: a
+//! [`TripleDealer`] seeded with a shared seed samples the correlated
+//! randomness and hands each party its half. The online protocol —
+//! everything the paper measures — is unchanged.
+
+use crate::beaver::{ring_hadamard, ring_matmul, TripleShare};
+use crate::AShare;
+use aq2pnn_ring::{Ring, RingTensor};
+use rand::SeedableRng;
+use rand_chacha::ChaCha20Rng;
+
+/// Deterministic trusted dealer producing Beaver triples and other
+/// correlated randomness for both parties.
+///
+/// # Example
+///
+/// ```
+/// use aq2pnn_ring::Ring;
+/// use aq2pnn_sharing::{beaver::ring_matmul, dealer::TripleDealer, AShare};
+///
+/// let mut dealer = TripleDealer::from_seed(7);
+/// let q = Ring::new(16);
+/// let (t0, t1) = dealer.matmul_triple(q, 2, 3, 4);
+/// // Z = A ⊗ B holds across the two parties' shares.
+/// let a = AShare::recover(&AShare::from_tensor(t0.a.clone()), &AShare::from_tensor(t1.a.clone()))?;
+/// let b = AShare::recover(&AShare::from_tensor(t0.b.clone()), &AShare::from_tensor(t1.b.clone()))?;
+/// let z = AShare::recover(&AShare::from_tensor(t0.z.clone()), &AShare::from_tensor(t1.z.clone()))?;
+/// assert_eq!(z, ring_matmul(&a, &b)?);
+/// # Ok::<(), aq2pnn_ring::ShapeError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct TripleDealer {
+    rng: ChaCha20Rng,
+}
+
+impl TripleDealer {
+    /// Creates a dealer from a 64-bit seed (deterministic, reproducible
+    /// across the two parties of an experiment).
+    #[must_use]
+    pub fn from_seed(seed: u64) -> Self {
+        TripleDealer { rng: ChaCha20Rng::seed_from_u64(seed) }
+    }
+
+    /// Samples a matrix-product triple: `A[m,k]`, `B[k,n]`, `Z = A ⊗ B`,
+    /// each additively shared. Returns party 0's and party 1's halves.
+    pub fn matmul_triple(
+        &mut self,
+        ring: Ring,
+        m: usize,
+        k: usize,
+        n: usize,
+    ) -> (TripleShare, TripleShare) {
+        let a = RingTensor::random(ring, vec![m, k], &mut self.rng);
+        let b = RingTensor::random(ring, vec![k, n], &mut self.rng);
+        let z = ring_matmul(&a, &b).expect("dealer shapes are consistent");
+        self.split(a, b, z)
+    }
+
+    /// Samples a *structured* matrix triple where the left mask is stored
+    /// compactly and expanded through a public linear map before the
+    /// product: `Z = expand(A) ⊗ B`.
+    ///
+    /// This is how convolution triples stay input-sized: `A` has the shape
+    /// of the feature map and `expand` is im2col, so the online `E = IN − A`
+    /// exchange costs `|feature map|` elements instead of `k²` times that.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `expand(A)`'s shape is incompatible with `B`.
+    pub fn expanded_matmul_triple(
+        &mut self,
+        ring: Ring,
+        a_shape: &[usize],
+        b_shape: &[usize],
+        expand: impl Fn(&RingTensor) -> RingTensor,
+    ) -> (TripleShare, TripleShare) {
+        let a = RingTensor::random(ring, a_shape.to_vec(), &mut self.rng);
+        let b = RingTensor::random(ring, b_shape.to_vec(), &mut self.rng);
+        let z = ring_matmul(&expand(&a), &b).expect("expand(A) must be conformable with B");
+        self.split(a, b, z)
+    }
+
+    /// Samples an elementwise (Hadamard) triple over `shape`.
+    pub fn elementwise_triple(&mut self, ring: Ring, shape: &[usize]) -> (TripleShare, TripleShare) {
+        let a = RingTensor::random(ring, shape.to_vec(), &mut self.rng);
+        let b = RingTensor::random(ring, shape.to_vec(), &mut self.rng);
+        let z = ring_hadamard(&a, &b).expect("dealer shapes are consistent");
+        self.split(a, b, z)
+    }
+
+    /// Samples a fresh sharing of a *known* plaintext tensor — the dealer
+    /// side of idealized functionalities (exact truncation / extension).
+    pub fn reshare(&mut self, x: &RingTensor) -> (AShare, AShare) {
+        AShare::share(x, &mut self.rng)
+    }
+
+    /// Samples shared random bits `(r_i, r_j)` with `r = r_i ⊕ r_j`, plus
+    /// the arithmetic sharing of each `r` — "daBits", consumed by
+    /// boolean-to-arithmetic conversions.
+    pub fn dabits(&mut self, ring: Ring, n: usize) -> (DaBitShare, DaBitShare) {
+        use rand::Rng;
+        let plain: Vec<u8> = (0..n).map(|_| self.rng.gen::<u8>() & 1).collect();
+        let (b0, b1) = crate::BShare::share(&plain, &mut self.rng);
+        let arith = RingTensor::from_raw(ring, vec![n], plain.iter().map(|&b| b as u64).collect())
+            .expect("length matches");
+        let (a0, a1) = AShare::share(&arith, &mut self.rng);
+        (DaBitShare { boolean: b0, arith: a0 }, DaBitShare { boolean: b1, arith: a1 })
+    }
+
+    fn split(&mut self, a: RingTensor, b: RingTensor, z: RingTensor) -> (TripleShare, TripleShare) {
+        let (a0, a1) = AShare::share(&a, &mut self.rng);
+        let (b0, b1) = AShare::share(&b, &mut self.rng);
+        let (z0, z1) = AShare::share(&z, &mut self.rng);
+        (
+            TripleShare { a: a0.into_tensor(), b: b0.into_tensor(), z: z0.into_tensor() },
+            TripleShare { a: a1.into_tensor(), b: b1.into_tensor(), z: z1.into_tensor() },
+        )
+    }
+}
+
+/// One party's share of a batch of daBits: the same random bits shared both
+/// as XOR bits and as arithmetic ring elements.
+#[derive(Debug, Clone)]
+pub struct DaBitShare {
+    /// XOR sharing of the bits.
+    pub boolean: crate::BShare,
+    /// Additive sharing of the same bits as `{0,1} ⊂ Z_Q`.
+    pub arith: AShare,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BShare;
+
+    fn rec(a: &TripleShare, b: &TripleShare) -> (RingTensor, RingTensor, RingTensor) {
+        let r = |x: &RingTensor, y: &RingTensor| x.add(y).unwrap();
+        (r(&a.a, &b.a), r(&a.b, &b.b), r(&a.z, &b.z))
+    }
+
+    #[test]
+    fn matmul_triple_is_consistent() {
+        let mut d = TripleDealer::from_seed(1);
+        let q = Ring::new(16);
+        let (t0, t1) = d.matmul_triple(q, 3, 5, 2);
+        let (a, b, z) = rec(&t0, &t1);
+        assert_eq!(z, ring_matmul(&a, &b).unwrap());
+        assert_eq!(t0.ring(), q);
+    }
+
+    #[test]
+    fn elementwise_triple_is_consistent() {
+        let mut d = TripleDealer::from_seed(2);
+        let q = Ring::new(12);
+        let (t0, t1) = d.elementwise_triple(q, &[4, 4]);
+        let (a, b, z) = rec(&t0, &t1);
+        assert_eq!(z, ring_hadamard(&a, &b).unwrap());
+    }
+
+    #[test]
+    fn dealer_is_deterministic() {
+        let q = Ring::new(16);
+        let (x0, _) = TripleDealer::from_seed(9).matmul_triple(q, 2, 2, 2);
+        let (y0, _) = TripleDealer::from_seed(9).matmul_triple(q, 2, 2, 2);
+        assert_eq!(x0.a, y0.a);
+    }
+
+    #[test]
+    fn dabits_consistent_across_domains() {
+        let mut d = TripleDealer::from_seed(3);
+        let q = Ring::new(16);
+        let (s0, s1) = d.dabits(q, 32);
+        let bits = BShare::recover(&s0.boolean, &s1.boolean);
+        let arith = AShare::recover(&s0.arith, &s1.arith).unwrap();
+        for (b, a) in bits.iter().zip(arith.to_signed()) {
+            assert_eq!(*b as i64, a);
+        }
+    }
+
+    #[test]
+    fn reshare_recovers_original() {
+        let mut d = TripleDealer::from_seed(4);
+        let q = Ring::new(16);
+        let x = RingTensor::from_signed(q, vec![3], &[7, -7, 0]).unwrap();
+        let (a, b) = d.reshare(&x);
+        assert_eq!(AShare::recover(&a, &b).unwrap(), x);
+    }
+}

@@ -1,0 +1,144 @@
+//! Share truncation — the "ReQ" half of 2PC-BNReQ.
+//!
+//! Re-quantization divides by `2^{I_e}` (the dyadic HAWQ-v3 scale). On
+//! shares this is the classical problem solved in SecureML: each party
+//! shifts *locally*,
+//!
+//! * party 0: `z_0 = ⌊x_0 / 2^s⌋`
+//! * party 1: `z_1 = −⌊(−x_1) / 2^s⌋  (mod Q)`
+//!
+//! which reconstructs `⌊x/2^s⌋` up to an off-by-one in the last bit, except
+//! with probability `≈ |x| / 2^ℓ` (measured empirically in the tests below;
+//! SecureML's bound is `2^{ℓ_x+1-ℓ}` for `|x| < 2^{ℓ_x}`) when a share wrap
+//! corrupts the high bits. This is exactly
+//! why the paper's adaptive scheme keeps headroom between the value width
+//! and the ring width — and why accuracy collapses when the ring is shaved
+//! to 12 bits (Tables 7–8).
+//!
+//! [`truncate_exact`] is the idealized functionality (dealer resharing of
+//! the exactly-truncated value) used for correctness baselines and the
+//! ablation benches.
+
+use crate::dealer::TripleDealer;
+use crate::{AShare, PartyId};
+use aq2pnn_ring::RingTensor;
+
+/// Locally truncates one party's share by `s` bits (SecureML-style).
+///
+/// Both parties must call this with their own [`PartyId`]; the recovered
+/// value is `⌊x/2^s⌋ ± 1` except with probability `≈ |x| · 2^{1-ℓ} ·
+/// 2^{-s}`-ish (see module docs).
+#[must_use]
+pub fn truncate_share_local(party: PartyId, share: &AShare, s: u32) -> AShare {
+    let ring = share.ring();
+    let t = match party {
+        PartyId::User => share.as_tensor().map(|v| ring.shr_logical(v, s)),
+        PartyId::ModelProvider => {
+            share.as_tensor().map(|v| ring.neg(ring.shr_logical(ring.neg(v), s)))
+        }
+    };
+    AShare::from_tensor(t)
+}
+
+/// Idealized exact truncation: reconstructs, truncates with flooring
+/// arithmetic shift, and reshares through the dealer.
+///
+/// This models a correct (heavier) truncation protocol as an ideal
+/// functionality; use it for correctness baselines and to isolate the cost
+/// of the paper's local method in ablations.
+///
+/// # Panics
+///
+/// Panics if the two shares disagree in shape.
+#[must_use]
+pub fn truncate_exact(
+    share0: &AShare,
+    share1: &AShare,
+    s: u32,
+    dealer: &mut TripleDealer,
+) -> (AShare, AShare) {
+    let ring = share0.ring();
+    let plain = AShare::recover(share0, share1).expect("share shapes must agree");
+    let truncated: RingTensor = plain.map(|v| ring.shr_arithmetic(v, s));
+    dealer.reshare(&truncated)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aq2pnn_ring::{Ring, RingTensor};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn local_truncation_within_one_for_small_secrets() {
+        let q = Ring::new(32);
+        let mut rng = StdRng::seed_from_u64(10);
+        for _ in 0..200 {
+            let v: i64 = rng.gen_range(-(1 << 20)..(1 << 20));
+            let s = rng.gen_range(1..8u32);
+            let x = RingTensor::from_signed(q, vec![1], &[v]).unwrap();
+            let (a, b) = AShare::share(&x, &mut rng);
+            let ta = truncate_share_local(PartyId::User, &a, s);
+            let tb = truncate_share_local(PartyId::ModelProvider, &b, s);
+            let rec = AShare::recover(&ta, &tb).unwrap().to_signed()[0];
+            let expect = v >> s; // flooring shift
+            assert!(
+                (rec - expect).abs() <= 1,
+                "v={v} s={s}: got {rec}, expected ~{expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn local_truncation_failure_rate_bounded() {
+        // On a narrow ring with sizable secrets, big errors appear with
+        // probability ≈ 2^{ℓ_x+1-ℓ}; census it.
+        let q = Ring::new(16);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut large_errors = 0u32;
+        let trials = 4000;
+        for _ in 0..trials {
+            let v: i64 = rng.gen_range(-(1 << 10)..(1 << 10));
+            let x = RingTensor::from_signed(q, vec![1], &[v]).unwrap();
+            let (a, b) = AShare::share(&x, &mut rng);
+            let ta = truncate_share_local(PartyId::User, &a, 4);
+            let tb = truncate_share_local(PartyId::ModelProvider, &b, 4);
+            let rec = AShare::recover(&ta, &tb).unwrap().to_signed()[0];
+            if (rec - (v >> 4)).abs() > 1 {
+                large_errors += 1;
+            }
+        }
+        // Theory: per-element failure ≈ |x|/2^ℓ; E|x| = 2^9 on a 2^16 ring
+        // gives ≈ 0.78% ≈ 31/4000. Allow generous slack.
+        assert!(large_errors > 5, "suspiciously few failures: {large_errors}");
+        assert!(large_errors < 150, "too many failures: {large_errors}");
+    }
+
+    #[test]
+    fn exact_truncation_always_correct() {
+        let q = Ring::new(16);
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut dealer = TripleDealer::from_seed(99);
+        for _ in 0..100 {
+            let v: i64 = rng.gen_range(-(1 << 14)..(1 << 14));
+            let s = rng.gen_range(1..8u32);
+            let x = RingTensor::from_signed(q, vec![1], &[v]).unwrap();
+            let (a, b) = AShare::share(&x, &mut rng);
+            let (ta, tb) = truncate_exact(&a, &b, s, &mut dealer);
+            let rec = AShare::recover(&ta, &tb).unwrap().to_signed()[0];
+            assert_eq!(rec, v >> s, "v={v} s={s}");
+        }
+    }
+
+    #[test]
+    fn zero_shift_is_identity_up_to_resharing() {
+        let q = Ring::new(16);
+        let mut rng = StdRng::seed_from_u64(13);
+        let x = RingTensor::from_signed(q, vec![2], &[123, -456]).unwrap();
+        let (a, b) = AShare::share(&x, &mut rng);
+        let ta = truncate_share_local(PartyId::User, &a, 0);
+        let tb = truncate_share_local(PartyId::ModelProvider, &b, 0);
+        assert_eq!(AShare::recover(&ta, &tb).unwrap(), x);
+    }
+}

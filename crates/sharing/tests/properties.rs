@@ -1,0 +1,148 @@
+//! Property-based tests for the secret-sharing substrate.
+
+use aq2pnn_ring::{Ring, RingTensor};
+use aq2pnn_sharing::a2b::{group_count, group_widths, join_groups, split_groups};
+use aq2pnn_sharing::beaver::{ring_hadamard, ring_matmul};
+use aq2pnn_sharing::dealer::TripleDealer;
+use aq2pnn_sharing::{trunc, AShare, BShare, PartyId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn ring_strategy() -> impl Strategy<Value = Ring> {
+    (2u32..=48).prop_map(Ring::new)
+}
+
+proptest! {
+    #[test]
+    fn share_recover_is_identity(
+        ring in ring_strategy(),
+        raw in proptest::collection::vec(any::<u64>(), 1..32),
+        seed in any::<u64>(),
+    ) {
+        let vals: Vec<u64> = raw.iter().map(|&x| ring.reduce(x)).collect();
+        let t = RingTensor::from_raw(ring, vec![vals.len()], vals).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (a, b) = AShare::share(&t, &mut rng);
+        prop_assert_eq!(AShare::recover(&a, &b).unwrap(), t);
+    }
+
+    #[test]
+    fn local_ops_commute_with_recovery(
+        ring in ring_strategy(),
+        raw in proptest::collection::vec(any::<u64>(), 8),
+        c in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let vals: Vec<u64> = raw.iter().map(|&x| ring.reduce(x)).collect();
+        let t = RingTensor::from_raw(ring, vec![8], vals).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (a, b) = AShare::share(&t, &mut rng);
+        // mul_plain
+        let rec = AShare::recover(&a.mul_plain(c), &b.mul_plain(c)).unwrap();
+        prop_assert_eq!(rec, t.map(|v| ring.mul(v, c)));
+        // neg
+        let rec = AShare::recover(&a.neg(), &b.neg()).unwrap();
+        prop_assert_eq!(rec, t.map(|v| ring.neg(v)));
+        // add_plain on one side only
+        let rec = AShare::recover(
+            &a.add_plain(PartyId::User, c),
+            &b.add_plain(PartyId::ModelProvider, c),
+        )
+        .unwrap();
+        prop_assert_eq!(rec, t.map(|v| ring.add(v, c)));
+    }
+
+    #[test]
+    fn beaver_triples_always_consistent(
+        seed in any::<u64>(),
+        bits in 4u32..=48,
+        m in 1usize..4,
+        k in 1usize..4,
+        n in 1usize..4,
+    ) {
+        let ring = Ring::new(bits);
+        let mut d = TripleDealer::from_seed(seed);
+        let (t0, t1) = d.matmul_triple(ring, m, k, n);
+        let a = t0.a.add(&t1.a).unwrap();
+        let b = t0.b.add(&t1.b).unwrap();
+        let z = t0.z.add(&t1.z).unwrap();
+        prop_assert_eq!(z, ring_matmul(&a, &b).unwrap());
+    }
+
+    #[test]
+    fn elementwise_triples_always_consistent(seed in any::<u64>(), bits in 4u32..=48) {
+        let ring = Ring::new(bits);
+        let mut d = TripleDealer::from_seed(seed);
+        let (t0, t1) = d.elementwise_triple(ring, &[5]);
+        let a = t0.a.add(&t1.a).unwrap();
+        let b = t0.b.add(&t1.b).unwrap();
+        let z = t0.z.add(&t1.z).unwrap();
+        prop_assert_eq!(z, ring_hadamard(&a, &b).unwrap());
+    }
+
+    #[test]
+    fn a2b_roundtrip_and_counts(bits in 2u32..=48, raw in any::<u64>()) {
+        let ring = Ring::new(bits);
+        let x = ring.reduce(raw);
+        let groups = split_groups(ring, x);
+        prop_assert_eq!(groups.len(), group_count(bits));
+        prop_assert_eq!(join_groups(ring, &groups), x);
+        let widths = group_widths(bits);
+        prop_assert_eq!(widths.iter().sum::<u32>(), bits);
+        prop_assert!(widths[0] == 1 && widths[1] == 1);
+        for (g, w) in groups.iter().zip(&widths) {
+            prop_assert!(u32::from(g.value) < (1 << w));
+        }
+    }
+
+    #[test]
+    fn group_lexicographic_equals_unsigned_order(
+        bits in 2u32..=24,
+        x in any::<u64>(),
+        y in any::<u64>(),
+    ) {
+        let ring = Ring::new(bits);
+        let (x, y) = (ring.reduce(x), ring.reduce(y));
+        let gx: Vec<u8> = split_groups(ring, x).iter().map(|g| g.value).collect();
+        let gy: Vec<u8> = split_groups(ring, y).iter().map(|g| g.value).collect();
+        prop_assert_eq!(gx.cmp(&gy), x.cmp(&y));
+    }
+
+    #[test]
+    fn bshare_roundtrip(bits in proptest::collection::vec(0u8..2, 1..64), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (a, b) = BShare::share(&bits, &mut rng);
+        prop_assert_eq!(BShare::recover(&a, &b), bits);
+    }
+
+    #[test]
+    fn local_truncation_error_bounded_for_small_secrets(
+        v in -(1i64 << 18)..(1i64 << 18),
+        s in 0u32..10,
+        seed in any::<u64>(),
+    ) {
+        // On a 40-bit ring the wrap probability for an 18-bit secret is
+        // ≈2^-22 — effectively never under proptest case counts.
+        let ring = Ring::new(40);
+        let t = RingTensor::from_signed(ring, vec![1], &[v]).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (a, b) = AShare::share(&t, &mut rng);
+        let ta = trunc::truncate_share_local(PartyId::User, &a, s);
+        let tb = trunc::truncate_share_local(PartyId::ModelProvider, &b, s);
+        let rec = AShare::recover(&ta, &tb).unwrap().to_signed()[0];
+        prop_assert!((rec - (v >> s)).abs() <= 1, "v={v} s={s} rec={rec}");
+    }
+
+    #[test]
+    fn dabits_always_consistent(seed in any::<u64>(), bits in 4u32..=32) {
+        let ring = Ring::new(bits);
+        let mut d = TripleDealer::from_seed(seed);
+        let (s0, s1) = d.dabits(ring, 16);
+        let plain_bits = BShare::recover(&s0.boolean, &s1.boolean);
+        let arith = AShare::recover(&s0.arith, &s1.arith).unwrap();
+        for (b, a) in plain_bits.iter().zip(arith.to_signed()) {
+            prop_assert_eq!(i64::from(*b), a);
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! In-process duplex channels between the two parties.
+
+use crate::{pack_bits, unpack_bits, ChannelStats};
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+
+/// Error returned when the peer endpoint has been dropped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// The other endpoint disconnected (dropped) before/while communicating.
+    Disconnected,
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::Disconnected => write!(f, "peer endpoint disconnected"),
+        }
+    }
+}
+
+impl Error for TransportError {}
+
+#[derive(Default)]
+struct EndpointState {
+    stats: ChannelStats,
+    phase: String,
+    receiving: bool,
+}
+
+/// One end of a bidirectional party-to-party channel.
+///
+/// Endpoints are cheap to clone (`Arc` internals) so a party can hand the
+/// same link to several protocol modules; counters are shared across clones.
+///
+/// All sends are counted against the endpoint's current *phase* label (see
+/// [`Endpoint::set_phase`]), enabling the operator-wise communication
+/// profiling of paper Table 5.
+#[derive(Clone)]
+pub struct Endpoint {
+    tx: Sender<Bytes>,
+    rx: Receiver<Bytes>,
+    state: Arc<Mutex<EndpointState>>,
+}
+
+impl fmt::Debug for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let state = self.state.lock();
+        f.debug_struct("Endpoint")
+            .field("phase", &state.phase)
+            .field("bytes_sent", &state.stats.bytes_sent)
+            .field("bytes_received", &state.stats.bytes_received)
+            .finish()
+    }
+}
+
+/// Creates a connected pair of [`Endpoint`]s — the 2PC link between party
+/// *i* and party *j*.
+#[must_use]
+pub fn duplex() -> (Endpoint, Endpoint) {
+    let (atx, brx) = unbounded();
+    let (btx, arx) = unbounded();
+    let a = Endpoint { tx: atx, rx: arx, state: Arc::default() };
+    let b = Endpoint { tx: btx, rx: brx, state: Arc::default() };
+    (a, b)
+}
+
+impl Endpoint {
+    /// Labels subsequent traffic with `phase` for per-operator accounting.
+    pub fn set_phase(&self, phase: impl Into<String>) {
+        self.state.lock().phase = phase.into();
+    }
+
+    /// The current phase label.
+    #[must_use]
+    pub fn phase(&self) -> String {
+        self.state.lock().phase.clone()
+    }
+
+    /// Snapshot of the accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> ChannelStats {
+        self.state.lock().stats.clone()
+    }
+
+    /// Resets all counters (phase label is kept).
+    pub fn reset_stats(&self) {
+        let mut st = self.state.lock();
+        st.stats = ChannelStats::default();
+        st.receiving = false;
+    }
+
+    /// Sends a raw byte message to the peer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::Disconnected`] if the peer dropped.
+    pub fn send(&self, bytes: Bytes) -> Result<(), TransportError> {
+        {
+            let mut st = self.state.lock();
+            let was_receiving = st.receiving;
+            st.receiving = false;
+            let phase = st.phase.clone();
+            st.stats.record_send(&phase, bytes.len() as u64, was_receiving);
+        }
+        self.tx.send(bytes).map_err(|_| TransportError::Disconnected)
+    }
+
+    /// Receives the next raw byte message from the peer, blocking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::Disconnected`] if the peer dropped.
+    pub fn recv(&self) -> Result<Bytes, TransportError> {
+        let bytes = self.rx.recv().map_err(|_| TransportError::Disconnected)?;
+        let mut st = self.state.lock();
+        st.receiving = true;
+        let phase = st.phase.clone();
+        st.stats.record_recv(&phase, bytes.len() as u64);
+        Ok(bytes)
+    }
+
+    /// Sends `elems` bit-packed at `bits` per element — the FPGA wire format
+    /// (`⌈n·bits/8⌉` bytes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::Disconnected`] if the peer dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is not in `1..=64`.
+    pub fn send_bits(&self, elems: &[u64], bits: u32) -> Result<(), TransportError> {
+        self.send(Bytes::from(pack_bits(elems, bits)))
+    }
+
+    /// Receives `count` elements bit-packed at `bits` per element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::Disconnected`] if the peer dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the received message is shorter than the packed length or
+    /// `bits` is not in `1..=64`.
+    pub fn recv_bits(&self, bits: u32, count: usize) -> Result<Vec<u64>, TransportError> {
+        let bytes = self.recv()?;
+        Ok(unpack_bits(&bytes, bits, count))
+    }
+
+    /// Simultaneous exchange: sends `elems` and receives the peer's `count`
+    /// elements, both bit-packed at `bits`.
+    ///
+    /// This is the "Data Exchange" step of the paper's workflow (Step 5 /
+    /// mask reveal in Beaver multiplication) where both parties transmit at
+    /// once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::Disconnected`] if the peer dropped.
+    pub fn exchange_bits(
+        &self,
+        elems: &[u64],
+        bits: u32,
+        count: usize,
+    ) -> Result<Vec<u64>, TransportError> {
+        self.send_bits(elems, bits)?;
+        self.recv_bits(bits, count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let (a, b) = duplex();
+        a.send(Bytes::from_static(b"hello")).unwrap();
+        assert_eq!(&b.recv().unwrap()[..], b"hello");
+        assert_eq!(a.stats().bytes_sent, 5);
+        assert_eq!(b.stats().bytes_received, 5);
+    }
+
+    #[test]
+    fn bits_roundtrip_counts_packed_bytes() {
+        let (a, b) = duplex();
+        a.send_bits(&[1, 2, 3, 4], 12).unwrap();
+        assert_eq!(b.recv_bits(12, 4).unwrap(), vec![1, 2, 3, 4]);
+        assert_eq!(a.stats().bytes_sent, 6); // 48 bits
+    }
+
+    #[test]
+    fn disconnect_detected() {
+        let (a, b) = duplex();
+        drop(b);
+        assert_eq!(a.send(Bytes::from_static(b"x")), Err(TransportError::Disconnected));
+        assert_eq!(a.recv(), Err(TransportError::Disconnected));
+    }
+
+    #[test]
+    fn rounds_count_direction_flips() {
+        let (a, b) = duplex();
+        // a: send, recv, send => 2 rounds initiated by a (first send from
+        // idle state counts 0; a send after a receive counts 1).
+        a.send(Bytes::from_static(b"1")).unwrap();
+        b.recv().unwrap();
+        b.send(Bytes::from_static(b"2")).unwrap();
+        a.recv().unwrap();
+        a.send(Bytes::from_static(b"3")).unwrap();
+        b.recv().unwrap();
+        assert_eq!(a.stats().rounds, 1);
+        assert_eq!(b.stats().rounds, 1);
+    }
+
+    #[test]
+    fn phases_attribute_traffic() {
+        let (a, b) = duplex();
+        a.set_phase("conv");
+        a.send_bits(&[0; 8], 16).unwrap();
+        a.set_phase("relu");
+        a.send_bits(&[0; 4], 16).unwrap();
+        b.recv().unwrap();
+        b.recv().unwrap();
+        let st = a.stats();
+        assert_eq!(st.phase("conv").bytes_sent, 16);
+        assert_eq!(st.phase("relu").bytes_sent, 8);
+    }
+
+    #[test]
+    fn exchange_on_two_threads() {
+        let (a, b) = duplex();
+        let t = std::thread::spawn(move || b.exchange_bits(&[9, 8], 8, 2).unwrap());
+        let got_a = a.exchange_bits(&[1, 2], 8, 2).unwrap();
+        let got_b = t.join().unwrap();
+        assert_eq!(got_a, vec![9, 8]);
+        assert_eq!(got_b, vec![1, 2]);
+    }
+
+    #[test]
+    fn clones_share_counters() {
+        let (a, b) = duplex();
+        let a2 = a.clone();
+        a.send(Bytes::from_static(b"xy")).unwrap();
+        a2.send(Bytes::from_static(b"z")).unwrap();
+        b.recv().unwrap();
+        b.recv().unwrap();
+        assert_eq!(a.stats().bytes_sent, 3);
+        assert_eq!(a.stats().messages_sent, 2);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let (a, b) = duplex();
+        a.send(Bytes::from_static(b"abc")).unwrap();
+        b.recv().unwrap();
+        a.reset_stats();
+        assert_eq!(a.stats(), ChannelStats::default());
+    }
+}

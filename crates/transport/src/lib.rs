@@ -1,0 +1,50 @@
+//! Two-party communication substrate for AQ2PNN.
+//!
+//! The AQ2PNN evaluation (paper Sec. 6) treats **communication volume** as a
+//! first-class metric: every table reports MiB exchanged, and the central
+//! claim is that adaptive bit-widths shrink it. This crate therefore makes
+//! byte accounting exact and unavoidable:
+//!
+//! * [`duplex`] builds an in-process bidirectional channel pair
+//!   (crossbeam-backed) emulating the two ZCU104 boards' Ethernet link.
+//! * Every [`Endpoint`] counts bytes, messages and communication rounds per
+//!   *phase* (e.g. `"2pc-conv2d"`, `"abrelu"`), so the operator-wise
+//!   profiling of Table 5 falls out of the counters.
+//! * Ring elements are **bit-packed** ([`pack_bits`]/[`unpack_bits`]): `n`
+//!   elements of an `ℓ`-bit ring serialize to `⌈n·ℓ/8⌉` bytes, exactly the
+//!   FPGA wire format. A 14-bit model really does send 14/16 of the bytes a
+//!   16-bit model sends — this is what reproduces the communication columns
+//!   of Tables 7/8.
+//! * [`NetworkModel`] converts (bytes, messages) into wall-clock seconds for
+//!   a given bandwidth/latency, defaulting to the paper's 1000 Mbps LAN.
+//!
+//! # Example
+//!
+//! ```
+//! use aq2pnn_transport::{duplex, NetworkModel};
+//!
+//! let (a, b) = duplex();
+//! a.set_phase("demo");
+//! a.send_bits(&[0b1010, 0b0101], 4)?;        // two 4-bit elements: 1 byte
+//! let got = b.recv_bits(4, 2)?;
+//! assert_eq!(got, vec![0b1010, 0b0101]);
+//! assert_eq!(a.stats().bytes_sent, 1);
+//!
+//! let net = NetworkModel::paper_lan();
+//! let secs = net.transfer_seconds(1 << 20, 10);
+//! assert!(secs > 0.0);
+//! # Ok::<(), aq2pnn_transport::TransportError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod channel;
+mod network;
+mod packing;
+mod stats;
+
+pub use channel::{duplex, Endpoint, TransportError};
+pub use network::NetworkModel;
+pub use packing::{pack_bits, packed_len, unpack_bits};
+pub use stats::{ChannelStats, PhaseStats};

@@ -1,0 +1,149 @@
+//! Bit-packing of ring elements into the wire format.
+//!
+//! `n` elements of an `ℓ`-bit ring occupy `⌈n·ℓ/8⌉` bytes on the wire —
+//! the fine-grained bit-width reconfigurability that the paper gets from the
+//! FPGA fabric and that CPU/GPU frameworks (fixed 32/64-bit lanes) cannot
+//! exploit. Elements are laid down LSB-first in a little-endian bit stream.
+
+/// Number of bytes `count` elements of `bits`-bit width occupy on the wire.
+///
+/// # Panics
+///
+/// Panics if `bits` is not in `1..=64`.
+#[must_use]
+pub fn packed_len(bits: u32, count: usize) -> usize {
+    assert!((1..=64).contains(&bits), "element width must be 1..=64 bits");
+    (count * bits as usize).div_ceil(8)
+}
+
+/// Packs `elems`, each truncated to its low `bits` bits, into a dense
+/// little-endian bit stream.
+///
+/// # Panics
+///
+/// Panics if `bits` is not in `1..=64`.
+///
+/// # Example
+///
+/// ```
+/// use aq2pnn_transport::{pack_bits, unpack_bits};
+///
+/// let elems = [0x3ffu64, 0x001, 0x2aa];
+/// let bytes = pack_bits(&elems, 10);
+/// assert_eq!(bytes.len(), 4); // ceil(30 / 8)
+/// assert_eq!(unpack_bits(&bytes, 10, 3), elems);
+/// ```
+#[must_use]
+pub fn pack_bits(elems: &[u64], bits: u32) -> Vec<u8> {
+    assert!((1..=64).contains(&bits), "element width must be 1..=64 bits");
+    let mask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+    let mut out = vec![0u8; packed_len(bits, elems.len())];
+    let mut bitpos = 0usize;
+    for &e in elems {
+        let e = e & mask;
+        let mut remaining = bits as usize;
+        let mut val = e;
+        let mut pos = bitpos;
+        while remaining > 0 {
+            let byte = pos / 8;
+            let off = pos % 8;
+            let take = (8 - off).min(remaining);
+            out[byte] |= ((val & ((1u64 << take) - 1)) as u8) << off;
+            val >>= take;
+            remaining -= take;
+            pos += take;
+        }
+        bitpos += bits as usize;
+    }
+    out
+}
+
+/// Unpacks `count` elements of `bits`-bit width from a dense bit stream
+/// produced by [`pack_bits`].
+///
+/// # Panics
+///
+/// Panics if `bits` is not in `1..=64` or if `bytes` is too short to hold
+/// `count` elements.
+#[must_use]
+pub fn unpack_bits(bytes: &[u8], bits: u32, count: usize) -> Vec<u64> {
+    assert!((1..=64).contains(&bits), "element width must be 1..=64 bits");
+    assert!(
+        bytes.len() >= packed_len(bits, count),
+        "buffer of {} bytes too short for {count} x {bits}-bit elements",
+        bytes.len()
+    );
+    let mut out = Vec::with_capacity(count);
+    let mut bitpos = 0usize;
+    for _ in 0..count {
+        let mut val = 0u64;
+        let mut got = 0usize;
+        let mut pos = bitpos;
+        while got < bits as usize {
+            let byte = pos / 8;
+            let off = pos % 8;
+            let take = (8 - off).min(bits as usize - got);
+            let chunk = (bytes[byte] >> off) as u64 & ((1u64 << take) - 1);
+            val |= chunk << got;
+            got += take;
+            pos += take;
+        }
+        out.push(val);
+        bitpos += bits as usize;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packed_len_rounding() {
+        assert_eq!(packed_len(1, 8), 1);
+        assert_eq!(packed_len(1, 9), 2);
+        assert_eq!(packed_len(12, 2), 3);
+        assert_eq!(packed_len(16, 1000), 2000);
+        assert_eq!(packed_len(14, 1000), 1750);
+        assert_eq!(packed_len(64, 3), 24);
+        assert_eq!(packed_len(8, 0), 0);
+    }
+
+    #[test]
+    fn roundtrip_byte_aligned() {
+        let elems = [0u64, 1, 127, 128, 255];
+        assert_eq!(unpack_bits(&pack_bits(&elems, 8), 8, 5), elems);
+    }
+
+    #[test]
+    fn roundtrip_odd_widths() {
+        for bits in [1u32, 3, 7, 12, 13, 14, 16, 24, 33, 63, 64] {
+            let mask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+            let elems: Vec<u64> = (0..17).map(|i| (0x9e3779b97f4a7c15u64.wrapping_mul(i + 1)) & mask).collect();
+            let packed = pack_bits(&elems, bits);
+            assert_eq!(packed.len(), packed_len(bits, elems.len()));
+            assert_eq!(unpack_bits(&packed, bits, elems.len()), elems, "bits={bits}");
+        }
+    }
+
+    #[test]
+    fn truncates_high_bits() {
+        let bytes = pack_bits(&[0xffff], 4);
+        assert_eq!(unpack_bits(&bytes, 4, 1), vec![0xf]);
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn unpack_short_buffer_panics() {
+        let _ = unpack_bits(&[0u8], 16, 1);
+    }
+
+    #[test]
+    fn fourteen_bit_saves_exactly_an_eighth_vs_sixteen() {
+        // The Table 7/8 mechanism: 14-bit wire format is 14/16 of 16-bit.
+        let n = 4096;
+        let l16 = packed_len(16, n);
+        let l14 = packed_len(14, n);
+        assert_eq!(l14 * 16, l16 * 14);
+    }
+}

@@ -1,0 +1,129 @@
+//! Per-endpoint, per-phase communication accounting.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Counters for one labelled protocol phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseStats {
+    /// Bytes written to the wire during this phase.
+    pub bytes_sent: u64,
+    /// Bytes read from the wire during this phase.
+    pub bytes_received: u64,
+    /// Messages written during this phase.
+    pub messages_sent: u64,
+    /// Messages read during this phase.
+    pub messages_received: u64,
+}
+
+impl PhaseStats {
+    /// Total traffic (both directions) in bytes.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_sent + self.bytes_received
+    }
+}
+
+/// Aggregate communication statistics of one [`crate::Endpoint`].
+///
+/// A *round* is counted each time the direction of traffic flips from
+/// receiving to sending — the round-trip count that multiplies the link
+/// latency in the [`crate::NetworkModel`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChannelStats {
+    /// Total bytes sent.
+    pub bytes_sent: u64,
+    /// Total bytes received.
+    pub bytes_received: u64,
+    /// Total messages sent.
+    pub messages_sent: u64,
+    /// Total messages received.
+    pub messages_received: u64,
+    /// Direction flips receive→send (communication rounds initiated).
+    pub rounds: u64,
+    /// Per-phase breakdown, keyed by the label passed to
+    /// [`crate::Endpoint::set_phase`].
+    pub phases: BTreeMap<String, PhaseStats>,
+}
+
+impl ChannelStats {
+    /// Total traffic (both directions) in bytes.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_sent + self.bytes_received
+    }
+
+    /// Total traffic in mebibytes — the paper's communication unit.
+    #[must_use]
+    pub fn total_mib(&self) -> f64 {
+        self.total_bytes() as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Stats for one phase (zeros if the phase never ran).
+    #[must_use]
+    pub fn phase(&self, name: &str) -> PhaseStats {
+        self.phases.get(name).copied().unwrap_or_default()
+    }
+
+    /// Total traffic excluding phases labelled with an `offline` prefix —
+    /// the *online* communication the paper's tables report (the weight
+    /// mask `F` is pre-deployed, paper Sec. 4.1.2).
+    #[must_use]
+    pub fn online_total_bytes(&self) -> u64 {
+        self.phases
+            .iter()
+            .filter(|(k, _)| !k.starts_with("offline"))
+            .map(|(_, p)| p.total_bytes())
+            .sum()
+    }
+
+    /// Online traffic in mebibytes.
+    #[must_use]
+    pub fn online_total_mib(&self) -> f64 {
+        self.online_total_bytes() as f64 / (1024.0 * 1024.0)
+    }
+
+    pub(crate) fn record_send(&mut self, phase: &str, bytes: u64, was_receiving: bool) {
+        self.bytes_sent += bytes;
+        self.messages_sent += 1;
+        if was_receiving {
+            self.rounds += 1;
+        }
+        let p = self.phases.entry(phase.to_owned()).or_default();
+        p.bytes_sent += bytes;
+        p.messages_sent += 1;
+    }
+
+    pub(crate) fn record_recv(&mut self, phase: &str, bytes: u64) {
+        self.bytes_received += bytes;
+        self.messages_received += 1;
+        let p = self.phases.entry(phase.to_owned()).or_default();
+        p.bytes_received += bytes;
+        p.messages_received += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_accumulation() {
+        let mut s = ChannelStats::default();
+        s.record_send("conv", 100, false);
+        s.record_recv("conv", 50);
+        s.record_send("relu", 10, true);
+        assert_eq!(s.bytes_sent, 110);
+        assert_eq!(s.bytes_received, 50);
+        assert_eq!(s.rounds, 1);
+        assert_eq!(s.phase("conv").total_bytes(), 150);
+        assert_eq!(s.phase("relu").bytes_sent, 10);
+        assert_eq!(s.phase("never"), PhaseStats::default());
+    }
+
+    #[test]
+    fn mib_conversion() {
+        let s = ChannelStats { bytes_sent: 1 << 20, ..Default::default() };
+        assert!((s.total_mib() - 1.0).abs() < 1e-12);
+    }
+}

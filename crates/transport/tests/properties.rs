@@ -1,0 +1,72 @@
+//! Property-based tests for the wire format and channel accounting.
+
+use aq2pnn_transport::{duplex, pack_bits, packed_len, unpack_bits, NetworkModel};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn pack_unpack_roundtrip(
+        bits in 1u32..=64,
+        raw in proptest::collection::vec(any::<u64>(), 0..64),
+    ) {
+        let mask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+        let elems: Vec<u64> = raw.iter().map(|&x| x & mask).collect();
+        let packed = pack_bits(&elems, bits);
+        prop_assert_eq!(packed.len(), packed_len(bits, elems.len()));
+        prop_assert_eq!(unpack_bits(&packed, bits, elems.len()), elems);
+    }
+
+    #[test]
+    fn packed_len_is_tight(bits in 1u32..=64, count in 0usize..512) {
+        let len = packed_len(bits, count);
+        let total_bits = count as u64 * u64::from(bits);
+        prop_assert_eq!(len as u64, total_bits.div_ceil(8));
+    }
+
+    #[test]
+    fn channel_accounting_matches_payloads(
+        payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 1..8),
+    ) {
+        let (a, b) = duplex();
+        let mut sent = 0u64;
+        for p in &payloads {
+            sent += p.len() as u64;
+            a.send(bytes::Bytes::from(p.clone())).unwrap();
+        }
+        let mut recvd = 0u64;
+        for _ in &payloads {
+            recvd += b.recv().unwrap().len() as u64;
+        }
+        prop_assert_eq!(a.stats().bytes_sent, sent);
+        prop_assert_eq!(b.stats().bytes_received, recvd);
+        prop_assert_eq!(a.stats().messages_sent, payloads.len() as u64);
+    }
+
+    #[test]
+    fn network_time_is_monotone(
+        bytes_a in 0u64..1_000_000,
+        extra in 1u64..1_000_000,
+        msgs in 0u64..100,
+    ) {
+        let net = NetworkModel::paper_lan();
+        prop_assert!(net.transfer_seconds(bytes_a + extra, msgs) > net.transfer_seconds(bytes_a, msgs));
+        prop_assert!(net.transfer_seconds(bytes_a, msgs + 1) > net.transfer_seconds(bytes_a, msgs));
+    }
+
+    #[test]
+    fn online_totals_exclude_offline_phases(
+        online in 1usize..64,
+        offline in 1usize..64,
+    ) {
+        let (a, b) = duplex();
+        a.set_phase("conv0");
+        a.send(bytes::Bytes::from(vec![0u8; online])).unwrap();
+        a.set_phase("offline-f.conv0");
+        a.send(bytes::Bytes::from(vec![0u8; offline])).unwrap();
+        b.recv().unwrap();
+        b.recv().unwrap();
+        let st = a.stats();
+        prop_assert_eq!(st.online_total_bytes(), online as u64);
+        prop_assert_eq!(st.total_bytes(), (online + offline) as u64);
+    }
+}
