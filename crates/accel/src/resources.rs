@@ -39,12 +39,7 @@ const CCMU: Resources = Resources { lut: 180, ff: 320, dsp: 6, bram: 0.0 };
 #[must_use]
 pub fn gemm_array(hw: &HwConfig) -> Resources {
     let units = (hw.block_in * hw.block_out) as u64;
-    Resources {
-        lut: units * CCMU.lut,
-        ff: units * CCMU.ff,
-        dsp: units * CCMU.dsp,
-        bram: 0.0,
-    }
+    Resources { lut: units * CCMU.lut, ff: units * CCMU.ff, dsp: units * CCMU.dsp, bram: 0.0 }
 }
 
 /// The AS-ALU: add / shift / clip lanes.

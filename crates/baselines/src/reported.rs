@@ -66,20 +66,116 @@ pub fn table4() -> Vec<ReportedRow> {
     use System::{Aq2pnnPaper, CryptGpu, Cryptflow, Falcon};
     vec![
         // Small-size models.
-        ReportedRow { system: Falcon, workload: "lenet5-mnist", tput_fps: 26.316, comm_mib: 2.29, power_w: 133.0, machines: 3, efficiency: 0.065_354 },
-        ReportedRow { system: Aq2pnnPaper, workload: "lenet5-mnist", tput_fps: 16.68, comm_mib: 0.95, power_w: 7.2, machines: 2, efficiency: 1.158_333 },
-        ReportedRow { system: Falcon, workload: "alexnet-mnist", tput_fps: 9.091, comm_mib: 4.02, power_w: 139.0, machines: 3, efficiency: 0.021_801 },
-        ReportedRow { system: Aq2pnnPaper, workload: "alexnet-mnist", tput_fps: 6.081, comm_mib: 1.2, power_w: 7.4, machines: 2, efficiency: 0.410_878 },
+        ReportedRow {
+            system: Falcon,
+            workload: "lenet5-mnist",
+            tput_fps: 26.316,
+            comm_mib: 2.29,
+            power_w: 133.0,
+            machines: 3,
+            efficiency: 0.065_354,
+        },
+        ReportedRow {
+            system: Aq2pnnPaper,
+            workload: "lenet5-mnist",
+            tput_fps: 16.68,
+            comm_mib: 0.95,
+            power_w: 7.2,
+            machines: 2,
+            efficiency: 1.158_333,
+        },
+        ReportedRow {
+            system: Falcon,
+            workload: "alexnet-mnist",
+            tput_fps: 9.091,
+            comm_mib: 4.02,
+            power_w: 139.0,
+            machines: 3,
+            efficiency: 0.021_801,
+        },
+        ReportedRow {
+            system: Aq2pnnPaper,
+            workload: "alexnet-mnist",
+            tput_fps: 6.081,
+            comm_mib: 1.2,
+            power_w: 7.4,
+            machines: 2,
+            efficiency: 0.410_878,
+        },
         // Medium-size models.
-        ReportedRow { system: Falcon, workload: "vgg16-cifar10", tput_fps: 0.694, comm_mib: 40.45, power_w: 185.0, machines: 3, efficiency: 0.001_250 },
-        ReportedRow { system: CryptGpu, workload: "vgg16-cifar10", tput_fps: 0.467, comm_mib: 56.20, power_w: 289.0, machines: 2, efficiency: 0.000_807 },
-        ReportedRow { system: Aq2pnnPaper, workload: "vgg16-cifar10", tput_fps: 0.352, comm_mib: 28.87, power_w: 7.7, machines: 2, efficiency: 0.022_857 },
+        ReportedRow {
+            system: Falcon,
+            workload: "vgg16-cifar10",
+            tput_fps: 0.694,
+            comm_mib: 40.45,
+            power_w: 185.0,
+            machines: 3,
+            efficiency: 0.001_250,
+        },
+        ReportedRow {
+            system: CryptGpu,
+            workload: "vgg16-cifar10",
+            tput_fps: 0.467,
+            comm_mib: 56.20,
+            power_w: 289.0,
+            machines: 2,
+            efficiency: 0.000_807,
+        },
+        ReportedRow {
+            system: Aq2pnnPaper,
+            workload: "vgg16-cifar10",
+            tput_fps: 0.352,
+            comm_mib: 28.87,
+            power_w: 7.7,
+            machines: 2,
+            efficiency: 0.022_857,
+        },
         // Large-size models.
-        ReportedRow { system: Cryptflow, workload: "resnet50-imagenet", tput_fps: 0.039, comm_mib: 6900.0, power_w: 178.0, machines: 2, efficiency: 0.000_110 },
-        ReportedRow { system: CryptGpu, workload: "resnet50-imagenet", tput_fps: 0.107, comm_mib: 3080.0, power_w: 306.0, machines: 2, efficiency: 0.000_175 },
-        ReportedRow { system: Aq2pnnPaper, workload: "resnet50-imagenet", tput_fps: 0.071, comm_mib: 1120.0, power_w: 7.7, machines: 2, efficiency: 0.004_610 },
-        ReportedRow { system: CryptGpu, workload: "vgg16-imagenet", tput_fps: 0.106, comm_mib: 2750.0, power_w: 315.0, machines: 2, efficiency: 0.000_168 },
-        ReportedRow { system: Aq2pnnPaper, workload: "vgg16-imagenet", tput_fps: 0.038, comm_mib: 1410.0, power_w: 7.7, machines: 2, efficiency: 0.002_468 },
+        ReportedRow {
+            system: Cryptflow,
+            workload: "resnet50-imagenet",
+            tput_fps: 0.039,
+            comm_mib: 6900.0,
+            power_w: 178.0,
+            machines: 2,
+            efficiency: 0.000_110,
+        },
+        ReportedRow {
+            system: CryptGpu,
+            workload: "resnet50-imagenet",
+            tput_fps: 0.107,
+            comm_mib: 3080.0,
+            power_w: 306.0,
+            machines: 2,
+            efficiency: 0.000_175,
+        },
+        ReportedRow {
+            system: Aq2pnnPaper,
+            workload: "resnet50-imagenet",
+            tput_fps: 0.071,
+            comm_mib: 1120.0,
+            power_w: 7.7,
+            machines: 2,
+            efficiency: 0.004_610,
+        },
+        ReportedRow {
+            system: CryptGpu,
+            workload: "vgg16-imagenet",
+            tput_fps: 0.106,
+            comm_mib: 2750.0,
+            power_w: 315.0,
+            machines: 2,
+            efficiency: 0.000_168,
+        },
+        ReportedRow {
+            system: Aq2pnnPaper,
+            workload: "vgg16-imagenet",
+            tput_fps: 0.038,
+            comm_mib: 1410.0,
+            power_w: 7.7,
+            machines: 2,
+            efficiency: 0.002_468,
+        },
     ]
 }
 

@@ -1,0 +1,133 @@
+//! Criterion benchmarks of the data-plane kernels behind the 2PC hot path:
+//! the cache-blocked mask-deferred `ring_matmul` (three calls per conv
+//! layer, paper Eq. 1) against the scalar triple-loop reference, and the
+//! wire packing fast paths against the generic bit loop.
+//!
+//! On top of the timings printed per bench, the run emits
+//! `BENCH_kernels.json` (in the working directory) with every measurement
+//! plus derived single-thread / parallel speedups, so future changes have a
+//! recorded perf trajectory to compare against.
+
+use aq2pnn_ring::{Ring, RingTensor};
+use aq2pnn_sharing::beaver::{ring_matmul, ring_matmul_reference};
+use aq2pnn_transport::{pack_bits, pack_bits_reference, unpack_bits, unpack_bits_reference};
+use criterion::{all_results, criterion_group, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::io::Write;
+
+/// GEMM shapes from the paper's workloads, as lowered by im2col
+/// (`[m, k] ⊗ [k, n]` = `[oh·ow, in_c·kh·kw] ⊗ [kdim, out_c]`):
+/// LeNet-5 conv2 / fc1 on MNIST, and a VGG16 stage-2 conv block on
+/// CIFAR — the `256×1152×64` shape the acceptance bar is pinned to.
+const GEMM_SHAPES: &[(&str, usize, usize, usize)] = &[
+    ("lenet5_conv2_100x150x16", 100, 150, 16),
+    ("lenet5_fc1_1x400x120", 1, 400, 120),
+    ("vgg16_conv_256x1152x64", 256, 1152, 64),
+];
+
+/// Wire widths exercising every packer path: sub-byte (2), whole-byte
+/// memcpy paths (8, 16) and an awkward bit-straddling width (31).
+const PACK_BITS: &[u32] = &[2, 8, 16, 31];
+const PACK_COUNT: usize = 1 << 14;
+
+fn bench_ring_matmul(c: &mut Criterion) {
+    let ring = Ring::new(31);
+    let mut rng = StdRng::seed_from_u64(42);
+    for &(name, m, k, n) in GEMM_SHAPES {
+        let a = RingTensor::random(ring, vec![m, k], &mut rng);
+        let b = RingTensor::random(ring, vec![k, n], &mut rng);
+        assert_eq!(
+            ring_matmul(&a, &b).unwrap(),
+            ring_matmul_reference(&a, &b).unwrap(),
+            "kernels disagree at {name}"
+        );
+        c.bench_with_input(BenchmarkId::new("matmul/reference", name), &(), |bch, ()| {
+            bch.iter(|| ring_matmul_reference(black_box(&a), black_box(&b)).unwrap());
+        });
+        // Single thread first: isolates the deferred-masking + blocking win
+        // from thread scaling.
+        std::env::set_var("AQ2PNN_THREADS", "1");
+        c.bench_with_input(BenchmarkId::new("matmul/blocked_1t", name), &(), |bch, ()| {
+            bch.iter(|| ring_matmul(black_box(&a), black_box(&b)).unwrap());
+        });
+        std::env::remove_var("AQ2PNN_THREADS");
+        c.bench_with_input(BenchmarkId::new("matmul/blocked_par", name), &(), |bch, ()| {
+            bch.iter(|| ring_matmul(black_box(&a), black_box(&b)).unwrap());
+        });
+    }
+}
+
+fn bench_packing(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    for &bits in PACK_BITS {
+        let ring = Ring::new(bits);
+        let elems: Vec<u64> = (0..PACK_COUNT).map(|_| ring.sample(&mut rng)).collect();
+        let packed = pack_bits(&elems, bits);
+        assert_eq!(packed, pack_bits_reference(&elems, bits));
+        c.bench_with_input(BenchmarkId::new("pack/reference", bits), &(), |bch, ()| {
+            bch.iter(|| pack_bits_reference(black_box(&elems), bits));
+        });
+        c.bench_with_input(BenchmarkId::new("pack/fast", bits), &(), |bch, ()| {
+            bch.iter(|| pack_bits(black_box(&elems), bits));
+        });
+        c.bench_with_input(BenchmarkId::new("unpack/reference", bits), &(), |bch, ()| {
+            bch.iter(|| unpack_bits_reference(black_box(&packed), bits, PACK_COUNT));
+        });
+        c.bench_with_input(BenchmarkId::new("unpack/fast", bits), &(), |bch, ()| {
+            bch.iter(|| unpack_bits(black_box(&packed), bits, PACK_COUNT));
+        });
+    }
+}
+
+criterion_group!(kernels, bench_ring_matmul, bench_packing);
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Serializes the measurement registry (plus derived speedups) by hand —
+/// the offline workspace carries no JSON dependency.
+fn write_report(path: &str) -> std::io::Result<()> {
+    let results = all_results();
+    let ns = |name: &str| results.iter().find(|r| r.name == name).map(|r| r.ns_per_iter);
+    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let sep = if i + 1 == results.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"ns_per_iter\": {:.1}, \"iters_per_batch\": {}}}{sep}\n",
+            json_escape(&r.name),
+            r.ns_per_iter,
+            r.iters
+        ));
+    }
+    out.push_str("  ],\n  \"speedups\": [\n");
+    let mut lines = Vec::new();
+    for &(name, ..) in GEMM_SHAPES {
+        let (reference, single, par) = (
+            ns(&format!("matmul/reference/{name}")),
+            ns(&format!("matmul/blocked_1t/{name}")),
+            ns(&format!("matmul/blocked_par/{name}")),
+        );
+        if let (Some(reference), Some(single), Some(par)) = (reference, single, par) {
+            lines.push(format!(
+                "    {{\"shape\": \"{name}\", \"single_thread_vs_reference\": {:.2}, \
+                 \"parallel_vs_reference\": {:.2}}}",
+                reference / single,
+                reference / par
+            ));
+        }
+    }
+    out.push_str(&lines.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    std::fs::File::create(path)?.write_all(out.as_bytes())
+}
+
+fn main() {
+    kernels();
+    let path =
+        std::env::var("BENCH_KERNELS_JSON").unwrap_or_else(|_| "BENCH_kernels.json".to_string());
+    write_report(&path).expect("report written");
+    println!("wrote {path}");
+}

@@ -47,9 +47,7 @@ fn bench_packing(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(2);
     let q = Ring::new(14);
     let elems: Vec<u64> = (0..4096).map(|_| q.sample(&mut rng)).collect();
-    c.bench_function("transport/pack_14bit_4096", |b| {
-        b.iter(|| pack_bits(black_box(&elems), 14))
-    });
+    c.bench_function("transport/pack_14bit_4096", |b| b.iter(|| pack_bits(black_box(&elems), 14)));
     let packed = pack_bits(&elems, 14);
     c.bench_function("transport/unpack_14bit_4096", |b| {
         b.iter(|| unpack_bits(black_box(&packed), 14, 4096))
@@ -69,9 +67,8 @@ fn bench_ot(c: &mut Criterion) {
             });
             let choices: Vec<OtChoice> =
                 (0..256).map(|i| OtChoice { choice: i % 4, n: 4 }).collect();
-            let got =
-                recv_batch(&r, &group, &labels, &choices, 8, &mut StdRng::seed_from_u64(5))
-                    .unwrap();
+            let got = recv_batch(&r, &group, &labels, &choices, 8, &mut StdRng::seed_from_u64(5))
+                .unwrap();
             h.join().unwrap();
             got
         })
@@ -87,22 +84,18 @@ fn bench_gemm(c: &mut Criterion) {
         let b = RingTensor::random(ring, vec![size, size], &mut rng);
         let (a0, a1) = AShare::share(&a, &mut rng);
         let (b0, b1) = AShare::share(&b, &mut rng);
-        c.bench_with_input(
-            BenchmarkId::new("gemm/secure_matmul", size),
-            &size,
-            |bch, _| {
-                bch.iter(|| {
-                    let (a0, a1, b0, b1) = (a0.clone(), a1.clone(), b0.clone(), b1.clone());
-                    run_pair(&cfg, move |ctx| {
-                        let (x, w) = match ctx.id {
-                            PartyId::User => (a0.clone(), b0.clone()),
-                            PartyId::ModelProvider => (a1.clone(), b1.clone()),
-                        };
-                        secure_matmul(ctx, &x, &w).unwrap()
-                    })
+        c.bench_with_input(BenchmarkId::new("gemm/secure_matmul", size), &size, |bch, _| {
+            bch.iter(|| {
+                let (a0, a1, b0, b1) = (a0.clone(), a1.clone(), b0.clone(), b1.clone());
+                run_pair(&cfg, move |ctx| {
+                    let (x, w) = match ctx.id {
+                        PartyId::User => (a0.clone(), b0.clone()),
+                        PartyId::ModelProvider => (a1.clone(), b1.clone()),
+                    };
+                    secure_matmul(ctx, &x, &w).unwrap()
                 })
-            },
-        );
+            })
+        });
     }
 }
 
@@ -131,9 +124,7 @@ fn bench_abrelu(c: &mut Criterion) {
 fn bench_gc(c: &mut Criterion) {
     let circ = relu_on_shares(16);
     let mut rng = StdRng::seed_from_u64(8);
-    c.bench_function("gc/garble_relu16", |b| {
-        b.iter(|| garble(black_box(&circ), &mut rng))
-    });
+    c.bench_function("gc/garble_relu16", |b| b.iter(|| garble(black_box(&circ), &mut rng)));
     let garbled = garble(&circ, &mut rng);
     let inputs = encode_inputs(&circ, 100, 55, 16);
     c.bench_function("gc/eval_relu16", |b| {
@@ -149,8 +140,7 @@ fn bench_inference(c: &mut Criterion) {
     let data = SyntheticVision::tiny(4, 99);
     let mut net = FloatNet::init(&zoo::tiny_cnn(4), 100).unwrap();
     net.train_epochs(&data, 1, 8, 0.05);
-    let model =
-        QuantModel::quantize(&net, &data.calibration(8), &QuantConfig::int8()).unwrap();
+    let model = QuantModel::quantize(&net, &data.calibration(8), &QuantConfig::int8()).unwrap();
     let image = data.test()[0].image.clone();
     let cfg = ProtocolConfig::paper(16);
     let mut group = c.benchmark_group("inference");

@@ -17,10 +17,7 @@ use aq2pnn_nn::zoo;
 fn main() {
     header("Extension — per-layer adaptive MAC rings");
     let cfg = ProtocolConfig::paper(16);
-    println!(
-        "{:<22} {:>14} {:>14} {:>9}",
-        "model", "uniform(MiB)", "per-layer(MiB)", "delta"
-    );
+    println!("{:<22} {:>14} {:>14} {:>9}", "model", "uniform(MiB)", "per-layer(MiB)", "delta");
     for spec in [
         zoo::lenet5(),
         zoo::alexnet_cifar(),
@@ -30,8 +27,7 @@ fn main() {
         zoo::vgg16_imagenet(),
     ] {
         let uniform = compile_spec(&spec, &cfg).expect("compiles").online_total_mib();
-        let adaptive =
-            compile_spec_per_layer(&spec, &cfg, 8).expect("compiles").online_total_mib();
+        let adaptive = compile_spec_per_layer(&spec, &cfg, 8).expect("compiles").online_total_mib();
         println!(
             "{:<22} {uniform:>14.2} {adaptive:>14.2} {:>8.1}%",
             spec.name,

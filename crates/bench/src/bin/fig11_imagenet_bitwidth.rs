@@ -27,12 +27,8 @@ fn main() {
         let rel = if base > 0.0 { acc / base } else { 0.0 };
         let anchor = paper.first().map(|r| r.1).unwrap_or(73.06);
         let projected = anchor * rel;
-        let reported_acc =
-            paper.iter().find(|r| r.0 == b).map(|r| r.1).unwrap_or(f64::NAN);
-        println!(
-            "{b:<6} {:>16.1} {projected:>18.2} {reported_acc:>20.2}",
-            100.0 * rel
-        );
+        let reported_acc = paper.iter().find(|r| r.0 == b).map(|r| r.1).unwrap_or(f64::NAN);
+        println!("{b:<6} {:>16.1} {projected:>18.2} {reported_acc:>20.2}", 100.0 * rel);
     }
 
     println!("\npaper VGG16-ImageNet (reported):");

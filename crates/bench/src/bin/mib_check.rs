@@ -8,10 +8,18 @@ fn main() {
     ] {
         let cfg = aq2pnn::ProtocolConfig::paper(16);
         let p = aq2pnn::instq::compile_spec(&spec, &cfg).unwrap();
-        println!("{:<22} ours {:>9.2} MiB (online)   paper {:>8.2} MiB   ratio {:.2}", spec.name, p.online_total_mib(), paper, p.online_total_mib()/paper);
+        println!(
+            "{:<22} ours {:>9.2} MiB (online)   paper {:>8.2} MiB   ratio {:.2}",
+            spec.name,
+            p.online_total_mib(),
+            paper,
+            p.online_total_mib() / paper
+        );
         for prefix in ["conv", "fc", "abrelu", "maxpool", "output"] {
-            let b = p.bytes_for_phase_prefix(prefix) as f64 / (1024.0*1024.0);
-            if b > 0.005 { println!("    {:<9} {:>9.2} MiB", prefix, b); }
+            let b = p.bytes_for_phase_prefix(prefix) as f64 / (1024.0 * 1024.0);
+            if b > 0.005 {
+                println!("    {:<9} {:>9.2} MiB", prefix, b);
+            }
         }
     }
 }

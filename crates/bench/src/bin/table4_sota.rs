@@ -39,7 +39,7 @@ fn main() {
     let rows = table4();
     for (wl, spec) in workloads {
         for r in rows.iter().filter(|r| r.workload == wl) {
-            let tag = if r.system == System::Aq2pnnPaper { "[reported]" } else { "[reported]" };
+            let tag = "[reported]";
             println!(
                 "{:<20} {:<18} {:>9.3} {:>10.2} {:>7.0} x{} {:>12.6} {tag}",
                 wl,

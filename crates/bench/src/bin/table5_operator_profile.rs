@@ -39,9 +39,7 @@ fn profile(bits: u32, hw: &HwConfig) -> OpProfile {
                     continue;
                 }
                 let bytes = user_bytes + provider_bytes;
-                let t = hw
-                    .network
-                    .transfer_seconds(bytes / 2, (user_msgs + provider_msgs) / 2);
+                let t = hw.network.transfer_seconds(bytes / 2, (user_msgs + provider_msgs) / 2);
                 prof.comm_bytes += bytes;
                 if label.starts_with("abrelu") || label.starts_with("maxpool") {
                     prof.abrelu_s += t;

@@ -20,7 +20,10 @@ fn main() {
     let mut avg_m = train_tiny(&zoo::tiny_cnn_avgpool(4), 5, 77);
     let max_acc = 100.0 * max_m.net.accuracy(max_m.data.test());
     let avg_acc = 100.0 * avg_m.net.accuracy(avg_m.data.test());
-    println!("{:<24} {avg_acc:>12.2} {max_acc:>12.2}  [measured, smooth task]", "tiny-cnn-synthetic");
+    println!(
+        "{:<24} {avg_acc:>12.2} {max_acc:>12.2}  [measured, smooth task]",
+        "tiny-cnn-synthetic"
+    );
     let qmax = 100.0 * max_m.quant.accuracy(max_m.data.test());
     let qavg = 100.0 * avg_m.quant.accuracy(avg_m.data.test());
     println!("{:<24} {qavg:>12.2} {qmax:>12.2}  [measured, int8]", "tiny-cnn (quantized)");
@@ -42,7 +45,10 @@ fn main() {
     let (max_f, max_q) = (rows[0].1, rows[0].2);
     let (avg_f, avg_q) = (rows[1].1, rows[1].2);
     println!("{:<24} {avg_f:>12.2} {max_f:>12.2}  [measured, spiky task]", "tiny-cnn-spiky");
-    println!("{:<24} {avg_q:>12.2} {max_q:>12.2}  [measured, spiky int8]", "tiny-cnn-spiky (quant)");
+    println!(
+        "{:<24} {avg_q:>12.2} {max_q:>12.2}  [measured, spiky int8]",
+        "tiny-cnn-spiky (quant)"
+    );
 
     for (model, avg, max) in reported::table6_pooling() {
         println!("{model:<24} {avg:>12.2} {max:>12.2}  [reported]");

@@ -18,19 +18,18 @@ use aq2pnn_nn::zoo;
 
 fn sweep(spec: &ModelSpec, pool_label: &str, acc_model: &aq2pnn_bench::TrainedModel) {
     println!("--- {} ({pool_label}) ---", spec.name);
-    println!(
-        "{:<6} {:>12} {:>10} {:>11}",
-        "bits", "acc-proxy(%)", "Tput(fps)", "Comm(MiB)"
-    );
+    println!("{:<6} {:>12} {:>10} {:>11}", "bits", "acc-proxy(%)", "Tput(fps)", "Comm(MiB)");
     let hw = HwConfig::zcu104();
     for bits in [32u32, 24, 16, 14, 12] {
         let cfg = ProtocolConfig::paper(bits);
         let p = compile_spec(spec, &cfg).expect("spec compiles");
         let perf = estimate(&p, &hw);
         let q1 = tiny_equivalent_bits(bits);
-        let acc =
-            100.0 * acc_model.quant.accuracy_ring(acc_model.data.test(), q1, q1 + 16);
-        println!("{bits:<6} {acc:>12.2} {:>10.3} {:>11.1}  [modeled/measured]", perf.fps, perf.comm_mib);
+        let acc = 100.0 * acc_model.quant.accuracy_ring(acc_model.data.test(), q1, q1 + 16);
+        println!(
+            "{bits:<6} {acc:>12.2} {:>10.3} {:>11.1}  [modeled/measured]",
+            perf.fps, perf.comm_mib
+        );
     }
 }
 
@@ -48,9 +47,7 @@ fn main() {
         "bits", "Top1-max", "fps-max", "comm-max", "Top1-avg", "fps-avg", "comm-avg"
     );
     for (bits, t1m, fm, cm, t1a, fa, ca) in reported::table7_resnet18() {
-        println!(
-            "{bits:<6} {t1m:>9.2} {fm:>10.3} {cm:>11.1} | {t1a:>9.2} {fa:>10.2} {ca:>11.1}"
-        );
+        println!("{bits:<6} {t1m:>9.2} {fm:>10.3} {cm:>11.1} | {t1a:>9.2} {fa:>10.2} {ca:>11.1}");
     }
     println!(
         "\nshape checks reproduced: (1) communication shrinks superlinearly \

@@ -117,9 +117,7 @@ pub fn secure_sign(
             let u_groups: Vec<Vec<u8>> = x_q1
                 .as_tensor()
                 .iter()
-                .map(|&x0| {
-                    split_groups(ring, ring.neg(x0)).iter().map(|g| g.value).collect()
-                })
+                .map(|&x0| split_groups(ring, ring.neg(x0)).iter().map(|g| g.value).collect())
                 .collect();
             match ctx.cfg.relu_rounds {
                 ReluRounds::Single => {
@@ -132,8 +130,12 @@ pub fn secure_sign(
                     send_batch(&ctx.ep, &ctx.group, &ctx.labels, &batch, CODE_BITS, &mut ctx.rng)?;
                     // Receive the undecided bitmap, serve round 2.
                     let bitmap = ctx.ep.recv_bits(1, n)?;
-                    let undecided: Vec<usize> =
-                        bitmap.iter().enumerate().filter(|(_, &b)| b == 1).map(|(i, _)| i).collect();
+                    let undecided: Vec<usize> = bitmap
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &b)| b == 1)
+                        .map(|(i, _)| i)
+                        .collect();
                     if !undecided.is_empty() {
                         let batch =
                             sender_batch(&u_groups, &widths, 2, widths.len(), Some(&undecided));
@@ -265,10 +267,7 @@ fn receiver_choices(
     let mut choices = Vec::with_capacity(indices.len() * (to - from));
     for &v in &indices {
         for g in from..to {
-            choices.push(OtChoice {
-                choice: v_groups[v][g] as usize,
-                n: 1usize << widths[g],
-            });
+            choices.push(OtChoice { choice: v_groups[v][g] as usize, n: 1usize << widths[g] });
         }
     }
     choices
@@ -313,7 +312,8 @@ pub fn mux_by_receiver(
             let flags = flags.expect("party 1 must hold the selection bits");
             let choices: Vec<OtChoice> =
                 flags.iter().map(|&s| OtChoice { choice: s as usize, n: 2 }).collect();
-            let got = recv_batch(&ctx.ep, &ctx.group, &ctx.labels, &choices, ring.bits(), &mut ctx.rng)?;
+            let got =
+                recv_batch(&ctx.ep, &ctx.group, &ctx.labels, &choices, ring.bits(), &mut ctx.rng)?;
             // y1 = s·x1 + (s·x0 − r).
             let data: Vec<u64> = x
                 .as_tensor()
@@ -394,11 +394,7 @@ mod tests {
                 let codes: Vec<u64> =
                     gu.iter().zip(&gv).map(|(a, b)| code(a.value, b.value)).collect();
                 let x = ring.decode_signed(ring.add(xi, xj));
-                assert_eq!(
-                    sign_from_codes(&codes),
-                    x > 0,
-                    "xi={xi} xj={xj} x={x} codes={codes:?}"
-                );
+                assert_eq!(sign_from_codes(&codes), x > 0, "xi={xi} xj={xj} x={x} codes={codes:?}");
             }
         }
     }
@@ -471,9 +467,8 @@ mod tests {
             let ring = cfg.q1();
             let mut rng = StdRng::seed_from_u64(u64::from(bits));
             use rand::Rng;
-            let vals: Vec<i64> = (0..50)
-                .map(|_| rng.gen_range(ring.min_signed()..=ring.max_signed()))
-                .collect();
+            let vals: Vec<i64> =
+                (0..50).map(|_| rng.gen_range(ring.min_signed()..=ring.max_signed())).collect();
             relu_case(cfg, vals);
         }
     }

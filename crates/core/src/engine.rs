@@ -19,20 +19,23 @@
 //! struct, but the engine reads plaintext weights only on the
 //! model-provider side and the plaintext image only on the user side.
 //!
+//! The input-independent part of that work — weight share derivation, GEMM
+//! layout transposition, triple-lane creation, the one-time `offline-f`
+//! weight-mask openings — lives in [`crate::prepared`]; [`run_party`] is a
+//! thin [`PreparedModel::prepare`]-then-[`PreparedModel::run`] wrapper, and
+//! services running many inferences over one session should prepare once
+//! and call [`PreparedModel::run`] per input.
+//!
 //! Communication is tagged per operator (`conv3`, `abrelu7`, …) so the
 //! Table 5 operator profile can be read directly off the channel stats.
 
-use crate::abrelu::{abrelu, mux_by_receiver, secure_sign};
-use crate::ops::{
-    channel_sum, pool_sum, pool_windows, requant_share, secure_linear, ConvGeometry,
-};
-use crate::{PartyContext, PipelineMode, ProtocolError, ReluMode};
+use crate::abrelu::{mux_by_receiver, secure_sign};
+use crate::prepared::PreparedModel;
+use crate::{PartyContext, ProtocolError, ReluMode};
 use aq2pnn_nn::quant::{QuantModel, QuantOp};
-use aq2pnn_ring::{Ring, RingTensor};
-use aq2pnn_sharing::{AShare, PartyId};
+use aq2pnn_ring::RingTensor;
+use aq2pnn_sharing::AShare;
 use aq2pnn_transport::ChannelStats;
-use rand::SeedableRng;
-use rand_chacha::ChaCha20Rng;
 
 /// What a party brings to the inference.
 #[derive(Debug, Clone, Copy)]
@@ -57,6 +60,13 @@ pub struct InferenceOutput {
 /// both parties over a connected channel pair, with identical `model` and
 /// configuration.
 ///
+/// This is the single-shot convenience path: it prepares the model
+/// ([`PreparedModel::prepare`]) and runs one inference
+/// ([`PreparedModel::run`]). Callers issuing many inferences over one
+/// session should prepare once themselves and reuse the
+/// [`PreparedModel`] — repeated runs then skip all weight-share PRG
+/// derivation and `offline-f` traffic.
+///
 /// # Errors
 ///
 /// Returns a [`ProtocolError`] on channel failure, desync, or a model the
@@ -67,225 +77,24 @@ pub fn run_party(
     input: PartyInput<'_>,
 ) -> Result<InferenceOutput, ProtocolError> {
     ctx.ep.reset_stats();
-    // Activation carrier: the wide MAC ring in the (default) stay-wide
-    // structure, the narrow carrier in the literal Fig. 8 ablation.
-    let act_ring = match ctx.cfg.pipeline {
-        PipelineMode::StayWide => ctx.q2(),
-        PipelineMode::NarrowActivations => ctx.q1(),
-    };
-
-    // --- Input sharing (offline-style PRG masks). ---
-    ctx.ep.set_phase("input");
-    let n_in = model.input_shape.elements();
-    let mut in_stream = ChaCha20Rng::seed_from_u64(ctx.cfg.setup_seed ^ 0x1fa7_0001);
-    let mask = RingTensor::random(act_ring, vec![n_in], &mut in_stream);
-    let x = match (ctx.id, input) {
-        (PartyId::User, PartyInput::User(image)) => {
-            let qx = model.quantize_input(image);
-            let enc = RingTensor::from_signed(act_ring, vec![n_in], &qx)?;
-            AShare::from_tensor(enc.sub(&mask)?)
-        }
-        (PartyId::ModelProvider, PartyInput::Provider) => AShare::from_tensor(mask),
+    // Validate the pairing before preparation opens the channel, so misuse
+    // errors out instead of desyncing mid-handshake.
+    match (ctx.id, &input) {
+        (aq2pnn_sharing::PartyId::User, PartyInput::User(_))
+        | (aq2pnn_sharing::PartyId::ModelProvider, PartyInput::Provider) => {}
         _ => {
             return Err(ProtocolError::Model(
                 "party/input mismatch: user must pass User(image), provider Provider".into(),
             ))
         }
-    };
-
-    // --- Walk the model. ---
-    let mut wstream = ChaCha20Rng::seed_from_u64(ctx.cfg.setup_seed ^ 0x7e19_0002);
-    let mut layer_idx = 0usize;
-    let out = exec_ops(ctx, &model.ops, x, &mut wstream, &mut layer_idx)?;
-
-    // --- Reveal the logits. ---
-    ctx.ep.set_phase("output");
-    let mine = out.as_tensor().as_slice().to_vec();
-    let out_ring = out.ring();
-    let theirs = ctx.ep.exchange_bits(&mine, out_ring.bits(), mine.len())?;
-    if theirs.len() != mine.len() {
-        return Err(ProtocolError::Desync("output share length mismatch".into()));
     }
-    let logits: Vec<i64> = mine
-        .iter()
-        .zip(&theirs)
-        .map(|(&a, &b)| out_ring.decode_signed(out_ring.add(a, b)))
-        .collect();
-    Ok(InferenceOutput { logits, stats: ctx.ep.stats() })
-}
-
-/// Derives this party's share of a plaintext tensor held by the model
-/// provider, consuming the shared PRG stream (both parties must call in
-/// lockstep).
-fn provider_share(
-    ctx: &PartyContext,
-    plain: impl Fn() -> RingTensor,
-    ring: Ring,
-    shape: &[usize],
-    stream: &mut ChaCha20Rng,
-) -> AShare {
-    let mask = RingTensor::random(ring, shape.to_vec(), stream);
-    match ctx.id {
-        PartyId::User => AShare::from_tensor(mask),
-        PartyId::ModelProvider => {
-            let p = plain();
-            AShare::from_tensor(p.sub(&mask).expect("share shapes agree"))
-        }
-    }
-}
-
-#[allow(clippy::too_many_lines)]
-fn exec_ops(
-    ctx: &mut PartyContext,
-    ops: &[QuantOp],
-    mut x: AShare,
-    wstream: &mut ChaCha20Rng,
-    layer_idx: &mut usize,
-) -> Result<AShare, ProtocolError> {
-    let q2 = ctx.q2();
-    let act_ring = match ctx.cfg.pipeline {
-        PipelineMode::StayWide => q2,
-        PipelineMode::NarrowActivations => ctx.q1(),
-    };
-    for op in ops {
-        let idx = *layer_idx;
-        *layer_idx += 1;
-        x = match op {
-            QuantOp::Conv2d { in_c, out_c, k, stride, pad, in_hw, out_hw, w, bias, requant } => {
-                ctx.ep.set_phase(format!("conv{idx}"));
-                let g = ConvGeometry {
-                    in_c: *in_c,
-                    out_c: *out_c,
-                    k: *k,
-                    stride: *stride,
-                    pad: *pad,
-                    in_hw: *in_hw,
-                    out_hw: *out_hw,
-                };
-                let kdim = in_c * k * k;
-                // Weight matrix [in_c·k·k, out_c] on Q2, transposed from
-                // the model's [out_c, in_c·k·k] layout.
-                let w_mat = provider_share(
-                    ctx,
-                    || {
-                        let mut data = vec![0u64; kdim * out_c];
-                        for oc in 0..*out_c {
-                            for kk in 0..kdim {
-                                data[kk * out_c + oc] =
-                                    q2.encode_signed_wrapping(w[oc * kdim + kk]);
-                            }
-                        }
-                        RingTensor::from_raw(q2, vec![kdim, *out_c], data).expect("geometry")
-                    },
-                    q2,
-                    &[kdim, *out_c],
-                    wstream,
-                );
-                let b_share = provider_share(
-                    ctx,
-                    || {
-                        RingTensor::from_signed(q2, vec![*out_c], bias)
-                            .expect("bias length matches")
-                    },
-                    q2,
-                    &[*out_c],
-                    wstream,
-                );
-                let x2 = if x.ring() == q2 { x.clone() } else { ctx.extend_share(&x, q2)? };
-                let acc = crate::ops::secure_conv2d(ctx, &x2, &g, &w_mat, &b_share)?;
-                ctx.ep.set_phase(format!("bnreq{idx}"));
-                requant_share(ctx, &acc, *requant, act_ring)?
-            }
-            QuantOp::Linear { in_f, out_f, w, bias, requant } => {
-                ctx.ep.set_phase(format!("fc{idx}"));
-                let w_mat = provider_share(
-                    ctx,
-                    || {
-                        let mut data = vec![0u64; in_f * out_f];
-                        for of in 0..*out_f {
-                            for i in 0..*in_f {
-                                data[i * out_f + of] =
-                                    q2.encode_signed_wrapping(w[of * in_f + i]);
-                            }
-                        }
-                        RingTensor::from_raw(q2, vec![*in_f, *out_f], data).expect("geometry")
-                    },
-                    q2,
-                    &[*in_f, *out_f],
-                    wstream,
-                );
-                let b_share = provider_share(
-                    ctx,
-                    || RingTensor::from_signed(q2, vec![*out_f], bias).expect("bias length"),
-                    q2,
-                    &[*out_f],
-                    wstream,
-                );
-                let x2 = if x.ring() == q2 { x.clone() } else { ctx.extend_share(&x, q2)? };
-                let acc = secure_linear(ctx, &x2, &w_mat, &b_share)?;
-                ctx.ep.set_phase(format!("bnreq{idx}"));
-                requant_share(ctx, &acc, *requant, act_ring)?
-            }
-            QuantOp::Relu => {
-                ctx.ep.set_phase(format!("abrelu{idx}"));
-                abrelu(ctx, &x)?
-            }
-            QuantOp::MaxPool { k, stride, pad, c, in_hw, out_hw } => {
-                ctx.ep.set_phase(format!("maxpool{idx}"));
-                let windows = pool_windows(*c, *in_hw, *k, *stride, *pad, *out_hw);
-                let out = secure_max_windows(ctx, &x, &windows)?;
-                let mut t = out.into_tensor();
-                t.reshape(vec![*c, out_hw.0, out_hw.1])?;
-                AShare::from_tensor(t)
-            }
-            QuantOp::AvgPool { k, stride, pad, c, in_hw, out_hw, requant } => {
-                ctx.ep.set_phase(format!("avgpool{idx}"));
-                let x2 = if x.ring() == q2 { x.clone() } else { ctx.extend_share(&x, q2)? };
-                let sums = pool_sum(&x2, *c, *in_hw, *k, *stride, *pad, *out_hw);
-                requant_share(ctx, &sums, *requant, act_ring)?
-            }
-            QuantOp::GlobalAvgPool { c, in_hw, requant } => {
-                ctx.ep.set_phase(format!("gap{idx}"));
-                let x2 = if x.ring() == q2 { x.clone() } else { ctx.extend_share(&x, q2)? };
-                let sums = channel_sum(&x2, *c, in_hw.0 * in_hw.1);
-                requant_share(ctx, &sums, *requant, act_ring)?
-            }
-            QuantOp::Flatten => {
-                let mut t = x.into_tensor();
-                let n = t.len();
-                t.reshape(vec![n])?;
-                AShare::from_tensor(t)
-            }
-            QuantOp::Rescale { requant } => {
-                ctx.ep.set_phase(format!("rescale{idx}"));
-                let x2 = if x.ring() == q2 { x.clone() } else { ctx.extend_share(&x, q2)? };
-                requant_share(ctx, &x2, *requant, act_ring)?
-            }
-            QuantOp::Residual { main, shortcut } => {
-                let m = exec_ops(ctx, main, x.clone(), wstream, layer_idx)?;
-                let s = exec_ops(ctx, shortcut, x, wstream, layer_idx)?;
-                ctx.ep.set_phase(format!("resadd{idx}"));
-                let mut mt = m.into_tensor();
-                let st = s.into_tensor();
-                if mt.len() != st.len() {
-                    return Err(ProtocolError::Model(
-                        "residual branches produced different sizes".into(),
-                    ));
-                }
-                let n = mt.len();
-                mt.reshape(vec![n])?;
-                let mut st2 = st;
-                st2.reshape(vec![n])?;
-                AShare::from_tensor(mt.add(&st2)?)
-            }
-        };
-    }
-    Ok(x)
+    let mut prepared = PreparedModel::prepare(ctx, model)?;
+    prepared.run(ctx, input)
 }
 
 /// Tournament 2PC-MaxPool over precomputed windows: `⌈log₂(k²)⌉` batched
 /// comparison rounds, `k²−1` comparisons per output in total.
-fn secure_max_windows(
+pub(crate) fn secure_max_windows(
     ctx: &mut PartyContext,
     x: &AShare,
     windows: &[Vec<usize>],

@@ -15,7 +15,7 @@
 
 use crate::{PartyContext, ProtocolError};
 use aq2pnn_ring::{Ring, RingTensor};
-use aq2pnn_sharing::beaver::ring_matmul;
+use aq2pnn_sharing::beaver::{ring_matmul, TripleShare};
 use aq2pnn_sharing::{AShare, PartyId};
 
 /// The scalar C-C multiplication unit of paper Fig. 2(b):
@@ -60,8 +60,7 @@ pub fn secure_matmul(
 ) -> Result<AShare, ProtocolError> {
     let ring = in_share.ring();
     let (ishape, wshape) = (in_share.shape(), w_share.shape());
-    if ishape.len() != 2 || wshape.len() != 2 || ishape[1] != wshape[0] || ring != w_share.ring()
-    {
+    if ishape.len() != 2 || wshape.len() != 2 || ishape[1] != wshape[0] || ring != w_share.ring() {
         return Err(ProtocolError::Shape(aq2pnn_ring::ShapeError::ShapeMismatch {
             lhs: ishape.to_vec(),
             rhs: wshape.to_vec(),
@@ -89,22 +88,12 @@ pub fn secure_matmul(
     let e = RingTensor::from_raw(
         ring,
         vec![m, k],
-        e_share
-            .as_slice()
-            .iter()
-            .zip(&peer[..m * k])
-            .map(|(&a, &b)| ring.add(a, b))
-            .collect(),
+        e_share.as_slice().iter().zip(&peer[..m * k]).map(|(&a, &b)| ring.add(a, b)).collect(),
     )?;
     let f = RingTensor::from_raw(
         ring,
         vec![k, n],
-        f_share
-            .as_slice()
-            .iter()
-            .zip(&peer[m * k..])
-            .map(|(&a, &b)| ring.add(a, b))
-            .collect(),
+        f_share.as_slice().iter().zip(&peer[m * k..]).map(|(&a, &b)| ring.add(a, b)).collect(),
     )?;
 
     // Eq. 1, evaluated matrix-wise.
@@ -151,24 +140,89 @@ pub fn secure_matmul_expanded(
     }
 
     // Offline material: compact triple with Z = expand(A) ⊗ B.
-    let triple =
-        ctx.next_expanded_triple(ring, in_share.shape(), &[wshape[0], wshape[1]], &expand);
+    let triple = ctx.next_expanded_triple(ring, in_share.shape(), &[wshape[0], wshape[1]], &expand);
 
     // One-time opening of F = W − B (offline phase, pre-deployed mask).
+    let f = open_weight_mask(ctx, w_share, &triple.b)?;
+
+    expanded_online(ctx, in_share, w_share, &f, &triple, expand)
+}
+
+/// Opens the weight mask `F = W − B` under the `offline-f` phase — the
+/// pre-deployed AS-WGT-MSK buffer. Done once per layer: inline by
+/// [`secure_matmul_expanded`], or hoisted to preparation time by
+/// [`crate::prepared::PreparedModel`], after which repeated inferences
+/// carry zero `offline-f` traffic.
+///
+/// The caller's current phase is restored before returning.
+///
+/// # Errors
+///
+/// Propagates transport failures; returns [`ProtocolError::Desync`] on
+/// mismatched message sizes.
+pub fn open_weight_mask(
+    ctx: &mut PartyContext,
+    w_share: &AShare,
+    b_share: &RingTensor,
+) -> Result<RingTensor, ProtocolError> {
+    let ring = w_share.ring();
     let online_phase = ctx.ep.phase();
     ctx.ep.set_phase("offline-f");
-    let f_share = w_share.as_tensor().sub(&triple.b)?;
+    let f_share = w_share.as_tensor().sub(b_share)?;
     let f_peer = ctx.ep.exchange_bits(f_share.as_slice(), ring.bits(), f_share.len())?;
     if f_peer.len() != f_share.len() {
         return Err(ProtocolError::Desync("offline F exchange size mismatch".into()));
     }
     let f = RingTensor::from_raw(
         ring,
-        wshape.clone(),
+        w_share.shape().to_vec(),
         f_share.as_slice().iter().zip(&f_peer).map(|(&a, &b)| ring.add(a, b)).collect(),
     )?;
     ctx.ep.set_phase(online_phase);
+    Ok(f)
+}
 
+/// Online-only structured AS-GEMM for prepared models: the weight mask `F`
+/// was opened once at preparation time ([`open_weight_mask`]) and the
+/// triple comes from a resident
+/// [`aq2pnn_sharing::dealer::TripleLane`], so each call performs only the
+/// per-inference `E = IN − A` exchange and the local Eq. 1 evaluation.
+///
+/// # Errors
+///
+/// Propagates transport failures; returns [`ProtocolError::Desync`] on
+/// mismatched message sizes and [`ProtocolError::Shape`] on malformed
+/// operands.
+pub fn secure_matmul_prepared(
+    ctx: &mut PartyContext,
+    in_share: &AShare,
+    w_share: &AShare,
+    f_open: &RingTensor,
+    triple: &TripleShare,
+    expand: impl Fn(&RingTensor) -> RingTensor,
+) -> Result<AShare, ProtocolError> {
+    let ring = in_share.ring();
+    if w_share.shape().len() != 2 || ring != w_share.ring() {
+        return Err(ProtocolError::Shape(aq2pnn_ring::ShapeError::ShapeMismatch {
+            lhs: in_share.shape().to_vec(),
+            rhs: w_share.shape().to_vec(),
+        }));
+    }
+    expanded_online(ctx, in_share, w_share, f_open, triple, expand)
+}
+
+/// The per-inference core shared by [`secure_matmul_expanded`] and
+/// [`secure_matmul_prepared`]: open `E` at feature-map size, expand
+/// locally, evaluate Eq. 1.
+fn expanded_online(
+    ctx: &mut PartyContext,
+    in_share: &AShare,
+    w_share: &AShare,
+    f: &RingTensor,
+    triple: &TripleShare,
+    expand: impl Fn(&RingTensor) -> RingTensor,
+) -> Result<AShare, ProtocolError> {
+    let ring = in_share.ring();
     // Online: open E = IN − A at feature-map size.
     let e_share = in_share.as_tensor().sub(&triple.a)?;
     let e_peer = ctx.ep.exchange_bits(e_share.as_slice(), ring.bits(), e_share.len())?;
@@ -184,11 +238,11 @@ pub fn secure_matmul_expanded(
     // Local expansion and Eq. 1.
     let e = expand(&e_img);
     let in_cols = expand(in_share.as_tensor());
-    let in_f = ring_matmul(&in_cols, &f)?;
+    let in_f = ring_matmul(&in_cols, f)?;
     let e_w = ring_matmul(&e, w_share.as_tensor())?;
     let mut out = in_f.add(&e_w)?.add(&triple.z)?;
     if ctx.id.index() == 1 {
-        out = out.sub(&ring_matmul(&e, &f)?)?;
+        out = out.sub(&ring_matmul(&e, f)?)?;
     }
     Ok(AShare::from_tensor(out))
 }

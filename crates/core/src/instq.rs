@@ -285,8 +285,8 @@ fn sign_instrs(label: &str, n: u64, cfg: &ProtocolConfig, select_elems: u64) -> 
             // activation-carrier width; receiver R (n Q1 elements).
             v.push(Instr::Exchange {
                 label: format!("{label}.mux"),
-                user_bytes: (packed_len(cfg.q1_bits, 1)
-                    + packed_len(act_bits(cfg), 2 * n as usize)) as u64,
+                user_bytes: (packed_len(cfg.q1_bits, 1) + packed_len(act_bits(cfg), 2 * n as usize))
+                    as u64,
                 user_msgs: 2,
                 provider_bytes: packed_len(cfg.q1_bits, n as usize) as u64,
                 provider_msgs: 1,
@@ -370,18 +370,12 @@ fn compile_ops(ops: &[QuantOp], cfg: &ProtocolConfig, idx: &mut usize, out: &mut
             }
             QuantOp::MaxPool { k, stride, pad, c, in_hw, out_hw } => {
                 // Tournament rounds with exact list-size bookkeeping.
-                let windows =
-                    crate::ops::pool_windows(*c, *in_hw, *k, *stride, *pad, *out_hw);
+                let windows = crate::ops::pool_windows(*c, *in_hw, *k, *stride, *pad, *out_hw);
                 let mut lens: Vec<usize> = windows.iter().map(Vec::len).collect();
                 let mut round = 0usize;
                 while lens.iter().any(|&l| l > 1) {
                     let pairs: u64 = lens.iter().map(|&l| (l / 2) as u64).sum();
-                    out.extend(sign_instrs(
-                        &format!("maxpool{i}.r{round}"),
-                        pairs,
-                        cfg,
-                        pairs,
-                    ));
+                    out.extend(sign_instrs(&format!("maxpool{i}.r{round}"), pairs, cfg, pairs));
                     for l in &mut lens {
                         *l = *l / 2 + *l % 2;
                     }
@@ -399,10 +393,7 @@ fn compile_ops(ops: &[QuantOp], cfg: &ProtocolConfig, idx: &mut usize, out: &mut
                 out.push(Instr::Alu { kind: AluKind::MulShift, elems });
             }
             QuantOp::GlobalAvgPool { c, in_hw, .. } => {
-                out.push(Instr::Alu {
-                    kind: AluKind::Add,
-                    elems: (c * in_hw.0 * in_hw.1) as u64,
-                });
+                out.push(Instr::Alu { kind: AluKind::Add, elems: (c * in_hw.0 * in_hw.1) as u64 });
                 out.push(Instr::Alu { kind: AluKind::MulShift, elems: *c as u64 });
             }
             QuantOp::Flatten => {}
@@ -472,8 +463,7 @@ fn compile_spec_inner(
     spec.infer_shapes().map_err(|e| e.to_string())?;
     let mut instrs = Vec::new();
     let mut idx = 0usize;
-    let out_shape =
-        compile_spec_ops(&spec.ops, spec.input, cfg, per_layer, &mut idx, &mut instrs)?;
+    let out_shape = compile_spec_ops(&spec.ops, spec.input, cfg, per_layer, &mut idx, &mut instrs)?;
     let out = out_shape.elements();
     let bytes = packed_len(act_bits(cfg), out) as u64;
     instrs.push(Instr::Exchange {
@@ -585,10 +575,7 @@ fn compile_spec_ops(
                 if skip_bn {
                     skip_bn = false;
                 } else {
-                    out.push(Instr::Alu {
-                        kind: AluKind::MulShift,
-                        elems: cur.elements() as u64,
-                    });
+                    out.push(Instr::Alu { kind: AluKind::MulShift, elems: cur.elements() as u64 });
                 }
             }
             OpSpec::ReLU => {
@@ -604,8 +591,7 @@ fn compile_spec_ops(
                     TensorShape::Chw(_, h, w) => (h, w),
                     TensorShape::Flat(_) => unreachable!("pool output is CHW"),
                 };
-                let windows =
-                    crate::ops::pool_windows(c, (ih, iw), *k, *stride, *pad, (oh, ow));
+                let windows = crate::ops::pool_windows(c, (ih, iw), *k, *stride, *pad, (oh, ow));
                 let mut lens: Vec<usize> = windows.iter().map(Vec::len).collect();
                 let mut round = 0usize;
                 while lens.iter().any(|&l| l > 1) {
@@ -616,10 +602,7 @@ fn compile_spec_ops(
                     }
                     round += 1;
                 }
-                out.push(Instr::Alu {
-                    kind: AluKind::Select,
-                    elems: (c * oh * ow) as u64,
-                });
+                out.push(Instr::Alu { kind: AluKind::Select, elems: (c * oh * ow) as u64 });
             }
             OpSpec::AvgPool { k, .. } => {
                 let elems = next_shape.elements() as u64;
@@ -637,15 +620,9 @@ fn compile_spec_ops(
             OpSpec::Residual { main, shortcut } => {
                 let m_shape = compile_spec_ops(main, cur, cfg, per_layer, idx, out)?;
                 // Main-branch rescale to the common output scale.
-                out.push(Instr::Alu {
-                    kind: AluKind::MulShift,
-                    elems: m_shape.elements() as u64,
-                });
+                out.push(Instr::Alu { kind: AluKind::MulShift, elems: m_shape.elements() as u64 });
                 let s_shape = compile_spec_ops(shortcut, cur, cfg, per_layer, idx, out)?;
-                out.push(Instr::Alu {
-                    kind: AluKind::MulShift,
-                    elems: s_shape.elements() as u64,
-                });
+                out.push(Instr::Alu { kind: AluKind::MulShift, elems: s_shape.elements() as u64 });
                 out.push(Instr::Alu { kind: AluKind::Add, elems: m_shape.elements() as u64 });
             }
         }

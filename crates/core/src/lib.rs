@@ -31,6 +31,10 @@
 //! * [`engine`] — the end-to-end secure inference engine executing an
 //!   `aq2pnn_nn::quant::QuantModel` between two parties, with per-operator
 //!   communication phases.
+//! * [`prepared`] — the offline/online split for repeated inference: a
+//!   [`prepared::PreparedModel`] holds weight shares, opened weight masks
+//!   and resident triple lanes, so repeated runs pay only the per-input
+//!   online cost.
 //! * [`planner`] — the adaptive quantization plan: per-layer ring sizes
 //!   `Q1` (activation carrier / ABReLU wire width) and `Q2` (MAC ring).
 //! * [`instq`] — the INST Q compiler (paper Sec. 4.1.1): lowers a model to
@@ -74,9 +78,12 @@ pub mod ops;
 mod oracle;
 mod party;
 pub mod planner;
+pub mod prepared;
 pub mod sim;
 
-pub use config::{ExtensionMode, PipelineMode, ProtocolConfig, ReluMode, ReluRounds, TruncationMode};
+pub use config::{
+    ExtensionMode, PipelineMode, ProtocolConfig, ReluMode, ReluRounds, TruncationMode,
+};
 pub use error::ProtocolError;
 pub use oracle::{IdealOp, IdealOracle};
 pub use party::PartyContext;

@@ -8,10 +8,11 @@
 //! shows BNReQ barely improving with bit-width); average pooling is an
 //! AS-ALU sum plus a dyadic requant.
 
-use crate::gemm::secure_matmul_expanded;
+use crate::gemm::{secure_matmul_expanded, secure_matmul_prepared};
 use crate::{PartyContext, ProtocolError};
 use aq2pnn_nn::quant::Requant;
 use aq2pnn_ring::{Ring, RingTensor};
+use aq2pnn_sharing::beaver::TripleShare;
 use aq2pnn_sharing::AShare;
 
 /// Geometry of a convolution, shared by lowering and cost accounting.
@@ -97,12 +98,38 @@ pub fn secure_conv2d(
     w_mat: &AShare,
     bias: &AShare,
 ) -> Result<AShare, ProtocolError> {
-    let ring = x.ring();
-    let (oh, ow) = g.out_hw;
+    let geom = *g;
+    let out_mat = secure_matmul_expanded(ctx, x, w_mat, move |t| im2col_tensor(t, &geom))?; // [oh*ow, out_c]
+    conv_finish(g, &out_mat, bias)
+}
+
+/// 2PC-Conv2D online pass for prepared models: like [`secure_conv2d`], but
+/// the weight mask is already opened and the triple comes from a resident
+/// lane, so only the per-inference `E` exchange touches the wire.
+///
+/// # Errors
+///
+/// Propagates GEMM/transport failures.
+pub fn secure_conv2d_prepared(
+    ctx: &mut PartyContext,
+    x: &AShare,
+    g: &ConvGeometry,
+    w_mat: &AShare,
+    bias: &AShare,
+    f_open: &RingTensor,
+    triple: &TripleShare,
+) -> Result<AShare, ProtocolError> {
     let geom = *g;
     let out_mat =
-        secure_matmul_expanded(ctx, x, w_mat, move |t| im2col_tensor(t, &geom))?; // [oh*ow, out_c]
-    // Transpose to CHW and add the per-channel bias share.
+        secure_matmul_prepared(ctx, x, w_mat, f_open, triple, move |t| im2col_tensor(t, &geom))?;
+    conv_finish(g, &out_mat, bias)
+}
+
+/// Transposes the `[oh·ow, out_c]` GEMM output to CHW and adds the
+/// per-channel bias share.
+fn conv_finish(g: &ConvGeometry, out_mat: &AShare, bias: &AShare) -> Result<AShare, ProtocolError> {
+    let ring = out_mat.ring();
+    let (oh, ow) = g.out_hw;
     let m = out_mat.as_tensor().as_slice();
     let b = bias.as_tensor().as_slice();
     let pixels = oh * ow;
@@ -126,13 +153,41 @@ pub fn secure_linear(
     w_mat: &AShare,
     bias: &AShare,
 ) -> Result<AShare, ProtocolError> {
-    let ring = x.ring();
     let in_f = x.len();
     let out = secure_matmul_expanded(ctx, x, w_mat, move |t| {
         let mut m = t.clone();
         m.reshape(vec![1, in_f]).expect("row vector");
         m
     })?;
+    linear_finish(&out, bias)
+}
+
+/// 2PC-Linear online pass for prepared models (see
+/// [`secure_conv2d_prepared`]).
+///
+/// # Errors
+///
+/// Propagates GEMM/transport failures.
+pub fn secure_linear_prepared(
+    ctx: &mut PartyContext,
+    x: &AShare,
+    w_mat: &AShare,
+    bias: &AShare,
+    f_open: &RingTensor,
+    triple: &TripleShare,
+) -> Result<AShare, ProtocolError> {
+    let in_f = x.len();
+    let out = secure_matmul_prepared(ctx, x, w_mat, f_open, triple, move |t| {
+        let mut m = t.clone();
+        m.reshape(vec![1, in_f]).expect("row vector");
+        m
+    })?;
+    linear_finish(&out, bias)
+}
+
+/// Adds the bias share to the flat GEMM output row.
+fn linear_finish(out: &AShare, bias: &AShare) -> Result<AShare, ProtocolError> {
+    let ring = out.ring();
     let o = out.as_tensor().as_slice();
     let b = bias.as_tensor().as_slice();
     let data: Vec<u64> = o.iter().zip(b).map(|(&v, &bi)| ring.add(v, bi)).collect();
@@ -223,9 +278,7 @@ pub fn channel_sum(x: &AShare, c: usize, spatial: usize) -> AShare {
     let xs = x.as_tensor().as_slice();
     let data: Vec<u64> = (0..c)
         .map(|ch| {
-            xs[ch * spatial..(ch + 1) * spatial]
-                .iter()
-                .fold(0u64, |acc, &v| ring.add(acc, v))
+            xs[ch * spatial..(ch + 1) * spatial].iter().fold(0u64, |acc, &v| ring.add(acc, v))
         })
         .collect();
     AShare::from_tensor(RingTensor::from_raw(ring, vec![c], data).expect("geometry"))
@@ -293,10 +346,8 @@ mod tests {
         let cols = im2col(&x, &g);
         assert_eq!(cols.shape(), &[4, 8]);
         // First output pixel gathers (0,1,3,4) of channel 0 and (9,10,12,13) of channel 1.
-        let row0: Vec<i64> = cols.as_tensor().as_slice()[..8]
-            .iter()
-            .map(|&v| ring.decode_signed(v))
-            .collect();
+        let row0: Vec<i64> =
+            cols.as_tensor().as_slice()[..8].iter().map(|&v| ring.decode_signed(v)).collect();
         assert_eq!(row0, vec![0, 1, 3, 4, 9, 10, 12, 13]);
     }
 
@@ -315,10 +366,8 @@ mod tests {
         let t = RingTensor::from_signed(ring, vec![1, 2, 2], &[1, 2, 3, 4]).unwrap();
         let cols = im2col(&AShare::from_tensor(t), &g);
         // Output (0,0) window covers top-left corner: 5 zeros.
-        let row0: Vec<i64> = cols.as_tensor().as_slice()[..9]
-            .iter()
-            .map(|&v| ring.decode_signed(v))
-            .collect();
+        let row0: Vec<i64> =
+            cols.as_tensor().as_slice()[..9].iter().map(|&v| ring.decode_signed(v)).collect();
         assert_eq!(row0, vec![0, 0, 0, 0, 1, 2, 0, 3, 4]);
     }
 

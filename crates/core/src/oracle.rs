@@ -70,7 +70,10 @@ impl IdealOracle {
     #[must_use]
     pub fn new(seed: u64) -> Self {
         IdealOracle {
-            state: Mutex::new(StateWrap { s: State::default(), rng: ChaCha20Rng::seed_from_u64(seed) }),
+            state: Mutex::new(StateWrap {
+                s: State::default(),
+                rng: ChaCha20Rng::seed_from_u64(seed),
+            }),
             cv: Condvar::new(),
         }
     }
@@ -94,11 +97,8 @@ impl IdealOracle {
             assert_ne!(other, party, "same party called the oracle twice");
             assert_eq!(other_op, op, "parties disagree on the ideal operation");
             my_gen = gen;
-            let (s0, s1) = if party == PartyId::User {
-                (share, other_share)
-            } else {
-                (other_share, share)
-            };
+            let (s0, s1) =
+                if party == PartyId::User { (share, other_share) } else { (other_share, share) };
             let plain = AShare::recover(&AShare::from_tensor(s0), &AShare::from_tensor(s1))
                 .expect("oracle shares must agree in shape");
             let ring = plain.ring();
@@ -107,8 +107,7 @@ impl IdealOracle {
                 IdealOp::Recast { to_bits } => {
                     let to = Ring::new(to_bits);
                     let data = plain.iter().map(|&v| extend::sign_extend(ring, to, v)).collect();
-                    RingTensor::from_raw(to, plain.shape().to_vec(), data)
-                        .expect("shape unchanged")
+                    RingTensor::from_raw(to, plain.shape().to_vec(), data).expect("shape unchanged")
                 }
             };
             let (f0, f1) = AShare::share(&exact, &mut guard.rng);
@@ -196,8 +195,7 @@ mod tests {
             });
             let ra = oracle.call(PartyId::User, a.into_tensor(), IdealOp::Truncate { shift: 3 });
             let rb = h.join().unwrap();
-            let rec =
-                AShare::recover(&AShare::from_tensor(ra), &AShare::from_tensor(rb)).unwrap();
+            let rec = AShare::recover(&AShare::from_tensor(ra), &AShare::from_tensor(rb)).unwrap();
             assert_eq!(rec.to_signed(), vec![round * 8]);
         }
     }

@@ -5,7 +5,7 @@ use crate::{ExtensionMode, ProtocolConfig, ProtocolError, TruncationMode};
 use aq2pnn_ot::{LabelTable, OtGroup};
 use aq2pnn_ring::{Ring, RingTensor};
 use aq2pnn_sharing::beaver::TripleShare;
-use aq2pnn_sharing::dealer::TripleDealer;
+use aq2pnn_sharing::dealer::{TripleDealer, TripleLane};
 use aq2pnn_sharing::{trunc, AShare, PartyId};
 use aq2pnn_transport::Endpoint;
 use rand::rngs::StdRng;
@@ -106,6 +106,23 @@ impl PartyContext {
         }
     }
 
+    /// Creates this party's half of a reusable expanded-triple lane for a
+    /// static-shape layer (see [`TripleLane`]) — the offline material a
+    /// prepared model keeps resident between inferences. Both parties must
+    /// call in the same order with the same arguments.
+    pub fn expanded_lane(
+        &mut self,
+        ring: Ring,
+        a_shape: &[usize],
+        b_shape: &[usize],
+    ) -> TripleLane {
+        let (l0, l1) = self.dealer.expanded_lane(ring, a_shape, b_shape);
+        match self.id {
+            PartyId::User => l0,
+            PartyId::ModelProvider => l1,
+        }
+    }
+
     /// Draws this party's half of the next elementwise Beaver triple.
     pub fn next_elementwise_triple(&mut self, ring: Ring, shape: &[usize]) -> TripleShare {
         let (t0, t1) = self.dealer.elementwise_triple(ring, shape);
@@ -149,8 +166,7 @@ impl PartyContext {
         match self.cfg.truncation {
             TruncationMode::Local => Ok(trunc::truncate_share_local(self.id, share, shift)),
             TruncationMode::Exact => {
-                let t =
-                    self.oracle_call(share.as_tensor().clone(), IdealOp::Truncate { shift })?;
+                let t = self.oracle_call(share.as_tensor().clone(), IdealOp::Truncate { shift })?;
                 Ok(AShare::from_tensor(t))
             }
         }

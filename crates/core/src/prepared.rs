@@ -1,0 +1,450 @@
+//! Prepared-model execution: the offline/online split for repeated
+//! inference.
+//!
+//! [`crate::engine::run_party`] rebuilds every piece of per-model state on
+//! each call: it re-derives both parties' weight shares from the setup PRG,
+//! re-transposes each weight matrix into GEMM layout, regenerates dealer
+//! triples, and re-opens the static weight masks `F = W − B` (the
+//! `offline-f` exchanges). All of that depends only on the model — not on
+//! the input — and in the paper's deployment model it corresponds to the
+//! **pre-deployed** AS-WGT / AS-WGT-MSK buffers that are shipped once.
+//!
+//! [`PreparedModel`] hoists it out of the hot path:
+//!
+//! * [`PreparedModel::prepare`] walks the model once, deriving weight and
+//!   bias shares from the setup PRG, transposing weights into the
+//!   `[in_c·k·k, out_c]` GEMM layout, creating a resident
+//!   [`TripleLane`] per linear layer, and opening each layer's weight mask
+//!   under the `offline-f` phase.
+//! * [`PreparedModel::run`] then executes one inference using only the
+//!   per-input work: input sharing, fresh `A`/`Z` triples from the lanes,
+//!   the online `E` exchanges, and the non-linear protocols. Repeated runs
+//!   perform **zero** weight-share PRG regeneration and **zero**
+//!   `offline-f` traffic.
+//!
+//! `run_party` is now a thin `prepare`-then-`run` wrapper, so single-shot
+//! callers see identical behavior (same phases, same byte counts).
+
+use crate::abrelu::abrelu;
+use crate::engine::{secure_max_windows, InferenceOutput, PartyInput};
+use crate::gemm::open_weight_mask;
+use crate::ops::{
+    channel_sum, im2col_tensor, pool_sum, pool_windows, requant_share, secure_conv2d_prepared,
+    secure_linear_prepared, ConvGeometry,
+};
+use crate::{PartyContext, PipelineMode, ProtocolError};
+use aq2pnn_nn::quant::{quantize_image, QuantModel, QuantOp, Requant};
+use aq2pnn_ring::{Ring, RingTensor};
+use aq2pnn_sharing::dealer::TripleLane;
+use aq2pnn_sharing::{AShare, PartyId};
+use rand::SeedableRng;
+use rand_chacha::ChaCha20Rng;
+
+/// A model lowered to its resident per-party inference state: weight and
+/// bias shares, opened weight masks, triple lanes, and pooling geometry.
+///
+/// Build one with [`PreparedModel::prepare`] (both parties in lockstep),
+/// then call [`PreparedModel::run`] once per inference. The struct is
+/// party-specific — it holds *this* party's shares — and channel-free, so
+/// it can outlive many runs over the same [`PartyContext`].
+pub struct PreparedModel {
+    ops: Vec<PreparedOp>,
+    n_in: usize,
+    input_scale: f32,
+    act_bits: u32,
+}
+
+impl std::fmt::Debug for PreparedModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PreparedModel")
+            .field("ops", &self.ops.len())
+            .field("n_in", &self.n_in)
+            .finish_non_exhaustive()
+    }
+}
+
+/// One lowered operator with its engine layer index (which names the
+/// communication phases: `conv{idx}`, `abrelu{idx}`, …).
+struct PreparedOp {
+    idx: usize,
+    kind: PreparedKind,
+}
+
+enum PreparedKind {
+    Conv2d {
+        geom: ConvGeometry,
+        w_mat: AShare,
+        bias: AShare,
+        f_open: RingTensor,
+        lane: TripleLane,
+        requant: Requant,
+    },
+    Linear {
+        w_mat: AShare,
+        bias: AShare,
+        f_open: RingTensor,
+        lane: TripleLane,
+        requant: Requant,
+    },
+    Relu,
+    MaxPool {
+        c: usize,
+        out_hw: (usize, usize),
+        windows: Vec<Vec<usize>>,
+    },
+    AvgPool {
+        k: usize,
+        stride: usize,
+        pad: usize,
+        c: usize,
+        in_hw: (usize, usize),
+        out_hw: (usize, usize),
+        requant: Requant,
+    },
+    GlobalAvgPool {
+        c: usize,
+        spatial: usize,
+        requant: Requant,
+    },
+    Flatten,
+    Rescale {
+        requant: Requant,
+    },
+    Residual {
+        main: Vec<PreparedOp>,
+        shortcut: Vec<PreparedOp>,
+    },
+}
+
+impl PreparedModel {
+    /// Performs all input-independent work for `model` as `ctx.id`: weight
+    /// share derivation from the setup PRG, GEMM-layout transposition,
+    /// triple-lane creation, and the one-time `offline-f` weight-mask
+    /// openings. Both parties must call concurrently with the same model
+    /// and configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProtocolError`] on channel failure, desync, or a model
+    /// the engine cannot lower.
+    pub fn prepare(
+        ctx: &mut PartyContext,
+        model: &QuantModel,
+    ) -> Result<PreparedModel, ProtocolError> {
+        let mut wstream = ChaCha20Rng::seed_from_u64(ctx.cfg.setup_seed ^ 0x7e19_0002);
+        let mut layer_idx = 0usize;
+        let mut cur_shape = vec![model.input_shape.elements()];
+        let ops = prepare_ops(ctx, &model.ops, &mut cur_shape, &mut wstream, &mut layer_idx)?;
+        Ok(PreparedModel {
+            ops,
+            n_in: model.input_shape.elements(),
+            input_scale: model.input_scale,
+            act_bits: model.act_bits,
+        })
+    }
+
+    /// Runs one secure inference over the prepared state. Must be called
+    /// concurrently by both parties, in the same run order.
+    ///
+    /// Channel statistics are *not* reset here (so preparation traffic and
+    /// multiple runs accumulate into one [`aq2pnn_transport::ChannelStats`]
+    /// unless the caller resets between runs); the returned
+    /// [`InferenceOutput::stats`] is the endpoint's running total.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProtocolError`] on channel failure, desync, or a
+    /// party/input mismatch.
+    pub fn run(
+        &mut self,
+        ctx: &mut PartyContext,
+        input: PartyInput<'_>,
+    ) -> Result<InferenceOutput, ProtocolError> {
+        let act_ring = match ctx.cfg.pipeline {
+            PipelineMode::StayWide => ctx.q2(),
+            PipelineMode::NarrowActivations => ctx.q1(),
+        };
+
+        // --- Input sharing (offline-style PRG masks). ---
+        ctx.ep.set_phase("input");
+        let n_in = self.n_in;
+        let mut in_stream = ChaCha20Rng::seed_from_u64(ctx.cfg.setup_seed ^ 0x1fa7_0001);
+        let mask = RingTensor::random(act_ring, vec![n_in], &mut in_stream);
+        let x = match (ctx.id, input) {
+            (PartyId::User, PartyInput::User(image)) => {
+                let qx = quantize_image(image, self.input_scale, self.act_bits);
+                let enc = RingTensor::from_signed(act_ring, vec![n_in], &qx)?;
+                AShare::from_tensor(enc.sub(&mask)?)
+            }
+            (PartyId::ModelProvider, PartyInput::Provider) => AShare::from_tensor(mask),
+            _ => {
+                return Err(ProtocolError::Model(
+                    "party/input mismatch: user must pass User(image), provider Provider".into(),
+                ))
+            }
+        };
+
+        // --- Walk the prepared ops (online work only). ---
+        let out = run_ops(ctx, &mut self.ops, x)?;
+
+        // --- Reveal the logits. ---
+        ctx.ep.set_phase("output");
+        let mine = out.as_tensor().as_slice().to_vec();
+        let out_ring = out.ring();
+        let theirs = ctx.ep.exchange_bits(&mine, out_ring.bits(), mine.len())?;
+        if theirs.len() != mine.len() {
+            return Err(ProtocolError::Desync("output share length mismatch".into()));
+        }
+        let logits: Vec<i64> = mine
+            .iter()
+            .zip(&theirs)
+            .map(|(&a, &b)| out_ring.decode_signed(out_ring.add(a, b)))
+            .collect();
+        Ok(InferenceOutput { logits, stats: ctx.ep.stats() })
+    }
+}
+
+/// Derives this party's share of a plaintext tensor held by the model
+/// provider, consuming the shared PRG stream (both parties must call in
+/// lockstep).
+fn provider_share(
+    ctx: &PartyContext,
+    plain: impl Fn() -> RingTensor,
+    ring: Ring,
+    shape: &[usize],
+    stream: &mut ChaCha20Rng,
+) -> AShare {
+    let mask = RingTensor::random(ring, shape.to_vec(), stream);
+    match ctx.id {
+        PartyId::User => AShare::from_tensor(mask),
+        PartyId::ModelProvider => {
+            let p = plain();
+            AShare::from_tensor(p.sub(&mask).expect("share shapes agree"))
+        }
+    }
+}
+
+/// The offline lowering walk: mirrors the engine's execution order
+/// (depth-first, residual main before shortcut) so PRG stream and dealer
+/// consumption stay in lockstep across parties. `cur_shape` tracks the
+/// activation tensor shape, which fixes each layer's compact triple shape.
+#[allow(clippy::too_many_lines)]
+fn prepare_ops(
+    ctx: &mut PartyContext,
+    ops: &[QuantOp],
+    cur_shape: &mut Vec<usize>,
+    wstream: &mut ChaCha20Rng,
+    layer_idx: &mut usize,
+) -> Result<Vec<PreparedOp>, ProtocolError> {
+    let q2 = ctx.q2();
+    let mut out = Vec::with_capacity(ops.len());
+    for op in ops {
+        let idx = *layer_idx;
+        *layer_idx += 1;
+        let kind = match op {
+            QuantOp::Conv2d { in_c, out_c, k, stride, pad, in_hw, out_hw, w, bias, requant } => {
+                let geom = ConvGeometry {
+                    in_c: *in_c,
+                    out_c: *out_c,
+                    k: *k,
+                    stride: *stride,
+                    pad: *pad,
+                    in_hw: *in_hw,
+                    out_hw: *out_hw,
+                };
+                let kdim = in_c * k * k;
+                // Weight matrix [in_c·k·k, out_c] on Q2, transposed once
+                // from the model's [out_c, in_c·k·k] layout.
+                let w_mat = provider_share(
+                    ctx,
+                    || {
+                        let mut data = vec![0u64; kdim * out_c];
+                        for oc in 0..*out_c {
+                            for kk in 0..kdim {
+                                data[kk * out_c + oc] =
+                                    q2.encode_signed_wrapping(w[oc * kdim + kk]);
+                            }
+                        }
+                        RingTensor::from_raw(q2, vec![kdim, *out_c], data).expect("geometry")
+                    },
+                    q2,
+                    &[kdim, *out_c],
+                    wstream,
+                );
+                let bias = provider_share(
+                    ctx,
+                    || {
+                        RingTensor::from_signed(q2, vec![*out_c], bias)
+                            .expect("bias length matches")
+                    },
+                    q2,
+                    &[*out_c],
+                    wstream,
+                );
+                let lane = ctx.expanded_lane(q2, cur_shape, &[kdim, *out_c]);
+                let f_open = open_weight_mask(ctx, &w_mat, lane.b_share())?;
+                *cur_shape = vec![*out_c, out_hw.0, out_hw.1];
+                PreparedKind::Conv2d { geom, w_mat, bias, f_open, lane, requant: *requant }
+            }
+            QuantOp::Linear { in_f, out_f, w, bias, requant } => {
+                let w_mat = provider_share(
+                    ctx,
+                    || {
+                        let mut data = vec![0u64; in_f * out_f];
+                        for of in 0..*out_f {
+                            for i in 0..*in_f {
+                                data[i * out_f + of] = q2.encode_signed_wrapping(w[of * in_f + i]);
+                            }
+                        }
+                        RingTensor::from_raw(q2, vec![*in_f, *out_f], data).expect("geometry")
+                    },
+                    q2,
+                    &[*in_f, *out_f],
+                    wstream,
+                );
+                let bias = provider_share(
+                    ctx,
+                    || RingTensor::from_signed(q2, vec![*out_f], bias).expect("bias length"),
+                    q2,
+                    &[*out_f],
+                    wstream,
+                );
+                let lane = ctx.expanded_lane(q2, cur_shape, &[*in_f, *out_f]);
+                let f_open = open_weight_mask(ctx, &w_mat, lane.b_share())?;
+                *cur_shape = vec![*out_f];
+                PreparedKind::Linear { w_mat, bias, f_open, lane, requant: *requant }
+            }
+            QuantOp::Relu => PreparedKind::Relu,
+            QuantOp::MaxPool { k, stride, pad, c, in_hw, out_hw } => {
+                let windows = pool_windows(*c, *in_hw, *k, *stride, *pad, *out_hw);
+                *cur_shape = vec![*c, out_hw.0, out_hw.1];
+                PreparedKind::MaxPool { c: *c, out_hw: *out_hw, windows }
+            }
+            QuantOp::AvgPool { k, stride, pad, c, in_hw, out_hw, requant } => {
+                *cur_shape = vec![*c, out_hw.0, out_hw.1];
+                PreparedKind::AvgPool {
+                    k: *k,
+                    stride: *stride,
+                    pad: *pad,
+                    c: *c,
+                    in_hw: *in_hw,
+                    out_hw: *out_hw,
+                    requant: *requant,
+                }
+            }
+            QuantOp::GlobalAvgPool { c, in_hw, requant } => {
+                *cur_shape = vec![*c];
+                PreparedKind::GlobalAvgPool { c: *c, spatial: in_hw.0 * in_hw.1, requant: *requant }
+            }
+            QuantOp::Flatten => {
+                *cur_shape = vec![cur_shape.iter().product()];
+                PreparedKind::Flatten
+            }
+            QuantOp::Rescale { requant } => PreparedKind::Rescale { requant: *requant },
+            QuantOp::Residual { main, shortcut } => {
+                let mut main_shape = cur_shape.clone();
+                let main_ops = prepare_ops(ctx, main, &mut main_shape, wstream, layer_idx)?;
+                let mut short_shape = cur_shape.clone();
+                let short_ops = prepare_ops(ctx, shortcut, &mut short_shape, wstream, layer_idx)?;
+                // The residual add flattens both branches to one vector.
+                *cur_shape = vec![main_shape.iter().product()];
+                PreparedKind::Residual { main: main_ops, shortcut: short_ops }
+            }
+        };
+        out.push(PreparedOp { idx, kind });
+    }
+    Ok(out)
+}
+
+/// The online walk: per-inference protocol work only. Needs `&mut` access
+/// for the triple lanes, which advance one `(A, Z)` pair per run.
+fn run_ops(
+    ctx: &mut PartyContext,
+    ops: &mut [PreparedOp],
+    mut x: AShare,
+) -> Result<AShare, ProtocolError> {
+    let q2 = ctx.q2();
+    let act_ring = match ctx.cfg.pipeline {
+        PipelineMode::StayWide => q2,
+        PipelineMode::NarrowActivations => ctx.q1(),
+    };
+    for op in ops.iter_mut() {
+        let idx = op.idx;
+        x = match &mut op.kind {
+            PreparedKind::Conv2d { geom, w_mat, bias, f_open, lane, requant } => {
+                ctx.ep.set_phase(format!("conv{idx}"));
+                let x2 = if x.ring() == q2 { x } else { ctx.extend_share(&x, q2)? };
+                let g = *geom;
+                let triple = lane.next(move |t| im2col_tensor(t, &g));
+                let acc = secure_conv2d_prepared(ctx, &x2, geom, w_mat, bias, f_open, &triple)?;
+                ctx.ep.set_phase(format!("bnreq{idx}"));
+                requant_share(ctx, &acc, *requant, act_ring)?
+            }
+            PreparedKind::Linear { w_mat, bias, f_open, lane, requant } => {
+                ctx.ep.set_phase(format!("fc{idx}"));
+                let x2 = if x.ring() == q2 { x } else { ctx.extend_share(&x, q2)? };
+                let in_f = x2.len();
+                let triple = lane.next(move |t| {
+                    let mut m = t.clone();
+                    m.reshape(vec![1, in_f]).expect("row vector");
+                    m
+                });
+                let acc = secure_linear_prepared(ctx, &x2, w_mat, bias, f_open, &triple)?;
+                ctx.ep.set_phase(format!("bnreq{idx}"));
+                requant_share(ctx, &acc, *requant, act_ring)?
+            }
+            PreparedKind::Relu => {
+                ctx.ep.set_phase(format!("abrelu{idx}"));
+                abrelu(ctx, &x)?
+            }
+            PreparedKind::MaxPool { c, out_hw, windows } => {
+                ctx.ep.set_phase(format!("maxpool{idx}"));
+                let out = secure_max_windows(ctx, &x, windows)?;
+                let mut t = out.into_tensor();
+                t.reshape(vec![*c, out_hw.0, out_hw.1])?;
+                AShare::from_tensor(t)
+            }
+            PreparedKind::AvgPool { k, stride, pad, c, in_hw, out_hw, requant } => {
+                ctx.ep.set_phase(format!("avgpool{idx}"));
+                let x2 = if x.ring() == q2 { x } else { ctx.extend_share(&x, q2)? };
+                let sums = pool_sum(&x2, *c, *in_hw, *k, *stride, *pad, *out_hw);
+                requant_share(ctx, &sums, *requant, act_ring)?
+            }
+            PreparedKind::GlobalAvgPool { c, spatial, requant } => {
+                ctx.ep.set_phase(format!("gap{idx}"));
+                let x2 = if x.ring() == q2 { x } else { ctx.extend_share(&x, q2)? };
+                let sums = channel_sum(&x2, *c, *spatial);
+                requant_share(ctx, &sums, *requant, act_ring)?
+            }
+            PreparedKind::Flatten => {
+                let mut t = x.into_tensor();
+                let n = t.len();
+                t.reshape(vec![n])?;
+                AShare::from_tensor(t)
+            }
+            PreparedKind::Rescale { requant } => {
+                ctx.ep.set_phase(format!("rescale{idx}"));
+                let x2 = if x.ring() == q2 { x } else { ctx.extend_share(&x, q2)? };
+                requant_share(ctx, &x2, *requant, act_ring)?
+            }
+            PreparedKind::Residual { main, shortcut } => {
+                let m = run_ops(ctx, main, x.clone())?;
+                let s = run_ops(ctx, shortcut, x)?;
+                ctx.ep.set_phase(format!("resadd{idx}"));
+                let mut mt = m.into_tensor();
+                let st = s.into_tensor();
+                if mt.len() != st.len() {
+                    return Err(ProtocolError::Model(
+                        "residual branches produced different sizes".into(),
+                    ));
+                }
+                let n = mt.len();
+                mt.reshape(vec![n])?;
+                let mut st2 = st;
+                st2.reshape(vec![n])?;
+                AShare::from_tensor(mt.add(&st2)?)
+            }
+        };
+    }
+    Ok(x)
+}

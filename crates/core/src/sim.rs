@@ -81,9 +81,5 @@ pub fn run_two_party(
     let user = run_party(&mut ctx, model, PartyInput::User(image))?;
     let provider = handle.join().expect("party 1 panicked")?;
     assert_eq!(user.logits, provider.logits, "parties recovered different logits");
-    Ok(TwoPartyRun {
-        logits: user.logits,
-        user_stats: user.stats,
-        provider_stats: provider.stats,
-    })
+    Ok(TwoPartyRun { logits: user.logits, user_stats: user.stats, provider_stats: provider.stats })
 }

@@ -180,7 +180,12 @@ impl Builder {
 
     /// Finalizes into a [`Circuit`].
     #[must_use]
-    pub fn finish(self, inputs_a: Vec<WireId>, inputs_b: Vec<WireId>, outputs: Vec<WireId>) -> Circuit {
+    pub fn finish(
+        self,
+        inputs_a: Vec<WireId>,
+        inputs_b: Vec<WireId>,
+        outputs: Vec<WireId>,
+    ) -> Circuit {
         Circuit { wires: self.wires, inputs_a, inputs_b, gates: self.gates, outputs }
     }
 }

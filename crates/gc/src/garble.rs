@@ -22,9 +22,7 @@ fn lsb(l: Label) -> bool {
 /// scattered, sufficient for a cost/correctness baseline (not hardened).
 #[must_use]
 pub fn hash(a: Label, b: Label, gate: u64) -> Label {
-    let seed = a[0]
-        .rotate_left(17)
-        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+    let seed = a[0].rotate_left(17).wrapping_mul(0x9e37_79b9_7f4a_7c15)
         ^ a[1].rotate_left(33)
         ^ b[0].wrapping_mul(0xc2b2_ae3d_27d4_eb4f)
         ^ b[1].rotate_left(49)
@@ -98,8 +96,10 @@ pub fn garble(circ: &Circuit, rng: &mut StdRng) -> Garbled {
                 let mut rows = [[0u64; 2]; 4];
                 for bit_a in [false, true] {
                     for bit_b in [false, true] {
-                        let la = if bit_a { xor_label(zero_labels[a], delta) } else { zero_labels[a] };
-                        let lb = if bit_b { xor_label(zero_labels[b], delta) } else { zero_labels[b] };
+                        let la =
+                            if bit_a { xor_label(zero_labels[a], delta) } else { zero_labels[a] };
+                        let lb =
+                            if bit_b { xor_label(zero_labels[b], delta) } else { zero_labels[b] };
                         let out_bit = bit_a & bit_b;
                         let lo = if out_bit { xor_label(out_zero, delta) } else { out_zero };
                         let row = 2 * usize::from(lsb(la)) + usize::from(lsb(lb));
@@ -117,10 +117,7 @@ pub fn garble(circ: &Circuit, rng: &mut StdRng) -> Garbled {
 /// `(a_bits, b_bits)` — in a real deployment party B's labels arrive via
 /// OT; here the selection is done directly for cost/correctness testing.
 #[must_use]
-pub fn select_input_labels(
-    garbled: &Garbled,
-    inputs: &(Vec<bool>, Vec<bool>),
-) -> InputLabels {
+pub fn select_input_labels(garbled: &Garbled, inputs: &(Vec<bool>, Vec<bool>)) -> InputLabels {
     InputLabels { a: inputs.0.clone(), b: inputs.1.clone(), garbled_delta: garbled.delta }
 }
 

@@ -96,11 +96,7 @@ impl SyntheticVision {
             .map(|_| {
                 (0..4)
                     .map(|_| {
-                        (
-                            rng.gen_range(0..c),
-                            rng.gen_range(2..h - 2),
-                            rng.gen_range(2..w - 2),
-                        )
+                        (rng.gen_range(0..c), rng.gen_range(2..h - 2), rng.gen_range(2..w - 2))
                     })
                     .collect()
             })
@@ -171,10 +167,10 @@ fn prototype(c: usize, h: usize, w: usize, rng: &mut StdRng) -> Vec<f32> {
         let waves: Vec<(f32, f32, f32, f32)> = (0..4)
             .map(|_| {
                 (
-                    rng.gen_range(0.5..2.5),  // fx
-                    rng.gen_range(0.5..2.5),  // fy
+                    rng.gen_range(0.5..2.5),                   // fx
+                    rng.gen_range(0.5..2.5),                   // fy
                     rng.gen_range(0.0..std::f32::consts::TAU), // phase
-                    rng.gen_range(0.4..1.0),  // amplitude
+                    rng.gen_range(0.4..1.0),                   // amplitude
                 )
             })
             .collect();

@@ -243,7 +243,11 @@ fn build_layer(
         tmp.output_shape()?
     };
     let layer = match (op, input, out) {
-        (OpSpec::Conv2d { out_c, k, stride, pad }, TensorShape::Chw(ic, ih, iw), TensorShape::Chw(_, oh, ow)) => {
+        (
+            OpSpec::Conv2d { out_c, k, stride, pad },
+            TensorShape::Chw(ic, ih, iw),
+            TensorShape::Chw(_, oh, ow),
+        ) => {
             let fan_in = ic * k * k;
             let w = (0..out_c * fan_in).map(|_| he_normal(rng, fan_in)).collect();
             Layer::Conv2d {
@@ -286,20 +290,31 @@ fn build_layer(
             return Err(NnError::InvalidSpec("BatchNorm on flat activations unsupported".into()))
         }
         (OpSpec::ReLU, ..) => Layer::Relu { cache_mask: Vec::new() },
-        (OpSpec::MaxPool { k, stride, pad }, TensorShape::Chw(c, ih, iw), TensorShape::Chw(_, oh, ow)) => {
-            Layer::MaxPool {
-                k: *k,
-                stride: *stride,
-                pad: *pad,
-                c,
-                in_hw: (ih, iw),
-                out_hw: (oh, ow),
-                cache_argmax: Vec::new(),
-            }
-        }
-        (OpSpec::AvgPool { k, stride, pad }, TensorShape::Chw(c, ih, iw), TensorShape::Chw(_, oh, ow)) => {
-            Layer::AvgPool { k: *k, stride: *stride, pad: *pad, c, in_hw: (ih, iw), out_hw: (oh, ow) }
-        }
+        (
+            OpSpec::MaxPool { k, stride, pad },
+            TensorShape::Chw(c, ih, iw),
+            TensorShape::Chw(_, oh, ow),
+        ) => Layer::MaxPool {
+            k: *k,
+            stride: *stride,
+            pad: *pad,
+            c,
+            in_hw: (ih, iw),
+            out_hw: (oh, ow),
+            cache_argmax: Vec::new(),
+        },
+        (
+            OpSpec::AvgPool { k, stride, pad },
+            TensorShape::Chw(c, ih, iw),
+            TensorShape::Chw(_, oh, ow),
+        ) => Layer::AvgPool {
+            k: *k,
+            stride: *stride,
+            pad: *pad,
+            c,
+            in_hw: (ih, iw),
+            out_hw: (oh, ow),
+        },
         (OpSpec::GlobalAvgPool, TensorShape::Chw(c, h, w), _) => {
             Layer::GlobalAvgPool { c, in_hw: (h, w) }
         }
@@ -413,8 +428,7 @@ fn forward_layer(l: &mut Layer, x: Vec<f32>, train: bool) -> Vec<f32> {
                 let slice = &x[ch * spatial.to_owned()..(ch + 1) * *spatial];
                 let (mean, var) = if train {
                     let mean: f32 = slice.iter().sum::<f32>() / n;
-                    let var: f32 =
-                        slice.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / n;
+                    let var: f32 = slice.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / n;
                     running_mean[ch] = (1.0 - BN_MOMENTUM) * running_mean[ch] + BN_MOMENTUM * mean;
                     running_var[ch] = (1.0 - BN_MOMENTUM) * running_var[ch] + BN_MOMENTUM * var;
                     (mean, var)
@@ -535,7 +549,9 @@ fn backward_layers(layers: &mut [Layer], mut g: Vec<f32>) -> Vec<f32> {
 #[allow(clippy::too_many_lines)]
 fn backward_layer(l: &mut Layer, g: Vec<f32>) -> Vec<f32> {
     match l {
-        Layer::Conv2d { in_c, out_c, k, stride, pad, in_hw, out_hw, w, dw, db, cache_in, .. } => {
+        Layer::Conv2d {
+            in_c, out_c, k, stride, pad, in_hw, out_hw, w, dw, db, cache_in, ..
+        } => {
             let (ih, iw) = *in_hw;
             let (oh, ow) = *out_hw;
             let x = cache_in;
@@ -586,7 +602,9 @@ fn backward_layer(l: &mut Layer, g: Vec<f32>) -> Vec<f32> {
             }
             gin
         }
-        Layer::BatchNorm { c, spatial, gamma, dgamma, dbeta, cache_xhat, cache_inv_std, .. } => {
+        Layer::BatchNorm {
+            c, spatial, gamma, dgamma, dbeta, cache_xhat, cache_inv_std, ..
+        } => {
             let n = *spatial as f32;
             let mut gin = vec![0.0f32; g.len()];
             for ch in 0..*c {
@@ -604,11 +622,9 @@ fn backward_layer(l: &mut Layer, g: Vec<f32>) -> Vec<f32> {
             }
             gin
         }
-        Layer::Relu { cache_mask } => g
-            .into_iter()
-            .zip(cache_mask.iter())
-            .map(|(v, &m)| if m { v } else { 0.0 })
-            .collect(),
+        Layer::Relu { cache_mask } => {
+            g.into_iter().zip(cache_mask.iter()).map(|(v, &m)| if m { v } else { 0.0 }).collect()
+        }
         Layer::MaxPool { c, in_hw, out_hw, cache_argmax, .. } => {
             let mut gin = vec![0.0f32; *c * in_hw.0 * in_hw.1];
             for (o, &go) in g.iter().enumerate() {

@@ -230,6 +230,16 @@ fn qmax(bits: u32) -> i64 {
     (1i64 << (bits - 1)) - 1
 }
 
+/// Quantizes a float image with a public input scale, clamping to the
+/// signed `bits`-bit range — the standalone form of
+/// [`QuantModel::quantize_input`], usable without holding the full model
+/// (e.g. by a prepared-model runner that only retains the scale).
+#[must_use]
+pub fn quantize_image(image: &[f32], input_scale: f32, act_bits: u32) -> Vec<i64> {
+    let q = qmax(act_bits);
+    image.iter().map(|&v| ((v / input_scale).round() as i64).clamp(-q - 1, q)).collect()
+}
+
 impl QuantModel {
     /// Quantizes a trained float network using calibration images to set
     /// the activation scales (post-training quantization, paper Sec. 5.1).
@@ -283,11 +293,7 @@ impl QuantModel {
     /// Quantizes a float image to the model's integer input domain.
     #[must_use]
     pub fn quantize_input(&self, image: &[f32]) -> Vec<i64> {
-        let q = qmax(self.act_bits);
-        image
-            .iter()
-            .map(|&v| ((v / self.input_scale).round() as i64).clamp(-q - 1, q))
-            .collect()
+        quantize_image(image, self.input_scale, self.act_bits)
     }
 
     /// Plaintext integer inference: quantize input, run ops, return integer
@@ -385,9 +391,7 @@ impl QuantModel {
         }
         let correct = samples
             .iter()
-            .filter(|s| {
-                self.forward(&s.image).map(|l| argmax_i64(&l) == s.label).unwrap_or(false)
-            })
+            .filter(|s| self.forward(&s.image).map(|l| argmax_i64(&l) == s.label).unwrap_or(false))
             .count();
         correct as f64 / samples.len() as f64
     }
@@ -428,11 +432,7 @@ fn collect_ranges(layers: &mut [Layer], x: Vec<f32>, out: &mut Vec<f32>) -> Vec<
         cur = match l {
             Layer::Residual { main, shortcut } => {
                 let m = collect_ranges(main, cur.clone(), out);
-                let s = if shortcut.is_empty() {
-                    cur
-                } else {
-                    collect_ranges(shortcut, cur, out)
-                };
+                let s = if shortcut.is_empty() { cur } else { collect_ranges(shortcut, cur, out) };
                 let sum: Vec<f32> = m.iter().zip(&s).map(|(a, b)| a + b).collect();
                 out.push(max_abs(&sum));
                 sum
@@ -472,28 +472,25 @@ fn quantize_layers(
         match &layers[i] {
             Layer::Conv2d { in_c, out_c, k, stride, pad, in_hw, out_hw, w, b, .. } => {
                 // Fold a directly-following BatchNorm.
-                let (wf, bf, consumed) = if let Some(Layer::BatchNorm {
-                    gamma,
-                    beta,
-                    running_mean,
-                    running_var,
-                    ..
-                }) = layers.get(i + 1)
-                {
-                    let mut wf = w.clone();
-                    let mut bf = b.clone();
-                    let fan = in_c * k * k;
-                    for oc in 0..*out_c {
-                        let inv = gamma[oc] / (running_var[oc] + 1e-5).sqrt();
-                        for wi in &mut wf[oc * fan..(oc + 1) * fan] {
-                            *wi *= inv;
+                let (wf, bf, consumed) =
+                    if let Some(Layer::BatchNorm {
+                        gamma, beta, running_mean, running_var, ..
+                    }) = layers.get(i + 1)
+                    {
+                        let mut wf = w.clone();
+                        let mut bf = b.clone();
+                        let fan = in_c * k * k;
+                        for oc in 0..*out_c {
+                            let inv = gamma[oc] / (running_var[oc] + 1e-5).sqrt();
+                            for wi in &mut wf[oc * fan..(oc + 1) * fan] {
+                                *wi *= inv;
+                            }
+                            bf[oc] = (bf[oc] - running_mean[oc]) * inv + beta[oc];
                         }
-                        bf[oc] = (bf[oc] - running_mean[oc]) * inv + beta[oc];
-                    }
-                    (wf, bf, 2)
-                } else {
-                    (w.clone(), b.clone(), 1)
-                };
+                        (wf, bf, 2)
+                    } else {
+                        (w.clone(), b.clone(), 1)
+                    };
                 // Output range: after BN if folded.
                 let out_range = ranges[*idx + consumed - 1];
                 *idx += consumed;
@@ -529,13 +526,7 @@ fn quantize_layers(
                     b.iter().map(|&v| (v / (w_scale * scale)).round() as i64).collect();
                 let requant =
                     Requant::from_ratio(f64::from(w_scale * scale / out_scale), cfg.mult_bits)?;
-                ops.push(QuantOp::Linear {
-                    in_f: *in_f,
-                    out_f: *out_f,
-                    w: wq,
-                    bias: bq,
-                    requant,
-                });
+                ops.push(QuantOp::Linear { in_f: *in_f, out_f: *out_f, w: wq, bias: bq, requant });
                 scale = out_scale;
                 i += 1;
             }
@@ -577,8 +568,7 @@ fn quantize_layers(
             }
             Layer::GlobalAvgPool { c, in_hw } => {
                 *idx += 1;
-                let requant =
-                    Requant::from_ratio(1.0 / (in_hw.0 * in_hw.1) as f64, cfg.mult_bits)?;
+                let requant = Requant::from_ratio(1.0 / (in_hw.0 * in_hw.1) as f64, cfg.mult_bits)?;
                 ops.push(QuantOp::GlobalAvgPool { c: *c, in_hw: *in_hw, requant });
                 i += 1;
             }
@@ -588,8 +578,7 @@ fn quantize_layers(
                 i += 1;
             }
             Layer::Residual { main, shortcut } => {
-                let (main_ops, main_scale) =
-                    quantize_layers(main, ranges, idx, scale, cfg)?;
+                let (main_ops, main_scale) = quantize_layers(main, ranges, idx, scale, cfg)?;
                 let (mut short_ops, short_scale) = if shortcut.is_empty() {
                     (Vec::new(), scale)
                 } else {
@@ -762,18 +751,7 @@ impl ValuePolicy for RingSim {
 fn run_ops<P: ValuePolicy>(ops: &[QuantOp], mut x: Vec<i64>, policy: &mut P) -> Vec<i64> {
     for op in ops {
         x = match op {
-            QuantOp::Conv2d {
-                in_c,
-                out_c,
-                k,
-                stride,
-                pad,
-                in_hw,
-                out_hw,
-                w,
-                bias,
-                requant,
-            } => {
+            QuantOp::Conv2d { in_c, out_c, k, stride, pad, in_hw, out_hw, w, bias, requant } => {
                 let xin: Vec<i64> = x.iter().map(|&v| policy.on_extend(v)).collect();
                 let (ih, iw) = *in_hw;
                 let (oh, ow) = *out_hw;
@@ -819,10 +797,9 @@ fn run_ops<P: ValuePolicy>(ops: &[QuantOp], mut x: Vec<i64>, policy: &mut P) -> 
                 }
                 out
             }
-            QuantOp::Relu => x
-                .into_iter()
-                .map(|v| if policy.relu_positive(v) { v } else { 0 })
-                .collect(),
+            QuantOp::Relu => {
+                x.into_iter().map(|v| if policy.relu_positive(v) { v } else { 0 }).collect()
+            }
             QuantOp::MaxPool { k, stride, pad, c, in_hw, out_hw } => {
                 // Same pairing tournament the 2PC engine runs, so ring
                 // policies agree bit for bit even when comparisons wrap.
@@ -1030,7 +1007,7 @@ mod tests {
         let q = QuantModel::quantize(&net, &data.calibration(8), &QuantConfig::int8()).unwrap();
         let big = vec![100f32; q.input_shape.elements()];
         let qi = q.quantize_input(&big);
-        assert!(qi.iter().all(|&v| v <= 127 && v >= -128));
+        assert!(qi.iter().all(|v| (-128..=127).contains(v)));
     }
 
     #[test]

@@ -230,10 +230,9 @@ impl ModelSpec {
                     OpSpec::MaxPool { k, stride, pad } => {
                         OpSpec::AvgPool { k: *k, stride: *stride, pad: *pad }
                     }
-                    OpSpec::Residual { main, shortcut } => OpSpec::Residual {
-                        main: swap(main),
-                        shortcut: swap(shortcut),
-                    },
+                    OpSpec::Residual { main, shortcut } => {
+                        OpSpec::Residual { main: swap(main), shortcut: swap(shortcut) }
+                    }
                     other => other.clone(),
                 })
                 .collect()

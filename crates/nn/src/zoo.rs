@@ -97,7 +97,8 @@ pub fn alexnet_cifar() -> ModelSpec {
 }
 
 fn vgg_features() -> Vec<OpSpec> {
-    let cfg: &[&[usize]] = &[&[64, 64], &[128, 128], &[256, 256, 256], &[512, 512, 512], &[512, 512, 512]];
+    let cfg: &[&[usize]] =
+        &[&[64, 64], &[128, 128], &[256, 256, 256], &[512, 512, 512], &[512, 512, 512]];
     let mut ops = Vec::new();
     for stage in cfg {
         for &c in *stage {
@@ -126,13 +127,7 @@ pub fn vgg16_cifar() -> ModelSpec {
 pub fn vgg16_imagenet() -> ModelSpec {
     let mut ops = vgg_features();
     ops.push(Flatten);
-    ops.extend([
-        Linear { out: 4096 },
-        ReLU,
-        Linear { out: 4096 },
-        ReLU,
-        Linear { out: 1000 },
-    ]);
+    ops.extend([Linear { out: 4096 }, ReLU, Linear { out: 4096 }, ReLU, Linear { out: 1000 }]);
     ModelSpec { name: "vgg16-imagenet".into(), input: TensorShape::Chw(3, 224, 224), ops }
 }
 
@@ -140,20 +135,10 @@ pub fn vgg16_imagenet() -> ModelSpec {
 /// geometry changes. The trailing ReLU (after the add) is appended by the
 /// caller-visible spec.
 fn basic_block(out_c: usize, stride: usize, project: bool) -> Vec<OpSpec> {
-    let shortcut = if project {
-        vec![conv(out_c, 1, stride, 0), BatchNorm]
-    } else {
-        vec![]
-    };
+    let shortcut = if project { vec![conv(out_c, 1, stride, 0), BatchNorm] } else { vec![] };
     vec![
         Residual {
-            main: vec![
-                conv(out_c, 3, stride, 1),
-                BatchNorm,
-                ReLU,
-                conv(out_c, 3, 1, 1),
-                BatchNorm,
-            ],
+            main: vec![conv(out_c, 3, stride, 1), BatchNorm, ReLU, conv(out_c, 3, 1, 1), BatchNorm],
             shortcut,
         },
         ReLU,
@@ -163,11 +148,7 @@ fn basic_block(out_c: usize, stride: usize, project: bool) -> Vec<OpSpec> {
 /// A ResNet bottleneck block (1×1 → 3×3 → 1×1×4).
 fn bottleneck_block(mid_c: usize, stride: usize, project: bool) -> Vec<OpSpec> {
     let out_c = 4 * mid_c;
-    let shortcut = if project {
-        vec![conv(out_c, 1, stride, 0), BatchNorm]
-    } else {
-        vec![]
-    };
+    let shortcut = if project { vec![conv(out_c, 1, stride, 0), BatchNorm] } else { vec![] };
     vec![
         Residual {
             main: vec![
@@ -189,12 +170,7 @@ fn bottleneck_block(mid_c: usize, stride: usize, project: bool) -> Vec<OpSpec> {
 /// ResNet18 for ImageNet (3×224×224 → 1000).
 #[must_use]
 pub fn resnet18_imagenet() -> ModelSpec {
-    let mut ops = vec![
-        conv(64, 7, 2, 3),
-        BatchNorm,
-        ReLU,
-        MaxPool { k: 3, stride: 2, pad: 1 },
-    ];
+    let mut ops = vec![conv(64, 7, 2, 3), BatchNorm, ReLU, MaxPool { k: 3, stride: 2, pad: 1 }];
     for (stage, &c) in [64usize, 128, 256, 512].iter().enumerate() {
         for block in 0..2 {
             let stride = if stage > 0 && block == 0 { 2 } else { 1 };
@@ -225,12 +201,7 @@ pub fn resnet18_cifar() -> ModelSpec {
 /// with "16 building blocks".
 #[must_use]
 pub fn resnet50_imagenet() -> ModelSpec {
-    let mut ops = vec![
-        conv(64, 7, 2, 3),
-        BatchNorm,
-        ReLU,
-        MaxPool { k: 3, stride: 2, pad: 1 },
-    ];
+    let mut ops = vec![conv(64, 7, 2, 3), BatchNorm, ReLU, MaxPool { k: 3, stride: 2, pad: 1 }];
     let stages: [(usize, usize); 4] = [(64, 3), (128, 4), (256, 6), (512, 3)];
     for (stage, &(c, blocks)) in stages.iter().enumerate() {
         for block in 0..blocks {
@@ -251,11 +222,7 @@ pub fn resnet50_imagenet() -> ModelSpec {
 pub fn resnet50_building_block6() -> ModelSpec {
     let mut ops = Vec::new();
     ops.extend(bottleneck_block(128, 1, false));
-    ModelSpec {
-        name: "resnet50-block6".into(),
-        input: TensorShape::Chw(512, 28, 28),
-        ops,
-    }
+    ModelSpec { name: "resnet50-block6".into(), input: TensorShape::Chw(512, 28, 28), ops }
 }
 
 /// A small trainable CNN for the in-repo synthetic-dataset experiments
@@ -330,12 +297,7 @@ mod tests {
     #[test]
     fn vgg16_has_13_convs_and_correct_output() {
         let s = vgg16_imagenet();
-        let convs = s
-            .layer_costs()
-            .unwrap()
-            .iter()
-            .filter(|l| l.kind == LayerKind::Conv)
-            .count();
+        let convs = s.layer_costs().unwrap().iter().filter(|l| l.kind == LayerKind::Conv).count();
         assert_eq!(convs, 13);
         assert_eq!(s.output_shape().unwrap(), TensorShape::Flat(1000));
         // VGG16 ImageNet ≈ 138.4 M params.
@@ -350,14 +312,9 @@ mod tests {
         // Torchvision ResNet18 ≈ 11.69 M params.
         let p = s.total_params().unwrap();
         assert!((11_400_000..11_900_000).contains(&p), "params={p}");
-        let convs = s
-            .layer_costs()
-            .unwrap()
-            .iter()
-            .filter(|l| l.kind == LayerKind::Conv)
-            .count();
+        let convs = s.layer_costs().unwrap().iter().filter(|l| l.kind == LayerKind::Conv).count();
         assert_eq!(convs, 20); // 1 stem + 16 block convs + 3 projections
-        // ≈ 1.8 GMACs.
+                               // ≈ 1.8 GMACs.
         let m = s.total_macs().unwrap();
         assert!((1_700_000_000..1_900_000_000).contains(&m), "macs={m}");
     }
@@ -370,12 +327,7 @@ mod tests {
         let p = s.total_params().unwrap();
         assert!((25_000_000..26_100_000).contains(&p), "params={p}");
         // 16 residual blocks (3+4+6+3).
-        let adds = s
-            .layer_costs()
-            .unwrap()
-            .iter()
-            .filter(|l| l.kind == LayerKind::Add)
-            .count();
+        let adds = s.layer_costs().unwrap().iter().filter(|l| l.kind == LayerKind::Add).count();
         assert_eq!(adds, 16);
         // ≈ 4.1 GMACs.
         let m = s.total_macs().unwrap();
@@ -385,12 +337,8 @@ mod tests {
     #[test]
     fn vgg16_cifar_single_classifier() {
         let s = vgg16_cifar();
-        let linears = s
-            .layer_costs()
-            .unwrap()
-            .iter()
-            .filter(|l| l.kind == LayerKind::Linear)
-            .count();
+        let linears =
+            s.layer_costs().unwrap().iter().filter(|l| l.kind == LayerKind::Linear).count();
         assert_eq!(linears, 1);
         assert_eq!(s.output_shape().unwrap(), TensorShape::Flat(10));
     }

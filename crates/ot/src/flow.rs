@@ -193,9 +193,8 @@ mod tests {
         let h = std::thread::spawn(move || {
             send_batch(&a, &g2, &l2, &batch, msg_bits, &mut StdRng::seed_from_u64(1)).unwrap();
         });
-        let out =
-            recv_batch(&b, group, labels, &choices, msg_bits, &mut StdRng::seed_from_u64(2))
-                .unwrap();
+        let out = recv_batch(&b, group, labels, &choices, msg_bits, &mut StdRng::seed_from_u64(2))
+            .unwrap();
         h.join().unwrap();
         out
     }
@@ -326,8 +325,15 @@ mod tests {
                 send_batch(&a, &g2, &t2, &[vec![1, 2]], 2, &mut StdRng::seed_from_u64(1)).unwrap();
                 a.stats()
             });
-            recv_batch(&b, &g, &t, &[OtChoice { choice: 0, n: 2 }], 2, &mut StdRng::seed_from_u64(2))
-                .unwrap();
+            recv_batch(
+                &b,
+                &g,
+                &t,
+                &[OtChoice { choice: 0, n: 2 }],
+                2,
+                &mut StdRng::seed_from_u64(2),
+            )
+            .unwrap();
             let stats = h.join().unwrap();
             // sender sends r_hat (1 elem) + 2 encrypted 2-bit slots (1 byte).
             assert_eq!(stats.bytes_sent, expected_r_hat_bytes + 1, "bits={bits}");

@@ -1,0 +1,121 @@
+//! Scoped-thread data parallelism for the protocol hot paths.
+//!
+//! The registry-free stand-in for `rayon`: output buffers are split into
+//! contiguous chunks and each chunk is processed on its own scoped thread
+//! (`std::thread::scope`). Because every output element is written by
+//! exactly one thread in a deterministic order, parallel execution is
+//! **bit-identical** to sequential execution — a hard requirement for the
+//! 2PC kernels, whose two parties must stay in exact agreement.
+//!
+//! Thread count comes from `AQ2PNN_THREADS` (if set) or the machine's
+//! available parallelism; callers pass a `min_chunk` so tiny inputs run
+//! inline without spawn overhead.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The maximum number of worker threads fan-outs will use: the
+/// `AQ2PNN_THREADS` environment variable when set (minimum 1), otherwise
+/// the machine's available parallelism.
+///
+/// The environment variable is re-read on every call (tests and benches
+/// toggle it at runtime), but the machine probe is cached: on Linux,
+/// `available_parallelism` re-reads cgroup files each call, which is
+/// microseconds — enough to dominate a small packing kernel's gate check.
+#[must_use]
+pub fn max_threads() -> usize {
+    if let Ok(v) = std::env::var("AQ2PNN_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    static MACHINE: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *MACHINE
+        .get_or_init(|| std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get))
+}
+
+/// Splits `data` into at most [`max_threads`] contiguous chunks of at least
+/// `min_chunk` elements and runs `f(start_index, chunk)` on each, in
+/// parallel. Falls back to a single inline call when the input is small or
+/// only one thread is available.
+///
+/// `f` receives the chunk's offset into `data` so workers can index
+/// read-only context consistently.
+pub fn par_chunks_mut<T: Send, F>(data: &mut [T], min_chunk: usize, f: F)
+where
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let len = data.len();
+    let min_chunk = min_chunk.max(1);
+    let threads = max_threads().min(len.div_ceil(min_chunk)).max(1);
+    if threads == 1 {
+        f(0, data);
+        return;
+    }
+    let chunk = len.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (i, piece) in data.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move || f(i * chunk, piece));
+        }
+    });
+}
+
+/// Runs `f(index)` for every index in `0..n` across the worker pool and
+/// collects the results in order. Used when the work items produce owned
+/// values rather than writing into a shared output slice.
+pub fn par_map_indexed<R: Send, F>(n: usize, min_chunk: usize, f: F) -> Vec<R>
+where
+    F: Fn(usize) -> R + Sync,
+{
+    let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    par_chunks_mut(&mut out, min_chunk, |start, chunk| {
+        for (j, slot) in chunk.iter_mut().enumerate() {
+            *slot = Some(f(start + j));
+        }
+    });
+    out.into_iter().map(|v| v.expect("every index visited")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_every_element_once() {
+        let mut data = vec![0u64; 10_007];
+        par_chunks_mut(&mut data, 16, |start, chunk| {
+            for (j, v) in chunk.iter_mut().enumerate() {
+                *v += (start + j) as u64 + 1;
+            }
+        });
+        assert!(data.iter().enumerate().all(|(i, &v)| v == i as u64 + 1));
+    }
+
+    #[test]
+    fn small_inputs_run_inline() {
+        let mut data = vec![1u8; 3];
+        par_chunks_mut(&mut data, 1024, |start, chunk| {
+            assert_eq!(start, 0);
+            assert_eq!(chunk.len(), 3);
+        });
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let mut data: Vec<u32> = Vec::new();
+        par_chunks_mut(&mut data, 8, |_, _| {});
+    }
+
+    #[test]
+    fn map_indexed_preserves_order() {
+        let squares = par_map_indexed(1000, 8, |i| i * i);
+        assert!(squares.iter().enumerate().all(|(i, &v)| v == i * i));
+    }
+
+    #[test]
+    fn thread_cap_respected() {
+        assert!(max_threads() >= 1);
+    }
+}

@@ -85,10 +85,7 @@ pub fn local_extension_is_exact(from: Ring, xi: u64, xj: u64) -> bool {
 /// Panics if `x` is outside the signed range of `from`.
 #[must_use]
 pub fn failure_probability(from: Ring, x: i64) -> f64 {
-    assert!(
-        x >= from.min_signed() && x <= from.max_signed(),
-        "secret out of ring range"
-    );
+    assert!(x >= from.min_signed() && x <= from.max_signed(), "secret out of ring range");
     let count = if x >= 0 { x + 1 } else { -x - 1 };
     count as f64 / from.modulus() as f64
 }

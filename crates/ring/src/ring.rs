@@ -166,8 +166,7 @@ impl Ring {
     /// [`Ring::try_encode_signed`] for a fallible variant.
     #[must_use]
     pub fn encode_signed(self, v: i64) -> u64 {
-        self.try_encode_signed(v)
-            .expect("signed value out of range for ring")
+        self.try_encode_signed(v).expect("signed value out of range for ring")
     }
 
     /// Encodes a signed integer, failing when it does not fit.
@@ -247,7 +246,15 @@ impl Ring {
     #[must_use]
     pub fn shr_arithmetic(self, x: u64, s: u32) -> u64 {
         let v = self.decode_signed(x);
-        let shifted = if s >= 63 { if v < 0 { -1 } else { 0 } } else { v >> s };
+        let shifted = if s >= 63 {
+            if v < 0 {
+                -1
+            } else {
+                0
+            }
+        } else {
+            v >> s
+        };
         self.encode_signed_wrapping(shifted)
     }
 

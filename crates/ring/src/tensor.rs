@@ -167,12 +167,8 @@ impl RingTensor {
                 rhs: other.shape.clone(),
             });
         }
-        let data = self
-            .data
-            .iter()
-            .zip(&other.data)
-            .map(|(&a, &b)| self.ring.reduce(f(a, b)))
-            .collect();
+        let data =
+            self.data.iter().zip(&other.data).map(|(&a, &b)| self.ring.reduce(f(a, b))).collect();
         Ok(RingTensor { ring: self.ring, shape: self.shape.clone(), data })
     }
 
@@ -205,11 +201,8 @@ impl RingTensor {
     /// long as values fit). Narrowing simply wraps.
     #[must_use]
     pub fn recast(&self, target: Ring) -> Self {
-        let data = self
-            .data
-            .iter()
-            .map(|&x| crate::extend::sign_extend(self.ring, target, x))
-            .collect();
+        let data =
+            self.data.iter().map(|&x| crate::extend::sign_extend(self.ring, target, x)).collect();
         RingTensor { ring: target, shape: self.shape.clone(), data }
     }
 

@@ -9,10 +9,7 @@ fn arb_ring() -> impl Strategy<Value = Ring> {
 
 fn ring_and_elems(n: usize) -> impl Strategy<Value = (Ring, Vec<u64>)> {
     arb_ring().prop_flat_map(move |r| {
-        (
-            Just(r),
-            proptest::collection::vec(any::<u64>().prop_map(move |x| r.reduce(x)), n),
-        )
+        (Just(r), proptest::collection::vec(any::<u64>().prop_map(move |x| r.reduce(x)), n))
     })
 }
 

@@ -66,9 +66,7 @@ impl BShare {
     #[must_use]
     pub fn xor(&self, other: &BShare) -> BShare {
         assert_eq!(self.bits.len(), other.bits.len(), "binary share length mismatch");
-        BShare {
-            bits: self.bits.iter().zip(&other.bits).map(|(&x, &y)| x ^ y).collect(),
-        }
+        BShare { bits: self.bits.iter().zip(&other.bits).map(|(&x, &y)| x ^ y).collect() }
     }
 
     /// Local XOR with public bits (applied by one party only, chosen by the
@@ -80,9 +78,7 @@ impl BShare {
     #[must_use]
     pub fn xor_plain(&self, plain: &[u8]) -> BShare {
         assert_eq!(self.bits.len(), plain.len(), "length mismatch");
-        BShare {
-            bits: self.bits.iter().zip(plain).map(|(&x, &p)| x ^ (p & 1)).collect(),
-        }
+        BShare { bits: self.bits.iter().zip(plain).map(|(&x, &p)| x ^ (p & 1)).collect() }
     }
 
     /// Local NOT: one party flips its bits (caller applies on exactly one

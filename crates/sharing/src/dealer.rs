@@ -10,9 +10,9 @@
 //! everything the paper measures — is unchanged.
 
 use crate::beaver::{ring_hadamard, ring_matmul, TripleShare};
-use crate::AShare;
+use crate::{AShare, PartyId};
 use aq2pnn_ring::{Ring, RingTensor};
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha20Rng;
 
 /// Deterministic trusted dealer producing Beaver triples and other
@@ -86,8 +86,38 @@ impl TripleDealer {
         self.split(a, b, z)
     }
 
+    /// Creates the two parties' halves of a reusable expanded-triple lane
+    /// for one static-shape layer (see [`TripleLane`]). Consumes dealer
+    /// stream state, so both parties must call in the same order with the
+    /// same arguments.
+    pub fn expanded_lane(
+        &mut self,
+        ring: Ring,
+        a_shape: &[usize],
+        b_shape: &[usize],
+    ) -> (TripleLane, TripleLane) {
+        let b = RingTensor::random(ring, b_shape.to_vec(), &mut self.rng);
+        let (b0, b1) = AShare::share(&b, &mut self.rng);
+        // Lane-local PRG, identical on both halves so the parties advance
+        // their per-inference triple streams in lockstep.
+        let lane_rng = ChaCha20Rng::seed_from_u64(self.rng.gen::<u64>());
+        let lane = |b_share: AShare, party: PartyId| TripleLane {
+            ring,
+            a_shape: a_shape.to_vec(),
+            b_plain: b.clone(),
+            b_share: b_share.into_tensor(),
+            rng: lane_rng.clone(),
+            party,
+        };
+        (lane(b0, PartyId::User), lane(b1, PartyId::ModelProvider))
+    }
+
     /// Samples an elementwise (Hadamard) triple over `shape`.
-    pub fn elementwise_triple(&mut self, ring: Ring, shape: &[usize]) -> (TripleShare, TripleShare) {
+    pub fn elementwise_triple(
+        &mut self,
+        ring: Ring,
+        shape: &[usize],
+    ) -> (TripleShare, TripleShare) {
         let a = RingTensor::random(ring, shape.to_vec(), &mut self.rng);
         let b = RingTensor::random(ring, shape.to_vec(), &mut self.rng);
         let z = ring_hadamard(&a, &b).expect("dealer shapes are consistent");
@@ -121,6 +151,68 @@ impl TripleDealer {
             TripleShare { a: a0.into_tensor(), b: b0.into_tensor(), z: z0.into_tensor() },
             TripleShare { a: a1.into_tensor(), b: b1.into_tensor(), z: z1.into_tensor() },
         )
+    }
+}
+
+/// One party's half of a reusable per-layer triple stream — the offline
+/// material a *prepared* model keeps resident between inferences.
+///
+/// The weight mask `B` is sampled **once** at lane creation and reused for
+/// the lifetime of the lane: it masks a static weight matrix, exactly like
+/// the paper's pre-deployed AS-WGT-MSK buffer, so its one-time `F = W − B`
+/// opening never has to be repeated. Each call to [`TripleLane::next`]
+/// draws a **fresh** input mask `A` and product share of
+/// `Z = expand(A) ⊗ B` from a lane-local PRG that both parties advance in
+/// lockstep. `A` must be fresh per inference — reusing it would open
+/// `E = IN − A` under the same mask twice and leak the difference of two
+/// private inputs.
+#[derive(Debug, Clone)]
+pub struct TripleLane {
+    ring: Ring,
+    a_shape: Vec<usize>,
+    // Dealer-held plaintext B, needed to form Z. Holding it inside the
+    // lane keeps the trusted-dealer model of this crate: the dealer state
+    // embedded in each party's context already sees all plaintext masks.
+    b_plain: RingTensor,
+    b_share: RingTensor,
+    rng: ChaCha20Rng,
+    party: PartyId,
+}
+
+impl TripleLane {
+    /// The ring the lane's triples live in.
+    #[must_use]
+    pub fn ring(&self) -> Ring {
+        self.ring
+    }
+
+    /// The shape of the compact input mask `A`.
+    #[must_use]
+    pub fn a_shape(&self) -> &[usize] {
+        &self.a_shape
+    }
+
+    /// This party's share of the static weight mask `B`, for the one-time
+    /// `F = W − B` opening at preparation time.
+    #[must_use]
+    pub fn b_share(&self) -> &RingTensor {
+        &self.b_share
+    }
+
+    /// Draws this party's share of the next triple: a fresh `A` and
+    /// `Z = expand(A) ⊗ B` against the lane's fixed `B`. Both parties must
+    /// call in lockstep with the same (public, linear) `expand`.
+    pub fn next(&mut self, expand: impl Fn(&RingTensor) -> RingTensor) -> TripleShare {
+        let a = RingTensor::random(self.ring, self.a_shape.clone(), &mut self.rng);
+        let z =
+            ring_matmul(&expand(&a), &self.b_plain).expect("expand(A) must be conformable with B");
+        let (a0, a1) = AShare::share(&a, &mut self.rng);
+        let (z0, z1) = AShare::share(&z, &mut self.rng);
+        let (a_i, z_i) = match self.party {
+            PartyId::User => (a0, z0),
+            PartyId::ModelProvider => (a1, z1),
+        };
+        TripleShare { a: a_i.into_tensor(), b: self.b_share.clone(), z: z_i.into_tensor() }
     }
 }
 
@@ -169,6 +261,23 @@ mod tests {
         let (x0, _) = TripleDealer::from_seed(9).matmul_triple(q, 2, 2, 2);
         let (y0, _) = TripleDealer::from_seed(9).matmul_triple(q, 2, 2, 2);
         assert_eq!(x0.a, y0.a);
+    }
+
+    #[test]
+    fn lane_triples_consistent_with_fixed_b_and_fresh_a() {
+        let mut d = TripleDealer::from_seed(11);
+        let q = Ring::new(16);
+        let (mut l0, mut l1) = d.expanded_lane(q, &[3, 4], &[4, 2]);
+        let ident = |t: &RingTensor| t.clone();
+        let (t0a, t1a) = (l0.next(ident), l1.next(ident));
+        let (t0b, t1b) = (l0.next(ident), l1.next(ident));
+        for (t0, t1) in [(&t0a, &t1a), (&t0b, &t1b)] {
+            let (a, b, z) = rec(t0, t1);
+            assert_eq!(z, ring_matmul(&a, &b).unwrap());
+        }
+        // B is the lane's fixed pre-deployed mask; A must be fresh.
+        assert_eq!(t0a.b, t0b.b);
+        assert_ne!(rec(&t0a, &t1a).0, rec(&t0b, &t1b).0);
     }
 
     #[test]

@@ -83,10 +83,7 @@ mod tests {
             let tb = truncate_share_local(PartyId::ModelProvider, &b, s);
             let rec = AShare::recover(&ta, &tb).unwrap().to_signed()[0];
             let expect = v >> s; // flooring shift
-            assert!(
-                (rec - expect).abs() <= 1,
-                "v={v} s={s}: got {rec}, expected ~{expect}"
-            );
+            assert!((rec - expect).abs() <= 1, "v={v} s={s}: got {rec}, expected ~{expect}");
         }
     }
 

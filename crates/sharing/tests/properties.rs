@@ -2,7 +2,7 @@
 
 use aq2pnn_ring::{Ring, RingTensor};
 use aq2pnn_sharing::a2b::{group_count, group_widths, join_groups, split_groups};
-use aq2pnn_sharing::beaver::{ring_hadamard, ring_matmul};
+use aq2pnn_sharing::beaver::{ring_hadamard, ring_matmul, ring_matmul_reference};
 use aq2pnn_sharing::dealer::TripleDealer;
 use aq2pnn_sharing::{trunc, AShare, BShare, PartyId};
 use proptest::prelude::*;
@@ -68,6 +68,29 @@ proptest! {
         let b = t0.b.add(&t1.b).unwrap();
         let z = t0.z.add(&t1.z).unwrap();
         prop_assert_eq!(z, ring_matmul(&a, &b).unwrap());
+    }
+
+    #[test]
+    fn blocked_matmul_matches_scalar_reference(
+        bits in 1u32..=64,
+        m in 1usize..12,
+        k in 1usize..12,
+        n in 1usize..12,
+        seed in any::<u64>(),
+    ) {
+        // The cache-blocked, mask-deferred kernel must be bit-identical to
+        // the scalar per-element reference on every ring width — including
+        // the full-u64 ring (mask = !0) and degenerate 1-bit rings — and
+        // across row counts exercising both the 4-row quad path and the
+        // 1–3-row remainder path.
+        let ring = Ring::new(bits);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = RingTensor::random(ring, vec![m, k], &mut rng);
+        let b = RingTensor::random(ring, vec![k, n], &mut rng);
+        prop_assert_eq!(
+            ring_matmul(&a, &b).unwrap(),
+            ring_matmul_reference(&a, &b).unwrap()
+        );
     }
 
     #[test]

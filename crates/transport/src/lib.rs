@@ -46,5 +46,5 @@ mod stats;
 
 pub use channel::{duplex, Endpoint, TransportError};
 pub use network::NetworkModel;
-pub use packing::{pack_bits, packed_len, unpack_bits};
+pub use packing::{pack_bits, pack_bits_reference, packed_len, unpack_bits, unpack_bits_reference};
 pub use stats::{ChannelStats, PhaseStats};

@@ -16,8 +16,19 @@ pub fn packed_len(bits: u32, count: usize) -> usize {
     (count * bits as usize).div_ceil(8)
 }
 
+/// Parallel fan-out threshold for the bit-packed general case, in 8-element
+/// groups (each group is exactly `bits` bytes on the wire).
+const PAR_MIN_GROUPS: usize = 2048;
+
 /// Packs `elems`, each truncated to its low `bits` bits, into a dense
 /// little-endian bit stream.
+///
+/// Widths that are a whole number of bytes (8/16/24/…/64 bits) take a fast
+/// path: each element is a straight copy of its low `bits/8` little-endian
+/// bytes, with no bit shifting. Other widths use the generic bit loop,
+/// fanned out across threads in 8-element groups — 8 elements span exactly
+/// `bits` bytes, so group boundaries are byte-aligned and workers never
+/// share a byte.
 ///
 /// # Panics
 ///
@@ -34,15 +45,76 @@ pub fn packed_len(bits: u32, count: usize) -> usize {
 /// assert_eq!(unpack_bits(&bytes, 10, 3), elems);
 /// ```
 #[must_use]
+#[allow(clippy::cast_possible_truncation)] // low-byte truncation is the packing operation itself
 pub fn pack_bits(elems: &[u64], bits: u32) -> Vec<u8> {
     assert!((1..=64).contains(&bits), "element width must be 1..=64 bits");
-    let mask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
     let mut out = vec![0u8; packed_len(bits, elems.len())];
+    if bits.is_multiple_of(8) {
+        // Byte-aligned fast path: the LSB-first bit stream of a whole-byte
+        // width is exactly the element's low bytes in little-endian order.
+        // Common widths get const-size copies (a variable-length
+        // `copy_from_slice` per element would cost a `memcpy` call each).
+        let width = bits as usize / 8;
+        match width {
+            1 => {
+                for (o, &e) in out.iter_mut().zip(elems) {
+                    *o = e as u8;
+                }
+            }
+            2 => {
+                for (chunk, &e) in out.chunks_exact_mut(2).zip(elems) {
+                    chunk.copy_from_slice(&(e as u16).to_le_bytes());
+                }
+            }
+            4 => {
+                for (chunk, &e) in out.chunks_exact_mut(4).zip(elems) {
+                    chunk.copy_from_slice(&(e as u32).to_le_bytes());
+                }
+            }
+            8 => {
+                for (chunk, &e) in out.chunks_exact_mut(8).zip(elems) {
+                    chunk.copy_from_slice(&e.to_le_bytes());
+                }
+            }
+            _ => {
+                for (chunk, &e) in out.chunks_exact_mut(width).zip(elems) {
+                    for (i, o) in chunk.iter_mut().enumerate() {
+                        *o = (e >> (8 * i)) as u8;
+                    }
+                }
+            }
+        }
+        return out;
+    }
+    let group_bytes = bits as usize; // 8 elements x `bits` bits = `bits` bytes
+    let full_groups = elems.len() / 8;
+    // The grouped fan-out only pays for itself when there is real
+    // parallelism to claim; otherwise run the bit loop in one pass.
+    if full_groups < PAR_MIN_GROUPS || aq2pnn_parallel::max_threads() == 1 {
+        pack_into(elems, bits, &mut out);
+        return out;
+    }
+    let (head, tail) = out.split_at_mut(full_groups * group_bytes);
+    let mut groups: Vec<&mut [u8]> = head.chunks_mut(group_bytes).collect();
+    aq2pnn_parallel::par_chunks_mut(&mut groups, PAR_MIN_GROUPS, |start, chunk| {
+        for (gi, buf) in chunk.iter_mut().enumerate() {
+            let g = start + gi;
+            pack_into(&elems[g * 8..g * 8 + 8], bits, buf);
+        }
+    });
+    // Remainder (< 8 elements) starts on a byte boundary by construction.
+    pack_into(&elems[full_groups * 8..], bits, tail);
+    out
+}
+
+/// Packs a run of elements LSB-first starting at bit 0 of `out`.
+#[inline(always)]
+fn pack_into(elems: &[u64], bits: u32, out: &mut [u8]) {
+    let mask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
     let mut bitpos = 0usize;
     for &e in elems {
-        let e = e & mask;
         let mut remaining = bits as usize;
-        let mut val = e;
+        let mut val = e & mask;
         let mut pos = bitpos;
         while remaining > 0 {
             let byte = pos / 8;
@@ -55,11 +127,14 @@ pub fn pack_bits(elems: &[u64], bits: u32) -> Vec<u8> {
         }
         bitpos += bits as usize;
     }
-    out
 }
 
 /// Unpacks `count` elements of `bits`-bit width from a dense bit stream
 /// produced by [`pack_bits`].
+///
+/// Mirrors the [`pack_bits`] structure: whole-byte widths are straight
+/// little-endian byte reads, other widths decode in parallel 8-element
+/// groups on byte-aligned boundaries.
 ///
 /// # Panics
 ///
@@ -73,9 +148,52 @@ pub fn unpack_bits(bytes: &[u8], bits: u32, count: usize) -> Vec<u64> {
         "buffer of {} bytes too short for {count} x {bits}-bit elements",
         bytes.len()
     );
-    let mut out = Vec::with_capacity(count);
+    if bits.is_multiple_of(8) {
+        let width = bits as usize / 8;
+        let data = &bytes[..count * width];
+        return match width {
+            1 => data.iter().map(|&b| u64::from(b)).collect(),
+            2 => {
+                data.chunks_exact(2).map(|c| u64::from(u16::from_le_bytes([c[0], c[1]]))).collect()
+            }
+            4 => data
+                .chunks_exact(4)
+                .map(|c| u64::from(u32::from_le_bytes([c[0], c[1], c[2], c[3]])))
+                .collect(),
+            8 => data
+                .chunks_exact(8)
+                .map(|c| u64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]))
+                .collect(),
+            _ => data
+                .chunks_exact(width)
+                .map(|c| c.iter().rev().fold(0u64, |acc, &b| (acc << 8) | u64::from(b)))
+                .collect(),
+        };
+    }
+    let mut out = vec![0u64; count];
+    let group_bytes = bits as usize;
+    let full_groups = count / 8;
+    if full_groups < PAR_MIN_GROUPS || aq2pnn_parallel::max_threads() == 1 {
+        unpack_into(bytes, bits, &mut out);
+        return out;
+    }
+    let (head, tail) = out.split_at_mut(full_groups * 8);
+    let mut groups: Vec<&mut [u64]> = head.chunks_mut(8).collect();
+    aq2pnn_parallel::par_chunks_mut(&mut groups, PAR_MIN_GROUPS, |start, chunk| {
+        for (gi, grp) in chunk.iter_mut().enumerate() {
+            let g = start + gi;
+            unpack_into(&bytes[g * group_bytes..(g + 1) * group_bytes], bits, grp);
+        }
+    });
+    unpack_into(&bytes[full_groups * group_bytes..], bits, tail);
+    out
+}
+
+/// Unpacks `out.len()` elements LSB-first starting at bit 0 of `bytes`.
+#[inline(always)]
+fn unpack_into(bytes: &[u8], bits: u32, out: &mut [u64]) {
     let mut bitpos = 0usize;
-    for _ in 0..count {
+    for slot in out {
         let mut val = 0u64;
         let mut got = 0usize;
         let mut pos = bitpos;
@@ -88,9 +206,41 @@ pub fn unpack_bits(bytes: &[u8], bits: u32, count: usize) -> Vec<u64> {
             got += take;
             pos += take;
         }
-        out.push(val);
+        *slot = val;
         bitpos += bits as usize;
     }
+}
+
+/// Reference scalar packer: the generic per-element bit loop with no fast
+/// paths or parallelism. Ground truth for property tests and benches.
+///
+/// # Panics
+///
+/// Panics if `bits` is not in `1..=64`.
+#[must_use]
+pub fn pack_bits_reference(elems: &[u64], bits: u32) -> Vec<u8> {
+    assert!((1..=64).contains(&bits), "element width must be 1..=64 bits");
+    let mut out = vec![0u8; packed_len(bits, elems.len())];
+    pack_into(elems, bits, &mut out);
+    out
+}
+
+/// Reference scalar unpacker matching [`pack_bits_reference`].
+///
+/// # Panics
+///
+/// Panics if `bits` is not in `1..=64` or if `bytes` is too short to hold
+/// `count` elements.
+#[must_use]
+pub fn unpack_bits_reference(bytes: &[u8], bits: u32, count: usize) -> Vec<u64> {
+    assert!((1..=64).contains(&bits), "element width must be 1..=64 bits");
+    assert!(
+        bytes.len() >= packed_len(bits, count),
+        "buffer of {} bytes too short for {count} x {bits}-bit elements",
+        bytes.len()
+    );
+    let mut out = vec![0u64; count];
+    unpack_into(bytes, bits, &mut out);
     out
 }
 
@@ -119,10 +269,29 @@ mod tests {
     fn roundtrip_odd_widths() {
         for bits in [1u32, 3, 7, 12, 13, 14, 16, 24, 33, 63, 64] {
             let mask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
-            let elems: Vec<u64> = (0..17).map(|i| (0x9e3779b97f4a7c15u64.wrapping_mul(i + 1)) & mask).collect();
+            let elems: Vec<u64> =
+                (0..17).map(|i| (0x9e3779b97f4a7c15u64.wrapping_mul(i + 1)) & mask).collect();
             let packed = pack_bits(&elems, bits);
             assert_eq!(packed.len(), packed_len(bits, elems.len()));
             assert_eq!(unpack_bits(&packed, bits, elems.len()), elems, "bits={bits}");
+        }
+    }
+
+    #[test]
+    fn fast_paths_match_reference() {
+        // 61 elements: 7 full 8-element groups plus a 5-element remainder,
+        // so both the grouped and tail code paths are exercised.
+        for bits in [1u32, 2, 5, 8, 11, 14, 16, 23, 24, 31, 32, 40, 48, 56, 63, 64] {
+            let mask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+            let elems: Vec<u64> =
+                (0..61).map(|i| 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i + 7) & mask).collect();
+            let fast = pack_bits(&elems, bits);
+            assert_eq!(fast, pack_bits_reference(&elems, bits), "pack bits={bits}");
+            assert_eq!(
+                unpack_bits(&fast, bits, elems.len()),
+                unpack_bits_reference(&fast, bits, elems.len()),
+                "unpack bits={bits}"
+            );
         }
     }
 

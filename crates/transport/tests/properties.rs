@@ -1,6 +1,9 @@
 //! Property-based tests for the wire format and channel accounting.
 
-use aq2pnn_transport::{duplex, pack_bits, packed_len, unpack_bits, NetworkModel};
+use aq2pnn_transport::{
+    duplex, pack_bits, pack_bits_reference, packed_len, unpack_bits, unpack_bits_reference,
+    NetworkModel,
+};
 use proptest::prelude::*;
 
 proptest! {
@@ -14,6 +17,26 @@ proptest! {
         let packed = pack_bits(&elems, bits);
         prop_assert_eq!(packed.len(), packed_len(bits, elems.len()));
         prop_assert_eq!(unpack_bits(&packed, bits, elems.len()), elems);
+    }
+
+    #[test]
+    fn fast_paths_match_bit_loop_reference(
+        bits in 1u32..=64,
+        raw in proptest::collection::vec(any::<u64>(), 0..200),
+    ) {
+        // The whole-byte-width copies and the parallel 8-element-group
+        // packer must produce the exact byte stream (and recover the exact
+        // elements) of the original single-threaded bit loop, for every
+        // width — including the byte-aligned widths 8/16/24/…/64 that take
+        // the memcpy path and awkward widths straddling group boundaries.
+        let mask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+        let elems: Vec<u64> = raw.iter().map(|&x| x & mask).collect();
+        let packed = pack_bits(&elems, bits);
+        prop_assert_eq!(&packed, &pack_bits_reference(&elems, bits));
+        prop_assert_eq!(
+            unpack_bits(&packed, bits, elems.len()),
+            unpack_bits_reference(&packed, bits, elems.len())
+        );
     }
 
     #[test]

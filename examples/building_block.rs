@@ -31,15 +31,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("② carrier ring Q1 = {q1}, MAC ring Q2 = {q2}\n");
 
     // A 2x4x4 input, one 3x3 conv to 2 channels.
-    let g = ConvGeometry {
-        in_c: 2,
-        out_c: 2,
-        k: 3,
-        stride: 1,
-        pad: 1,
-        in_hw: (4, 4),
-        out_hw: (4, 4),
-    };
+    let g =
+        ConvGeometry { in_c: 2, out_c: 2, k: 3, stride: 1, pad: 1, in_hw: (4, 4), out_hw: (4, 4) };
     let x_vals: Vec<i64> = (0..32).map(|i| (i % 13) - 6).collect();
     let w_vals: Vec<i64> = (0..36).map(|i| ((i * 7) % 9) as i64 - 4).collect();
     let requant = Requant { mult: 77, shift: 8 }; // I_m = 77, I_e = 8 (≈ 0.30)
@@ -110,10 +103,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     assert_eq!(post.to_signed(), expect, "block output must match plaintext");
     println!("\n⑧ ✓ recovered block output matches the plaintext reference");
-    println!(
-        "⑩ block used {} B of communication (party 0)",
-        r0.3.total_bytes()
-    );
+    println!("⑩ block used {} B of communication (party 0)", r0.3.total_bytes());
     Ok(())
 }
-

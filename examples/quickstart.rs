@@ -21,7 +21,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     net.train_epochs(&data, 4, 8, 0.05);
     let float_acc = net.accuracy(data.test());
     let model = QuantModel::quantize(&net, &data.calibration(32), &QuantConfig::int8())?;
-    println!("float accuracy: {:.1}%  (int8 quantized: {:.1}%)", 100.0 * float_acc, 100.0 * model.accuracy(data.test()));
+    println!(
+        "float accuracy: {:.1}%  (int8 quantized: {:.1}%)",
+        100.0 * float_acc,
+        100.0 * model.accuracy(data.test())
+    );
 
     // ---- Joint: one private inference at the paper's 16-bit setting. ----
     let cfg = ProtocolConfig::paper(16);

@@ -1,0 +1,103 @@
+//! Offline stand-in for the `bytes` crate: an immutable, cheaply-clonable
+//! byte buffer covering the subset the transport layer uses (`from`,
+//! `from_static`, `Deref<Target = [u8]>`).
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable byte buffer; clones share the underlying storage.
+#[derive(Clone)]
+pub struct Bytes(Inner);
+
+#[derive(Clone)]
+enum Inner {
+    Static(&'static [u8]),
+    Owned(Arc<[u8]>),
+}
+
+impl Bytes {
+    /// Wraps a static byte slice without copying.
+    #[must_use]
+    pub const fn from_static(bytes: &'static [u8]) -> Self {
+        Bytes(Inner::Static(bytes))
+    }
+
+    /// Number of bytes in the buffer.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// Whether the buffer is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.as_slice().is_empty()
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        match &self.0 {
+            Inner::Static(s) => s,
+            Inner::Owned(o) => o,
+        }
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes(Inner::Owned(v.into()))
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(v: &'static [u8]) -> Self {
+        Bytes::from_static(v)
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({:?})", self.as_slice())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_clone_share() {
+        let b = Bytes::from(vec![1u8, 2, 3]);
+        let c = b.clone();
+        assert_eq!(&b[..], &[1, 2, 3]);
+        assert_eq!(b, c);
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn static_variant() {
+        let b = Bytes::from_static(b"hey");
+        assert_eq!(&b[..], b"hey");
+    }
+}

@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as metadata
+//! on plain-data types — nothing actually serializes through serde traits —
+//! so this shim provides the two derive macros as no-ops. When a future PR
+//! needs real (de)serialization, replace this shim with the real crate or
+//! emit trait impls here.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive: accepts (and ignores) `#[serde(...)]` attrs.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive: accepts (and ignores) `#[serde(...)]` attrs.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

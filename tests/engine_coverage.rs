@@ -16,14 +16,13 @@ fn lenet5_secure_inference_end_to_end() {
     let data = SyntheticVision::mnist_like(77);
     let mut net = FloatNet::init(&zoo::lenet5(), 78).expect("valid spec");
     net.train_epochs(&data, 1, 16, 0.05);
-    let model = QuantModel::quantize(&net, &data.calibration(16), &QuantConfig::int8())
-        .expect("quantizes");
+    let model =
+        QuantModel::quantize(&net, &data.calibration(16), &QuantConfig::int8()).expect("quantizes");
     let cfg = ProtocolConfig::exact(16);
     for s in data.test().iter().take(2) {
         let run = run_two_party(&model, &cfg, &s.image, 0).expect("2pc runs");
-        let reference = model
-            .forward_ring_exact(&s.image, cfg.q1_bits, cfg.q2_bits)
-            .expect("reference");
+        let reference =
+            model.forward_ring_exact(&s.image, cfg.q1_bits, cfg.q2_bits).expect("reference");
         assert_eq!(run.logits, reference);
     }
 }
@@ -35,8 +34,8 @@ fn protocol_mode_matrix_is_function_preserving() {
     let data = SyntheticVision::tiny(4, 88);
     let mut net = FloatNet::init(&zoo::tiny_resnet(4), 89).expect("valid spec");
     net.train_epochs(&data, 1, 8, 0.05);
-    let model = QuantModel::quantize(&net, &data.calibration(8), &QuantConfig::int8())
-        .expect("quantizes");
+    let model =
+        QuantModel::quantize(&net, &data.calibration(8), &QuantConfig::int8()).expect("quantizes");
     let image = &data.test()[0].image;
     let reference = model.forward_ring_exact(image, 16, 32).expect("reference");
     for mode in [ReluMode::RevealedSign, ReluMode::MaskedMux] {
@@ -58,8 +57,8 @@ fn narrow_pipeline_degrades_vs_stay_wide() {
     let data = SyntheticVision::tiny(4, 99);
     let mut net = FloatNet::init(&zoo::tiny_cnn(4), 100).expect("valid spec");
     net.train_epochs(&data, 3, 8, 0.05);
-    let model = QuantModel::quantize(&net, &data.calibration(16), &QuantConfig::int8())
-        .expect("quantizes");
+    let model =
+        QuantModel::quantize(&net, &data.calibration(16), &QuantConfig::int8()).expect("quantizes");
     let n = 10;
     let count_agree = |cfg: &ProtocolConfig| {
         data.test()
@@ -88,8 +87,8 @@ fn real_engine_exhibits_the_carrier_cliff() {
     let data = SyntheticVision::tiny(4, 111);
     let mut net = FloatNet::init(&zoo::tiny_cnn(4), 112).expect("valid spec");
     net.train_epochs(&data, 3, 8, 0.05);
-    let model = QuantModel::quantize(&net, &data.calibration(16), &QuantConfig::int8())
-        .expect("quantizes");
+    let model =
+        QuantModel::quantize(&net, &data.calibration(16), &QuantConfig::int8()).expect("quantizes");
     let n = 8;
     let accuracy_at = |bits: u32| {
         let cfg = ProtocolConfig::exact(bits);
@@ -119,8 +118,8 @@ fn mismatched_party_input_is_rejected() {
 
     let data = SyntheticVision::tiny(4, 5);
     let net = FloatNet::init(&zoo::tiny_cnn(4), 6).expect("valid spec");
-    let model = QuantModel::quantize(&net, &data.calibration(4), &QuantConfig::int8())
-        .expect("quantizes");
+    let model =
+        QuantModel::quantize(&net, &data.calibration(4), &QuantConfig::int8()).expect("quantizes");
     let (e0, _e1) = duplex();
     let mut ctx = PartyContext::new(PartyId::User, e0, ProtocolConfig::paper(16), None);
     // User claiming to be the provider.
@@ -135,8 +134,8 @@ fn runs_are_deterministic() {
     let data = SyntheticVision::tiny(4, 121);
     let mut net = FloatNet::init(&zoo::tiny_cnn(4), 122).expect("valid spec");
     net.train_epochs(&data, 1, 8, 0.05);
-    let model = QuantModel::quantize(&net, &data.calibration(8), &QuantConfig::int8())
-        .expect("quantizes");
+    let model =
+        QuantModel::quantize(&net, &data.calibration(8), &QuantConfig::int8()).expect("quantizes");
     let cfg = ProtocolConfig::paper(16);
     let a = run_two_party(&model, &cfg, &data.test()[0].image, 0).expect("runs");
     let b = run_two_party(&model, &cfg, &data.test()[0].image, 0).expect("runs");
@@ -152,8 +151,8 @@ fn alexnet_geometry_runs_exactly() {
     // Train-free: random init is fine for a bit-exactness check.
     let data = SyntheticVision::generate(4, 1, 28, 28, 32, 8, 0.3, 131);
     let net = FloatNet::init(&zoo::alexnet_mnist(), 132).expect("valid spec");
-    let model = QuantModel::quantize(&net, &data.calibration(8), &QuantConfig::int8())
-        .expect("quantizes");
+    let model =
+        QuantModel::quantize(&net, &data.calibration(8), &QuantConfig::int8()).expect("quantizes");
     let cfg = ProtocolConfig::exact(16);
     let image = &data.test()[0].image;
     let run = run_two_party(&model, &cfg, image, 0).expect("2pc runs");

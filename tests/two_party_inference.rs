@@ -28,9 +28,8 @@ fn exact_mode_is_bit_exact_tiny_cnn() {
     let cfg = ProtocolConfig::exact(16);
     for s in data.test().iter().take(4) {
         let secure = run_two_party(&model, &cfg, &s.image, 0).expect("2pc runs");
-        let reference = model
-            .forward_ring_exact(&s.image, cfg.q1_bits, cfg.q2_bits)
-            .expect("reference runs");
+        let reference =
+            model.forward_ring_exact(&s.image, cfg.q1_bits, cfg.q2_bits).expect("reference runs");
         assert_eq!(secure.logits, reference, "exact 2PC must match the ring reference");
     }
 }
@@ -43,9 +42,8 @@ fn exact_mode_is_bit_exact_tiny_resnet() {
     let cfg = ProtocolConfig::exact(16);
     for s in data.test().iter().take(3) {
         let secure = run_two_party(&model, &cfg, &s.image, 0).expect("2pc runs");
-        let reference = model
-            .forward_ring_exact(&s.image, cfg.q1_bits, cfg.q2_bits)
-            .expect("reference runs");
+        let reference =
+            model.forward_ring_exact(&s.image, cfg.q1_bits, cfg.q2_bits).expect("reference runs");
         assert_eq!(secure.logits, reference);
     }
 }
