@@ -26,9 +26,10 @@
 //! obtains exactly the codes for its own group values and combines them.
 
 use crate::{PartyContext, ProtocolError, ReluMode, ReluRounds};
-use aq2pnn_ot::{recv_batch, send_batch, OtChoice};
+use aq2pnn_ot::{recv_batch, send_batch_flat, OtChoice};
+use aq2pnn_parallel::{par_chunks_mut, par_fill_indexed};
 use aq2pnn_ring::RingTensor;
-use aq2pnn_sharing::a2b::{group_widths, split_groups};
+use aq2pnn_sharing::a2b::{group_widths, split_groups_into};
 use aq2pnn_sharing::{AShare, PartyId};
 
 /// Eq. 6 comparison codes.
@@ -37,6 +38,10 @@ const EQ: u64 = 2;
 const GT: u64 = 3;
 /// Bits per transmitted comparison code.
 const CODE_BITS: u32 = 2;
+/// Minimum per-thread work items for the batched fan-outs: comparison-code
+/// slots on the sender, per-value sign reductions on the receiver.
+const PAR_MIN_SLOTS: usize = 2048;
+const PAR_MIN_VALUES: usize = 1024;
 
 fn code(u_group: u8, slot: u8) -> u64 {
     match u_group.cmp(&slot) {
@@ -53,8 +58,19 @@ fn code(u_group: u8, slot: u8) -> u64 {
 /// groups lexicographically.
 #[must_use]
 pub fn sign_from_codes(codes: &[u64]) -> bool {
-    let sign_cmp = codes[0];
-    let rest = codes[1..].iter().copied().find(|&c| c != EQ).unwrap_or(EQ);
+    sign_from_head_tail(
+        codes[0],
+        codes.get(1).copied().unwrap_or(EQ),
+        codes.get(2..).unwrap_or(&[]),
+    )
+}
+
+/// [`sign_from_codes`] over the split storage of the lazy two-round
+/// schedule: the two quadrant codes live in the head buffer, the remaining
+/// groups (if fetched) in the tail buffer — combined without concatenating.
+fn sign_from_head_tail(sign_cmp: u64, code1: u64, tail: &[u64]) -> bool {
+    let rest =
+        if code1 != EQ { code1 } else { tail.iter().copied().find(|&c| c != EQ).unwrap_or(EQ) };
     if rest == EQ {
         // v_rest == u_rest: x is 0 (same quadrant) or ±2^{ℓ-1} (different
         // quadrant) — never strictly positive.
@@ -110,25 +126,47 @@ pub fn secure_sign(
     debug_assert_eq!(x_q1.ring(), ring, "secure_sign expects Q1 shares");
     let n = x_q1.len();
     let widths = group_widths(ring.bits());
+    let u_cnt = widths.len();
 
     match ctx.id {
         PartyId::User => {
-            // Sender: u = −x_0.
-            let u_groups: Vec<Vec<u8>> = x_q1
-                .as_tensor()
-                .iter()
-                .map(|&x0| split_groups(ring, ring.neg(x0)).iter().map(|g| g.value).collect())
-                .collect();
+            // Sender: u = −x_0, decomposed into one flat n × U group buffer.
+            let mut neg = vec![0u64; n];
+            let x0 = x_q1.as_tensor().as_slice();
+            par_fill_indexed(&mut neg, PAR_MIN_VALUES, |v| ring.neg(x0[v]));
+            let mut u_flat = Vec::new();
+            split_groups_into(ring, &neg, &widths, &mut u_flat);
+            // Flat OT message buffer + arities, reused across rounds.
+            let (mut msgs, mut arity) = (Vec::new(), Vec::new());
             match ctx.cfg.relu_rounds {
                 ReluRounds::Single => {
-                    let batch = sender_batch(&u_groups, &widths, 0, widths.len(), None);
-                    send_batch(&ctx.ep, &ctx.group, &ctx.labels, &batch, CODE_BITS, &mut ctx.rng)?;
+                    fill_sender_codes(
+                        &u_flat, u_cnt, &widths, 0, u_cnt, None, &mut msgs, &mut arity,
+                    );
+                    send_batch_flat(
+                        &ctx.ep,
+                        &ctx.group,
+                        &ctx.labels,
+                        &msgs,
+                        &arity,
+                        CODE_BITS,
+                        &mut ctx.rng,
+                    )?;
                 }
                 ReluRounds::Lazy => {
                     // Round 1: quadrant groups.
-                    let batch = sender_batch(&u_groups, &widths, 0, 2, None);
-                    send_batch(&ctx.ep, &ctx.group, &ctx.labels, &batch, CODE_BITS, &mut ctx.rng)?;
-                    // Receive the undecided bitmap, serve round 2.
+                    fill_sender_codes(&u_flat, u_cnt, &widths, 0, 2, None, &mut msgs, &mut arity);
+                    send_batch_flat(
+                        &ctx.ep,
+                        &ctx.group,
+                        &ctx.labels,
+                        &msgs,
+                        &arity,
+                        CODE_BITS,
+                        &mut ctx.rng,
+                    )?;
+                    // Receive the undecided bitmap, serve round 2. One O(n)
+                    // walk over the bitmap yields the item subset directly.
                     let bitmap = ctx.ep.recv_bits(1, n)?;
                     let undecided: Vec<usize> = bitmap
                         .iter()
@@ -137,13 +175,22 @@ pub fn secure_sign(
                         .map(|(i, _)| i)
                         .collect();
                     if !undecided.is_empty() {
-                        let batch =
-                            sender_batch(&u_groups, &widths, 2, widths.len(), Some(&undecided));
-                        send_batch(
+                        fill_sender_codes(
+                            &u_flat,
+                            u_cnt,
+                            &widths,
+                            2,
+                            u_cnt,
+                            Some(&undecided),
+                            &mut msgs,
+                            &mut arity,
+                        );
+                        send_batch_flat(
                             &ctx.ep,
                             &ctx.group,
                             &ctx.labels,
-                            &batch,
+                            &msgs,
+                            &arity,
                             CODE_BITS,
                             &mut ctx.rng,
                         )?;
@@ -159,15 +206,13 @@ pub fn secure_sign(
             }
         }
         PartyId::ModelProvider => {
-            // Receiver: v = x_1.
-            let v_groups: Vec<Vec<u8>> = x_q1
-                .as_tensor()
-                .iter()
-                .map(|&x1| split_groups(ring, x1).iter().map(|g| g.value).collect())
-                .collect();
+            // Receiver: v = x_1, decomposed into one flat n × U group buffer.
+            let mut v_flat = Vec::new();
+            split_groups_into(ring, x_q1.as_tensor().as_slice(), &widths, &mut v_flat);
+            let mut choices = Vec::new();
             let flags = match ctx.cfg.relu_rounds {
                 ReluRounds::Single => {
-                    let choices = receiver_choices(&v_groups, &widths, 0, widths.len(), None);
+                    fill_receiver_choices(&v_flat, u_cnt, &widths, 0, u_cnt, None, &mut choices);
                     let codes = recv_batch(
                         &ctx.ep,
                         &ctx.group,
@@ -176,11 +221,14 @@ pub fn secure_sign(
                         CODE_BITS,
                         &mut ctx.rng,
                     )?;
-                    let u = widths.len();
-                    (0..n).map(|v| u8::from(sign_from_codes(&codes[v * u..(v + 1) * u]))).collect()
+                    let mut flags = vec![0u8; n];
+                    par_fill_indexed(&mut flags, PAR_MIN_VALUES, |v| {
+                        u8::from(sign_from_codes(&codes[v * u_cnt..(v + 1) * u_cnt]))
+                    });
+                    flags
                 }
                 ReluRounds::Lazy => {
-                    let choices = receiver_choices(&v_groups, &widths, 0, 2, None);
+                    fill_receiver_choices(&v_flat, u_cnt, &widths, 0, 2, None, &mut choices);
                     let head = recv_batch(
                         &ctx.ep,
                         &ctx.group,
@@ -189,17 +237,34 @@ pub fn secure_sign(
                         CODE_BITS,
                         &mut ctx.rng,
                     )?;
-                    let undecided: Vec<usize> = (0..n)
-                        .filter(|&v| !quadrant_decides(head[2 * v], head[2 * v + 1]))
-                        .collect();
-                    let bitmap: Vec<u64> =
-                        (0..n).map(|v| u64::from(undecided.contains(&v))).collect();
+                    // Undecided bitmap (1 = needs round 2) in one parallel
+                    // pass; the subset list and each undecided item's tail
+                    // position follow from one O(n) prefix walk.
+                    let mut bitmap = vec![0u64; n];
+                    par_fill_indexed(&mut bitmap, PAR_MIN_VALUES, |v| {
+                        u64::from(!quadrant_decides(head[2 * v], head[2 * v + 1]))
+                    });
+                    let mut undecided = Vec::new();
+                    let mut tail_pos = vec![0usize; n];
+                    for v in 0..n {
+                        tail_pos[v] = undecided.len();
+                        if bitmap[v] == 1 {
+                            undecided.push(v);
+                        }
+                    }
                     ctx.ep.send_bits(&bitmap, 1)?;
                     let tail = if undecided.is_empty() {
                         Vec::new()
                     } else {
-                        let choices =
-                            receiver_choices(&v_groups, &widths, 2, widths.len(), Some(&undecided));
+                        fill_receiver_choices(
+                            &v_flat,
+                            u_cnt,
+                            &widths,
+                            2,
+                            u_cnt,
+                            Some(&undecided),
+                            &mut choices,
+                        );
                         recv_batch(
                             &ctx.ep,
                             &ctx.group,
@@ -209,17 +274,17 @@ pub fn secure_sign(
                             &mut ctx.rng,
                         )?
                     };
-                    let rest_groups = widths.len() - 2;
-                    let mut flags = Vec::with_capacity(n);
-                    let mut cursor = 0usize;
-                    for v in 0..n {
-                        let mut codes = vec![head[2 * v], head[2 * v + 1]];
-                        if undecided.contains(&v) {
-                            codes.extend_from_slice(&tail[cursor..cursor + rest_groups]);
-                            cursor += rest_groups;
-                        }
-                        flags.push(u8::from(sign_from_codes(&codes)));
-                    }
+                    let rest_groups = u_cnt - 2;
+                    let mut flags = vec![0u8; n];
+                    par_fill_indexed(&mut flags, PAR_MIN_VALUES, |v| {
+                        let tail_codes = if bitmap[v] == 1 {
+                            let at = tail_pos[v] * rest_groups;
+                            &tail[at..at + rest_groups]
+                        } else {
+                            &[][..]
+                        };
+                        u8::from(sign_from_head_tail(head[2 * v], head[2 * v + 1], tail_codes))
+                    });
                     flags
                 }
             };
@@ -232,45 +297,86 @@ pub fn secure_sign(
     }
 }
 
-fn sender_batch(
-    u_groups: &[Vec<u8>],
+/// Builds the sender's comparison-code matrix `M_i` (Fig. 5) for groups
+/// `from..to` of the items in `subset` (all items when `None`) directly
+/// into the reused flat `msgs`/`arity` buffers, laid out item-major →
+/// group-major → slot as [`send_batch_flat`] expects. The per-slot code
+/// evaluation fans out across threads.
+#[allow(clippy::too_many_arguments)]
+fn fill_sender_codes(
+    u_flat: &[u8],
+    u_cnt: usize,
     widths: &[u32],
     from: usize,
     to: usize,
     subset: Option<&[usize]>,
-) -> Vec<Vec<u64>> {
-    let indices: Vec<usize> = match subset {
-        Some(s) => s.to_vec(),
-        None => (0..u_groups.len()).collect(),
-    };
-    let mut batch = Vec::with_capacity(indices.len() * (to - from));
-    for &v in &indices {
-        for g in from..to {
-            let slots = 1usize << widths[g];
-            batch.push((0..slots).map(|l| code(u_groups[v][g], l as u8)).collect());
+    msgs: &mut Vec<u64>,
+    arity: &mut Vec<usize>,
+) {
+    let items = subset.map_or(u_flat.len() / u_cnt, <[usize]>::len);
+    // Slot offset of each group within one item's stride.
+    let mut offs = Vec::with_capacity(to - from + 1);
+    let mut stride = 0usize;
+    offs.push(0);
+    for &w in &widths[from..to] {
+        stride += 1usize << w;
+        offs.push(stride);
+    }
+    arity.clear();
+    for _ in 0..items {
+        for &w in &widths[from..to] {
+            arity.push(1usize << w);
         }
     }
-    batch
+    msgs.clear();
+    msgs.resize(items * stride, 0);
+    // The code row for a group is a fixed function of (width, u value):
+    // `u` times GT, one EQ, then LT to the end of the row. Precomputing the
+    // rows turns the per-slot comparison into a per-group memcpy.
+    let max_w = widths[from..to].iter().max().copied().unwrap_or(0);
+    let row_len = 1usize << max_w;
+    let mut rows = vec![LT; row_len * row_len];
+    for u in 0..row_len {
+        for (l, slot) in rows[u * row_len..(u + 1) * row_len].iter_mut().enumerate() {
+            *slot = code(u as u8, l as u8);
+        }
+    }
+    let mut item_rows: Vec<&mut [u64]> = msgs.chunks_mut(stride).collect();
+    par_chunks_mut(&mut item_rows, PAR_MIN_SLOTS / stride.max(1), |start, chunk| {
+        for (j, slots) in chunk.iter_mut().enumerate() {
+            let v = subset.map_or(start + j, |s| s[start + j]);
+            for g in from..to {
+                let u = u_flat[v * u_cnt + g] as usize;
+                let n = 1usize << widths[g];
+                slots[offs[g - from]..offs[g - from] + n]
+                    .copy_from_slice(&rows[u * row_len..u * row_len + n]);
+            }
+        }
+    });
 }
 
-fn receiver_choices(
-    v_groups: &[Vec<u8>],
+/// Builds the receiver's OT choice list for groups `from..to` of the items
+/// in `subset` (all items when `None`) from the flat group buffer, reusing
+/// `choices`' allocation.
+fn fill_receiver_choices(
+    v_flat: &[u8],
+    u_cnt: usize,
     widths: &[u32],
     from: usize,
     to: usize,
     subset: Option<&[usize]>,
-) -> Vec<OtChoice> {
-    let indices: Vec<usize> = match subset {
-        Some(s) => s.to_vec(),
-        None => (0..v_groups.len()).collect(),
-    };
-    let mut choices = Vec::with_capacity(indices.len() * (to - from));
-    for &v in &indices {
+    choices: &mut Vec<OtChoice>,
+) {
+    let items = subset.map_or(v_flat.len() / u_cnt, <[usize]>::len);
+    choices.clear();
+    choices.reserve(items * (to - from));
+    for item in 0..items {
+        let v = subset.map_or(item, |s| s[item]);
         for g in from..to {
-            choices.push(OtChoice { choice: v_groups[v][g] as usize, n: 1usize << widths[g] });
+            choices
+                .push(OtChoice { choice: v_flat[v * u_cnt + g] as usize, n: 1usize << widths[g] });
         }
     }
-    choices
 }
 
 /// OT-based multiplexer: computes fresh shares of `s·x` where the receiver
@@ -297,15 +403,29 @@ pub fn mux_by_receiver(
     match ctx.id {
         PartyId::User => {
             assert!(flags.is_none(), "party 0 must not hold the selection bits");
-            // Messages per element: m_b = b·x0 − r.
+            // Messages per element: m_b = b·x0 − r, built as one flat
+            // two-slot-per-item buffer.
             let r = RingTensor::random(ring, vec![n], &mut ctx.rng);
-            let batch: Vec<Vec<u64>> = x
-                .as_tensor()
-                .iter()
-                .zip(r.iter())
-                .map(|(&x0, &ri)| vec![ring.neg(ri), ring.sub(x0, ri)])
-                .collect();
-            send_batch(&ctx.ep, &ctx.group, &ctx.labels, &batch, ring.bits(), &mut ctx.rng)?;
+            let (x0, rs) = (x.as_tensor().as_slice(), r.as_slice());
+            let mut msgs = vec![0u64; 2 * n];
+            par_fill_indexed(&mut msgs, PAR_MIN_SLOTS, |idx| {
+                let (k, b) = (idx / 2, idx % 2);
+                if b == 0 {
+                    ring.neg(rs[k])
+                } else {
+                    ring.sub(x0[k], rs[k])
+                }
+            });
+            let arity = vec![2usize; n];
+            send_batch_flat(
+                &ctx.ep,
+                &ctx.group,
+                &ctx.labels,
+                &msgs,
+                &arity,
+                ring.bits(),
+                &mut ctx.rng,
+            )?;
             Ok(AShare::from_tensor(r))
         }
         PartyId::ModelProvider => {
@@ -315,16 +435,12 @@ pub fn mux_by_receiver(
             let got =
                 recv_batch(&ctx.ep, &ctx.group, &ctx.labels, &choices, ring.bits(), &mut ctx.rng)?;
             // y1 = s·x1 + (s·x0 − r).
-            let data: Vec<u64> = x
-                .as_tensor()
-                .iter()
-                .zip(flags)
-                .zip(got)
-                .map(|((&x1, &s), w)| {
-                    let sx1 = if s == 1 { x1 } else { 0 };
-                    ring.add(sx1, w)
-                })
-                .collect();
+            let x1s = x.as_tensor().as_slice();
+            let mut data = vec![0u64; n];
+            par_fill_indexed(&mut data, PAR_MIN_VALUES, |k| {
+                let sx1 = if flags[k] == 1 { x1s[k] } else { 0 };
+                ring.add(sx1, got[k])
+            });
             Ok(AShare::from_tensor(RingTensor::from_raw(ring, vec![n], data)?))
         }
     }
@@ -376,6 +492,7 @@ mod tests {
     use crate::sim::run_pair;
     use crate::ProtocolConfig;
     use aq2pnn_ring::Ring;
+    use aq2pnn_sharing::a2b::split_groups;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

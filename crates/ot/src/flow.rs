@@ -1,10 +1,33 @@
 //! The four-step OT-flow of paper Fig. 4 / Eqs. 2–5.
+//!
+//! ## Batched hot path
+//!
+//! The per-slot sender masks `r̂_i^{e2l(t)}` depend only on the slot index
+//! `t`, never on the batch item — they are computed **once per batch** into
+//! a key cache instead of once per item. The remaining per-item work (the
+//! `(R_k ⊕ r̂_i^{e2l(t)})^{r_i}` encryption powers on the sender, the mask
+//! rows and `r̂_i^{r_j}` decryption keys on the receiver) is pure and
+//! independent across items, so it fans out across threads via
+//! `aq2pnn-parallel` in contiguous chunks. All randomness is drawn
+//! *serially before* the fan-out and every output slot is written by
+//! exactly one thread, so results are bit-identical at any thread count and
+//! the wire traffic (bytes, messages, rounds) never changes.
+//!
+//! [`send_batch_flat`] is the allocation-lean entry point: callers hand one
+//! flat slot buffer plus per-item arities instead of a `Vec` per item.
 
 use crate::{LabelTable, OtGroup};
+use aq2pnn_parallel::par_fill_indexed;
 use aq2pnn_transport::{Endpoint, TransportError};
 use rand::Rng;
 use std::error::Error;
 use std::fmt;
+
+/// Minimum encrypted slots each worker thread must have to justify a spawn
+/// (one slot = one group exponentiation + XOR).
+const PAR_MIN_SLOTS: usize = 512;
+/// Minimum batch items per worker for the per-item mask/key passes.
+const PAR_MIN_ITEMS: usize = 256;
 
 /// Errors surfaced by the OT-flow.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -65,18 +88,21 @@ pub struct OtChoice {
     pub n: usize,
 }
 
+/// The per-batch key cache: `r̂^{e2l(t)}` for every slot index `t` that
+/// appears in the batch. Eliminates the per-item recomputation of the
+/// label powers — they depend only on `t`.
+fn label_powers(group: &OtGroup, labels: &LabelTable, r_hat: u64, slots: usize) -> Vec<u64> {
+    (0..slots).map(|t| group.pow(r_hat, labels.e2l(t))).collect()
+}
+
 /// Sender side of a batched `(1, N)`-OT (party *i* of paper Sec. 4.3.1).
 ///
 /// `batch[k]` is the message list of item `k`; messages are `msg_bits`-bit
 /// values (the comparison codes of Eq. 6 use 2 bits). The call blocks until
 /// the peer runs [`recv_batch`] with matching batch geometry.
 ///
-/// Following paper Eqs. 2–4 the sender
-/// ① publishes `r̂_i = g^{r_i}`, ③ receives the receiver's mask matrix `R`
-/// and encrypts slot `t` of item `k` under
-/// `K_t = (R_k ⊕ r̂_i^{e2l(t)})^{r_i}` — the parenthesisation that makes
-/// Eq. 4 unmask correctly (`R_k ⊕ r̂_i^{e2l(choice)} = g^{r_j}` when
-/// `t = choice`, hence `K_choice = g^{r_i·r_j} = KEY_j` of Eq. 5).
+/// Convenience wrapper over [`send_batch_flat`] for callers holding nested
+/// message lists.
 ///
 /// # Errors
 ///
@@ -90,37 +116,108 @@ pub fn send_batch<R: Rng + ?Sized>(
     msg_bits: u32,
     rng: &mut R,
 ) -> Result<(), OtError> {
-    for msgs in batch {
-        if msgs.len() > labels.len() {
-            return Err(OtError::SlotCountExceedsLabels { n: msgs.len(), labels: labels.len() });
+    let arity: Vec<usize> = batch.iter().map(Vec::len).collect();
+    let msgs: Vec<u64> = batch.iter().flatten().copied().collect();
+    send_batch_flat(ep, group, labels, &msgs, &arity, msg_bits, rng)
+}
+
+/// Sender side of a batched `(1, N)`-OT over one flat slot buffer: item `k`
+/// owns the `arity[k]` consecutive slots of `msgs` after its predecessors —
+/// the allocation-lean layout the nonlinear engine builds directly.
+///
+/// Following paper Eqs. 2–4 the sender
+/// ① publishes `r̂_i = g^{r_i}`, ③ receives the receiver's mask matrix `R`
+/// and encrypts slot `t` of item `k` under
+/// `K_t = (R_k ⊕ r̂_i^{e2l(t)})^{r_i}` — the parenthesisation that makes
+/// Eq. 4 unmask correctly (`R_k ⊕ r̂_i^{e2l(choice)} = g^{r_j}` when
+/// `t = choice`, hence `K_choice = g^{r_i·r_j} = KEY_j` of Eq. 5).
+///
+/// The label powers `r̂_i^{e2l(t)}` are cached once per batch and the
+/// per-slot encryption fans out across threads; outputs and wire traffic
+/// are identical at every thread count.
+///
+/// # Errors
+///
+/// Returns [`OtError`] on channel failure or if any item offers more slots
+/// than the label table covers.
+///
+/// # Panics
+///
+/// Panics if `arity` does not sum to `msgs.len()`.
+pub fn send_batch_flat<R: Rng + ?Sized>(
+    ep: &Endpoint,
+    group: &OtGroup,
+    labels: &LabelTable,
+    msgs: &[u64],
+    arity: &[usize],
+    msg_bits: u32,
+    rng: &mut R,
+) -> Result<(), OtError> {
+    let mut max_slots = 0usize;
+    let mut total = 0usize;
+    for &n in arity {
+        if n > labels.len() {
+            return Err(OtError::SlotCountExceedsLabels { n, labels: labels.len() });
         }
+        max_slots = max_slots.max(n);
+        total += n;
     }
+    assert_eq!(total, msgs.len(), "arity must sum to the flat slot count");
     let ebits = group.element_bits();
     // Step ①: r̂_i = g^{r_i}.
     let r_i = group.sample_exponent(rng);
     let r_hat = group.pow_g(r_i);
     ep.send_bits(&[r_hat], ebits)?;
 
-    // Step ③: receive R, encrypt every slot of every item.
-    let r_matrix = ep.recv_bits(ebits, batch.len())?;
+    // Step ③: receive R, encrypt every slot of every item. The slot mask
+    // powers are per-batch (key cache); the per-slot `(·)^{r_i}` encryption
+    // keys are item-independent work fanned out across threads over the
+    // flat output buffer.
+    let r_matrix = ep.recv_bits(ebits, arity.len())?;
+    let slot_pows = label_powers(group, labels, r_hat, max_slots);
+    let offsets = item_offsets(arity);
     let msg_mask = if msg_bits == 64 { u64::MAX } else { (1u64 << msg_bits) - 1 };
-    let mut enc = Vec::with_capacity(batch.iter().map(Vec::len).sum());
-    for (k, msgs) in batch.iter().enumerate() {
-        for (t, &m) in msgs.iter().enumerate() {
-            let unmasked = r_matrix[k] ^ group.pow(r_hat, labels.e2l(t));
-            let key = group.pow(unmasked, r_i);
-            enc.push((m ^ key) & msg_mask);
+    let mut enc = vec![0u64; msgs.len()];
+    aq2pnn_parallel::par_chunks_mut(&mut enc, PAR_MIN_SLOTS, |start, chunk| {
+        // First item whose slot range covers `start`, then a cursor walk.
+        let mut k = offsets.partition_point(|&o| o <= start) - 1;
+        for (j, slot) in chunk.iter_mut().enumerate() {
+            let idx = start + j;
+            while idx >= offsets[k + 1] {
+                k += 1;
+            }
+            let t = idx - offsets[k];
+            let key = group.pow(r_matrix[k] ^ slot_pows[t], r_i);
+            *slot = (msgs[idx] ^ key) & msg_mask;
         }
-    }
+    });
     ep.send_bits(&enc, msg_bits)?;
     Ok(())
+}
+
+/// Exclusive prefix sums of `arity` (with a trailing total), mapping item
+/// `k` to its slot range `offsets[k]..offsets[k+1]` in the flat buffer.
+fn item_offsets(arity: &[usize]) -> Vec<usize> {
+    let mut offsets = Vec::with_capacity(arity.len() + 1);
+    let mut acc = 0usize;
+    offsets.push(0);
+    for &n in arity {
+        acc += n;
+        offsets.push(acc);
+    }
+    offsets
 }
 
 /// Receiver side of a batched `(1, N)`-OT (party *j*).
 ///
 /// Learns exactly `batch[k].choice` for each item and nothing else; the
 /// sender learns nothing about the choices. Blocks until the peer runs
-/// [`send_batch`] with matching geometry.
+/// [`send_batch`] / [`send_batch_flat`] with matching geometry.
+///
+/// The choice-label powers `r̂_i^{e2l(c)}` are cached once per batch; mask
+/// construction (Eq. 2) and slot decryption (Eq. 5) fan out across threads
+/// after all `r_j` randomness is drawn serially, keeping outputs and wire
+/// traffic thread-count-independent.
 ///
 /// # Errors
 ///
@@ -133,6 +230,7 @@ pub fn recv_batch<R: Rng + ?Sized>(
     msg_bits: u32,
     rng: &mut R,
 ) -> Result<Vec<u64>, OtError> {
+    let mut max_slots = 0usize;
     for c in batch {
         if c.n > labels.len() {
             return Err(OtError::SlotCountExceedsLabels { n: c.n, labels: labels.len() });
@@ -140,31 +238,44 @@ pub fn recv_batch<R: Rng + ?Sized>(
         if c.choice >= c.n {
             return Err(OtError::ChoiceOutOfRange { choice: c.choice, n: c.n });
         }
+        max_slots = max_slots.max(c.n);
     }
     let ebits = group.element_bits();
     // Step ①: receive r̂_i.
     let r_hat = ep.recv_bits(ebits, 1)?[0];
 
-    // Step ②: R_k = r̂_i^{e2l(choice_k)} ⊕ g^{r_j(k)}  (Eq. 2).
+    // Step ②: R_k = r̂_i^{e2l(choice_k)} ⊕ g^{r_j(k)}  (Eq. 2). Randomness
+    // first (serial, deterministic draw order), then the pure mask math in
+    // parallel.
     let r_j: Vec<u64> = batch.iter().map(|_| group.sample_exponent(rng)).collect();
-    let r_matrix: Vec<u64> = batch
-        .iter()
-        .zip(&r_j)
-        .map(|(c, &rj)| group.pow(r_hat, labels.e2l(c.choice)) ^ group.pow_g(rj))
-        .collect();
+    let choice_pows = label_powers(group, labels, r_hat, max_slots);
+    let mut r_matrix = vec![0u64; batch.len()];
+    par_fill_indexed(&mut r_matrix, PAR_MIN_ITEMS, |k| {
+        choice_pows[batch[k].choice] ^ group.pow_g(r_j[k])
+    });
     ep.send_bits(&r_matrix, ebits)?;
 
     // Step ④: decrypt the chosen slot with KEY_j = r̂_i^{r_j}  (Eq. 5).
-    let total: usize = batch.iter().map(|c| c.n).sum();
-    let enc = ep.recv_bits(msg_bits, total)?;
+    // Only one slot per item is ever used, so the chosen slots are pulled
+    // straight out of the packed wire bytes instead of unpacking the
+    // sender's entire code matrix.
+    let arity: Vec<usize> = batch.iter().map(|c| c.n).collect();
+    let offsets = item_offsets(&arity);
+    let total = offsets[offsets.len() - 1];
+    let enc_bytes = ep.recv()?;
+    assert!(
+        enc_bytes.len() >= aq2pnn_transport::packed_len(msg_bits, total),
+        "short OT ciphertext message: {} bytes for {total} x {msg_bits}-bit slots",
+        enc_bytes.len()
+    );
     let msg_mask = if msg_bits == 64 { u64::MAX } else { (1u64 << msg_bits) - 1 };
-    let mut out = Vec::with_capacity(batch.len());
-    let mut offset = 0usize;
-    for (k, c) in batch.iter().enumerate() {
+    let mut out = vec![0u64; batch.len()];
+    par_fill_indexed(&mut out, PAR_MIN_ITEMS, |k| {
         let key = group.pow(r_hat, r_j[k]);
-        out.push((enc[offset + c.choice] ^ key) & msg_mask);
-        offset += c.n;
-    }
+        let slot =
+            aq2pnn_transport::unpack_bits_at(&enc_bytes, msg_bits, offsets[k] + batch[k].choice);
+        (slot ^ key) & msg_mask
+    });
     Ok(out)
 }
 
@@ -228,6 +339,29 @@ mod tests {
             OtChoice { choice: 0, n: 2 },
         ];
         assert_eq!(run_ot(&g, &t, batch, choices, 8), vec![20, 3, 7]);
+    }
+
+    /// The nested and flat sender entry points produce byte-identical wire
+    /// transcripts given the same randomness.
+    #[test]
+    fn flat_and_nested_senders_agree() {
+        let (g, t) = setup(12, 4);
+        let batch = vec![vec![10u64, 20], vec![1, 2, 3, 0], vec![7, 8]];
+        let choices = vec![
+            OtChoice { choice: 1, n: 2 },
+            OtChoice { choice: 2, n: 4 },
+            OtChoice { choice: 0, n: 2 },
+        ];
+        let flat: Vec<u64> = batch.iter().flatten().copied().collect();
+        let arity: Vec<usize> = batch.iter().map(Vec::len).collect();
+        let (a, b) = duplex();
+        let (g2, t2) = (g.clone(), t.clone());
+        let h = std::thread::spawn(move || {
+            send_batch_flat(&a, &g2, &t2, &flat, &arity, 8, &mut StdRng::seed_from_u64(1)).unwrap();
+        });
+        let out = recv_batch(&b, &g, &t, &choices, 8, &mut StdRng::seed_from_u64(2)).unwrap();
+        h.join().unwrap();
+        assert_eq!(out, run_ot(&g, &t, batch, choices, 8));
     }
 
     #[test]

@@ -57,6 +57,6 @@ mod flow;
 mod group;
 mod labels;
 
-pub use flow::{recv_batch, send_batch, OtChoice, OtError};
-pub use group::OtGroup;
+pub use flow::{recv_batch, send_batch, send_batch_flat, OtChoice, OtError};
+pub use group::{lut_fallback_hits, OtGroup};
 pub use labels::LabelTable;

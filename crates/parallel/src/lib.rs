@@ -61,6 +61,22 @@ where
     });
 }
 
+/// Overwrites every slot of `out` with `f(index)` across the worker pool —
+/// the fill counterpart of [`par_chunks_mut`] for kernels whose output is
+/// a pure function of the slot index (OT mask rows, decryption keys,
+/// comparison-code matrices). Deterministic and bit-identical at any
+/// thread count.
+pub fn par_fill_indexed<T: Send, F>(out: &mut [T], min_chunk: usize, f: F)
+where
+    F: Fn(usize) -> T + Sync,
+{
+    par_chunks_mut(out, min_chunk, |start, chunk| {
+        for (j, slot) in chunk.iter_mut().enumerate() {
+            *slot = f(start + j);
+        }
+    });
+}
+
 /// Runs `f(index)` for every index in `0..n` across the worker pool and
 /// collects the results in order. Used when the work items produce owned
 /// values rather than writing into a shared output slice.
@@ -106,6 +122,13 @@ mod tests {
     fn empty_input_is_fine() {
         let mut data: Vec<u32> = Vec::new();
         par_chunks_mut(&mut data, 8, |_, _| {});
+    }
+
+    #[test]
+    fn fill_indexed_overwrites_every_slot() {
+        let mut data = vec![u64::MAX; 4097];
+        par_fill_indexed(&mut data, 8, |i| (i as u64) * 3);
+        assert!(data.iter().enumerate().all(|(i, &v)| v == i as u64 * 3));
     }
 
     #[test]

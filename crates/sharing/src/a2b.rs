@@ -67,6 +67,40 @@ pub fn split_groups(ring: Ring, x: u64) -> Vec<BitGroup> {
     groups
 }
 
+/// Splits every element of `xs` into its MSB-first group *values*, written
+/// as one flat row-major `xs.len() × widths.len()` buffer into `out`
+/// (reusing its allocation) — the allocation-lean A2BM entry point of the
+/// batched nonlinear engine. `widths` must be `group_widths(ring.bits())`
+/// (passed in so callers amortize it across rounds).
+///
+/// Equivalent to `split_groups(ring, xs[v])[g].value` at `out[v * U + g]`,
+/// without the two per-element `Vec`s. The fill fans out across threads;
+/// output is bit-identical at any thread count.
+///
+/// # Panics
+///
+/// Panics if `widths` does not sum to the ring's bit-length.
+pub fn split_groups_into(ring: Ring, xs: &[u64], widths: &[u32], out: &mut Vec<u8>) {
+    let total: u32 = widths.iter().sum();
+    assert_eq!(total, ring.bits(), "group widths must sum to the ring width");
+    let u = widths.len();
+    // Per-group shift/mask, precomputed once per batch.
+    let mut shifts = [0u32; 64];
+    let mut masks = [0u8; 64];
+    let mut consumed = 0u32;
+    for (g, &w) in widths.iter().enumerate() {
+        consumed += w;
+        shifts[g] = ring.bits() - consumed;
+        masks[g] = ((1u16 << w) - 1) as u8;
+    }
+    out.clear();
+    out.resize(xs.len() * u, 0);
+    aq2pnn_parallel::par_fill_indexed(out, 4096, |idx| {
+        let (v, g) = (idx / u, idx % u);
+        ((xs[v] >> shifts[g]) as u8) & masks[g]
+    });
+}
+
 /// Reassembles groups produced by [`split_groups`] back into a ring element.
 ///
 /// # Panics
@@ -138,6 +172,46 @@ mod tests {
                 assert_eq!(join_groups(q, &split_groups(q, x)), x, "bits={bits} x={x}");
             }
         }
+    }
+
+    #[test]
+    fn flat_split_matches_per_element_split() {
+        for bits in [2u32, 6, 8, 13, 16] {
+            let q = Ring::new(bits);
+            let xs: Vec<u64> = (0..997u64).map(|i| (i * 2654435761) & q.mask()).collect();
+            let widths = group_widths(bits);
+            let mut flat = Vec::new();
+            split_groups_into(q, &xs, &widths, &mut flat);
+            assert_eq!(flat.len(), xs.len() * widths.len());
+            for (v, &x) in xs.iter().enumerate() {
+                let expect: Vec<u8> = split_groups(q, x).iter().map(|g| g.value).collect();
+                assert_eq!(
+                    &flat[v * widths.len()..(v + 1) * widths.len()],
+                    &expect[..],
+                    "bits={bits} v={v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn flat_split_reuses_buffer() {
+        let q = Ring::new(8);
+        let widths = group_widths(8);
+        let mut buf = vec![7u8; 1000];
+        split_groups_into(q, &[0x5a, 0xff], &widths, &mut buf);
+        assert_eq!(buf.len(), 2 * widths.len());
+        assert_eq!(
+            join_groups(
+                q,
+                &buf[..widths.len()]
+                    .iter()
+                    .zip(&widths)
+                    .map(|(&value, &width)| BitGroup { width, value })
+                    .collect::<Vec<_>>()
+            ),
+            0x5a
+        );
     }
 
     #[test]

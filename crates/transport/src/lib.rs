@@ -44,7 +44,10 @@ mod network;
 mod packing;
 mod stats;
 
+pub use bytes::Bytes;
 pub use channel::{duplex, Endpoint, TransportError};
 pub use network::NetworkModel;
-pub use packing::{pack_bits, pack_bits_reference, packed_len, unpack_bits, unpack_bits_reference};
+pub use packing::{
+    pack_bits, pack_bits_reference, packed_len, unpack_bits, unpack_bits_at, unpack_bits_reference,
+};
 pub use stats::{ChannelStats, PhaseStats};

@@ -86,6 +86,21 @@ pub fn pack_bits(elems: &[u64], bits: u32) -> Vec<u8> {
         }
         return out;
     }
+    if bits < 8 && (8 % bits) == 0 {
+        // Sub-byte divisor widths (1/2/4 bits: bitmaps and the Eq. 6
+        // comparison codes): each byte holds exactly `8/bits` elements,
+        // packed LSB-first with no cross-byte straddling.
+        let per = (8 / bits) as usize;
+        let mask = (1u8 << bits) - 1;
+        for (o, chunk) in out.iter_mut().zip(elems.chunks(per)) {
+            let mut b = 0u8;
+            for (j, &e) in chunk.iter().enumerate() {
+                b |= (e as u8 & mask) << (j as u32 * bits);
+            }
+            *o = b;
+        }
+        return out;
+    }
     let group_bytes = bits as usize; // 8 elements x `bits` bits = `bits` bytes
     let full_groups = elems.len() / 8;
     // The grouped fan-out only pays for itself when there is real
@@ -170,6 +185,17 @@ pub fn unpack_bits(bytes: &[u8], bits: u32, count: usize) -> Vec<u64> {
                 .collect(),
         };
     }
+    if bits < 8 && (8 % bits) == 0 {
+        let per = (8 / bits) as usize;
+        let mask = (1u8 << bits) - 1;
+        let mut out = vec![0u64; count];
+        for (chunk, &b) in out.chunks_mut(per).zip(bytes) {
+            for (j, slot) in chunk.iter_mut().enumerate() {
+                *slot = u64::from((b >> (j as u32 * bits)) & mask);
+            }
+        }
+        return out;
+    }
     let mut out = vec![0u64; count];
     let group_bytes = bits as usize;
     let full_groups = count / 8;
@@ -209,6 +235,41 @@ fn unpack_into(bytes: &[u8], bits: u32, out: &mut [u64]) {
         *slot = val;
         bitpos += bits as usize;
     }
+}
+
+/// Extracts the single element at position `index` from a bit stream
+/// produced by [`pack_bits`], without unpacking the rest.
+///
+/// This is the OT receiver's obliviousness dividend: of the `Σ n_k`
+/// encrypted slots on the wire it decrypts exactly one per item, so
+/// unpacking all of them is wasted work proportional to the *sender's*
+/// batch size.
+///
+/// # Panics
+///
+/// Panics if `bits` is not in `1..=64` or the stream is too short to
+/// contain element `index`.
+#[must_use]
+pub fn unpack_bits_at(bytes: &[u8], bits: u32, index: usize) -> u64 {
+    assert!((1..=64).contains(&bits), "element width must be 1..=64 bits");
+    assert!(
+        bytes.len() >= packed_len(bits, index + 1),
+        "buffer of {} bytes too short for element {index} at {bits} bits",
+        bytes.len()
+    );
+    let mut val = 0u64;
+    let mut got = 0usize;
+    let mut pos = index * bits as usize;
+    while got < bits as usize {
+        let byte = pos / 8;
+        let off = pos % 8;
+        let take = (8 - off).min(bits as usize - got);
+        let chunk = (bytes[byte] >> off) as u64 & ((1u64 << take) - 1);
+        val |= chunk << got;
+        got += take;
+        pos += take;
+    }
+    val
 }
 
 /// Reference scalar packer: the generic per-element bit loop with no fast
@@ -292,6 +353,19 @@ mod tests {
                 unpack_bits_reference(&fast, bits, elems.len()),
                 "unpack bits={bits}"
             );
+        }
+    }
+
+    #[test]
+    fn unpack_at_matches_full_unpack() {
+        for bits in [1u32, 2, 3, 4, 7, 12, 13, 16, 33, 63, 64] {
+            let mask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+            let elems: Vec<u64> =
+                (0..23).map(|i| 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i + 3) & mask).collect();
+            let packed = pack_bits(&elems, bits);
+            for (i, &e) in elems.iter().enumerate() {
+                assert_eq!(unpack_bits_at(&packed, bits, i), e, "bits={bits} index={i}");
+            }
         }
     }
 
