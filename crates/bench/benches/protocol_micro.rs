@@ -36,10 +36,10 @@ fn bench_ring(c: &mut Criterion) {
                 acc = q.mul(acc, black_box(x));
             }
             acc
-        })
+        });
     });
     c.bench_function("ring/decode_signed_4096", |b| {
-        b.iter(|| xs.iter().map(|&x| q.decode_signed(black_box(x))).sum::<i64>())
+        b.iter(|| xs.iter().map(|&x| q.decode_signed(black_box(x))).sum::<i64>());
     });
 }
 
@@ -50,7 +50,7 @@ fn bench_packing(c: &mut Criterion) {
     c.bench_function("transport/pack_14bit_4096", |b| b.iter(|| pack_bits(black_box(&elems), 14)));
     let packed = pack_bits(&elems, 14);
     c.bench_function("transport/unpack_14bit_4096", |b| {
-        b.iter(|| unpack_bits(black_box(&packed), 14, 4096))
+        b.iter(|| unpack_bits(black_box(&packed), 14, 4096));
     });
 }
 
@@ -71,7 +71,7 @@ fn bench_ot(c: &mut Criterion) {
                 .unwrap();
             h.join().unwrap();
             got
-        })
+        });
     });
 }
 
@@ -94,7 +94,7 @@ fn bench_gemm(c: &mut Criterion) {
                     };
                     secure_matmul(ctx, &x, &w).unwrap()
                 })
-            })
+            });
         });
     }
 }
@@ -116,7 +116,7 @@ fn bench_abrelu(c: &mut Criterion) {
                     };
                     abrelu(ctx, &mine).unwrap()
                 })
-            })
+            });
         });
     }
 }
@@ -132,7 +132,7 @@ fn bench_gc(c: &mut Criterion) {
             let labels = select_input_labels(&garbled, &inputs);
             let out = evaluate(&circ, &garbled, &labels);
             decode_with(&circ, &garbled, &out)
-        })
+        });
     });
 }
 
@@ -146,10 +146,10 @@ fn bench_inference(c: &mut Criterion) {
     let mut group = c.benchmark_group("inference");
     group.sample_size(10);
     group.bench_function("tiny_cnn_2pc_full", |b| {
-        b.iter(|| run_two_party(&model, &cfg, &image, 0).unwrap())
+        b.iter(|| run_two_party(&model, &cfg, &image, 0).unwrap());
     });
     group.bench_function("tiny_cnn_plaintext_int8", |b| {
-        b.iter(|| model.forward(black_box(&image)).unwrap())
+        b.iter(|| model.forward(black_box(&image)).unwrap());
     });
     group.finish();
 }

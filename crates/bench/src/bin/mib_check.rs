@@ -18,7 +18,7 @@ fn main() {
         for prefix in ["conv", "fc", "abrelu", "maxpool", "output"] {
             let b = p.bytes_for_phase_prefix(prefix) as f64 / (1024.0 * 1024.0);
             if b > 0.005 {
-                println!("    {:<9} {:>9.2} MiB", prefix, b);
+                println!("    {prefix:<9} {b:>9.2} MiB");
             }
         }
     }

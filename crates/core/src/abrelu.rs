@@ -28,7 +28,7 @@
 use crate::{PartyContext, ProtocolError, ReluMode, ReluRounds};
 use aq2pnn_ot::{recv_batch, send_batch_flat, OtChoice};
 use aq2pnn_parallel::{par_chunks_mut, par_fill_indexed};
-use aq2pnn_ring::RingTensor;
+use aq2pnn_ring::{ct, RingTensor};
 use aq2pnn_sharing::a2b::{group_widths, split_groups_into};
 use aq2pnn_sharing::{AShare, PartyId};
 
@@ -43,12 +43,11 @@ const CODE_BITS: u32 = 2;
 const PAR_MIN_SLOTS: usize = 2048;
 const PAR_MIN_VALUES: usize = 1024;
 
+/// Eq. 6 comparison code for one group, branch-free: the sender's group
+/// value is a function of its secret share, so the code table build must
+/// not branch on it.
 fn code(u_group: u8, slot: u8) -> u64 {
-    match u_group.cmp(&slot) {
-        std::cmp::Ordering::Less => LT,
-        std::cmp::Ordering::Equal => EQ,
-        std::cmp::Ordering::Greater => GT,
-    }
+    ct::cmp_code(u64::from(u_group), u64::from(slot))
 }
 
 /// Combines per-group comparison codes (`cmp(u_g, v_g)`, MSB-first) into
@@ -58,31 +57,31 @@ fn code(u_group: u8, slot: u8) -> u64 {
 /// groups lexicographically.
 #[must_use]
 pub fn sign_from_codes(codes: &[u64]) -> bool {
-    sign_from_head_tail(
-        codes[0],
-        codes.get(1).copied().unwrap_or(EQ),
-        codes.get(2..).unwrap_or(&[]),
-    )
+    // secrecy: allow(secret-compare, "`== 1` on a {0,1} word lowers to a flag set, not a branch; the bool is the protocol output handed to the caller")
+    sign_flag(codes[0], codes.get(1).copied().unwrap_or(EQ), codes.get(2..).unwrap_or(&[])) == 1
 }
 
 /// [`sign_from_codes`] over the split storage of the lazy two-round
 /// schedule: the two quadrant codes live in the head buffer, the remaining
 /// groups (if fetched) in the tail buffer — combined without concatenating.
-fn sign_from_head_tail(sign_cmp: u64, code1: u64, tail: &[u64]) -> bool {
-    let rest =
-        if code1 != EQ { code1 } else { tail.iter().copied().find(|&c| c != EQ).unwrap_or(EQ) };
-    if rest == EQ {
-        // v_rest == u_rest: x is 0 (same quadrant) or ±2^{ℓ-1} (different
-        // quadrant) — never strictly positive.
-        return false;
+///
+/// Branch-free: the codes are derived from both parties' secret shares, so
+/// the combination runs the same instruction trace for every input and
+/// returns the positivity as a `{0, 1}` word. The scan visits *every* tail
+/// group rather than stopping at the first non-`EQ` code — a
+/// first-difference early exit would make the latency a function of the
+/// compared values (the classic `memcmp` timing leak).
+fn sign_flag(sign_cmp: u64, code1: u64, tail: &[u64]) -> u64 {
+    // First non-EQ code of code1 ‖ tail: once `rest` leaves EQ it sticks.
+    let mut rest = code1;
+    for &c in tail {
+        rest = ct::select(ct::eq(rest, EQ), c, rest);
     }
-    if sign_cmp == EQ {
-        // Same quadrant: x > 0 ⟺ v > u ⟺ u < v.
-        rest == LT
-    } else {
-        // Mixed quadrants: the mod-Q wrap inverts the comparison.
-        rest == GT
-    }
+    // Same quadrant: x > 0 ⟺ v > u ⟺ rest == LT; mixed quadrants: the
+    // mod-Q wrap inverts the comparison (rest == GT). When every group ties
+    // (rest == EQ), x ∈ {0, −2^{ℓ-1}} — never strictly positive — and both
+    // selectors below are already 0.
+    ct::select(ct::eq(sign_cmp, EQ), ct::eq(rest, LT), ct::eq(rest, GT))
 }
 
 /// How many groups must be fetched before `sign_from_codes` is decided,
@@ -97,12 +96,35 @@ pub fn quadrant_decides(code0: u64, code1: u64) -> bool {
 }
 
 /// Result of a batched secure comparison.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct SignFlags {
     /// `1` where the compared value is strictly positive. Present on the
     /// receiver always; on the sender only in [`ReluMode::RevealedSign`]
     /// (after the `T_m` exchange).
     pub flags: Option<Vec<u8>>,
+}
+
+/// `Debug` redacts the flag vector — the flags are the *plaintext signs*
+/// of the compared values, the very data the protocol computes under
+/// sharing. Only the count is printed; tests use
+/// [`SignFlags::fmt_revealed`].
+impl std::fmt::Debug for SignFlags {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SignFlags")
+            .field("len", &self.flags.as_ref().map(Vec::len))
+            .field("flags", &"<redacted>")
+            .finish()
+    }
+}
+
+impl SignFlags {
+    /// Formats the sign flags *including their values* — test-only opt-in
+    /// counterpart of the redacted `Debug` impl.
+    #[must_use]
+    pub fn fmt_revealed(&self) -> String {
+        // secrecy: allow(secret-sink, "explicit opt-in reveal for tests; the redacted Debug impl is the default")
+        format!("SignFlags({:?})", self.flags)
+    }
 }
 
 /// Batched secure sign computation of shared values on the `Q1` carrier.
@@ -115,15 +137,18 @@ pub struct SignFlags {
 ///
 /// # Errors
 ///
-/// Propagates transport/OT failures and detects desynchronized batch
-/// geometry.
+/// Returns [`ProtocolError::RingMismatch`] if the shares are not on the
+/// `Q1` carrier (the comparison decomposition is only correct there), and
+/// propagates transport/OT failures and desynchronized batch geometry.
 pub fn secure_sign(
     ctx: &mut PartyContext,
     x_q1: &AShare,
     mode: ReluMode,
 ) -> Result<SignFlags, ProtocolError> {
     let ring = ctx.q1();
-    debug_assert_eq!(x_q1.ring(), ring, "secure_sign expects Q1 shares");
+    if x_q1.ring() != ring {
+        return Err(ProtocolError::RingMismatch { expected: ring.bits(), got: x_q1.ring().bits() });
+    }
     let n = x_q1.len();
     let widths = group_widths(ring.bits());
     let u_cnt = widths.len();
@@ -222,8 +247,10 @@ pub fn secure_sign(
                         &mut ctx.rng,
                     )?;
                     let mut flags = vec![0u8; n];
+                    #[allow(clippy::cast_possible_truncation)] // sign_flag is in {0, 1}
                     par_fill_indexed(&mut flags, PAR_MIN_VALUES, |v| {
-                        u8::from(sign_from_codes(&codes[v * u_cnt..(v + 1) * u_cnt]))
+                        let c = &codes[v * u_cnt..(v + 1) * u_cnt];
+                        sign_flag(c[0], c[1], &c[2..]) as u8
                     });
                     flags
                 }
@@ -239,11 +266,14 @@ pub fn secure_sign(
                     )?;
                     // Undecided bitmap (1 = needs round 2) in one parallel
                     // pass; the subset list and each undecided item's tail
-                    // position follow from one O(n) prefix walk.
+                    // position follow from one O(n) prefix walk. The bitmap
+                    // is secret-derived, but the lazy schedule *sends it to
+                    // the peer* two lines down — that disclosure is the
+                    // protocol's deliberate traffic/leak trade (DESIGN.md
+                    // §"Secrecy discipline"), so local branches on it reveal
+                    // nothing beyond what the wire already carries.
                     let mut bitmap = vec![0u64; n];
-                    par_fill_indexed(&mut bitmap, PAR_MIN_VALUES, |v| {
-                        u64::from(!quadrant_decides(head[2 * v], head[2 * v + 1]))
-                    });
+                    par_fill_indexed(&mut bitmap, PAR_MIN_VALUES, |v| ct::eq(head[2 * v + 1], EQ));
                     let mut undecided = Vec::new();
                     let mut tail_pos = vec![0usize; n];
                     for v in 0..n {
@@ -276,6 +306,7 @@ pub fn secure_sign(
                     };
                     let rest_groups = u_cnt - 2;
                     let mut flags = vec![0u8; n];
+                    #[allow(clippy::cast_possible_truncation)] // sign_flag is in {0, 1}
                     par_fill_indexed(&mut flags, PAR_MIN_VALUES, |v| {
                         let tail_codes = if bitmap[v] == 1 {
                             let at = tail_pos[v] * rest_groups;
@@ -283,7 +314,7 @@ pub fn secure_sign(
                         } else {
                             &[][..]
                         };
-                        u8::from(sign_from_head_tail(head[2 * v], head[2 * v + 1], tail_codes))
+                        sign_flag(head[2 * v], head[2 * v + 1], tail_codes) as u8
                     });
                     flags
                 }
@@ -434,11 +465,12 @@ pub fn mux_by_receiver(
                 flags.iter().map(|&s| OtChoice { choice: s as usize, n: 2 }).collect();
             let got =
                 recv_batch(&ctx.ep, &ctx.group, &ctx.labels, &choices, ring.bits(), &mut ctx.rng)?;
-            // y1 = s·x1 + (s·x0 − r).
+            // y1 = s·x1 + (s·x0 − r). The selection is branch-free: the
+            // flags are the receiver's secret sign bits.
             let x1s = x.as_tensor().as_slice();
             let mut data = vec![0u64; n];
             par_fill_indexed(&mut data, PAR_MIN_VALUES, |k| {
-                let sx1 = if flags[k] == 1 { x1s[k] } else { 0 };
+                let sx1 = ct::select(u64::from(flags[k]), x1s[k], 0);
                 ring.add(sx1, got[k])
             });
             Ok(AShare::from_tensor(RingTensor::from_raw(ring, vec![n], data)?))
@@ -468,11 +500,13 @@ pub fn abrelu(ctx: &mut PartyContext, x: &AShare) -> Result<AShare, ProtocolErro
         ReluMode::RevealedSign => {
             let flags = signs.flags.expect("revealed mode always yields flags");
             let ring = x.ring();
+            // Branch-free zeroing: on the receiver the flags are locally
+            // computed secrets (revealed only through the T_m exchange).
             let data: Vec<u64> = x
                 .as_tensor()
                 .iter()
                 .zip(&flags)
-                .map(|(&xs, &s)| if s == 1 { xs } else { 0 })
+                .map(|(&xs, &s)| ct::select(u64::from(s), xs, 0))
                 .collect();
             Ok(AShare::from_tensor(RingTensor::from_raw(ring, x.shape().to_vec(), data)?))
         }
@@ -579,11 +613,11 @@ mod tests {
 
     #[test]
     fn abrelu_randomized_many_widths() {
+        use rand::Rng;
         for bits in [8u32, 10, 13, 16] {
             let cfg = ProtocolConfig::paper(bits.max(6));
             let ring = cfg.q1();
             let mut rng = StdRng::seed_from_u64(u64::from(bits));
-            use rand::Rng;
             let vals: Vec<i64> =
                 (0..50).map(|_| rng.gen_range(ring.min_signed()..=ring.max_signed())).collect();
             relu_case(cfg, vals);
@@ -615,6 +649,31 @@ mod tests {
         // Not guaranteed for every value mix, but for this one lazy must
         // not be wildly worse; record the relationship.
         assert!(lazy < single * 2, "lazy={lazy} single={single}");
+    }
+
+    #[test]
+    fn secure_sign_rejects_non_q1_shares() {
+        // Release builds used to skip this precondition entirely (it was a
+        // debug_assert); it is now a hard protocol error on both parties.
+        let cfg = ProtocolConfig::paper(12);
+        let wrong = cfg.q2(); // shares on the MAC ring, not the Q1 carrier
+        let (s0, s1) = share_vals(wrong, &[1, -2, 3], 5);
+        let (r0, r1) = run_pair(&cfg, move |ctx| {
+            let mine = match ctx.id {
+                PartyId::User => s0.clone(),
+                PartyId::ModelProvider => s1.clone(),
+            };
+            secure_sign(ctx, &mine, ReluMode::RevealedSign).err()
+        });
+        for err in [r0, r1] {
+            match err {
+                Some(ProtocolError::RingMismatch { expected, got }) => {
+                    assert_eq!(expected, cfg.q1().bits());
+                    assert_eq!(got, wrong.bits());
+                }
+                other => panic!("expected RingMismatch, got {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -33,7 +33,7 @@ use crate::abrelu::{mux_by_receiver, secure_sign};
 use crate::prepared::PreparedModel;
 use crate::{PartyContext, ProtocolError, ReluMode};
 use aq2pnn_nn::quant::{QuantModel, QuantOp};
-use aq2pnn_ring::RingTensor;
+use aq2pnn_ring::{ct, RingTensor};
 use aq2pnn_sharing::AShare;
 use aq2pnn_transport::ChannelStats;
 
@@ -123,11 +123,10 @@ pub(crate) fn secure_max_windows(
         let mut cursor = 0usize;
         for l in &mut lists {
             let pairs = l.len() / 2;
-            let carry = if l.len() % 2 == 1 { Some(l[l.len() - 1]) } else { None };
             let mut next: Vec<u64> = mv[cursor..cursor + pairs].to_vec();
             cursor += pairs;
-            if let Some(c) = carry {
-                next.push(c);
+            if l.len() % 2 == 1 {
+                next.push(l[l.len() - 1]);
             }
             *l = next;
         }
@@ -157,7 +156,7 @@ fn secure_max_pairs(
                 .iter()
                 .zip(b.as_tensor().iter())
                 .zip(&flags)
-                .map(|((&av, &bv), &s)| if s == 1 { av } else { bv })
+                .map(|((&av, &bv), &s)| ct::select(u64::from(s), av, bv))
                 .collect();
             Ok(AShare::from_tensor(RingTensor::from_raw(ring, vec![data.len()], data)?))
         }

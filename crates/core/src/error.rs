@@ -19,6 +19,14 @@ pub enum ProtocolError {
     Model(String),
     /// The two parties diverged (desynchronized protocol state).
     Desync(String),
+    /// A protocol operation received shares on the wrong ring (e.g.
+    /// [`crate::abrelu::secure_sign`] expects `Q1` shares).
+    RingMismatch {
+        /// The ring width the operation requires.
+        expected: u32,
+        /// The ring width of the shares it was given.
+        got: u32,
+    },
 }
 
 impl fmt::Display for ProtocolError {
@@ -29,6 +37,9 @@ impl fmt::Display for ProtocolError {
             ProtocolError::Shape(e) => write!(f, "shape error in protocol op: {e}"),
             ProtocolError::Model(msg) => write!(f, "model not executable: {msg}"),
             ProtocolError::Desync(msg) => write!(f, "parties desynchronized: {msg}"),
+            ProtocolError::RingMismatch { expected, got } => {
+                write!(f, "shares on ring 2^{got} where the operation requires 2^{expected}")
+            }
         }
     }
 }

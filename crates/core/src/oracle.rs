@@ -90,6 +90,8 @@ impl IdealOracle {
     /// Panics if the two parties call with mismatched operations or shapes
     /// (a protocol desync).
     #[must_use]
+    // secrecy: declassify — the ideal oracle IS the trusted third party: it
+    // reconstructs the plaintext by definition and re-shares the result.
     pub fn call(&self, party: PartyId, share: RingTensor, op: IdealOp) -> RingTensor {
         let mut guard = self.state.lock();
         let my_gen;

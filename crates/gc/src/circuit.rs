@@ -244,7 +244,7 @@ pub fn encode_inputs(circ: &Circuit, a: u64, b: u64, bits: u32) -> (Vec<bool>, V
 /// Decodes a little-endian bit vector to u64.
 #[must_use]
 pub fn bits_to_u64(bits: &[bool]) -> u64 {
-    bits.iter().enumerate().fold(0u64, |acc, (i, &b)| acc | ((b as u64) << i))
+    bits.iter().enumerate().fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i))
 }
 
 #[cfg(test)]

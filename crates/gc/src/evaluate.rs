@@ -25,9 +25,11 @@ pub fn evaluate(circ: &Circuit, garbled: &Garbled, inputs: &InputLabels) -> Vec<
     // Constants: evaluator holds the constant wires' active labels.
     active[0] = garbled.label(0, false);
     active[1] = garbled.label(1, true);
+    // secrecy: allow(secret-index, "`wire` is the public circuit topology; only `bit` is secret — the tuple pattern over-taints both")
     for (wire, &bit) in circ.inputs_a.iter().zip(&inputs.a) {
         active[*wire] = garbled.label(*wire, bit);
     }
+    // secrecy: allow(secret-index, "`wire` is the public circuit topology; only `bit` is secret — the tuple pattern over-taints both")
     for (wire, &bit) in circ.inputs_b.iter().zip(&inputs.b) {
         active[*wire] = garbled.label(*wire, bit);
     }
@@ -40,6 +42,7 @@ pub fn evaluate(circ: &Circuit, garbled: &Garbled, inputs: &InputLabels) -> Vec<
             Gate::And { a, b, out } => {
                 let (la, lb) = (active[a], active[b]);
                 let row = 2 * usize::from(lsb(la)) + usize::from(lsb(lb));
+                // secrecy: allow(secret-index, "point-and-permute: the row index is the labels' LSBs, uniformly masked by the garbler's permute bits, so the access pattern is independent of the true wire values")
                 let ct = garbled.tables[table_idx].rows[row];
                 active[out] = xor_label(hash(la, lb, gid as u64), ct);
                 table_idx += 1;
@@ -56,6 +59,8 @@ pub fn evaluate(circ: &Circuit, garbled: &Garbled, inputs: &InputLabels) -> Vec<
 /// Panics if a label matches neither candidate (corruption or a wrong
 /// evaluation).
 #[must_use]
+// secrecy: declassify — decoding maps active output labels to the cleartext
+// circuit output, which this step reveals by design.
 pub fn decode_with(circ: &Circuit, garbled: &Garbled, outputs: &[Label]) -> u64 {
     let mut v = 0u64;
     for (i, (&l, &wire)) in outputs.iter().zip(&circ.outputs).enumerate() {

@@ -39,7 +39,10 @@ pub struct GarbledTable {
 }
 
 /// The garbler's output: tables, input label pairs, output decode info.
-#[derive(Debug, Clone)]
+///
+/// `Debug` is implemented manually below and redacts `delta` and the wire
+/// labels — knowing the free-XOR offset decodes every wire of the circuit.
+#[derive(Clone)]
 pub struct Garbled {
     /// Free-XOR global offset `R` (lsb forced to 1).
     pub delta: Label,
@@ -49,6 +52,17 @@ pub struct Garbled {
     pub tables: Vec<GarbledTable>,
     /// The circuit's wires count (for evaluators).
     pub wires: usize,
+}
+
+impl std::fmt::Debug for Garbled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Garbled")
+            .field("delta", &"<redacted>")
+            .field("zero_labels", &"<redacted>")
+            .field("tables", &self.tables.len())
+            .field("wires", &self.wires)
+            .finish()
+    }
 }
 
 impl Garbled {
@@ -81,7 +95,7 @@ pub fn garble(circ: &Circuit, rng: &mut StdRng) -> Garbled {
     delta[0] |= 1; // permute-bit offset
     let mut zero_labels: Vec<Label> = vec![[0, 0]; circ.wires];
     // Constants and inputs get fresh labels.
-    for l in zero_labels.iter_mut() {
+    for l in &mut zero_labels {
         *l = [rng.gen(), rng.gen()];
     }
     let mut tables = Vec::with_capacity(circ.and_count());
@@ -123,7 +137,7 @@ pub fn select_input_labels(garbled: &Garbled, inputs: &(Vec<bool>, Vec<bool>)) -
 
 /// The active input-bit assignment (labels are derived inside the
 /// evaluator entry point, mirroring label transfer).
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct InputLabels {
     /// Party A bits.
     pub a: Vec<bool>,
@@ -131,6 +145,19 @@ pub struct InputLabels {
     pub b: Vec<bool>,
     /// Copied delta (internal).
     pub garbled_delta: Label,
+}
+
+/// `Debug` redacts the plaintext input bits and the free-XOR offset; only
+/// the (public) input widths are printed.
+impl std::fmt::Debug for InputLabels {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InputLabels")
+            .field("a_len", &self.a.len())
+            .field("b_len", &self.b.len())
+            .field("bits", &"<redacted>")
+            .field("garbled_delta", &"<redacted>")
+            .finish()
+    }
 }
 
 #[cfg(test)]

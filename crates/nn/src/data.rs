@@ -280,7 +280,7 @@ mod tests {
                 correct += 1;
             }
         }
-        let acc = correct as f64 / d.test().len() as f64;
+        let acc = f64::from(correct) / d.test().len() as f64;
         assert!(acc > 0.6, "nearest-mean accuracy only {acc}");
     }
 

@@ -940,7 +940,7 @@ mod tests {
                 agree += 1;
             }
         }
-        assert!(agree as f64 / n as f64 > 0.85, "argmax agreement {agree}/{n}");
+        assert!(f64::from(agree) / n as f64 > 0.85, "argmax agreement {agree}/{n}");
     }
 
     #[test]

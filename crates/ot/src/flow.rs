@@ -235,6 +235,7 @@ pub fn recv_batch<R: Rng + ?Sized>(
         if c.n > labels.len() {
             return Err(OtError::SlotCountExceedsLabels { n: c.n, labels: labels.len() });
         }
+        // secrecy: allow(secret-branch, "validates the receiver's own choice against the public slot count; the secret never leaves this party and an abort only reflects the caller's malformed input")
         if c.choice >= c.n {
             return Err(OtError::ChoiceOutOfRange { choice: c.choice, n: c.n });
         }
@@ -251,6 +252,7 @@ pub fn recv_batch<R: Rng + ?Sized>(
     let choice_pows = label_powers(group, labels, r_hat, max_slots);
     let mut r_matrix = vec![0u64; batch.len()];
     par_fill_indexed(&mut r_matrix, PAR_MIN_ITEMS, |k| {
+        // secrecy: allow(secret-index, "the choice indexes a table local to the receiver, who owns the secret; the wire value R_k is masked by a fresh uniform g^{r_j}")
         choice_pows[batch[k].choice] ^ group.pow_g(r_j[k])
     });
     ep.send_bits(&r_matrix, ebits)?;

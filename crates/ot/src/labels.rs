@@ -11,15 +11,36 @@
 use crate::OtGroup;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// A shared, per-session injective map from slot indices to random group
 /// exponents.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LabelTable {
     labels: Vec<u64>,
 }
 
+/// `Debug` redacts the exponent list. The table is shared setup between
+/// the two parties, but it must stay unknown to *third* parties (a
+/// transcript observer who learns `e2l` can test candidate choices), so it
+/// is treated like every other secret-carrying type: length only.
+impl fmt::Debug for LabelTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LabelTable")
+            .field("len", &self.labels.len())
+            .field("labels", &"<redacted>")
+            .finish()
+    }
+}
+
 impl LabelTable {
+    /// Formats the table *including its exponents* — test-only opt-in
+    /// counterpart of the redacted `Debug` impl.
+    #[must_use]
+    pub fn fmt_revealed(&self) -> String {
+        // secrecy: allow(secret-sink, "explicit opt-in reveal for tests; the redacted Debug impl is the default")
+        format!("LabelTable({:?})", self.labels)
+    }
     /// Generates `len` distinct random exponents valid for `group`.
     ///
     /// Both parties must call this with identically-seeded RNGs (the table

@@ -24,12 +24,12 @@
 /// microseconds — enough to dominate a small packing kernel's gate check.
 #[must_use]
 pub fn max_threads() -> usize {
+    static MACHINE: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
     if let Ok(v) = std::env::var("AQ2PNN_THREADS") {
         if let Ok(n) = v.trim().parse::<usize>() {
             return n.max(1);
         }
     }
-    static MACHINE: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
     *MACHINE
         .get_or_init(|| std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get))
 }

@@ -1,0 +1,188 @@
+//! Constant-time primitives over `u64` words.
+//!
+//! The 2PC model (DESIGN.md §"Secrecy discipline") requires every *local*
+//! computation to be independent of the secret share values it touches: no
+//! branch, table index, allocation size or wire length may be keyed on a
+//! share, an OT choice, or anything derived from them. These helpers give
+//! the protocol crates branch-free replacements for the comparison /
+//! selection idioms that `cargo xtask lint` rejects on secret data
+//! (`secret-compare`, `secret-branch`).
+//!
+//! Every function here is straight-line word arithmetic: the instruction
+//! trace is identical for all inputs. Flags are represented as `u64` values
+//! in `{0, 1}` so they can feed directly into [`select`] without ever
+//! becoming a `bool` (which would invite an `if`).
+//!
+//! These run on the cold *and* hot paths, so everything is `#[inline]` and
+//! compiles to 3–6 ALU ops; the dudect-style harness in
+//! `tests/leakage_harness.rs` checks the end-to-end code built from them
+//! for timing class-independence.
+
+/// `1` if `x != 0`, else `0`, without branching.
+///
+/// `x | -x` has its top bit set iff `x != 0` (for `x = 0` both sides are
+/// zero; otherwise one of the two has bit 63 set or the OR of the
+/// complements does).
+#[inline]
+#[must_use]
+pub fn nonzero(x: u64) -> u64 {
+    (x | x.wrapping_neg()) >> 63
+}
+
+/// `1` if `x == y`, else `0`, without branching.
+#[inline]
+#[must_use]
+pub fn eq(x: u64, y: u64) -> u64 {
+    1 ^ nonzero(x ^ y)
+}
+
+/// `1` if `x != y`, else `0`, without branching.
+#[inline]
+#[must_use]
+pub fn ne(x: u64, y: u64) -> u64 {
+    nonzero(x ^ y)
+}
+
+/// `1` if `x < y` (unsigned), else `0`, without branching.
+///
+/// This is the borrow bit of the subtraction `x - y`, computed with the
+/// classic bit identity instead of a compare-and-set.
+#[inline]
+#[must_use]
+pub fn lt(x: u64, y: u64) -> u64 {
+    ((!x & y) | ((!x | y) & x.wrapping_sub(y))) >> 63
+}
+
+/// `1` if `x > y` (unsigned), else `0`, without branching.
+#[inline]
+#[must_use]
+pub fn gt(x: u64, y: u64) -> u64 {
+    lt(y, x)
+}
+
+/// `1` if `x >= y` (unsigned), else `0`, without branching.
+#[inline]
+#[must_use]
+pub fn ge(x: u64, y: u64) -> u64 {
+    1 ^ lt(x, y)
+}
+
+/// `1` if `x <= y` (unsigned), else `0`, without branching.
+#[inline]
+#[must_use]
+pub fn le(x: u64, y: u64) -> u64 {
+    1 ^ gt(x, y)
+}
+
+/// Selects `a` when `flag == 1` and `b` when `flag == 0`, without
+/// branching.
+///
+/// `flag` must be exactly `0` or `1` (the contract of every flag produced
+/// by this module); other values select a bit-mix of the operands.
+#[inline]
+#[must_use]
+pub fn select(flag: u64, a: u64, b: u64) -> u64 {
+    b ^ (flag.wrapping_neg() & (a ^ b))
+}
+
+/// Branch-free three-way comparison of `x` and `y` as the Eq. 6 wire code
+/// convention used by the secure comparison machine: `1` (less), `2`
+/// (equal), `3` (greater).
+///
+/// `1 + (x >= y) + (x > y)` hits exactly those three values.
+#[inline]
+#[must_use]
+pub fn cmp_code(x: u64, y: u64) -> u64 {
+    1 + ge(x, y) + gt(x, y)
+}
+
+/// `1` if the slices are equal (same length and all words equal), else `0`,
+/// scanning every word of the common prefix regardless of where the first
+/// difference sits.
+///
+/// The length comparison is public (lengths are never secret under the
+/// secrecy discipline — the lint's `secret-alloc` rule enforces that), so
+/// an early return on mismatched lengths is fine.
+#[must_use]
+pub fn eq_slices(xs: &[u64], ys: &[u64]) -> u64 {
+    if xs.len() != ys.len() {
+        return 0;
+    }
+    let mut acc = 0u64;
+    for (&x, &y) in xs.iter().zip(ys) {
+        acc |= x ^ y;
+    }
+    1 ^ nonzero(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nonzero_matches_reference() {
+        for x in [0u64, 1, 2, u64::MAX, 1 << 63, 0x8000_0001] {
+            assert_eq!(nonzero(x), u64::from(x != 0), "x={x}");
+        }
+    }
+
+    #[test]
+    fn eq_ne_exhaustive_small() {
+        for x in 0..8u64 {
+            for y in 0..8u64 {
+                assert_eq!(eq(x, y), u64::from(x == y));
+                assert_eq!(ne(x, y), u64::from(x != y));
+            }
+        }
+        assert_eq!(eq(u64::MAX, u64::MAX), 1);
+        assert_eq!(eq(u64::MAX, 0), 0);
+    }
+
+    #[test]
+    fn ordering_matches_reference() {
+        let samples =
+            [0u64, 1, 2, 127, 128, 255, 1 << 31, (1 << 31) + 1, 1 << 63, u64::MAX - 1, u64::MAX];
+        for &x in &samples {
+            for &y in &samples {
+                assert_eq!(lt(x, y), u64::from(x < y), "lt {x} {y}");
+                assert_eq!(gt(x, y), u64::from(x > y), "gt {x} {y}");
+                assert_eq!(ge(x, y), u64::from(x >= y), "ge {x} {y}");
+                assert_eq!(le(x, y), u64::from(x <= y), "le {x} {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn select_picks_by_flag() {
+        assert_eq!(select(1, 0xaaaa, 0x5555), 0xaaaa);
+        assert_eq!(select(0, 0xaaaa, 0x5555), 0x5555);
+        assert_eq!(select(1, u64::MAX, 0), u64::MAX);
+        assert_eq!(select(0, u64::MAX, 0), 0);
+    }
+
+    #[test]
+    fn cmp_code_is_eq6_convention() {
+        // LT = 1, EQ = 2, GT = 3 — the comparison-code constants of the SCM.
+        assert_eq!(cmp_code(3, 5), 1);
+        assert_eq!(cmp_code(5, 5), 2);
+        assert_eq!(cmp_code(9, 5), 3);
+        for x in 0..4u64 {
+            for y in 0..4u64 {
+                let expect = match x.cmp(&y) {
+                    std::cmp::Ordering::Less => 1,
+                    std::cmp::Ordering::Equal => 2,
+                    std::cmp::Ordering::Greater => 3,
+                };
+                assert_eq!(cmp_code(x, y), expect, "x={x} y={y}");
+            }
+        }
+    }
+
+    #[test]
+    fn slice_equality() {
+        assert_eq!(eq_slices(&[1, 2, 3], &[1, 2, 3]), 1);
+        assert_eq!(eq_slices(&[1, 2, 3], &[1, 2, 4]), 0);
+        assert_eq!(eq_slices(&[1, 2], &[1, 2, 3]), 0);
+        assert_eq!(eq_slices(&[], &[]), 1);
+    }
+}

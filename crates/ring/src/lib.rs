@@ -18,6 +18,10 @@
 //! * [`extend`] — ring-size extension (`Q1 = 2^12 → Q2 = 2^16` in Fig. 8),
 //!   both the paper's local sign-extension and the exact analysis used to
 //!   bound its failure probability.
+//! * [`ct`] — branch-free comparison/selection primitives the protocol
+//!   crates use wherever a computation touches secret share values, so
+//!   local timing stays share-independent (see DESIGN.md §"Secrecy
+//!   discipline").
 //!
 //! # Example
 //!
@@ -39,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod ct;
 mod error;
 pub mod extend;
 mod ring;

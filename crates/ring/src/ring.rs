@@ -112,21 +112,21 @@ impl Ring {
         a.wrapping_mul(b) & self.mask
     }
 
-    /// `(a^e) mod Q` by square-and-multiply.
+    /// `(a^e) mod Q` by square-and-multiply, constant-time in `e`: the
+    /// exponent is OT key material, so the ladder runs a fixed 64
+    /// iterations and folds each bit in with a branch-free select.
     ///
     /// Used by the OT-flow's Diffie-Hellman-style masking; on the FPGA this
     /// is a look-up table (paper Sec. 4.3.1), which is only feasible because
     /// the ring is small.
     #[must_use]
-    pub fn pow(self, a: u64, mut e: u64) -> u64 {
+    pub fn pow(self, a: u64, e: u64) -> u64 {
         let mut base = self.reduce(a);
         let mut acc = 1u64;
-        while e > 0 {
-            if e & 1 == 1 {
-                acc = self.mul(acc, base);
-            }
+        for i in 0..64 {
+            let bit = (e >> i) & 1;
+            acc = crate::ct::select(bit, self.mul(acc, base), acc);
             base = self.mul(base, base);
-            e >>= 1;
         }
         acc
     }

@@ -1,0 +1,328 @@
+//! A small self-contained Rust lexer.
+//!
+//! Produces a flat token stream with line numbers plus the `// secrecy:`
+//! control comments the analysis layer consumes. It understands exactly as
+//! much Rust as the taint pass needs: identifiers, literals (including raw
+//! strings and char-vs-lifetime disambiguation), nested block comments and
+//! multi-character operators. It does **not** try to be a conforming lexer
+//! — unknown bytes become single-character operator tokens.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (keywords are not distinguished here).
+    Ident(String),
+    /// Numeric literal, verbatim.
+    Num(String),
+    /// String literal *content* (quotes and raw-string hashes stripped,
+    /// escapes left as written). Needed to find `{ident}` inline captures
+    /// in format strings.
+    Str(String),
+    /// Character literal (content irrelevant to the analysis).
+    Char,
+    /// Lifetime such as `'a` (name irrelevant to the analysis).
+    Lifetime,
+    /// Operator / punctuation; multi-character operators are merged
+    /// (`::`, `->`, `=>`, `==`, `&&`, `+=`, …).
+    Op(&'static str),
+    /// Opening delimiter: `(`, `[` or `{`.
+    Open(char),
+    /// Closing delimiter: `)`, `]` or `}`.
+    Close(char),
+}
+
+/// A token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// What was lexed.
+    pub kind: TokKind,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+/// A `// secrecy: …` control comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SecrecyComment {
+    /// 1-based line the comment appears on.
+    pub line: u32,
+    /// Text after `secrecy:`, trimmed (e.g. `allow(secret-index, "…")`).
+    pub body: String,
+}
+
+/// Multi-character operators, longest first so greedy matching is correct.
+const MULTI_OPS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "..", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+/// Single-character operators the lexer knows; kept as `&'static str` so
+/// [`TokKind::Op`] needs no allocation.
+const SINGLE_OPS: &[&str] = &[
+    "+", "-", "*", "/", "%", "^", "&", "|", "!", "=", "<", ">", ".", ",", ";", ":", "#", "?", "@",
+    "~", "$",
+];
+
+fn single_op(c: char) -> &'static str {
+    for op in SINGLE_OPS {
+        if op.as_bytes()[0] as char == c {
+            return op;
+        }
+    }
+    // Unknown punctuation — map to "?" so the stream stays well-formed.
+    "?"
+}
+
+/// Lexes `src`, returning the token stream and any `// secrecy:` comments.
+#[must_use]
+pub fn lex(src: &str) -> (Vec<Tok>, Vec<SecrecyComment>) {
+    let b = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut comments = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            '/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                if let Some(pos) = text.find("secrecy:") {
+                    comments.push(SecrecyComment {
+                        line,
+                        body: text[pos + "secrecy:".len()..].trim().to_string(),
+                    });
+                }
+            }
+            '/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let mut depth = 1u32;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                let (content, ni, nl) = lex_string(src, i + 1, line);
+                toks.push(Tok { kind: TokKind::Str(content), line });
+                i = ni;
+                line = nl;
+            }
+            'r' | 'b' if is_raw_or_byte_string(b, i) => {
+                let (content, ni, nl) = lex_raw_or_byte(src, i, line);
+                toks.push(Tok { kind: TokKind::Str(content), line });
+                i = ni;
+                line = nl;
+            }
+            '\'' => {
+                // Lifetime iff a name char follows and the char after the
+                // name run is not a closing quote.
+                let mut j = i + 1;
+                while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                    j += 1;
+                }
+                if j > i + 1 && (j >= b.len() || b[j] != b'\'') {
+                    toks.push(Tok { kind: TokKind::Lifetime, line });
+                    i = j;
+                } else {
+                    // Char literal: consume to closing quote, honouring \.
+                    i += 1;
+                    while i < b.len() {
+                        if b[i] == b'\\' {
+                            i += 2;
+                        } else if b[i] == b'\'' {
+                            i += 1;
+                            break;
+                        } else {
+                            if b[i] == b'\n' {
+                                line += 1;
+                            }
+                            i += 1;
+                        }
+                    }
+                    toks.push(Tok { kind: TokKind::Char, line });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                // Fractional part — but not a `..` range.
+                if i + 1 < b.len() && b[i] == b'.' && b[i + 1].is_ascii_digit() {
+                    i += 1;
+                    while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                        i += 1;
+                    }
+                }
+                toks.push(Tok { kind: TokKind::Num(src[start..i].to_string()), line });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                toks.push(Tok { kind: TokKind::Ident(src[start..i].to_string()), line });
+            }
+            '(' | '[' | '{' => {
+                toks.push(Tok { kind: TokKind::Open(c), line });
+                i += 1;
+            }
+            ')' | ']' | '}' => {
+                toks.push(Tok { kind: TokKind::Close(c), line });
+                i += 1;
+            }
+            _ => {
+                let mut matched = None;
+                for op in MULTI_OPS {
+                    if src[i..].starts_with(op) {
+                        matched = Some(*op);
+                        break;
+                    }
+                }
+                if let Some(op) = matched {
+                    toks.push(Tok { kind: TokKind::Op(op), line });
+                    i += op.len();
+                } else {
+                    toks.push(Tok { kind: TokKind::Op(single_op(c)), line });
+                    i += 1;
+                }
+            }
+        }
+    }
+    (toks, comments)
+}
+
+fn is_raw_or_byte_string(b: &[u8], i: usize) -> bool {
+    // r"…", r#"…"#, br"…", b"…"  — but NOT identifiers starting with r/b.
+    let rest = &b[i..];
+    if rest.starts_with(b"r\"") || rest.starts_with(b"r#") || rest.starts_with(b"b\"") {
+        return true;
+    }
+    rest.starts_with(b"br\"") || rest.starts_with(b"br#")
+}
+
+/// Lexes a plain string body starting *after* the opening quote.
+fn lex_string(src: &str, mut i: usize, mut line: u32) -> (String, usize, u32) {
+    let b = src.as_bytes();
+    let start = i;
+    while i < b.len() {
+        if b[i] == b'\\' {
+            i += 2;
+        } else if b[i] == b'"' {
+            return (src[start..i].to_string(), i + 1, line);
+        } else {
+            if b[i] == b'\n' {
+                line += 1;
+            }
+            i += 1;
+        }
+    }
+    (src[start..i.min(src.len())].to_string(), i, line)
+}
+
+/// Lexes `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#` starting at the prefix.
+fn lex_raw_or_byte(src: &str, mut i: usize, mut line: u32) -> (String, usize, u32) {
+    let b = src.as_bytes();
+    while i < b.len() && (b[i] == b'r' || b[i] == b'b') {
+        i += 1;
+    }
+    let mut hashes = 0usize;
+    while i < b.len() && b[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i < b.len() && b[i] == b'"' {
+        i += 1;
+    }
+    let start = i;
+    let closer: Vec<u8> = std::iter::once(b'"').chain(std::iter::repeat_n(b'#', hashes)).collect();
+    while i < b.len() {
+        if hashes == 0 && b[i] == b'\\' {
+            i += 2;
+            continue;
+        }
+        if b[i..].starts_with(&closer) {
+            return (src[start..i].to_string(), i + closer.len(), line);
+        }
+        if b[i] == b'\n' {
+            line += 1;
+        }
+        i += 1;
+    }
+    (src[start..i.min(src.len())].to_string(), i, line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ops(src: &str) -> Vec<TokKind> {
+        lex(src).0.into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn merges_multi_char_ops() {
+        assert_eq!(
+            ops("a == b && c"),
+            vec![
+                TokKind::Ident("a".into()),
+                TokKind::Op("=="),
+                TokKind::Ident("b".into()),
+                TokKind::Op("&&"),
+                TokKind::Ident("c".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        assert_eq!(ops("'a 'x' '\\n'"), vec![TokKind::Lifetime, TokKind::Char, TokKind::Char]);
+    }
+
+    #[test]
+    fn captures_secrecy_comments() {
+        let (_, comments) = lex("let x = 1; // secrecy: allow(secret-index, \"why\")\n");
+        assert_eq!(comments.len(), 1);
+        assert_eq!(comments[0].line, 1);
+        assert!(comments[0].body.starts_with("allow(secret-index"));
+    }
+
+    #[test]
+    fn raw_strings_and_lines() {
+        let (toks, _) = lex("r#\"a \" b\"# x\ny");
+        assert_eq!(toks[0].kind, TokKind::Str("a \" b".into()));
+        assert_eq!(toks[2].line, 2);
+    }
+
+    #[test]
+    fn numbers_with_suffixes_and_floats() {
+        assert_eq!(
+            ops("0x1f_u64 1.5 2..3"),
+            vec![
+                TokKind::Num("0x1f_u64".into()),
+                TokKind::Num("1.5".into()),
+                TokKind::Num("2".into()),
+                TokKind::Op(".."),
+                TokKind::Num("3".into()),
+            ]
+        );
+    }
+}

@@ -1,0 +1,442 @@
+//! # secrecy-lint
+//!
+//! Workspace-local static *secret-independence* analysis for the AQ2PNN
+//! 2PC crates. The pass parses every source file with its own lexer and
+//! token-tree layer (the build environment vendors no `syn`), taints
+//! declared secret carriers — [`AShare`]-like share types, OT choice
+//! bits and label exponents, Beaver triple components, A2BM bit-group
+//! codes — and flags program points where control flow, memory access,
+//! allocation sizing or logging depends on them:
+//!
+//! - `secret-branch` — `if`/`while`/`match`/short-circuit conditions
+//!   derived from secrets;
+//! - `secret-index` — secret-dependent indexing or slice bounds;
+//! - `secret-alloc` — secret-dependent allocation sizes;
+//! - `secret-sink` — secrets reaching `format!`-family or logging sinks
+//!   (including `#[derive(Debug)]` on secret-carrying types);
+//! - `secret-compare` — raw `==`/`<`/`.cmp()` on secrets instead of the
+//!   constant-time helpers in `aq2pnn_ring::ct`.
+//!
+//! Accepted residual disclosures are annotated in-tree with
+//!
+//! ```text
+//! // secrecy: allow(secret-index, "table is public setup data")
+//! ```
+//!
+//! which suppresses that one rule for the next five lines. The reason
+//! string is mandatory, and an annotation that suppresses nothing is
+//! itself a violation (`unused-allow`), so suppressions cannot rot. A
+//! function documented as deliberately revealing masked data can opt out
+//! wholesale with `// secrecy: declassify` next to its signature.
+//!
+//! Run it via `cargo xtask lint` (see the `xtask` crate); CI runs it in
+//! `--deny` mode and uploads the `--json` report.
+//!
+//! [`AShare`]: https://docs.rs/aq2pnn-sharing
+
+pub mod lexer;
+mod taint;
+pub mod tree;
+
+pub use taint::{Config, Rule, Violation};
+
+use lexer::SecrecyComment;
+
+/// How many lines after an allow annotation it covers (inclusive).
+pub const ALLOW_WINDOW: u32 = 5;
+
+/// A parsed `// secrecy: allow(rule, "reason")` site.
+#[derive(Debug, Clone)]
+pub struct AllowSite {
+    /// File the annotation is in.
+    pub file: String,
+    /// 1-based line of the annotation.
+    pub line: u32,
+    /// Rule it suppresses.
+    pub rule: Rule,
+    /// The mandatory justification.
+    pub reason: String,
+    /// Whether it suppressed at least one violation.
+    pub used: bool,
+}
+
+/// Result of a lint run.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Surviving violations, sorted by file and line.
+    pub violations: Vec<Violation>,
+    /// Allow annotations found (with use marks).
+    pub allows: Vec<AllowSite>,
+    /// Number of files analyzed.
+    pub files: usize,
+    /// Number of functions analyzed.
+    pub functions: usize,
+}
+
+impl Report {
+    /// Whether the run is clean (no violations survive).
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Serializes the report as JSON (hand-rolled — no serde available for
+    /// arbitrary nesting in the vendored shims).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"files\": {},\n", self.files));
+        s.push_str(&format!("  \"functions\": {},\n", self.functions));
+        s.push_str(&format!(
+            "  \"allows_total\": {},\n  \"allows_used\": {},\n",
+            self.allows.len(),
+            self.allows.iter().filter(|a| a.used).count()
+        ));
+        s.push_str("  \"violations\": [\n");
+        for (i, v) in self.violations.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}{}\n",
+                json_escape(&v.file),
+                v.line,
+                v.rule.name(),
+                json_escape(&v.message),
+                if i + 1 == self.violations.len() { "" } else { "," }
+            ));
+        }
+        s.push_str("  ],\n  \"allows\": [\n");
+        for (i, a) in self.allows.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"used\": {}, \
+                 \"reason\": \"{}\"}}{}\n",
+                json_escape(&a.file),
+                a.line,
+                a.rule.name(),
+                a.used,
+                json_escape(&a.reason),
+                if i + 1 == self.allows.len() { "" } else { "," }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The linter: add files, then [`Linter::run`].
+pub struct Linter {
+    cfg: Config,
+    fns: Vec<taint::FnIr>,
+    file_names: Vec<String>,
+    pre_violations: Vec<Violation>,
+    allows: Vec<AllowSite>,
+}
+
+impl Linter {
+    /// Creates a linter with the given taint configuration.
+    #[must_use]
+    pub fn new(cfg: Config) -> Self {
+        Linter {
+            cfg,
+            fns: Vec::new(),
+            file_names: Vec::new(),
+            pre_violations: Vec::new(),
+            allows: Vec::new(),
+        }
+    }
+
+    /// Parses and registers one source file.
+    pub fn add_file(&mut self, name: &str, src: &str) {
+        let (toks, comments) = lexer::lex(src);
+        let trees = tree::build(toks);
+        let mut declassify_lines = Vec::new();
+        for c in &comments {
+            self.parse_secrecy_comment(name, c, &mut declassify_lines);
+        }
+        let file_idx = self.file_names.len();
+        self.file_names.push(name.to_string());
+        taint::extract(
+            &trees,
+            file_idx,
+            name,
+            &self.cfg,
+            &declassify_lines,
+            &mut self.fns,
+            &mut self.pre_violations,
+        );
+    }
+
+    fn parse_secrecy_comment(
+        &mut self,
+        file: &str,
+        c: &SecrecyComment,
+        declassify_lines: &mut Vec<u32>,
+    ) {
+        let body = c.body.trim();
+        if body == "declassify" || body.starts_with("declassify ") {
+            declassify_lines.push(c.line);
+            return;
+        }
+        let malformed = |msg: &str| Violation {
+            file: file.to_string(),
+            line: c.line,
+            rule: Rule::MalformedAllow,
+            message: msg.to_string(),
+        };
+        if let Some(rest) = body.strip_prefix("allow") {
+            let rest = rest.trim_start();
+            let Some(inner) = rest.strip_prefix('(').and_then(|r| r.rfind(')').map(|p| &r[..p]))
+            else {
+                self.pre_violations
+                    .push(malformed("secrecy allow: expected `allow(rule, \"reason\")`"));
+                return;
+            };
+            let Some((rule_s, reason_s)) = inner.split_once(',') else {
+                self.pre_violations.push(malformed(
+                    "secrecy allow: missing mandatory reason — `allow(rule, \"reason\")`",
+                ));
+                return;
+            };
+            let Some(rule) = Rule::parse(rule_s.trim()) else {
+                self.pre_violations
+                    .push(malformed(&format!("secrecy allow: unknown rule `{}`", rule_s.trim())));
+                return;
+            };
+            let reason = reason_s.trim().trim_matches('"').trim();
+            if reason.is_empty() {
+                self.pre_violations
+                    .push(malformed("secrecy allow: reason string must be non-empty"));
+                return;
+            }
+            self.allows.push(AllowSite {
+                file: file.to_string(),
+                line: c.line,
+                rule,
+                reason: reason.to_string(),
+                used: false,
+            });
+        } else {
+            self.pre_violations.push(malformed(&format!(
+                "unrecognized `// secrecy:` directive `{body}` (expected `allow(rule, \
+                 \"reason\")` or `declassify`)"
+            )));
+        }
+    }
+
+    /// Debugging hook: runs the analysis and returns the names of
+    /// functions whose cross-call summary claims "returns secret
+    /// regardless of arguments". Useful for diagnosing taint cascades.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn debug_ret_always(self) -> Vec<String> {
+        let mut an = taint::Analyzer::new(&self.cfg);
+        let _ = an.run(&self.fns, &self.file_names);
+        an.ret_always_names()
+    }
+
+    /// Runs the analysis and applies allow annotations.
+    #[must_use]
+    pub fn run(mut self) -> Report {
+        let mut an = taint::Analyzer::new(&self.cfg);
+        let mut violations = an.run(&self.fns, &self.file_names);
+        violations.extend(self.pre_violations.clone());
+
+        // Apply allows: a violation inside [allow.line, allow.line+WINDOW]
+        // of a same-file, same-rule annotation is suppressed.
+        let allows = &mut self.allows;
+        violations.retain(|v| {
+            for a in allows.iter_mut() {
+                if a.rule == v.rule
+                    && a.file == v.file
+                    && v.line >= a.line
+                    && v.line <= a.line + ALLOW_WINDOW
+                {
+                    a.used = true;
+                    return false;
+                }
+            }
+            true
+        });
+        for a in allows.iter() {
+            if !a.used {
+                violations.push(Violation {
+                    file: a.file.clone(),
+                    line: a.line,
+                    rule: Rule::UnusedAllow,
+                    message: format!(
+                        "allow({}) suppresses nothing within {ALLOW_WINDOW} lines — remove it",
+                        a.rule.name()
+                    ),
+                });
+            }
+        }
+        violations.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+        Report {
+            violations,
+            allows: self.allows,
+            files: self.file_names.len(),
+            functions: self.fns.len(),
+        }
+    }
+}
+
+/// Lints a set of `(name, source)` pairs with the given config.
+#[must_use]
+pub fn lint_sources(cfg: Config, sources: &[(String, String)]) -> Report {
+    let mut l = Linter::new(cfg);
+    for (name, src) in sources {
+        l.add_file(name, src);
+    }
+    l.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(src: &str) -> Report {
+        lint_sources(Config::aq2pnn(), &[("test.rs".to_string(), src.to_string())])
+    }
+
+    fn rules(r: &Report) -> Vec<&'static str> {
+        r.violations.iter().map(|v| v.rule.name()).collect()
+    }
+
+    #[test]
+    fn flags_branch_on_secret_param() {
+        let r = lint("fn f(x: &AShare) -> u64 { if x.as_tensor().get(0) > 2 { 1 } else { 0 } }");
+        assert!(rules(&r).contains(&"secret-branch"), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn flags_secret_index_and_alloc() {
+        let r = lint(
+            "fn f(s: AShare, t: &[u64]) -> u64 {\n\
+             let i = s.into_tensor().get(0) as usize;\n\
+             let mut v = Vec::with_capacity(i);\n\
+             v.push(1);\n\
+             t[i]\n}",
+        );
+        assert!(rules(&r).contains(&"secret-index"), "{:?}", r.violations);
+        assert!(rules(&r).contains(&"secret-alloc"), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn flags_sink_and_inline_capture() {
+        let r = lint(
+            "fn f(s: AShare) {\n\
+             let w = s.into_tensor().get(0);\n\
+             println!(\"leak {w}\");\n\
+             panic!(\"{}\", w);\n}",
+        );
+        assert_eq!(
+            rules(&r).iter().filter(|r| **r == "secret-sink").count(),
+            2,
+            "{:?}",
+            r.violations
+        );
+    }
+
+    #[test]
+    fn flags_raw_compare_outside_condition() {
+        let r = lint("fn f(s: AShare, y: u64) -> bool { let b = s.into_tensor().get(0) == y; b }");
+        assert!(rules(&r).contains(&"secret-compare"), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn sanitizers_neutralize() {
+        let r = lint("fn f(s: &AShare) -> usize { let n = s.len(); if n > 3 { n } else { 0 } }");
+        assert!(r.is_clean(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn recv_results_are_public() {
+        let r = lint(
+            "fn f(ep: &Endpoint) -> u64 { let m = ep.recv().unwrap(); if m.len() > 0 { 1 } else { 0 } }",
+        );
+        assert!(r.is_clean(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn allow_suppresses_and_is_marked_used() {
+        let r = lint(
+            "fn f(s: AShare, t: &[u64]) -> u64 {\n\
+             let i = s.into_tensor().get(0) as usize;\n\
+             // secrecy: allow(secret-index, \"test table is public\")\n\
+             t[i]\n}",
+        );
+        assert!(r.is_clean(), "{:?}", r.violations);
+        assert!(r.allows[0].used);
+    }
+
+    #[test]
+    fn unused_allow_is_flagged() {
+        let r = lint("// secrecy: allow(secret-index, \"nothing here\")\nfn f() {}\n");
+        assert_eq!(rules(&r), vec!["unused-allow"]);
+    }
+
+    #[test]
+    fn allow_without_reason_is_malformed() {
+        let r = lint("fn f() {} // secrecy: allow(secret-index)\n");
+        assert!(rules(&r).contains(&"malformed-allow"), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn declassify_skips_function() {
+        let r = lint(
+            "// secrecy: declassify — mask is opened by protocol design\n\
+             fn f(s: AShare) -> u64 { if s.into_tensor().get(0) > 0 { 1 } else { 0 } }",
+        );
+        assert!(r.is_clean(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn derive_debug_on_secret_type_is_a_sink() {
+        let r = lint("#[derive(Debug, Clone)]\npub struct AShare(RingTensor);\n");
+        assert!(rules(&r).contains(&"secret-sink"), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn cross_function_taint_propagates() {
+        let r = lint(
+            "fn inner(s: AShare) -> u64 { s.into_tensor().get(0) }\n\
+             fn outer(s: AShare, t: &[u64]) -> u64 { t[inner(s) as usize] }",
+        );
+        assert!(rules(&r).contains(&"secret-index"), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn tests_are_skipped() {
+        let r = lint(
+            "#[cfg(test)]\nmod tests {\n fn helper(s: AShare, t: &[u64]) -> u64 { t[s.into_tensor().get(0) as usize] }\n}",
+        );
+        assert!(r.is_clean(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn match_on_secret_scrutinee() {
+        let r = lint("fn f(g: BitGroup) -> u64 { match g.value { 0 => 1, _ => 2 } }");
+        assert!(rules(&r).contains(&"secret-branch"), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn json_report_wellformed() {
+        let r = lint("fn f(s: AShare) { println!(\"{}\", s.into_tensor().get(0)); }");
+        let j = r.to_json();
+        assert!(j.contains("\"secret-sink\""));
+        assert!(j.starts_with('{') && j.trim_end().ends_with('}'));
+    }
+}

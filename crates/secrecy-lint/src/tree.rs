@@ -1,0 +1,130 @@
+//! Token-tree layer: groups the flat token stream by `()`/`[]`/`{}`.
+
+use crate::lexer::{Tok, TokKind};
+
+/// A token tree: either a leaf token or a delimited group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tree {
+    /// A non-delimiter token.
+    Leaf(Tok),
+    /// A delimited group and its contents.
+    Group {
+        /// Opening delimiter: `(`, `[` or `{`.
+        delim: char,
+        /// 1-based line of the opening delimiter.
+        open_line: u32,
+        /// Trees inside the delimiters.
+        items: Vec<Tree>,
+    },
+}
+
+impl Tree {
+    /// The source line this tree starts on.
+    #[must_use]
+    pub fn line(&self) -> u32 {
+        match self {
+            Tree::Leaf(t) => t.line,
+            Tree::Group { open_line, .. } => *open_line,
+        }
+    }
+
+    /// The leaf's identifier text, if this is an identifier leaf.
+    #[must_use]
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            Tree::Leaf(Tok { kind: TokKind::Ident(s), .. }) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether this is the operator leaf `op`.
+    #[must_use]
+    pub fn is_op(&self, op: &str) -> bool {
+        matches!(self, Tree::Leaf(Tok { kind: TokKind::Op(o), .. }) if *o == op)
+    }
+
+    /// The group contents if this is a group with delimiter `delim`.
+    #[must_use]
+    pub fn group(&self, want: char) -> Option<&[Tree]> {
+        match self {
+            Tree::Group { delim, items, .. } if *delim == want => Some(items),
+            _ => None,
+        }
+    }
+
+    /// A compact single-token rendering, for diagnostics and type strings.
+    #[must_use]
+    pub fn text(&self) -> String {
+        match self {
+            Tree::Leaf(t) => match &t.kind {
+                TokKind::Ident(s) | TokKind::Num(s) => s.clone(),
+                TokKind::Str(_) => "\"…\"".to_string(),
+                TokKind::Char => "'…'".to_string(),
+                TokKind::Lifetime => "'_".to_string(),
+                TokKind::Op(o) => (*o).to_string(),
+                TokKind::Open(c) | TokKind::Close(c) => c.to_string(),
+            },
+            Tree::Group { delim, items, .. } => {
+                let close = match delim {
+                    '(' => ')',
+                    '[' => ']',
+                    _ => '}',
+                };
+                let inner: Vec<String> = items.iter().map(Tree::text).collect();
+                format!("{delim}{}{close}", inner.join(" "))
+            }
+        }
+    }
+}
+
+/// Builds token trees from a flat stream. Unbalanced delimiters are
+/// tolerated: stray closers are dropped, unclosed groups end at EOF.
+#[must_use]
+pub fn build(toks: Vec<Tok>) -> Vec<Tree> {
+    // Stack of (delim, open_line, items).
+    let mut stack: Vec<(char, u32, Vec<Tree>)> = Vec::new();
+    let mut top: Vec<Tree> = Vec::new();
+    for t in toks {
+        match t.kind {
+            TokKind::Open(c) => {
+                stack.push((c, t.line, std::mem::take(&mut top)));
+                // `top` now collects the group's items.
+            }
+            TokKind::Close(_) => {
+                if let Some((delim, open_line, parent)) = stack.pop() {
+                    let items = std::mem::replace(&mut top, parent);
+                    top.push(Tree::Group { delim, open_line, items });
+                }
+            }
+            _ => top.push(Tree::Leaf(t)),
+        }
+    }
+    // Close any unterminated groups.
+    while let Some((delim, open_line, parent)) = stack.pop() {
+        let items = std::mem::replace(&mut top, parent);
+        top.push(Tree::Group { delim, open_line, items });
+    }
+    top
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn nests_groups() {
+        let trees = build(lex("f(a, g[1]) { x }").0);
+        assert_eq!(trees.len(), 3); // f, (…), {…}
+        let args = trees[1].group('(').unwrap();
+        assert!(args.iter().any(|t| t.group('[').is_some()));
+        assert!(trees[2].group('{').is_some());
+    }
+
+    #[test]
+    fn tolerates_unbalanced() {
+        let trees = build(lex("(a").0);
+        assert_eq!(trees.len(), 1);
+        assert!(trees[0].group('(').is_some());
+    }
+}

@@ -13,12 +13,30 @@ use aq2pnn_ring::Ring;
 use serde::{Deserialize, Serialize};
 
 /// One bit group of a decomposed value, MSB-first ordering.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct BitGroup {
     /// Width of the group in bits (1 or 2).
     pub width: u32,
     /// The group's value (`< 2^width`).
     pub value: u8,
+}
+
+impl std::fmt::Debug for BitGroup {
+    /// Redacts the group value: groups are slices of a secret share.
+    /// Use [`BitGroup::fmt_revealed`] to opt into printing it.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BitGroup {{ width: {}, value: <redacted> }}", self.width)
+    }
+}
+
+impl BitGroup {
+    /// Debug rendering *including* the secret group value — explicit
+    /// opt-in for tests and offline debugging.
+    #[must_use]
+    pub fn fmt_revealed(&self) -> String {
+        // secrecy: allow(secret-sink, "explicit opt-in reveal; the redacted Debug impl is the default")
+        format!("BitGroup {{ width: {}, value: {} }}", self.width, self.value)
+    }
 }
 
 /// Widths of the groups an `bits`-bit value splits into, MSB-first:

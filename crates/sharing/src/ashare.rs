@@ -4,6 +4,7 @@ use crate::PartyId;
 use aq2pnn_ring::{Ring, RingTensor, ShapeError};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// One party's additive secret share of a [`RingTensor`].
 ///
@@ -14,10 +15,33 @@ use serde::{Deserialize, Serialize};
 /// All methods here are *local* (no communication) — the AS-ALU of paper
 /// Sec. 4.1.3. Interactive operations (Beaver multiplication, comparison)
 /// live in the protocol crate.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct AShare(RingTensor);
 
+/// `Debug` deliberately redacts the share words: a share that reaches a log
+/// line, panic message or `{:?}` format is a silent break of the 2PC model
+/// (`cargo xtask lint` rule `secret-sink`). Only public metadata — ring and
+/// shape — is printed. Tests that need the raw words opt in explicitly via
+/// [`AShare::fmt_revealed`].
+impl fmt::Debug for AShare {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AShare")
+            .field("ring_bits", &self.0.ring().bits())
+            .field("shape", &self.0.shape())
+            .field("values", &"<redacted>")
+            .finish()
+    }
+}
+
 impl AShare {
+    /// Formats the share *including its secret words* — the explicit
+    /// opt-in counterpart of the redacted `Debug` impl, for tests and
+    /// offline debugging only. Never call this on the protocol path.
+    #[must_use]
+    pub fn fmt_revealed(&self) -> String {
+        // secrecy: allow(secret-sink, "explicit opt-in reveal for tests; the redacted Debug impl is the default")
+        format!("AShare(ring=2^{}, {:?})", self.0.ring().bits(), self.0)
+    }
     /// Wraps a tensor that is already a share.
     #[must_use]
     pub fn from_tensor(t: RingTensor) -> Self {

@@ -9,11 +9,12 @@
 
 use aq2pnn_ring::{Ring, RingTensor, ShapeError};
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// One party's share of a Beaver triple `(⟦A⟧, ⟦B⟧, ⟦Z⟧)` with
 /// `Z = A ⊗ B` (matrix product) or `Z = A ⊙ B` (elementwise), depending on
 /// which dealer method produced it.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TripleShare {
     /// Share of the input mask `A` (same shape as the left operand).
     pub a: RingTensor,
@@ -23,11 +24,34 @@ pub struct TripleShare {
     pub z: RingTensor,
 }
 
+/// `Debug` redacts the triple words: leaking a party's `A`/`B` share lets
+/// the peer unmask the opened `E = IN − A` / `F = W − B` values and recover
+/// the plaintext operands. Shapes and the ring are public geometry.
+impl fmt::Debug for TripleShare {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TripleShare")
+            .field("ring_bits", &self.a.ring().bits())
+            .field("a_shape", &self.a.shape())
+            .field("b_shape", &self.b.shape())
+            .field("z_shape", &self.z.shape())
+            .field("values", &"<redacted>")
+            .finish()
+    }
+}
+
 impl TripleShare {
     /// The ring all three components live in.
     #[must_use]
     pub fn ring(&self) -> Ring {
         self.a.ring()
+    }
+
+    /// Formats the triple *including its secret mask words* — test-only
+    /// opt-in counterpart of the redacted `Debug` impl.
+    #[must_use]
+    pub fn fmt_revealed(&self) -> String {
+        // secrecy: allow(secret-sink, "explicit opt-in reveal for tests; the redacted Debug impl is the default")
+        format!("TripleShare {{ a: {:?}, b: {:?}, z: {:?} }}", self.a, self.b, self.z)
     }
 }
 
@@ -262,9 +286,6 @@ pub fn ring_matmul_reference(a: &RingTensor, b: &RingTensor) -> Result<RingTenso
     for i in 0..m {
         for p in 0..k {
             let av = da[i * k + p];
-            if av == 0 {
-                continue;
-            }
             for j in 0..n {
                 out[i * n + j] = ra.add(out[i * n + j], ra.mul(av, db[p * n + j]));
             }

@@ -9,12 +9,27 @@ use serde::{Deserialize, Serialize};
 /// OUP-MSK buffer) are bit vectors shared as `b = b_i ⊕ b_j`. Bits are
 /// stored one per byte (`0`/`1`) for simplicity; the wire format packs them
 /// through `aq2pnn_transport::pack_bits` at 1 bit each.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BShare {
     bits: Vec<u8>,
 }
 
+impl std::fmt::Debug for BShare {
+    /// Redacts the bit vector: an XOR share still leaks its holder's
+    /// masked view. Use [`BShare::fmt_revealed`] to opt into printing it.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BShare {{ len: {}, bits: <redacted> }}", self.bits.len())
+    }
+}
+
 impl BShare {
+    /// Debug rendering *including* the share bits — explicit opt-in for
+    /// tests and offline debugging.
+    #[must_use]
+    pub fn fmt_revealed(&self) -> String {
+        format!("BShare {{ bits: {:?} }}", self.bits)
+    }
+
     /// Wraps raw bits (each value is reduced mod 2).
     #[must_use]
     pub fn from_bits(bits: Vec<u8>) -> Self {

@@ -137,8 +137,9 @@ impl TripleDealer {
         use rand::Rng;
         let plain: Vec<u8> = (0..n).map(|_| self.rng.gen::<u8>() & 1).collect();
         let (b0, b1) = crate::BShare::share(&plain, &mut self.rng);
-        let arith = RingTensor::from_raw(ring, vec![n], plain.iter().map(|&b| b as u64).collect())
-            .expect("length matches");
+        let arith =
+            RingTensor::from_raw(ring, vec![n], plain.iter().map(|&b| u64::from(b)).collect())
+                .expect("length matches");
         let (a0, a1) = AShare::share(&arith, &mut self.rng);
         (DaBitShare { boolean: b0, arith: a0 }, DaBitShare { boolean: b1, arith: a1 })
     }
@@ -218,12 +219,20 @@ impl TripleLane {
 
 /// One party's share of a batch of daBits: the same random bits shared both
 /// as XOR bits and as arithmetic ring elements.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct DaBitShare {
     /// XOR sharing of the bits.
     pub boolean: crate::BShare,
     /// Additive sharing of the same bits as `{0,1} ⊂ Z_Q`.
     pub arith: AShare,
+}
+
+impl std::fmt::Debug for DaBitShare {
+    /// Redacts both component shares; their own `Debug` impls redact too,
+    /// so this only prints the batch length.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DaBitShare {{ len: {}, boolean/arith: <redacted> }}", self.arith.len())
+    }
 }
 
 #[cfg(test)]
@@ -288,7 +297,7 @@ mod tests {
         let bits = BShare::recover(&s0.boolean, &s1.boolean);
         let arith = AShare::recover(&s0.arith, &s1.arith).unwrap();
         for (b, a) in bits.iter().zip(arith.to_signed()) {
-            assert_eq!(*b as i64, a);
+            assert_eq!(i64::from(*b), a);
         }
     }
 

@@ -30,6 +30,10 @@ struct EndpointState {
     stats: ChannelStats,
     phase: String,
     receiving: bool,
+    /// When `Some`, every sent message's bytes are appended here — the
+    /// transcript-uniformity leakage harness reads the raw wire view an
+    /// eavesdropper (or the peer) would observe.
+    capture: Option<Vec<Vec<u8>>>,
 }
 
 /// One end of a bidirectional party-to-party channel.
@@ -94,6 +98,23 @@ impl Endpoint {
         st.receiving = false;
     }
 
+    /// Starts capturing the raw bytes of every subsequent send. Any
+    /// previously captured transcript is discarded.
+    ///
+    /// The capture is the eavesdropper's view of this endpoint's outbound
+    /// traffic; the leakage harness compares captures across secret inputs
+    /// to check the transcript carries no plaintext-dependent signal.
+    pub fn start_capture(&self) {
+        self.state.lock().capture = Some(Vec::new());
+    }
+
+    /// Stops capturing and returns the captured messages (in send order).
+    /// Returns an empty list if capture was never started.
+    #[must_use]
+    pub fn take_capture(&self) -> Vec<Vec<u8>> {
+        self.state.lock().capture.take().unwrap_or_default()
+    }
+
     /// Sends a raw byte message to the peer.
     ///
     /// # Errors
@@ -106,6 +127,9 @@ impl Endpoint {
             st.receiving = false;
             let phase = st.phase.clone();
             st.stats.record_send(&phase, bytes.len() as u64, was_receiving);
+            if let Some(cap) = &mut st.capture {
+                cap.push(bytes.to_vec());
+            }
         }
         self.tx.send(bytes).map_err(|_| TransportError::Disconnected)
     }

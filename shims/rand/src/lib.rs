@@ -27,7 +27,7 @@ impl<R: RngCore + ?Sized> RngCore for &mut R {
         (**self).next_u64()
     }
     fn fill_bytes(&mut self, dest: &mut [u8]) {
-        (**self).fill_bytes(dest)
+        (**self).fill_bytes(dest);
     }
 }
 

@@ -1,0 +1,299 @@
+//! Dynamic leakage harness: transcript-uniformity and timing side-channel
+//! checks complementing the static `secrecy-lint` pass.
+//!
+//! Two families of tests:
+//!
+//! 1. **Transcript homogeneity** — runs the batched secure comparison end
+//!    to end under [`ReluMode::MaskedMux`] for two secret-input classes
+//!    (a fixed plaintext vs. a fresh random plaintext per trial), captures
+//!    every byte each party puts on the wire, and checks (a) the message
+//!    count/size sequence is *identical* across classes and (b) a
+//!    two-sample χ² test cannot distinguish the byte distributions. The
+//!    two-sample form is deliberate: the wire format is structured
+//!    (bit-packed codes, group elements mod p), so the transcript is not
+//!    uniform over bytes — but its distribution must not depend on the
+//!    plaintext.
+//!
+//! 2. **dudect-lite timing** — interleaved batched measurements of the
+//!    branch-free kernels (`sign_from_codes`, the constant-time
+//!    `Ring::pow` ladder) over a fixed-input class vs. a random-input
+//!    class, percentile-cropped, compared with Welch's t-test. Thresholds
+//!    and the retry policy are documented in `EXPERIMENTS.md`
+//!    ("Leakage harness").
+
+use aq2pnn::abrelu::{secure_sign, sign_from_codes};
+use aq2pnn::sim::run_pair;
+use aq2pnn::{ProtocolConfig, ReluMode};
+use aq2pnn_ring::{ct, Ring, RingTensor};
+use aq2pnn_sharing::{AShare, PartyId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Transcript homogeneity
+// ---------------------------------------------------------------------------
+
+const Q1_BITS: u32 = 12;
+const VALUES_PER_TRIAL: usize = 32;
+const TRIALS: usize = 12;
+/// Two-sample χ² threshold over ≤256 byte bins (df ≤ 255). Under the null
+/// the statistic concentrates around df (σ ≈ √(2·df) ≈ 22.6); 400 is more
+/// than six standard deviations out.
+const CHI2_THRESHOLD: f64 = 400.0;
+
+/// One party's outbound transcript for a trial: the raw bytes of every
+/// message, in send order.
+type Transcript = Vec<Vec<u8>>;
+
+/// Runs one MaskedMux secure-sign execution on `vals` and returns both
+/// parties' captured outbound transcripts.
+fn captured_sign_run(vals: &[i64], trial: u64) -> (Transcript, Transcript) {
+    let mut cfg = ProtocolConfig::paper(Q1_BITS);
+    cfg.relu_mode = ReluMode::MaskedMux;
+    // Fresh offline material per trial — the masks, not a fixed setup,
+    // must be what hides the plaintext.
+    cfg.setup_seed ^= 0x7261_1a00 + trial;
+    let ring = cfg.q1();
+    let t = RingTensor::from_signed(ring, vec![vals.len()], vals).expect("valid tensor");
+    let mut share_rng = StdRng::seed_from_u64(0x5eed_0000 + trial);
+    let (s0, s1) = AShare::share(&t, &mut share_rng);
+    run_pair(&cfg, move |ctx| {
+        let mine = match ctx.id {
+            PartyId::User => s0.clone(),
+            PartyId::ModelProvider => s1.clone(),
+        };
+        ctx.ep.start_capture();
+        secure_sign(ctx, &mine, ReluMode::MaskedMux).expect("secure_sign");
+        ctx.ep.take_capture()
+    })
+}
+
+/// Message-size sequence of a two-party transcript pair — the shape an
+/// eavesdropper sees without reading any payload bit.
+fn shape(t: &(Transcript, Transcript)) -> (Vec<usize>, Vec<usize>) {
+    (t.0.iter().map(Vec::len).collect(), t.1.iter().map(Vec::len).collect())
+}
+
+fn byte_histogram(transcripts: &[(Transcript, Transcript)]) -> [u64; 256] {
+    let mut h = [0u64; 256];
+    for (a, b) in transcripts {
+        for msg in a.iter().chain(b.iter()) {
+            for &byte in msg {
+                h[usize::from(byte)] += 1;
+            }
+        }
+    }
+    h
+}
+
+/// Pearson two-sample χ² homogeneity statistic over the byte histograms.
+/// Bins empty in both samples contribute no term (and no degree of
+/// freedom), so the statistic is conservative for narrow wire alphabets.
+fn chi2_two_sample(a: &[u64; 256], b: &[u64; 256]) -> (f64, usize) {
+    let ta: u64 = a.iter().sum();
+    let tb: u64 = b.iter().sum();
+    assert!(ta > 0 && tb > 0, "empty transcript");
+    let (ka, kb) = ((tb as f64 / ta as f64).sqrt(), (ta as f64 / tb as f64).sqrt());
+    let mut chi2 = 0.0;
+    let mut df = 0usize;
+    for i in 0..256 {
+        let (ai, bi) = (a[i] as f64, b[i] as f64);
+        if a[i] + b[i] == 0 {
+            continue;
+        }
+        let d = ka * ai - kb * bi;
+        chi2 += d * d / (ai + bi);
+        df += 1;
+    }
+    (chi2, df.saturating_sub(1))
+}
+
+/// The same plaintext (class A) vs. a fresh random plaintext per trial
+/// (class B): with fresh sharing/offline randomness each trial, the wire
+/// bytes of the two classes must be statistically indistinguishable, and
+/// the message shapes must be *exactly* equal.
+#[test]
+fn masked_mux_transcript_is_plaintext_independent() {
+    let half = 1i64 << (Q1_BITS - 1);
+    let fixed: Vec<i64> =
+        (0..VALUES_PER_TRIAL).map(|i| (i as i64 * 37 % half) - half / 2).collect();
+
+    let mut class_a = Vec::with_capacity(TRIALS);
+    let mut class_b = Vec::with_capacity(TRIALS);
+    for trial in 0..TRIALS as u64 {
+        let mut rng = StdRng::seed_from_u64(0xb0b0 + trial);
+        let random: Vec<i64> =
+            (0..VALUES_PER_TRIAL).map(|_| rng.gen_range(-half / 2..half / 2)).collect();
+        class_a.push(captured_sign_run(&fixed, trial));
+        class_b.push(captured_sign_run(&random, trial));
+    }
+
+    // (b) shape equality: same message count and sizes for every trial of
+    // both classes — the metadata channel carries zero plaintext signal.
+    let reference = shape(&class_a[0]);
+    for t in class_a.iter().chain(class_b.iter()) {
+        assert_eq!(shape(t), reference, "transcript shape depends on the secret input");
+    }
+
+    // (a) byte-distribution homogeneity between the classes.
+    let ha = byte_histogram(&class_a);
+    let hb = byte_histogram(&class_b);
+    let (chi2, df) = chi2_two_sample(&ha, &hb);
+    eprintln!("fixed-vs-random transcript: chi2 = {chi2:.1}, df = {df}");
+    assert!(df >= 64, "wire alphabet unexpectedly narrow: df = {df}");
+    assert!(
+        chi2 < CHI2_THRESHOLD,
+        "transcript byte distributions differ between secret classes: \
+         chi2 = {chi2:.1} over {df} df (threshold {CHI2_THRESHOLD})"
+    );
+}
+
+/// The transcript must also be indistinguishable across *extreme* secret
+/// classes: all-maximally-negative vs. all-maximally-positive inputs.
+#[test]
+fn masked_mux_transcript_hides_the_sign() {
+    let half = 1i64 << (Q1_BITS - 1);
+    let neg: Vec<i64> = vec![-half + 1; VALUES_PER_TRIAL];
+    let pos: Vec<i64> = vec![half - 1; VALUES_PER_TRIAL];
+
+    let mut class_a = Vec::with_capacity(TRIALS);
+    let mut class_b = Vec::with_capacity(TRIALS);
+    for trial in 0..TRIALS as u64 {
+        class_a.push(captured_sign_run(&neg, 0x100 + trial));
+        class_b.push(captured_sign_run(&pos, 0x100 + trial));
+    }
+
+    let reference = shape(&class_a[0]);
+    for t in class_a.iter().chain(class_b.iter()) {
+        assert_eq!(shape(t), reference, "transcript shape depends on the sign");
+    }
+    let (chi2, df) = chi2_two_sample(&byte_histogram(&class_a), &byte_histogram(&class_b));
+    eprintln!("neg-vs-pos transcript: chi2 = {chi2:.1}, df = {df}");
+    assert!(
+        chi2 < CHI2_THRESHOLD,
+        "sign classes distinguishable on the wire: chi2 = {chi2:.1} over {df} df"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// dudect-lite timing
+// ---------------------------------------------------------------------------
+
+/// Samples per class per attempt.
+const TIMING_SAMPLES: usize = 400;
+/// Inner iterations batched into one sample (amortizes timer granularity).
+const TIMING_BATCH: usize = 64;
+/// Fraction of the slowest samples cropped per class before the t-test
+/// (dudect's percentile pre-processing; strips scheduler/interrupt tails).
+const CROP_FRACTION: f64 = 0.10;
+/// |t| acceptance threshold. dudect flags a leak at |t| > 4.5 with millions
+/// of samples; at our sample counts, honest constant-time code on a noisy
+/// shared CI host still shows |t| of a few units, so the gate is
+/// deliberately loose — it catches input-dependent *branches* (orders of
+/// magnitude in t), not picosecond microarchitectural residue.
+const T_THRESHOLD: f64 = 15.0;
+/// Measurement attempts before declaring failure (fresh samples each time;
+/// a single noisy attempt must not fail CI).
+const TIMING_RETRIES: usize = 5;
+
+/// Welch's t statistic between two sample sets.
+fn welch_t(a: &[f64], b: &[f64]) -> f64 {
+    let mean = |s: &[f64]| s.iter().sum::<f64>() / s.len() as f64;
+    let var =
+        |s: &[f64], m: f64| s.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (s.len() - 1) as f64;
+    let (ma, mb) = (mean(a), mean(b));
+    let (va, vb) = (var(a, ma), var(b, mb));
+    let denom = (va / a.len() as f64 + vb / b.len() as f64).sqrt();
+    if denom == 0.0 {
+        0.0
+    } else {
+        (ma - mb) / denom
+    }
+}
+
+/// Drops the slowest `CROP_FRACTION` of samples.
+fn crop(mut samples: Vec<f64>) -> Vec<f64> {
+    samples.sort_by(|x, y| x.partial_cmp(y).expect("finite timings"));
+    let keep = ((samples.len() as f64) * (1.0 - CROP_FRACTION)).ceil() as usize;
+    samples.truncate(keep.max(2));
+    samples
+}
+
+/// Interleaved fixed-vs-variable measurement of `f` over per-class input
+/// pools; returns the cropped Welch t statistic. `inputs[class]` holds
+/// `TIMING_SAMPLES` pre-generated input vectors; each sample times
+/// `TIMING_BATCH` consecutive calls.
+fn measure_classes<T, F: Fn(&T) -> u64>(inputs: &[Vec<T>; 2], f: F) -> f64 {
+    let mut times: [Vec<f64>; 2] = [Vec::new(), Vec::new()];
+    // Interleave A/B samples so slow drifts (thermal, frequency scaling)
+    // hit both classes equally.
+    for (ia, ib) in inputs[0].iter().zip(&inputs[1]) {
+        for (class, input) in [(0, ia), (1, ib)] {
+            let start = Instant::now();
+            let mut acc = 0u64;
+            for _ in 0..TIMING_BATCH {
+                acc = acc.wrapping_add(f(black_box(input)));
+            }
+            let dt = start.elapsed().as_nanos() as f64;
+            black_box(acc);
+            times[class].push(dt);
+        }
+    }
+    let [a, b] = times;
+    welch_t(&crop(a), &crop(b))
+}
+
+/// Runs `attempt` up to [`TIMING_RETRIES`] times, passing if any attempt's
+/// |t| clears the threshold; reports the best statistic on failure.
+fn assert_constant_time(name: &str, mut attempt: impl FnMut() -> f64) {
+    let mut best = f64::INFINITY;
+    for _ in 0..TIMING_RETRIES {
+        let t = attempt().abs();
+        best = best.min(t);
+        if t < T_THRESHOLD {
+            eprintln!("{name}: |t| = {t:.2} (threshold {T_THRESHOLD})");
+            return;
+        }
+    }
+    panic!("{name}: timing distinguishes input classes, best |t| = {best:.1} over {TIMING_RETRIES} attempts (threshold {T_THRESHOLD})");
+}
+
+/// `sign_from_codes` must take the same time whether the comparison is
+/// decided at the first group (random codes) or ties all the way down
+/// (all-equal codes) — the classic first-difference `memcmp` leak.
+#[test]
+fn sign_from_codes_timing_is_input_independent() {
+    const GROUPS: usize = 8;
+    let mut rng = StdRng::seed_from_u64(0x00d0_dec7);
+    let all_eq: Vec<Vec<u64>> =
+        (0..TIMING_SAMPLES).map(|_| (0..GROUPS).map(|_| ct::cmp_code(3, 3)).collect()).collect();
+    let random: Vec<Vec<u64>> = (0..TIMING_SAMPLES)
+        .map(|_| {
+            (0..GROUPS)
+                .map(|_| ct::cmp_code(rng.gen_range(0u64..4), rng.gen_range(0u64..4)))
+                .collect()
+        })
+        .collect();
+    let inputs = [all_eq, random];
+    assert_constant_time("sign_from_codes", || {
+        measure_classes(&inputs, |codes: &Vec<u64>| u64::from(sign_from_codes(codes)))
+    });
+}
+
+/// The `Ring::pow` square-and-multiply ladder must not leak the exponent's
+/// Hamming weight or bit pattern: all-zero exponents vs. random exponents.
+#[test]
+fn ring_pow_timing_is_exponent_independent() {
+    let ring = Ring::new(31);
+    let mut rng = StdRng::seed_from_u64(0x90f1);
+    let zero_exp: Vec<(u64, u64)> =
+        (0..TIMING_SAMPLES).map(|_| (ring.reduce(rng.gen()), 0u64)).collect();
+    let rand_exp: Vec<(u64, u64)> =
+        (0..TIMING_SAMPLES).map(|_| (ring.reduce(rng.gen()), rng.gen())).collect();
+    let inputs = [zero_exp, rand_exp];
+    assert_constant_time("Ring::pow", || {
+        measure_classes(&inputs, |&(base, exp): &(u64, u64)| ring.pow(base, exp))
+    });
+}

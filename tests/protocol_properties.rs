@@ -10,7 +10,7 @@ use aq2pnn_sharing::beaver::ring_matmul;
 use aq2pnn_sharing::{AShare, PartyId};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 fn share(ring: Ring, shape: Vec<usize>, vals: &[i64], seed: u64) -> (AShare, AShare) {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -33,7 +33,6 @@ proptest! {
         let cfg = ProtocolConfig::paper(bits.clamp(8, 24));
         let ring = cfg.q1();
         let mut rng = StdRng::seed_from_u64(seed);
-        use rand::Rng;
         let a_vals: Vec<i64> =
             (0..m * k).map(|_| rng.gen_range(ring.min_signed()..=ring.max_signed())).collect();
         let b_vals: Vec<i64> =
@@ -64,7 +63,6 @@ proptest! {
         let cfg = ProtocolConfig::paper(bits);
         let ring = cfg.q1();
         let mut rng = StdRng::seed_from_u64(seed);
-        use rand::Rng;
         let vals: Vec<i64> =
             (0..len).map(|_| rng.gen_range(ring.min_signed()..=ring.max_signed())).collect();
         let (s0, s1) = share(ring, vec![len], &vals, seed + 7);
