@@ -418,12 +418,8 @@ fn fill_receiver_choices(
 ///
 /// # Errors
 ///
-/// Propagates transport/OT failures.
-///
-/// # Panics
-///
-/// Panics if party 1 calls without flags or party 0 with them (protocol
-/// misuse).
+/// Propagates transport/OT failures; [`ProtocolError::Desync`] if party 1
+/// calls without flags or party 0 with them (protocol misuse).
 pub fn mux_by_receiver(
     ctx: &mut PartyContext,
     flags: Option<&[u8]>,
@@ -433,7 +429,11 @@ pub fn mux_by_receiver(
     let n = x.len();
     match ctx.id {
         PartyId::User => {
-            assert!(flags.is_none(), "party 0 must not hold the selection bits");
+            if flags.is_some() {
+                return Err(ProtocolError::Desync(
+                    "party 0 must not hold the selection bits".into(),
+                ));
+            }
             // Messages per element: m_b = b·x0 − r, built as one flat
             // two-slot-per-item buffer.
             let r = RingTensor::random(ring, vec![n], &mut ctx.rng);
@@ -460,7 +460,9 @@ pub fn mux_by_receiver(
             Ok(AShare::from_tensor(r))
         }
         PartyId::ModelProvider => {
-            let flags = flags.expect("party 1 must hold the selection bits");
+            let flags = flags.ok_or_else(|| {
+                ProtocolError::Desync("party 1 must hold the selection bits".into())
+            })?;
             let choices: Vec<OtChoice> =
                 flags.iter().map(|&s| OtChoice { choice: s as usize, n: 2 }).collect();
             let got =
@@ -498,7 +500,9 @@ pub fn abrelu(ctx: &mut PartyContext, x: &AShare) -> Result<AShare, ProtocolErro
     let signs = secure_sign(ctx, &cmp_view, mode)?;
     match mode {
         ReluMode::RevealedSign => {
-            let flags = signs.flags.expect("revealed mode always yields flags");
+            let flags = signs.flags.ok_or_else(|| {
+                ProtocolError::Desync("revealed mode yielded no sign flags in abrelu".into())
+            })?;
             let ring = x.ring();
             // Branch-free zeroing: on the receiver the flags are locally
             // computed secrets (revealed only through the T_m exchange).

@@ -149,7 +149,9 @@ fn secure_max_pairs(
     let signs = secure_sign(ctx, &d_cmp, mode)?;
     match mode {
         ReluMode::RevealedSign => {
-            let flags = signs.flags.expect("revealed mode yields flags on both sides");
+            let flags = signs.flags.ok_or_else(|| {
+                ProtocolError::Desync("revealed mode yielded no sign flags in secure max".into())
+            })?;
             let ring = a.ring();
             let data: Vec<u64> = a
                 .as_tensor()

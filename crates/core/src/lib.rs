@@ -40,7 +40,11 @@
 //! * [`instq`] — the INST Q compiler (paper Sec. 4.1.1): lowers a model to
 //!   the accelerator instruction stream consumed by the FPGA simulator.
 //! * [`sim`] — two-thread harness running both parties over an in-process
-//!   duplex link, used by tests, examples and benches.
+//!   duplex link, used by tests, examples and benches. The `_over`
+//!   variants ([`sim::run_two_party_over`], [`sim::run_pair_over`]) accept
+//!   caller-supplied endpoints, so the same protocol code runs unchanged
+//!   over a TCP loopback session or a fault-injected link (see
+//!   `aq2pnn_transport`'s session stack and `tests/transport_faults.rs`).
 //!
 //! # Quickstart
 //!

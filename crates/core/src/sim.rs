@@ -1,13 +1,13 @@
 //! Two-thread simulation harness: runs both parties of a protocol over an
-//! in-process duplex link. Used by unit tests, integration tests, examples
-//! and the benchmark harnesses.
+//! in-process duplex link — or over any caller-supplied endpoint pair, e.g.
+//! a TCP loopback session or a fault-injected link.
 
 use crate::engine::{run_party, InferenceOutput, PartyInput};
 use crate::oracle::IdealOracle;
 use crate::{PartyContext, ProtocolConfig, ProtocolError};
 use aq2pnn_nn::quant::QuantModel;
 use aq2pnn_sharing::PartyId;
-use aq2pnn_transport::{duplex, ChannelStats};
+use aq2pnn_transport::{duplex, ChannelStats, Endpoint};
 use std::sync::Arc;
 
 /// Runs `f` as both parties on two threads and returns
@@ -25,6 +25,21 @@ where
     F: Fn(&mut PartyContext) -> T + Send + Sync + 'static,
 {
     let (e0, e1) = duplex();
+    run_pair_over(e0, e1, cfg, f)
+}
+
+/// Like [`run_pair`], but over caller-supplied endpoints — the same
+/// protocol code runs unchanged over an in-process link, a TCP loopback
+/// session, or a [`aq2pnn_transport::FaultyTransport`] proxy.
+///
+/// # Panics
+///
+/// Panics if either party's closure panics.
+pub fn run_pair_over<T, F>(e0: Endpoint, e1: Endpoint, cfg: &ProtocolConfig, f: F) -> (T, T)
+where
+    T: Send + 'static,
+    F: Fn(&mut PartyContext) -> T + Send + Sync + 'static,
+{
     let oracle = Arc::new(IdealOracle::new(cfg.setup_seed ^ 0x0eac1e));
     let f = Arc::new(f);
     let (cfg1, f1, o1) = (cfg.clone(), Arc::clone(&f), Arc::clone(&oracle));
@@ -57,13 +72,9 @@ pub struct TwoPartyRun {
 ///
 /// # Errors
 ///
-/// Propagates any [`ProtocolError`] from either party (party 1's error is
-/// surfaced as a panic message if party 0 succeeded).
-///
-/// # Panics
-///
-/// Panics if the party threads panic or if the two parties recover
-/// different logits (a protocol bug).
+/// Propagates any [`ProtocolError`] from either party;
+/// [`ProtocolError::Desync`] if the parties recover different logits or a
+/// party thread dies.
 pub fn run_two_party(
     model: &QuantModel,
     cfg: &ProtocolConfig,
@@ -71,6 +82,28 @@ pub fn run_two_party(
     _seed: u64,
 ) -> Result<TwoPartyRun, ProtocolError> {
     let (e0, e1) = duplex();
+    run_two_party_over(e0, e1, model, cfg, image)
+}
+
+/// Like [`run_two_party`], but over caller-supplied endpoints.
+///
+/// This is the entry point of the fault-tolerance soak tests: hand it
+/// endpoints over a [`aq2pnn_transport::Session`] wrapping a
+/// [`aq2pnn_transport::FaultyTransport`] and the inference must still
+/// complete with logits bit-identical to the in-process run.
+///
+/// # Errors
+///
+/// Propagates any [`ProtocolError`] from either party;
+/// [`ProtocolError::Desync`] if the parties recover different logits or a
+/// party thread dies.
+pub fn run_two_party_over(
+    e0: Endpoint,
+    e1: Endpoint,
+    model: &QuantModel,
+    cfg: &ProtocolConfig,
+    image: &[f32],
+) -> Result<TwoPartyRun, ProtocolError> {
     let oracle = Arc::new(IdealOracle::new(cfg.setup_seed ^ 0x0eac1e));
     let (cfg1, o1, m1) = (cfg.clone(), Arc::clone(&oracle), model.clone());
     let handle = std::thread::spawn(move || -> Result<InferenceOutput, ProtocolError> {
@@ -78,8 +111,19 @@ pub fn run_two_party(
         run_party(&mut ctx, &m1, PartyInput::Provider)
     });
     let mut ctx = PartyContext::new(PartyId::User, e0, cfg.clone(), Some(oracle));
+    // On a party-0 error, return immediately: dropping `ctx` tears the link
+    // down, so a provider thread blocked in `recv` wakes with `Disconnected`
+    // instead of deadlocking a join here.
     let user = run_party(&mut ctx, model, PartyInput::User(image))?;
-    let provider = handle.join().expect("party 1 panicked")?;
-    assert_eq!(user.logits, provider.logits, "parties recovered different logits");
+    let provider =
+        handle.join().map_err(|_| ProtocolError::Desync("party 1 thread panicked".into()))??;
+    if user.logits != provider.logits {
+        return Err(ProtocolError::Desync(format!(
+            "parties recovered different logits ({} vs {} entries{})",
+            user.logits.len(),
+            provider.logits.len(),
+            if user.logits.len() == provider.logits.len() { ", values differ" } else { "" }
+        )));
+    }
     Ok(TwoPartyRun { logits: user.logits, user_stats: user.stats, provider_stats: provider.stats })
 }

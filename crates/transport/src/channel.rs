@@ -1,29 +1,19 @@
-//! In-process duplex channels between the two parties.
+//! The [`Endpoint`] accounting layer: phase-labeled byte/round counters
+//! over any [`Transport`].
+//!
+//! An `Endpoint` counts **application payload bytes** — the quantity the
+//! paper's tables report and the INST-Q compiler predicts. Session framing,
+//! retransmissions and control traffic live *below* this layer (see
+//! [`crate::Session`]), so `compiled bytes == measured bytes` holds over a
+//! lossy TCP link exactly as it does in-process.
 
-use crate::{pack_bits, unpack_bits, ChannelStats};
+use crate::transport::{mem_pair, Transport};
+use crate::{pack_bits, packed_len, unpack_bits, ChannelStats, TransportError};
 use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
-use std::error::Error;
 use std::fmt;
 use std::sync::Arc;
-
-/// Error returned when the peer endpoint has been dropped.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum TransportError {
-    /// The other endpoint disconnected (dropped) before/while communicating.
-    Disconnected,
-}
-
-impl fmt::Display for TransportError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            TransportError::Disconnected => write!(f, "peer endpoint disconnected"),
-        }
-    }
-}
-
-impl Error for TransportError {}
+use std::time::Duration;
 
 #[derive(Default)]
 struct EndpointState {
@@ -46,15 +36,18 @@ struct EndpointState {
 /// profiling of paper Table 5.
 #[derive(Clone)]
 pub struct Endpoint {
-    tx: Sender<Bytes>,
-    rx: Receiver<Bytes>,
+    link: Arc<dyn Transport>,
     state: Arc<Mutex<EndpointState>>,
+    /// Deadline applied by [`Endpoint::recv`] when set; `None` blocks
+    /// forever, matching the historical in-process behavior.
+    default_deadline: Option<Duration>,
 }
 
 impl fmt::Debug for Endpoint {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let state = self.state.lock();
         f.debug_struct("Endpoint")
+            .field("link", &self.link.descriptor())
             .field("phase", &state.phase)
             .field("bytes_sent", &state.stats.bytes_sent)
             .field("bytes_received", &state.stats.bytes_received)
@@ -63,17 +56,36 @@ impl fmt::Debug for Endpoint {
 }
 
 /// Creates a connected pair of [`Endpoint`]s — the 2PC link between party
-/// *i* and party *j*.
+/// *i* and party *j* — over an in-process transport.
 #[must_use]
 pub fn duplex() -> (Endpoint, Endpoint) {
-    let (atx, brx) = unbounded();
-    let (btx, arx) = unbounded();
-    let a = Endpoint { tx: atx, rx: arx, state: Arc::default() };
-    let b = Endpoint { tx: btx, rx: brx, state: Arc::default() };
-    (a, b)
+    duplex_with_timeout(None)
+}
+
+/// Like [`duplex`], but every [`Endpoint::recv`] applies `timeout` as its
+/// deadline, turning a silently hung protocol thread into a typed
+/// [`TransportError::Timeout`].
+#[must_use]
+pub fn duplex_with_timeout(timeout: Option<Duration>) -> (Endpoint, Endpoint) {
+    let (a, b) = mem_pair();
+    (Endpoint::over_transport(Arc::new(a), timeout), Endpoint::over_transport(Arc::new(b), timeout))
 }
 
 impl Endpoint {
+    /// Wraps an arbitrary [`Transport`] (a [`crate::Session`] over TCP, a
+    /// [`crate::FaultyTransport`], …) in the accounting layer. Protocol
+    /// code upward is oblivious to what carries its bytes.
+    #[must_use]
+    pub fn over_transport(link: Arc<dyn Transport>, default_deadline: Option<Duration>) -> Self {
+        Endpoint { link, state: Arc::default(), default_deadline }
+    }
+
+    /// Description of the underlying link (for diagnostics).
+    #[must_use]
+    pub fn link_descriptor(&self) -> String {
+        self.link.descriptor()
+    }
+
     /// Labels subsequent traffic with `phase` for per-operator accounting.
     pub fn set_phase(&self, phase: impl Into<String>) {
         self.state.lock().phase = phase.into();
@@ -119,7 +131,10 @@ impl Endpoint {
     ///
     /// # Errors
     ///
-    /// Returns [`TransportError::Disconnected`] if the peer dropped.
+    /// Returns [`TransportError::Disconnected`] if the peer dropped, or any
+    /// error surfaced by the underlying link (e.g.
+    /// [`TransportError::RetriesExhausted`] from a session that could not
+    /// repair a fault).
     pub fn send(&self, bytes: Bytes) -> Result<(), TransportError> {
         {
             let mut st = self.state.lock();
@@ -131,16 +146,29 @@ impl Endpoint {
                 cap.push(bytes.to_vec());
             }
         }
-        self.tx.send(bytes).map_err(|_| TransportError::Disconnected)
+        self.link.send(bytes)
     }
 
-    /// Receives the next raw byte message from the peer, blocking.
+    /// Receives the next raw byte message from the peer, blocking at most
+    /// for the endpoint's default deadline (forever when none was set).
     ///
     /// # Errors
     ///
-    /// Returns [`TransportError::Disconnected`] if the peer dropped.
+    /// Returns [`TransportError::Disconnected`] if the peer dropped,
+    /// [`TransportError::Timeout`] when a default deadline expires.
     pub fn recv(&self) -> Result<Bytes, TransportError> {
-        let bytes = self.rx.recv().map_err(|_| TransportError::Disconnected)?;
+        self.recv_deadline(self.default_deadline)
+    }
+
+    /// Receives the next raw byte message, blocking at most until
+    /// `deadline` (forever when `None`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::Timeout`] when the deadline expires,
+    /// [`TransportError::Disconnected`] if the peer dropped.
+    pub fn recv_deadline(&self, deadline: Option<Duration>) -> Result<Bytes, TransportError> {
+        let bytes = self.link.recv(deadline)?;
         let mut st = self.state.lock();
         st.receiving = true;
         let phase = st.phase.clone();
@@ -166,14 +194,23 @@ impl Endpoint {
     ///
     /// # Errors
     ///
-    /// Returns [`TransportError::Disconnected`] if the peer dropped.
+    /// Returns [`TransportError::Disconnected`] if the peer dropped, or
+    /// [`TransportError::Corrupt`] when the received message is shorter
+    /// than the packed length — a framing desync, not a panic.
     ///
     /// # Panics
     ///
-    /// Panics if the received message is shorter than the packed length or
-    /// `bits` is not in `1..=64`.
+    /// Panics if `bits` is not in `1..=64`.
     pub fn recv_bits(&self, bits: u32, count: usize) -> Result<Vec<u64>, TransportError> {
         let bytes = self.recv()?;
+        let need = packed_len(bits, count);
+        if bytes.len() < need {
+            return Err(TransportError::Corrupt(format!(
+                "bit-packed message too short: got {} bytes, expected {need} \
+                 ({count} elems at {bits} bits)",
+                bytes.len()
+            )));
+        }
         Ok(unpack_bits(&bytes, bits, count))
     }
 
@@ -225,6 +262,28 @@ mod tests {
         drop(b);
         assert_eq!(a.send(Bytes::from_static(b"x")), Err(TransportError::Disconnected));
         assert_eq!(a.recv(), Err(TransportError::Disconnected));
+    }
+
+    #[test]
+    fn default_deadline_times_out() {
+        let (a, _b) = duplex_with_timeout(Some(Duration::from_millis(5)));
+        assert_eq!(a.recv(), Err(TransportError::Timeout));
+    }
+
+    #[test]
+    fn recv_deadline_overrides() {
+        let (a, b) = duplex();
+        assert_eq!(a.recv_deadline(Some(Duration::from_millis(5))), Err(TransportError::Timeout));
+        b.send(Bytes::from_static(b"late")).unwrap();
+        assert_eq!(&a.recv_deadline(Some(Duration::from_millis(100))).unwrap()[..], b"late");
+    }
+
+    #[test]
+    fn short_bits_message_is_corrupt_not_panic() {
+        let (a, b) = duplex();
+        a.send(Bytes::from_static(b"\x01")).unwrap(); // 1 byte
+        let err = b.recv_bits(16, 4).unwrap_err(); // needs 8 bytes
+        assert!(matches!(err, TransportError::Corrupt(_)), "got {err:?}");
     }
 
     #[test]

@@ -1,0 +1,113 @@
+//! The transport failure model.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by the transport layer.
+///
+/// The in-process [`crate::duplex`] link can only ever report
+/// [`Disconnected`](TransportError::Disconnected); the fallible transports
+/// ([`crate::TcpTransport`], [`crate::Session`], [`crate::FaultyTransport`])
+/// use the full set. Every protocol layer above propagates these as
+/// `Result` — a dropped frame must never panic a party.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// The other endpoint disconnected (dropped, or the underlying link
+    /// failed) before/while communicating.
+    Disconnected,
+    /// A receive deadline expired before a message arrived.
+    Timeout,
+    /// A frame failed validation (bad magic, length, or checksum). The
+    /// string describes what was malformed — it derives from frame
+    /// *metadata*, never from payload contents.
+    Corrupt(String),
+    /// The session saw a sequence number it cannot reconcile: the peer
+    /// requested (or delivered) a position outside the replay window.
+    SequenceGap {
+        /// The sequence number this side expected next.
+        expected: u64,
+        /// The sequence number actually observed.
+        got: u64,
+    },
+    /// Recovery gave up: reconnect attempts or receive probes hit their
+    /// configured cap without the link coming back.
+    RetriesExhausted(String),
+    /// An OS-level I/O failure that is not a clean disconnect or timeout.
+    Io(String),
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::Disconnected => write!(f, "peer endpoint disconnected"),
+            TransportError::Timeout => write!(f, "receive deadline expired"),
+            TransportError::Corrupt(what) => write!(f, "corrupt frame: {what}"),
+            TransportError::SequenceGap { expected, got } => {
+                write!(f, "unreconcilable sequence gap: expected {expected}, got {got}")
+            }
+            TransportError::RetriesExhausted(what) => {
+                write!(f, "retries exhausted: {what}")
+            }
+            TransportError::Io(what) => write!(f, "transport i/o failure: {what}"),
+        }
+    }
+}
+
+impl Error for TransportError {}
+
+impl TransportError {
+    /// True for errors the session layer can try to recover from by
+    /// re-requesting or reconnecting (as opposed to giving up).
+    #[must_use]
+    pub fn is_recoverable(&self) -> bool {
+        matches!(
+            self,
+            TransportError::Disconnected | TransportError::Timeout | TransportError::Corrupt(_)
+        )
+    }
+}
+
+impl From<std::io::Error> for TransportError {
+    fn from(e: std::io::Error) -> Self {
+        use std::io::ErrorKind;
+        match e.kind() {
+            ErrorKind::TimedOut | ErrorKind::WouldBlock => TransportError::Timeout,
+            ErrorKind::ConnectionReset
+            | ErrorKind::ConnectionAborted
+            | ErrorKind::BrokenPipe
+            | ErrorKind::UnexpectedEof
+            | ErrorKind::NotConnected => TransportError::Disconnected,
+            _ => TransportError::Io(e.kind().to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_error_classification() {
+        use std::io::{Error, ErrorKind};
+        assert_eq!(
+            TransportError::from(Error::new(ErrorKind::TimedOut, "t")),
+            TransportError::Timeout
+        );
+        assert_eq!(
+            TransportError::from(Error::new(ErrorKind::BrokenPipe, "p")),
+            TransportError::Disconnected
+        );
+        assert!(matches!(
+            TransportError::from(Error::new(ErrorKind::PermissionDenied, "d")),
+            TransportError::Io(_)
+        ));
+    }
+
+    #[test]
+    fn recoverability() {
+        assert!(TransportError::Timeout.is_recoverable());
+        assert!(TransportError::Disconnected.is_recoverable());
+        assert!(!TransportError::RetriesExhausted("dead".into()).is_recoverable());
+        assert!(!TransportError::SequenceGap { expected: 4, got: 9 }.is_recoverable());
+    }
+}

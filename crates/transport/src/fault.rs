@@ -1,0 +1,267 @@
+//! Deterministic fault injection: wrap any [`Transport`] and make it
+//! misbehave on a seeded, reproducible schedule.
+//!
+//! [`FaultyTransport`] sits *between* a [`crate::Session`] and its link —
+//! the session sees drops, delays, duplicates, corruption and disconnects
+//! exactly as a real flaky network would produce them, and must repair
+//! every one. Fault decisions are pure functions of `(seed, direction,
+//! frame index)` via splitmix64, so a failing schedule replays identically
+//! from its seed: every CI failure is reproducible locally.
+//!
+//! Faults act on the **sender side** of a frame: a "dropped" frame is
+//! simply never forwarded, a "corrupted" one has a pseudorandomly chosen
+//! bit flipped, a "disconnect" tears the underlying link down (both
+//! parties observe it, like a cable pull).
+
+use crate::session::splitmix64;
+use crate::transport::Transport;
+use crate::TransportError;
+use bytes::Bytes;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Duration;
+
+/// What happens to one frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Forward unchanged.
+    Pass,
+    /// Never forward.
+    Drop,
+    /// Forward twice.
+    Duplicate,
+    /// Flip one pseudorandomly chosen bit, then forward.
+    Corrupt,
+    /// Sleep, then forward.
+    Delay,
+    /// Tear the link down (then report `Disconnected`).
+    Disconnect,
+}
+
+/// A seeded fault schedule: per-mille rates for each fault class plus
+/// explicit disconnect points.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Seed for all pseudorandom decisions.
+    pub seed: u64,
+    /// Out of 1000 sent frames, how many are dropped.
+    pub drop_per_mille: u16,
+    /// … duplicated.
+    pub duplicate_per_mille: u16,
+    /// … corrupted (one bit flip).
+    pub corrupt_per_mille: u16,
+    /// … delayed by [`FaultPlan::delay`].
+    pub delay_per_mille: u16,
+    /// Sleep applied to delayed frames.
+    pub delay: Duration,
+    /// Outgoing frame indices at which the link is torn down
+    /// ("disconnect at frame N"). Recovery requires the wrapped transport
+    /// to support reconnection.
+    pub disconnect_at: Vec<u64>,
+}
+
+impl FaultPlan {
+    /// A clean link (no faults) — useful as a matrix baseline.
+    #[must_use]
+    pub fn clean() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A mixed lossy link: some of everything except disconnects.
+    #[must_use]
+    pub fn lossy(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            drop_per_mille: 20,
+            duplicate_per_mille: 20,
+            corrupt_per_mille: 20,
+            delay_per_mille: 10,
+            delay: Duration::from_millis(2),
+            disconnect_at: Vec::new(),
+        }
+    }
+
+    /// The deterministic action for outgoing frame number `index`.
+    #[must_use]
+    pub fn action(&self, index: u64) -> FaultAction {
+        if self.disconnect_at.contains(&index) {
+            return FaultAction::Disconnect;
+        }
+        let roll = splitmix64(self.seed ^ (index.wrapping_mul(0x9E37_79B9))) % 1000;
+        let mut edge = u64::from(self.drop_per_mille);
+        if roll < edge {
+            return FaultAction::Drop;
+        }
+        edge += u64::from(self.duplicate_per_mille);
+        if roll < edge {
+            return FaultAction::Duplicate;
+        }
+        edge += u64::from(self.corrupt_per_mille);
+        if roll < edge {
+            return FaultAction::Corrupt;
+        }
+        edge += u64::from(self.delay_per_mille);
+        if roll < edge {
+            return FaultAction::Delay;
+        }
+        FaultAction::Pass
+    }
+}
+
+/// Count of injected faults, by class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Frames silently dropped.
+    pub dropped: u64,
+    /// Frames forwarded twice.
+    pub duplicated: u64,
+    /// Frames forwarded with a flipped bit.
+    pub corrupted: u64,
+    /// Frames forwarded late.
+    pub delayed: u64,
+    /// Link teardowns.
+    pub disconnects: u64,
+}
+
+/// A [`Transport`] proxy that injects faults from a [`FaultPlan`].
+pub struct FaultyTransport {
+    inner: Arc<dyn Transport>,
+    plan: FaultPlan,
+    sent: AtomicU64,
+    stats: Mutex<FaultStats>,
+}
+
+impl FaultyTransport {
+    /// Wraps `inner` with the fault schedule `plan`.
+    #[must_use]
+    pub fn new(inner: Arc<dyn Transport>, plan: FaultPlan) -> Self {
+        FaultyTransport {
+            inner,
+            plan,
+            sent: AtomicU64::new(0),
+            stats: Mutex::new(FaultStats::default()),
+        }
+    }
+
+    /// Faults injected so far.
+    pub fn stats(&self) -> FaultStats {
+        *self.stats.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn bump(&self, f: impl FnOnce(&mut FaultStats)) {
+        f(&mut self.stats.lock().unwrap_or_else(PoisonError::into_inner));
+    }
+}
+
+impl Transport for FaultyTransport {
+    fn send(&self, bytes: Bytes) -> Result<(), TransportError> {
+        let index = self.sent.fetch_add(1, Ordering::SeqCst);
+        match self.plan.action(index) {
+            FaultAction::Pass => self.inner.send(bytes),
+            FaultAction::Drop => {
+                self.bump(|s| s.dropped += 1);
+                Ok(())
+            }
+            FaultAction::Duplicate => {
+                self.bump(|s| s.duplicated += 1);
+                self.inner.send(bytes.clone())?;
+                self.inner.send(bytes)
+            }
+            FaultAction::Corrupt => {
+                self.bump(|s| s.corrupted += 1);
+                let mut mutated = bytes.to_vec();
+                if !mutated.is_empty() {
+                    let bit = splitmix64(self.plan.seed ^ !index) as usize % (mutated.len() * 8);
+                    mutated[bit / 8] ^= 1 << (bit % 8);
+                }
+                self.inner.send(Bytes::from(mutated))
+            }
+            FaultAction::Delay => {
+                self.bump(|s| s.delayed += 1);
+                std::thread::sleep(self.plan.delay);
+                self.inner.send(bytes)
+            }
+            FaultAction::Disconnect => {
+                self.bump(|s| s.disconnects += 1);
+                self.inner.shutdown();
+                Err(TransportError::Disconnected)
+            }
+        }
+    }
+
+    fn recv(&self, deadline: Option<Duration>) -> Result<Bytes, TransportError> {
+        self.inner.recv(deadline)
+    }
+
+    fn shutdown(&self) {
+        self.inner.shutdown();
+    }
+
+    fn reconnect(&self) -> Result<(), TransportError> {
+        self.inner.reconnect()
+    }
+
+    fn supports_reconnect(&self) -> bool {
+        self.inner.supports_reconnect()
+    }
+
+    fn descriptor(&self) -> String {
+        format!("faulty(seed={}, {})", self.plan.seed, self.inner.descriptor())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::mem_pair;
+
+    #[test]
+    fn schedule_is_deterministic() {
+        let plan = FaultPlan::lossy(7);
+        let first: Vec<FaultAction> = (0..256).map(|i| plan.action(i)).collect();
+        let second: Vec<FaultAction> = (0..256).map(|i| plan.action(i)).collect();
+        assert_eq!(first, second);
+        assert!(first.iter().any(|a| *a != FaultAction::Pass), "lossy plan never fired");
+        assert!(first.iter().filter(|a| **a == FaultAction::Pass).count() > 200);
+    }
+
+    #[test]
+    fn disconnect_at_fires_exactly_there() {
+        let plan = FaultPlan { disconnect_at: vec![3], ..FaultPlan::clean() };
+        assert_eq!(plan.action(2), FaultAction::Pass);
+        assert_eq!(plan.action(3), FaultAction::Disconnect);
+    }
+
+    #[test]
+    fn drop_swallows_frame() {
+        let (a, b) = mem_pair();
+        // drop everything
+        let plan = FaultPlan { drop_per_mille: 1000, ..FaultPlan::clean() };
+        let faulty = FaultyTransport::new(Arc::new(a), plan);
+        faulty.send(Bytes::from(vec![1, 2, 3])).unwrap();
+        assert_eq!(b.recv(Some(Duration::from_millis(10))), Err(TransportError::Timeout));
+        assert_eq!(faulty.stats().dropped, 1);
+    }
+
+    #[test]
+    fn corrupt_flips_exactly_one_bit() {
+        let (a, b) = mem_pair();
+        let plan = FaultPlan { corrupt_per_mille: 1000, ..FaultPlan::clean() };
+        let faulty = FaultyTransport::new(Arc::new(a), plan);
+        let original = vec![0u8; 32];
+        faulty.send(Bytes::from(original.clone())).unwrap();
+        let got = b.recv(None).unwrap();
+        let flipped: u32 = got.iter().zip(&original).map(|(a, b)| (a ^ b).count_ones()).sum();
+        assert_eq!(flipped, 1);
+    }
+
+    #[test]
+    fn disconnect_kills_both_sides() {
+        let (a, b) = mem_pair();
+        let plan = FaultPlan { disconnect_at: vec![0], ..FaultPlan::clean() };
+        let faulty = FaultyTransport::new(Arc::new(a), plan);
+        assert_eq!(faulty.send(Bytes::from(vec![0])), Err(TransportError::Disconnected));
+        assert_eq!(b.recv(Some(Duration::from_millis(10))), Err(TransportError::Disconnected));
+        assert_eq!(faulty.stats().disconnects, 1);
+    }
+}

@@ -1,0 +1,277 @@
+//! The session frame format: length-prefixed, sequence-numbered,
+//! checksummed.
+//!
+//! Every message the [`crate::Session`] reliability layer puts on a link is
+//! one frame:
+//!
+//! ```text
+//! offset  size  field
+//!      0     2  magic 0xA2 0x2F
+//!      2     1  format version (currently 1)
+//!      3     1  kind (Data/Ack/Nak/Hello/Ping)
+//!      4     8  seq   (LE) — Data: this frame's sequence number
+//!     12     8  ack   (LE) — cumulative: next seq the sender expects
+//!     20     4  payload length (LE)
+//!     24     4  CRC-32 (IEEE) over header[0..24] ++ payload
+//!     28     …  payload
+//! ```
+//!
+//! The sequence number counts **Data** frames only; control frames carry
+//! `seq = 0`. `ack` is cumulative on every frame, so any traffic — data,
+//! probes, retransmission requests — lets the peer prune its replay
+//! buffer. The CRC turns link-level corruption into a typed
+//! [`TransportError::Corrupt`] instead of protocol desynchronization.
+//!
+//! Frame *payloads* are secret carriers (shares, masked openings, OT
+//! ciphertexts). Header metadata — kind, seq, ack, length — is observable
+//! by design and must therefore never depend on secrets; see DESIGN.md §9.
+
+use crate::TransportError;
+
+/// Frame header length in bytes.
+pub const FRAME_HEADER_LEN: usize = 28;
+
+/// Hard cap on a frame payload (64 MiB): a corrupted or hostile length
+/// field must not drive an unbounded allocation.
+pub const MAX_FRAME_PAYLOAD: usize = 64 << 20;
+
+const MAGIC: [u8; 2] = [0xA2, 0x2F];
+const VERSION: u8 = 1;
+
+/// What a frame means to the session layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Application payload at sequence number `seq`.
+    Data,
+    /// Pure cumulative acknowledgement (no payload).
+    Ack,
+    /// Retransmission request: "resend everything from `ack`".
+    Nak,
+    /// Reconnect handshake: advertises both counters so the two sides can
+    /// resynchronize after a disconnect.
+    Hello,
+    /// Ack solicitation, sent when the replay buffer is under pressure.
+    Ping,
+}
+
+impl FrameKind {
+    fn to_byte(self) -> u8 {
+        match self {
+            FrameKind::Data => 0,
+            FrameKind::Ack => 1,
+            FrameKind::Nak => 2,
+            FrameKind::Hello => 3,
+            FrameKind::Ping => 4,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<Self> {
+        Some(match b {
+            0 => FrameKind::Data,
+            1 => FrameKind::Ack,
+            2 => FrameKind::Nak,
+            3 => FrameKind::Hello,
+            4 => FrameKind::Ping,
+            _ => return None,
+        })
+    }
+}
+
+/// A decoded session frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Frame kind.
+    pub kind: FrameKind,
+    /// Data sequence number (0 for control frames, except `Hello` which
+    /// carries the sender's `next_send_seq`).
+    pub seq: u64,
+    /// Cumulative acknowledgement: the next sequence number the frame's
+    /// sender expects to receive.
+    pub ack: u64,
+    /// Application payload (empty for control frames).
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// Builds a control frame (no payload).
+    #[must_use]
+    pub fn control(kind: FrameKind, seq: u64, ack: u64) -> Self {
+        Frame { kind, seq, ack, payload: Vec::new() }
+    }
+
+    /// Builds a data frame.
+    #[must_use]
+    pub fn data(seq: u64, ack: u64, payload: Vec<u8>) -> Self {
+        Frame { kind: FrameKind::Data, seq, ack, payload }
+    }
+
+    /// Serializes the frame (header + checksum + payload).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(FRAME_HEADER_LEN + self.payload.len());
+        out.extend_from_slice(&MAGIC);
+        out.push(VERSION);
+        out.push(self.kind.to_byte());
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.extend_from_slice(&self.ack.to_le_bytes());
+        out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        let mut crc = Crc32::new();
+        crc.update(&out[..24]);
+        crc.update(&self.payload);
+        out.extend_from_slice(&crc.finish().to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Parses and validates one frame.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Corrupt`] when the magic, version, kind, length or
+    /// checksum is wrong. The error text names the malformed *field*; it
+    /// never echoes payload bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Frame, TransportError> {
+        if bytes.len() < FRAME_HEADER_LEN {
+            return Err(TransportError::Corrupt(format!(
+                "frame shorter than header: {} < {FRAME_HEADER_LEN} bytes",
+                bytes.len()
+            )));
+        }
+        if bytes[..2] != MAGIC {
+            return Err(TransportError::Corrupt("bad magic".into()));
+        }
+        if bytes[2] != VERSION {
+            return Err(TransportError::Corrupt(format!("unsupported version {}", bytes[2])));
+        }
+        let Some(kind) = FrameKind::from_byte(bytes[3]) else {
+            return Err(TransportError::Corrupt(format!("unknown kind {}", bytes[3])));
+        };
+        let seq = u64::from_le_bytes(bytes[4..12].try_into().expect("8 bytes"));
+        let ack = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
+        let len = u32::from_le_bytes(bytes[20..24].try_into().expect("4 bytes")) as usize;
+        if len > MAX_FRAME_PAYLOAD {
+            return Err(TransportError::Corrupt(format!("payload length {len} exceeds cap")));
+        }
+        if bytes.len() != FRAME_HEADER_LEN + len {
+            return Err(TransportError::Corrupt(format!(
+                "length field {len} disagrees with frame size {}",
+                bytes.len()
+            )));
+        }
+        let stored_crc = u32::from_le_bytes(bytes[24..28].try_into().expect("4 bytes"));
+        let mut crc = Crc32::new();
+        crc.update(&bytes[..24]);
+        crc.update(&bytes[FRAME_HEADER_LEN..]);
+        if crc.finish() != stored_crc {
+            return Err(TransportError::Corrupt("checksum mismatch".into()));
+        }
+        Ok(Frame { kind, seq, ack, payload: bytes[FRAME_HEADER_LEN..].to_vec() })
+    }
+}
+
+/// Incremental CRC-32 (IEEE 802.3 polynomial, reflected).
+pub struct Crc32 {
+    state: u32,
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+impl Crc32 {
+    /// Fresh checksum state.
+    #[must_use]
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Feeds `bytes` into the checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state =
+                CRC_TABLE[((self.state ^ u32::from(b)) & 0xFF) as usize] ^ (self.state >> 8);
+        }
+    }
+
+    /// Final checksum value.
+    #[must_use]
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vector() {
+        // CRC-32("123456789") = 0xCBF43926, the standard check value.
+        let mut c = Crc32::new();
+        c.update(b"123456789");
+        assert_eq!(c.finish(), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn roundtrip_data_and_control() {
+        let d = Frame::data(42, 17, vec![1, 2, 3, 250]);
+        assert_eq!(Frame::decode(&d.encode()).unwrap(), d);
+        let c = Frame::control(FrameKind::Nak, 0, 99);
+        assert_eq!(Frame::decode(&c.encode()).unwrap(), c);
+    }
+
+    #[test]
+    fn empty_payload_roundtrip() {
+        let d = Frame::data(0, 0, Vec::new());
+        assert_eq!(Frame::decode(&d.encode()).unwrap(), d);
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        let encoded = Frame::data(7, 3, (0..64).collect()).encode();
+        for i in 0..encoded.len() {
+            for bit in 0..8 {
+                let mut bad = encoded.clone();
+                bad[i] ^= 1 << bit;
+                assert!(Frame::decode(&bad).is_err(), "flip of byte {i} bit {bit} went undetected");
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_and_padding_detected() {
+        let encoded = Frame::data(1, 1, vec![9; 16]).encode();
+        assert!(Frame::decode(&encoded[..encoded.len() - 1]).is_err());
+        let mut padded = encoded;
+        padded.push(0);
+        assert!(Frame::decode(&padded).is_err());
+        assert!(Frame::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn oversized_length_field_rejected_without_allocation() {
+        let mut encoded = Frame::data(1, 1, vec![0; 8]).encode();
+        encoded[20..24].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(Frame::decode(&encoded), Err(TransportError::Corrupt(_))));
+    }
+}

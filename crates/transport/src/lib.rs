@@ -18,6 +18,24 @@
 //! * [`NetworkModel`] converts (bytes, messages) into wall-clock seconds for
 //!   a given bandwidth/latency, defaulting to the paper's 1000 Mbps LAN.
 //!
+//! # Fault-tolerant transport stack
+//!
+//! Deployed two-party inference runs over real, fallible links. The stack
+//! (bottom to top):
+//!
+//! * [`Transport`] — the pluggable raw link: [`MemTransport`] (in-process,
+//!   reliable) or [`TcpTransport`] (loopback/LAN, can drop mid-stream).
+//! * [`FaultyTransport`] — a deterministic fault-injection proxy driven by a
+//!   seeded [`FaultPlan`] (drop/delay/duplicate/corrupt/disconnect-at-N).
+//! * [`Session`] — the reliability layer: length-prefixed, sequence-numbered,
+//!   CRC-32-checksummed [`Frame`]s, cumulative acks with a bounded replay
+//!   buffer, Nak-based retransmission, and reconnect with capped
+//!   exponential backoff — so an inference survives a mid-protocol
+//!   disconnect and completes bit-identically.
+//! * [`Endpoint`] — phase-labeled byte accounting over any of the above.
+//!   It counts application payloads only, so `compiled bytes == measured
+//!   bytes` holds regardless of retransmissions below.
+//!
 //! # Example
 //!
 //! ```
@@ -40,14 +58,26 @@
 #![warn(missing_docs)]
 
 mod channel;
+mod error;
+mod fault;
+mod frame;
 mod network;
 mod packing;
+mod session;
 mod stats;
+mod tcp;
+mod transport;
 
 pub use bytes::Bytes;
-pub use channel::{duplex, Endpoint, TransportError};
-pub use network::NetworkModel;
+pub use channel::{duplex, duplex_with_timeout, Endpoint};
+pub use error::TransportError;
+pub use fault::{FaultAction, FaultPlan, FaultStats, FaultyTransport};
+pub use frame::{Crc32, Frame, FrameKind, FRAME_HEADER_LEN, MAX_FRAME_PAYLOAD};
+pub use network::{NetworkModel, SESSION_WIRE_FRAMING_BYTES};
 pub use packing::{
     pack_bits, pack_bits_reference, packed_len, unpack_bits, unpack_bits_at, unpack_bits_reference,
 };
+pub use session::{Session, SessionConfig, SessionTelemetry};
 pub use stats::{ChannelStats, PhaseStats};
+pub use tcp::{TcpConfig, TcpTransport};
+pub use transport::{mem_pair, MemTransport, Transport};

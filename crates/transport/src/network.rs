@@ -22,6 +22,13 @@ pub struct NetworkModel {
     pub per_message_overhead_bytes: u64,
 }
 
+/// Per-message framing the fault-tolerant session stack itself adds on a
+/// real socket: the 28-byte session frame header plus the 4-byte TCP
+/// transport length prefix. Measured ground truth via
+/// [`crate::TcpTransport::wire_bytes`]; see the `net_calibration` test and
+/// EXPERIMENTS.md ("NetworkModel calibration").
+pub const SESSION_WIRE_FRAMING_BYTES: u64 = (crate::FRAME_HEADER_LEN as u64) + 4;
+
 impl NetworkModel {
     /// The paper's setup: 1000 Mbps LAN, ~50 µs effective per-message
     /// latency, standard ~66-byte Ethernet/IP/TCP framing.
@@ -32,6 +39,17 @@ impl NetworkModel {
             latency_s: 50e-6,
             per_message_overhead_bytes: 66,
         }
+    }
+
+    /// The same link, but as seen by the deployed session transport: each
+    /// message additionally carries [`SESSION_WIRE_FRAMING_BYTES`] of
+    /// checksummed session framing on top of the kernel's Ethernet/IP/TCP
+    /// headers. Calibrated against measured [`crate::TcpTransport`] wire
+    /// bytes (the `net_calibration` test keeps this constant honest).
+    #[must_use]
+    pub fn with_session_framing(mut self) -> Self {
+        self.per_message_overhead_bytes += SESSION_WIRE_FRAMING_BYTES;
+        self
     }
 
     /// An ideal link: infinite bandwidth, zero latency. Useful to isolate
@@ -82,5 +100,17 @@ mod tests {
     #[test]
     fn default_is_paper_lan() {
         assert_eq!(NetworkModel::default(), NetworkModel::paper_lan());
+    }
+
+    #[test]
+    fn session_framing_raises_overhead_only() {
+        let base = NetworkModel::paper_lan();
+        let framed = base.with_session_framing();
+        assert_eq!(
+            framed.per_message_overhead_bytes,
+            base.per_message_overhead_bytes + SESSION_WIRE_FRAMING_BYTES
+        );
+        assert_eq!(framed.bandwidth_bps, base.bandwidth_bps);
+        assert!(framed.transfer_seconds(1000, 10) > base.transfer_seconds(1000, 10));
     }
 }

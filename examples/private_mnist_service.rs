@@ -9,40 +9,108 @@
 //! LAN.
 //!
 //! ```sh
+//! # Single process, in-memory link:
 //! cargo run --release --example private_mnist_service
+//!
+//! # Two real processes over TCP (run in two terminals):
+//! cargo run --release --example private_mnist_service -- --listen 127.0.0.1:9940
+//! cargo run --release --example private_mnist_service -- --connect 127.0.0.1:9940
 //! ```
+//!
+//! In two-process mode the connection runs through the fault-tolerant
+//! session layer: frames are sequence-numbered and checksummed, and the
+//! inference survives transient disconnects via reconnect + replay.
 
+use aq2pnn::engine::{run_party, PartyInput};
 use aq2pnn::sim::run_two_party;
-use aq2pnn::ProtocolConfig;
+use aq2pnn::{PartyContext, ProtocolConfig};
 use aq2pnn_nn::data::SyntheticVision;
 use aq2pnn_nn::float::FloatNet;
 use aq2pnn_nn::quant::{QuantConfig, QuantModel};
 use aq2pnn_nn::tensor::argmax_i64;
 use aq2pnn_nn::zoo;
-use aq2pnn_transport::NetworkModel;
+use aq2pnn_sharing::PartyId;
+use aq2pnn_transport::{Endpoint, NetworkModel, Session, SessionConfig, TcpConfig, TcpTransport};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // --- Provider: train + quantize LeNet5 (plaintext, offline). ---
-    println!("provider: training LeNet5 on synthetic MNIST…");
+/// Builds the same deterministic dataset + trained/quantized model in any
+/// process: both sides of the two-process mode derive identical weights
+/// from the fixed seeds, standing in for the provider shipping its public
+/// architecture + the offline share setup of a real deployment.
+fn build_model() -> Result<(SyntheticVision, QuantModel), Box<dyn std::error::Error>> {
     let data = SyntheticVision::mnist_like(2024);
     let mut net = FloatNet::init(&zoo::lenet5(), 9)?;
     net.train_epochs(&data, 3, 16, 0.05);
     let model = QuantModel::quantize(&net, &data.calibration(32), &QuantConfig::int8())?;
-    println!(
-        "provider: plaintext int8 accuracy {:.1}%",
-        100.0 * model.accuracy(&data.test()[..50])
-    );
+    Ok((data, model))
+}
 
-    // --- Service: users submit private images. ---
+fn usage() -> ! {
+    eprintln!(
+        "usage: private_mnist_service [--listen ADDR | --connect ADDR] [--count N]\n\
+         \n\
+         no flags        run both parties in-process\n\
+         --listen ADDR   run as the model provider, accept one user on ADDR\n\
+         --connect ADDR  run as the user, connect to a provider on ADDR\n\
+         --count N       number of test images to classify (default 10)"
+    );
+    std::process::exit(2)
+}
+
+struct Args {
+    listen: Option<String>,
+    connect: Option<String>,
+    count: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { listen: None, connect: None, count: 10 };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--listen" => args.listen = Some(it.next().unwrap_or_else(|| usage())),
+            "--connect" => args.connect = Some(it.next().unwrap_or_else(|| usage())),
+            "--count" => {
+                args.count = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
+            _ => usage(),
+        }
+    }
+    if args.listen.is_some() && args.connect.is_some() {
+        usage();
+    }
+    args
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = parse_args();
+
+    println!("training LeNet5 on synthetic MNIST (deterministic seeds)…");
+    let (data, model) = build_model()?;
+    println!("plaintext int8 accuracy {:.1}%", 100.0 * model.accuracy(&data.test()[..50]));
+
+    match (&args.listen, &args.connect) {
+        (Some(addr), None) => serve_tcp(addr, PartyId::ModelProvider, &data, &model, args.count),
+        (None, Some(addr)) => serve_tcp(addr, PartyId::User, &data, &model, args.count),
+        _ => run_in_process(&data, &model, args.count),
+    }
+}
+
+/// Single-process demo: both parties on threads over the in-memory link.
+fn run_in_process(
+    data: &SyntheticVision,
+    model: &QuantModel,
+    n: usize,
+) -> Result<(), Box<dyn std::error::Error>> {
     let cfg = ProtocolConfig::paper(16);
     let net_model = NetworkModel::paper_lan();
-    let n = 10;
     let mut secure_correct = 0;
     let mut plain_agree = 0;
     let mut total_bytes = 0u64;
     let mut total_msgs = 0u64;
     for s in data.test().iter().take(n) {
-        let run = run_two_party(&model, &cfg, &s.image, 0)?;
+        let run = run_two_party(model, &cfg, &s.image, 0)?;
         let pred = argmax_i64(&run.logits);
         if pred == s.label {
             secure_correct += 1;
@@ -66,5 +134,68 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         per_inf_bytes as f64 / (1024.0 * 1024.0)
     );
     println!("  est. link time @1 Gbps : {:.1} ms per inference", 1e3 * link_secs);
+    Ok(())
+}
+
+/// One real party over TCP: listener = model provider, connector = user.
+fn serve_tcp(
+    addr: &str,
+    id: PartyId,
+    data: &SyntheticVision,
+    model: &QuantModel,
+    n: usize,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let tcp = match id {
+        PartyId::ModelProvider => {
+            println!("provider: listening on {addr}…");
+            TcpTransport::listen(addr)?
+        }
+        PartyId::User => {
+            println!("user: connecting to {addr}…");
+            // Generous dial timeout so the user may be started first.
+            let cfg =
+                TcpConfig { connect_timeout: Duration::from_secs(30), ..TcpConfig::default() };
+            TcpTransport::connect(addr, cfg)?
+        }
+    };
+    let tcp = Arc::new(tcp);
+    let session = Session::new(Arc::clone(&tcp) as Arc<_>, SessionConfig::default());
+    // A 60 s receive deadline turns a dead peer into a typed Timeout
+    // instead of a hang.
+    let ep = Endpoint::over_transport(Arc::new(session), Some(Duration::from_secs(60)));
+    let cfg = ProtocolConfig::paper(16);
+    let mut ctx = PartyContext::new(id, ep, cfg, None);
+
+    let started = Instant::now();
+    let mut secure_correct = 0;
+    let mut total_bytes = 0u64;
+    for (i, s) in data.test().iter().take(n).enumerate() {
+        let input = match id {
+            PartyId::User => PartyInput::User(&s.image),
+            PartyId::ModelProvider => PartyInput::Provider,
+        };
+        let out = run_party(&mut ctx, model, input)?;
+        let pred = argmax_i64(&out.logits);
+        if pred == s.label {
+            secure_correct += 1;
+        }
+        total_bytes += out.stats.total_bytes();
+        println!("  inference {i}: predicted {pred} (label {})", s.label);
+    }
+    let (wire_tx, wire_rx) = tcp.wire_bytes();
+    let elapsed = started.elapsed();
+    println!("\n{n} secure inferences over TCP ({})", ctx.ep.link_descriptor());
+    println!("  secure accuracy   : {secure_correct}/{n}");
+    println!(
+        "  payload traffic   : {:.3} MiB  (wire: {:.3} MiB out, {:.3} MiB in, incl. framing)",
+        total_bytes as f64 / (1024.0 * 1024.0),
+        wire_tx as f64 / (1024.0 * 1024.0),
+        wire_rx as f64 / (1024.0 * 1024.0),
+    );
+    println!(
+        "  wall-clock        : {:.2} s total, {:.2} s per inference",
+        elapsed.as_secs_f64(),
+        elapsed.as_secs_f64() / n as f64
+    );
     Ok(())
 }
