@@ -26,6 +26,7 @@
 //! obtains exactly the codes for its own group values and combines them.
 
 use crate::{PartyContext, ProtocolError, ReluMode, ReluRounds};
+use aq2pnn_obs::report::CAT_STAGE;
 use aq2pnn_ot::{recv_batch, send_batch_flat, OtChoice};
 use aq2pnn_parallel::{par_chunks_mut, par_fill_indexed};
 use aq2pnn_ring::{ct, RingTensor};
@@ -156,11 +157,14 @@ pub fn secure_sign(
     match ctx.id {
         PartyId::User => {
             // Sender: u = −x_0, decomposed into one flat n × U group buffer.
+            let a2bm = ctx.span_begin("a2bm", CAT_STAGE, &[]);
             let mut neg = vec![0u64; n];
             let x0 = x_q1.as_tensor().as_slice();
             par_fill_indexed(&mut neg, PAR_MIN_VALUES, |v| ring.neg(x0[v]));
             let mut u_flat = Vec::new();
             split_groups_into(ring, &neg, &widths, &mut u_flat);
+            ctx.span_end(a2bm);
+            let ot_flow = ctx.span_begin("ot-flow", CAT_STAGE, &[]);
             // Flat OT message buffer + arities, reused across rounds.
             let (mut msgs, mut arity) = (Vec::new(), Vec::new());
             match ctx.cfg.relu_rounds {
@@ -222,9 +226,12 @@ pub fn secure_sign(
                     }
                 }
             }
+            ctx.span_end(ot_flow);
             match mode {
                 ReluMode::RevealedSign => {
+                    let reveal = ctx.span_begin("reveal", CAT_STAGE, &[]);
                     let t_m = ctx.ep.recv_bits(1, n)?;
+                    ctx.span_end(reveal);
                     Ok(SignFlags { flags: Some(t_m.iter().map(|&b| b as u8).collect()) })
                 }
                 ReluMode::MaskedMux => Ok(SignFlags { flags: None }),
@@ -232,8 +239,11 @@ pub fn secure_sign(
         }
         PartyId::ModelProvider => {
             // Receiver: v = x_1, decomposed into one flat n × U group buffer.
+            let a2bm = ctx.span_begin("a2bm", CAT_STAGE, &[]);
             let mut v_flat = Vec::new();
             split_groups_into(ring, x_q1.as_tensor().as_slice(), &widths, &mut v_flat);
+            ctx.span_end(a2bm);
+            let ot_flow = ctx.span_begin("ot-flow", CAT_STAGE, &[]);
             let mut choices = Vec::new();
             let flags = match ctx.cfg.relu_rounds {
                 ReluRounds::Single => {
@@ -319,9 +329,12 @@ pub fn secure_sign(
                     flags
                 }
             };
+            ctx.span_end(ot_flow);
             if mode == ReluMode::RevealedSign {
+                let reveal = ctx.span_begin("reveal", CAT_STAGE, &[]);
                 let t_m: Vec<u64> = flags.iter().map(|&b| u64::from(b)).collect();
                 ctx.ep.send_bits(&t_m, 1)?;
+                ctx.span_end(reveal);
             }
             Ok(SignFlags { flags: Some(flags) })
         }
@@ -515,7 +528,9 @@ pub fn abrelu(ctx: &mut PartyContext, x: &AShare) -> Result<AShare, ProtocolErro
             Ok(AShare::from_tensor(RingTensor::from_raw(ring, x.shape().to_vec(), data)?))
         }
         ReluMode::MaskedMux => {
+            let mux = ctx.span_begin("mux", CAT_STAGE, &[]);
             let out = mux_by_receiver(ctx, signs.flags.as_deref(), x)?;
+            ctx.span_end(mux);
             // Preserve the original shape.
             let mut t = out.into_tensor();
             t.reshape(x.shape().to_vec())?;

@@ -166,8 +166,9 @@ pub fn open_weight_mask(
     b_share: &RingTensor,
 ) -> Result<RingTensor, ProtocolError> {
     let ring = w_share.ring();
-    let online_phase = ctx.ep.phase();
-    ctx.ep.set_phase("offline-f");
+    // Scope guard (not a manual save/restore pair): the online label comes
+    // back even on the error paths below, and nested scopes stay correct.
+    let _offline = ctx.ep.phase_scope("offline-f");
     let f_share = w_share.as_tensor().sub(b_share)?;
     let f_peer = ctx.ep.exchange_bits(f_share.as_slice(), ring.bits(), f_share.len())?;
     if f_peer.len() != f_share.len() {
@@ -178,7 +179,6 @@ pub fn open_weight_mask(
         w_share.shape().to_vec(),
         f_share.as_slice().iter().zip(&f_peer).map(|(&a, &b)| ring.add(a, b)).collect(),
     )?;
-    ctx.ep.set_phase(online_phase);
     Ok(f)
 }
 

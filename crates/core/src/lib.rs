@@ -90,12 +90,13 @@ pub use config::{
 };
 pub use error::ProtocolError;
 pub use oracle::{IdealOp, IdealOracle};
-pub use party::PartyContext;
+pub use party::{IoSpan, PartyContext};
 
 /// Re-exports of the substrate crates, so downstream users need only one
 /// dependency.
 pub mod substrate {
     pub use aq2pnn_nn as nn;
+    pub use aq2pnn_obs as obs;
     pub use aq2pnn_ot as ot;
     pub use aq2pnn_ring as ring;
     pub use aq2pnn_sharing as sharing;

@@ -2,11 +2,15 @@
 
 use crate::oracle::{IdealOp, IdealOracle};
 use crate::{ExtensionMode, ProtocolConfig, ProtocolError, TruncationMode};
+use aq2pnn_obs::report::{ARG_BYTES_RECV, ARG_BYTES_SENT, ARG_ROUNDS};
+use aq2pnn_obs::tracer::SpanId;
+use aq2pnn_obs::{ArgValue, MetricsRegistry, Tracer};
 use aq2pnn_ot::{LabelTable, OtGroup};
 use aq2pnn_ring::{Ring, RingTensor};
 use aq2pnn_sharing::beaver::TripleShare;
 use aq2pnn_sharing::dealer::{TripleDealer, TripleLane};
 use aq2pnn_sharing::{trunc, AShare, PartyId};
+use aq2pnn_transport::ChannelTotals;
 use aq2pnn_transport::Endpoint;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -34,8 +38,22 @@ pub struct PartyContext {
     pub labels: LabelTable,
     /// Party-private randomness.
     pub rng: StdRng,
+    /// Span recorder for per-layer / per-stage timelines. Disabled by
+    /// default (one branch per call); enable with [`PartyContext::set_obs`].
+    pub tracer: Tracer,
+    /// Metric store for counters/gauges/histograms. Disabled by default;
+    /// enable with [`PartyContext::set_obs`].
+    pub metrics: MetricsRegistry,
     dealer: TripleDealer,
     oracle: Option<Arc<IdealOracle>>,
+}
+
+/// An open span plus the channel totals at its start; produced by
+/// [`PartyContext::span_begin`], consumed by [`PartyContext::span_end`].
+#[derive(Debug, Clone, Copy)]
+pub struct IoSpan {
+    id: Option<SpanId>,
+    before: ChannelTotals,
 }
 
 impl std::fmt::Debug for PartyContext {
@@ -65,7 +83,30 @@ impl PartyContext {
         // Party-private randomness: different per party. (Deterministic in
         // the simulator for reproducibility.)
         let rng = StdRng::seed_from_u64(cfg.setup_seed ^ 0x9a57 ^ id.index());
-        PartyContext { id, ep, cfg, group, labels, rng, dealer, oracle }
+        PartyContext {
+            id,
+            ep,
+            cfg,
+            group,
+            labels,
+            rng,
+            tracer: Tracer::disabled(),
+            metrics: MetricsRegistry::disabled(),
+            dealer,
+            oracle,
+        }
+    }
+
+    /// Attaches a tracer and metrics registry to this party: protocol code
+    /// opens a span per layer and per stage, and the OT group records its
+    /// batch metrics. Telemetry carries **public structure only** (shapes,
+    /// ring widths, byte/round counts, timings) — see DESIGN.md §10.
+    pub fn set_obs(&mut self, tracer: Tracer, metrics: MetricsRegistry) {
+        if metrics.is_enabled() {
+            self.group.attach_metrics(&metrics);
+        }
+        self.tracer = tracer;
+        self.metrics = metrics;
     }
 
     /// The activation-carrier ring `Q1`.
@@ -172,6 +213,41 @@ impl PartyContext {
                 Ok(AShare::from_tensor(t))
             }
         }
+    }
+
+    /// Opens a span and snapshots the channel totals so [`Self::span_end`]
+    /// can attribute the byte/round deltas to it. One branch when tracing
+    /// is disabled.
+    #[must_use]
+    pub fn span_begin(
+        &self,
+        name: impl Into<String>,
+        cat: &str,
+        args: &[(&str, ArgValue)],
+    ) -> IoSpan {
+        if !self.tracer.is_enabled() {
+            return IoSpan { id: None, before: ChannelTotals::default() };
+        }
+        IoSpan { id: Some(self.tracer.begin_with(name, cat, args)), before: self.ep.totals() }
+    }
+
+    /// Closes a span opened by [`Self::span_begin`], appending the channel
+    /// byte/round deltas measured across it.
+    pub fn span_end(&self, span: IoSpan) {
+        self.span_end_with(span, &[]);
+    }
+
+    /// Like [`Self::span_end`], with extra closing arguments (e.g. the
+    /// output shape, known only once the layer has run).
+    pub fn span_end_with(&self, span: IoSpan, extra: &[(&str, ArgValue)]) {
+        let Some(id) = span.id else { return };
+        let d = self.ep.totals().since(&span.before);
+        let mut args: Vec<(&str, ArgValue)> = Vec::with_capacity(extra.len() + 3);
+        args.extend_from_slice(extra);
+        args.push((ARG_BYTES_SENT, d.bytes_sent.into()));
+        args.push((ARG_BYTES_RECV, d.bytes_received.into()));
+        args.push((ARG_ROUNDS, d.rounds.into()));
+        self.tracer.end_with(id, &args);
     }
 
     fn oracle_call(&self, share: RingTensor, op: IdealOp) -> Result<RingTensor, ProtocolError> {

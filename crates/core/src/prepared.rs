@@ -32,8 +32,10 @@ use crate::ops::{
     channel_sum, im2col_tensor, pool_sum, pool_windows, requant_share, secure_conv2d_prepared,
     secure_linear_prepared, ConvGeometry,
 };
+use crate::party::IoSpan;
 use crate::{PartyContext, PipelineMode, ProtocolError};
 use aq2pnn_nn::quant::{quantize_image, QuantModel, QuantOp, Requant};
+use aq2pnn_obs::report::{ARG_RING_BITS, ARG_SHAPE, CAT_LAYER, CAT_OFFLINE, CAT_STAGE};
 use aq2pnn_ring::{Ring, RingTensor};
 use aq2pnn_sharing::dealer::TripleLane;
 use aq2pnn_sharing::{AShare, PartyId};
@@ -167,6 +169,7 @@ impl PreparedModel {
 
         // --- Input sharing (offline-style PRG masks). ---
         ctx.ep.set_phase("input");
+        let in_span = ctx.span_begin("input", CAT_LAYER, &[]);
         let n_in = self.n_in;
         let mut in_stream = ChaCha20Rng::seed_from_u64(ctx.cfg.setup_seed ^ 0x1fa7_0001);
         let mask = RingTensor::random(act_ring, vec![n_in], &mut in_stream);
@@ -184,14 +187,18 @@ impl PreparedModel {
             }
         };
 
+        end_layer_span(ctx, in_span, &x);
+
         // --- Walk the prepared ops (online work only). ---
         let out = run_ops(ctx, &mut self.ops, x)?;
 
         // --- Reveal the logits. ---
         ctx.ep.set_phase("output");
+        let out_span = ctx.span_begin("output", CAT_LAYER, &[]);
         let mine = out.as_tensor().as_slice().to_vec();
         let out_ring = out.ring();
         let theirs = ctx.ep.exchange_bits(&mine, out_ring.bits(), mine.len())?;
+        end_layer_span(ctx, out_span, &out);
         if theirs.len() != mine.len() {
             return Err(ProtocolError::Desync("output share length mismatch".into()));
         }
@@ -201,6 +208,41 @@ impl PreparedModel {
             .map(|(&a, &b)| out_ring.decode_signed(out_ring.add(a, b)))
             .collect();
         Ok(InferenceOutput { logits, stats: ctx.ep.stats() })
+    }
+}
+
+/// `"6x24x24"`-style shape label for span arguments (public structure).
+fn shape_str(shape: &[usize]) -> String {
+    shape.iter().map(ToString::to_string).collect::<Vec<_>>().join("x")
+}
+
+/// Closes a layer span, stamping the layer's *output* ring width and shape
+/// alongside the channel deltas. No-op when tracing is disabled.
+fn end_layer_span(ctx: &PartyContext, span: IoSpan, out: &AShare) {
+    ctx.span_end_with(
+        span,
+        &[
+            (ARG_RING_BITS, u64::from(out.ring().bits()).into()),
+            (ARG_SHAPE, shape_str(out.shape()).into()),
+        ],
+    );
+}
+
+/// The span/phase name of a lowered op, `None` for ops that are pure
+/// bookkeeping ([`PreparedKind::Flatten`]) or that must not wrap their
+/// children in a span ([`PreparedKind::Residual`] — the branch layers stay
+/// top-level so the cost report keeps one row per layer; only the final
+/// add gets its own `resadd{idx}` span inside the arm).
+fn layer_label(idx: usize, kind: &PreparedKind) -> Option<String> {
+    match kind {
+        PreparedKind::Conv2d { .. } => Some(format!("conv{idx}")),
+        PreparedKind::Linear { .. } => Some(format!("fc{idx}")),
+        PreparedKind::Relu => Some(format!("abrelu{idx}")),
+        PreparedKind::MaxPool { .. } => Some(format!("maxpool{idx}")),
+        PreparedKind::AvgPool { .. } => Some(format!("avgpool{idx}")),
+        PreparedKind::GlobalAvgPool { .. } => Some(format!("gap{idx}")),
+        PreparedKind::Rescale { .. } => Some(format!("rescale{idx}")),
+        PreparedKind::Flatten | PreparedKind::Residual { .. } => None,
     }
 }
 
@@ -241,6 +283,15 @@ fn prepare_ops(
     for op in ops {
         let idx = *layer_idx;
         *layer_idx += 1;
+        // The linear layers are the only ops with offline traffic (the
+        // `offline-f` weight-mask openings); give each its own
+        // `CAT_OFFLINE` span so the cost report's offline column
+        // attributes preparation bytes per layer.
+        let prep_span = match op {
+            QuantOp::Conv2d { .. } => Some(ctx.span_begin(format!("conv{idx}"), CAT_OFFLINE, &[])),
+            QuantOp::Linear { .. } => Some(ctx.span_begin(format!("fc{idx}"), CAT_OFFLINE, &[])),
+            _ => None,
+        };
         let kind = match op {
             QuantOp::Conv2d { in_c, out_c, k, stride, pad, in_hw, out_hw, w, bias, requant } => {
                 let geom = ConvGeometry {
@@ -351,6 +402,9 @@ fn prepare_ops(
                 PreparedKind::Residual { main: main_ops, shortcut: short_ops }
             }
         };
+        if let Some(span) = prep_span {
+            ctx.span_end_with(span, &[(ARG_SHAPE, shape_str(cur_shape).into())]);
+        }
         out.push(PreparedOp { idx, kind });
     }
     Ok(out)
@@ -370,18 +424,25 @@ fn run_ops(
     };
     for op in ops.iter_mut() {
         let idx = op.idx;
+        let span = layer_label(idx, &op.kind).map(|name| ctx.span_begin(name, CAT_LAYER, &[]));
         x = match &mut op.kind {
             PreparedKind::Conv2d { geom, w_mat, bias, f_open, lane, requant } => {
                 ctx.ep.set_phase(format!("conv{idx}"));
+                let gemm = ctx.span_begin("gemm", CAT_STAGE, &[]);
                 let x2 = if x.ring() == q2 { x } else { ctx.extend_share(&x, q2)? };
                 let g = *geom;
                 let triple = lane.next(move |t| im2col_tensor(t, &g));
                 let acc = secure_conv2d_prepared(ctx, &x2, geom, w_mat, bias, f_open, &triple)?;
+                ctx.span_end(gemm);
                 ctx.ep.set_phase(format!("bnreq{idx}"));
-                requant_share(ctx, &acc, *requant, act_ring)?
+                let bnreq = ctx.span_begin("bnreq", CAT_STAGE, &[]);
+                let r = requant_share(ctx, &acc, *requant, act_ring)?;
+                ctx.span_end(bnreq);
+                r
             }
             PreparedKind::Linear { w_mat, bias, f_open, lane, requant } => {
                 ctx.ep.set_phase(format!("fc{idx}"));
+                let gemm = ctx.span_begin("gemm", CAT_STAGE, &[]);
                 let x2 = if x.ring() == q2 { x } else { ctx.extend_share(&x, q2)? };
                 let in_f = x2.len();
                 let triple = lane.next(move |t| {
@@ -390,8 +451,12 @@ fn run_ops(
                     m
                 });
                 let acc = secure_linear_prepared(ctx, &x2, w_mat, bias, f_open, &triple)?;
+                ctx.span_end(gemm);
                 ctx.ep.set_phase(format!("bnreq{idx}"));
-                requant_share(ctx, &acc, *requant, act_ring)?
+                let bnreq = ctx.span_begin("bnreq", CAT_STAGE, &[]);
+                let r = requant_share(ctx, &acc, *requant, act_ring)?;
+                ctx.span_end(bnreq);
+                r
             }
             PreparedKind::Relu => {
                 ctx.ep.set_phase(format!("abrelu{idx}"));
@@ -431,6 +496,7 @@ fn run_ops(
                 let m = run_ops(ctx, main, x.clone())?;
                 let s = run_ops(ctx, shortcut, x)?;
                 ctx.ep.set_phase(format!("resadd{idx}"));
+                let add_span = ctx.span_begin(format!("resadd{idx}"), CAT_LAYER, &[]);
                 let mut mt = m.into_tensor();
                 let st = s.into_tensor();
                 if mt.len() != st.len() {
@@ -442,9 +508,14 @@ fn run_ops(
                 mt.reshape(vec![n])?;
                 let mut st2 = st;
                 st2.reshape(vec![n])?;
-                AShare::from_tensor(mt.add(&st2)?)
+                let sum = AShare::from_tensor(mt.add(&st2)?);
+                end_layer_span(ctx, add_span, &sum);
+                sum
             }
         };
+        if let Some(span) = span {
+            end_layer_span(ctx, span, &x);
+        }
     }
     Ok(x)
 }

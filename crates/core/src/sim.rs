@@ -6,9 +6,29 @@ use crate::engine::{run_party, InferenceOutput, PartyInput};
 use crate::oracle::IdealOracle;
 use crate::{PartyContext, ProtocolConfig, ProtocolError};
 use aq2pnn_nn::quant::QuantModel;
+use aq2pnn_obs::{MetricsRegistry, Tracer};
 use aq2pnn_sharing::PartyId;
 use aq2pnn_transport::{duplex, ChannelStats, Endpoint};
 use std::sync::Arc;
+
+/// Observability handles for one party of a traced run. `Tracer` and
+/// `MetricsRegistry` are cheap shared handles: clone them into the run and
+/// keep the originals to snapshot spans/metrics afterwards.
+#[derive(Clone, Default)]
+pub struct PartyObs {
+    /// Span recorder (disabled by default).
+    pub tracer: Tracer,
+    /// Metric store (disabled by default).
+    pub metrics: MetricsRegistry,
+}
+
+impl PartyObs {
+    /// Enabled tracer + metrics pair.
+    #[must_use]
+    pub fn enabled() -> Self {
+        PartyObs { tracer: Tracer::new(), metrics: MetricsRegistry::new() }
+    }
+}
 
 /// Runs `f` as both parties on two threads and returns
 /// `(party 0 result, party 1 result)`.
@@ -104,13 +124,39 @@ pub fn run_two_party_over(
     cfg: &ProtocolConfig,
     image: &[f32],
 ) -> Result<TwoPartyRun, ProtocolError> {
+    run_two_party_traced(e0, e1, model, cfg, image, PartyObs::default(), PartyObs::default())
+}
+
+/// Like [`run_two_party_over`], with per-party observability attached: the
+/// protocol opens a span per layer and per stage into each party's tracer
+/// and records session/OT metrics into its registry. Pass
+/// [`PartyObs::enabled`] handles and snapshot them after the run
+/// (`obs.tracer.snapshot()`, `obs.metrics.snapshot()`); disabled handles
+/// make this identical to the untraced runner.
+///
+/// # Errors
+///
+/// Propagates any [`ProtocolError`] from either party;
+/// [`ProtocolError::Desync`] if the parties recover different logits or a
+/// party thread dies.
+pub fn run_two_party_traced(
+    e0: Endpoint,
+    e1: Endpoint,
+    model: &QuantModel,
+    cfg: &ProtocolConfig,
+    image: &[f32],
+    user_obs: PartyObs,
+    provider_obs: PartyObs,
+) -> Result<TwoPartyRun, ProtocolError> {
     let oracle = Arc::new(IdealOracle::new(cfg.setup_seed ^ 0x0eac1e));
     let (cfg1, o1, m1) = (cfg.clone(), Arc::clone(&oracle), model.clone());
     let handle = std::thread::spawn(move || -> Result<InferenceOutput, ProtocolError> {
         let mut ctx = PartyContext::new(PartyId::ModelProvider, e1, cfg1, Some(o1));
+        ctx.set_obs(provider_obs.tracer, provider_obs.metrics);
         run_party(&mut ctx, &m1, PartyInput::Provider)
     });
     let mut ctx = PartyContext::new(PartyId::User, e0, cfg.clone(), Some(oracle));
+    ctx.set_obs(user_obs.tracer, user_obs.metrics);
     // On a party-0 error, return immediately: dropping `ctx` tears the link
     // down, so a provider thread blocked in `recv` wakes with `Disconnected`
     // instead of deadlocking a join here.

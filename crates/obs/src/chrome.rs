@@ -1,0 +1,228 @@
+//! Chrome `trace_event` export.
+//!
+//! Emits the JSON Object Format understood by `chrome://tracing` and
+//! Perfetto: one `"X"` (complete) event per closed span, with `ts`/`dur`
+//! in **microseconds**, `pid` = party id and `tid` = the recording thread
+//! ordinal. Span arguments pass through under `args`; top-level spans
+//! (no parent at record time) additionally carry `"top": 1` so tooling
+//! (`cargo xtask report`) can rebuild the layer/stage structure without
+//! time-containment heuristics.
+
+use crate::json::Json;
+use crate::tracer::{ArgValue, SpanRecord};
+
+/// One event parsed back out of a Chrome trace document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChromeEvent {
+    /// Party id (process id in Chrome terms).
+    pub pid: u64,
+    /// Recording thread ordinal.
+    pub tid: u64,
+    /// Span name.
+    pub name: String,
+    /// Span category.
+    pub cat: String,
+    /// Start, microseconds since the party's epoch.
+    pub ts_us: f64,
+    /// Duration in microseconds.
+    pub dur_us: f64,
+    /// Whether the span was top-level (parentless) when recorded.
+    pub top: bool,
+    /// Public arguments (the `"top"` marker is stripped back out).
+    pub args: Vec<(String, ArgValue)>,
+}
+
+impl ChromeEvent {
+    /// An argument as `u64` (0 when absent or non-numeric).
+    #[must_use]
+    pub fn arg_u64(&self, key: &str) -> u64 {
+        self.args.iter().find(|(k, _)| k == key).and_then(|(_, v)| v.as_u64()).unwrap_or(0)
+    }
+}
+
+fn arg_to_json(v: &ArgValue) -> Json {
+    match v {
+        ArgValue::U64(v) => Json::from(*v),
+        ArgValue::F64(v) => Json::from(*v),
+        ArgValue::Str(s) => Json::from(s.as_str()),
+    }
+}
+
+fn json_to_arg(v: &Json) -> Option<ArgValue> {
+    match v {
+        Json::Num(_) => v.as_u64().map(ArgValue::U64).or_else(|| v.as_f64().map(ArgValue::F64)),
+        Json::Str(s) => Some(ArgValue::Str(s.clone())),
+        _ => None,
+    }
+}
+
+const NS_PER_US: f64 = 1000.0;
+
+/// Builds the Chrome trace document from per-party span snapshots.
+///
+/// Open spans (`dur_ns == 0`) are emitted with zero duration — they still
+/// show up as instant-like slivers rather than silently vanishing. Each
+/// party also gets a `process_name` metadata event so the viewer labels
+/// the two timelines "party 0" / "party 1".
+#[must_use]
+#[allow(clippy::cast_precision_loss)] // ns → µs floats; sub-µs precision kept via the division
+pub fn chrome_trace(parties: &[(u32, &[SpanRecord])]) -> Json {
+    let mut events = Vec::new();
+    for &(pid, spans) in parties {
+        events.push(Json::obj(vec![
+            ("name", Json::from("process_name")),
+            ("ph", Json::from("M")),
+            ("pid", Json::from(u64::from(pid))),
+            ("tid", Json::from(0u64)),
+            ("args", Json::obj(vec![("name", Json::from(format!("party {pid}")))])),
+        ]));
+        for span in spans {
+            let mut args: Vec<(String, Json)> = Vec::with_capacity(span.args.len() + 1);
+            if span.parent.is_none() {
+                args.push(("top".to_owned(), Json::from(1u64)));
+            } else if span.arg("layer").is_none() {
+                // Parent links don't survive the Chrome format; stamp the
+                // root ancestor's name so the cost report can regroup
+                // stage spans under their layer from trace.json alone.
+                let mut root = None;
+                let mut p = span.parent;
+                while let Some(i) = p {
+                    root = Some(i);
+                    p = spans.get(i).and_then(|s| s.parent);
+                }
+                if let Some(name) = root.and_then(|i| spans.get(i)).map(|s| s.name.as_str()) {
+                    args.push(("layer".to_owned(), Json::from(name)));
+                }
+            }
+            for (k, v) in &span.args {
+                args.push((k.clone(), arg_to_json(v)));
+            }
+            events.push(Json::obj(vec![
+                ("name", Json::from(span.name.as_str())),
+                ("cat", Json::from(span.cat.as_str())),
+                ("ph", Json::from("X")),
+                ("pid", Json::from(u64::from(pid))),
+                ("tid", Json::from(span.tid)),
+                ("ts", Json::from(span.start_ns as f64 / NS_PER_US)),
+                ("dur", Json::from(span.dur_ns as f64 / NS_PER_US)),
+                ("args", Json::Obj(args)),
+            ]));
+        }
+    }
+    Json::obj(vec![("traceEvents", Json::Arr(events)), ("displayTimeUnit", Json::from("ms"))])
+}
+
+/// Parses a document produced by [`chrome_trace`] back into events
+/// (metadata events are skipped).
+///
+/// # Errors
+///
+/// Returns a description of the first event that is not schema-valid
+/// (missing `name`/`ph`/`pid`/`tid`, or a non-numeric `ts`/`dur` on an
+/// `"X"` event).
+pub fn parse_chrome_trace(doc: &Json) -> Result<Vec<ChromeEvent>, String> {
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("trace.json: missing traceEvents array")?;
+    let mut out = Vec::new();
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev.get("ph").and_then(Json::as_str).ok_or(format!("event {i}: missing ph"))?;
+        let pid = ev.get("pid").and_then(Json::as_u64).ok_or(format!("event {i}: missing pid"))?;
+        let tid = ev.get("tid").and_then(Json::as_u64).ok_or(format!("event {i}: missing tid"))?;
+        let name =
+            ev.get("name").and_then(Json::as_str).ok_or(format!("event {i}: missing name"))?;
+        if ph != "X" {
+            continue; // metadata and other phases carry no span payload
+        }
+        let ts_us = ev.get("ts").and_then(Json::as_f64).ok_or(format!("event {i}: missing ts"))?;
+        let dur_us =
+            ev.get("dur").and_then(Json::as_f64).ok_or(format!("event {i}: missing dur"))?;
+        let cat = ev.get("cat").and_then(Json::as_str).unwrap_or("").to_owned();
+        let mut top = false;
+        let mut args = Vec::new();
+        if let Some(Json::Obj(members)) = ev.get("args") {
+            for (k, v) in members {
+                if k == "top" {
+                    top = v.as_u64() == Some(1);
+                } else if let Some(arg) = json_to_arg(v) {
+                    args.push((k.clone(), arg));
+                }
+            }
+        }
+        out.push(ChromeEvent { pid, tid, name: name.to_owned(), cat, ts_us, dur_us, top, args });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::Tracer;
+
+    fn sample_spans() -> Vec<SpanRecord> {
+        let t = Tracer::new();
+        let layer = t.begin_with("conv0", "layer", &[("ring_bits", 16u64.into())]);
+        let gemm = t.begin("gemm", "stage");
+        t.end_with(gemm, &[("bytes_sent", 4096u64.into())]);
+        t.end_with(layer, &[("shape", "1x6x24x24".into())]);
+        t.snapshot()
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure_and_args() {
+        let spans = sample_spans();
+        let doc = chrome_trace(&[(0, &spans), (1, &spans)]);
+        let text = doc.to_string_pretty();
+        let parsed = Json::parse(&text).expect("emitted trace parses as JSON");
+        let events = parse_chrome_trace(&parsed).expect("schema-valid");
+        // Two parties × two spans; metadata events skipped.
+        assert_eq!(events.len(), 4);
+        let layer = events.iter().find(|e| e.pid == 0 && e.name == "conv0").unwrap();
+        assert!(layer.top, "parentless span keeps its top marker");
+        assert_eq!(layer.cat, "layer");
+        assert_eq!(layer.arg_u64("ring_bits"), 16);
+        assert!(layer
+            .args
+            .iter()
+            .any(|(k, v)| k == "shape" && matches!(v, ArgValue::Str(s) if s == "1x6x24x24")));
+        let gemm = events.iter().find(|e| e.pid == 0 && e.name == "gemm").unwrap();
+        assert!(!gemm.top, "child span is not marked top");
+        assert_eq!(gemm.arg_u64("bytes_sent"), 4096);
+        // Child interval sits inside the parent interval (µs scale).
+        assert!(gemm.ts_us >= layer.ts_us);
+        assert!(gemm.ts_us + gemm.dur_us <= layer.ts_us + layer.dur_us + 1e-6);
+    }
+
+    #[test]
+    fn schema_has_required_chrome_fields() {
+        let spans = sample_spans();
+        let doc = chrome_trace(&[(1, &spans)]);
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        // First event is the process_name metadata record.
+        assert_eq!(events[0].get("ph").and_then(Json::as_str), Some("M"));
+        for ev in &events[1..] {
+            assert_eq!(ev.get("ph").and_then(Json::as_str), Some("X"));
+            for key in ["name", "cat", "pid", "tid", "ts", "dur", "args"] {
+                assert!(ev.get(key).is_some(), "X event missing {key}");
+            }
+            assert_eq!(ev.get("pid").and_then(Json::as_u64), Some(1));
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_events() {
+        let doc = Json::obj(vec![(
+            "traceEvents",
+            Json::arr([Json::obj(vec![
+                ("name", Json::from("x")),
+                ("ph", Json::from("X")),
+                ("pid", Json::from(0u64)),
+                ("tid", Json::from(1u64)),
+                // ts missing
+                ("dur", Json::from(1.0)),
+            ])]),
+        )]);
+        assert!(parse_chrome_trace(&doc).unwrap_err().contains("missing ts"));
+    }
+}

@@ -1,0 +1,36 @@
+//! Protocol-wide observability for AQ2PNN: spans, metrics, exporters.
+//!
+//! This crate is the bottom of the workspace dependency graph (std only),
+//! so transport, OT and core can all link it. It provides:
+//!
+//! - [`Tracer`] — nested, thread-safe spans with monotonic timestamps.
+//!   Disabled tracers (the default) reduce every call to one branch.
+//! - [`MetricsRegistry`] — named counters (lock-free handles), gauges and
+//!   fixed-bucket histograms, exported as versioned `metrics.json`.
+//! - [`chrome::chrome_trace`] — Chrome `trace_event` JSON for
+//!   `chrome://tracing` / Perfetto, plus a parser for round-trips.
+//! - [`report::CostReport`] — the paper-style per-layer cost table
+//!   (MiB / rounds / ms, online vs offline, both parties side by side),
+//!   built from span data alone so it reconstructs from `trace.json`.
+//!
+//! # Secrecy
+//!
+//! Telemetry may record **public structure only**: layer names and
+//! shapes, ring widths, byte/round counts, batch sizes, timings, link
+//! events. It must never record share values, wire payloads, comparison
+//! codes, or anything else derived from secrets. The whole crate is
+//! value-free by construction — nothing in it touches ring elements —
+//! and it is covered by `cargo xtask lint --deny` like every protocol
+//! crate. See DESIGN.md §10 for the full argument.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod json;
+pub mod metrics;
+pub mod report;
+pub mod tracer;
+
+pub use metrics::{Counter, Histogram, MetricsRegistry, MetricsSnapshot, METRICS_SCHEMA_VERSION};
+pub use tracer::{ArgValue, LogSink, SpanId, SpanRecord, Tracer};

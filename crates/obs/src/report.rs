@@ -1,0 +1,455 @@
+//! The paper-style cost report.
+//!
+//! Aggregates span data into a per-layer table of communication (MiB),
+//! rounds and latency (ms), online vs offline, with both parties side by
+//! side — the shape of the source paper's per-layer cost tables. The
+//! report is built from **span data alone** (live [`SpanRecord`]s or a
+//! parsed Chrome trace), so it reconstructs identically from an emitted
+//! `trace.json`.
+//!
+//! ## Span conventions the report consumes
+//!
+//! - Top-level spans (no parent) are the accounting unit: their
+//!   `bytes_sent`/`bytes_recv`/`rounds` arguments are **mutually
+//!   exclusive** channel deltas, so summing top-level spans reconciles
+//!   with `ChannelStats::total_bytes()`.
+//! - Category [`CAT_OFFLINE`] marks preprocessing cost; everything else
+//!   top-level counts as online. Rows merge by span name, so an offline
+//!   span named `conv0` lands in the same row as the online `conv0` span.
+//! - Category [`CAT_STAGE`] spans are sub-rows; they carry a [`ARG_LAYER`]
+//!   argument naming their enclosing layer (kept in the Chrome export,
+//!   where parent links are lost).
+
+use crate::chrome::ChromeEvent;
+use crate::tracer::{ArgValue, SpanRecord};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Category of per-layer online spans.
+pub const CAT_LAYER: &str = "layer";
+/// Category of protocol-stage child spans (GEMM, trunc, A2BM, OT-flow, …).
+pub const CAT_STAGE: &str = "stage";
+/// Category of offline/preprocessing spans.
+pub const CAT_OFFLINE: &str = "offline";
+
+/// Argument: bytes sent over the channel during the span.
+pub const ARG_BYTES_SENT: &str = "bytes_sent";
+/// Argument: bytes received over the channel during the span.
+pub const ARG_BYTES_RECV: &str = "bytes_recv";
+/// Argument: communication rounds (direction flips) during the span.
+pub const ARG_ROUNDS: &str = "rounds";
+/// Argument: ring width ℓ in bits.
+pub const ARG_RING_BITS: &str = "ring_bits";
+/// Argument: public tensor shape rendering (`1x6x24x24`).
+pub const ARG_SHAPE: &str = "shape";
+/// Argument on stage spans: name of the enclosing layer span.
+pub const ARG_LAYER: &str = "layer";
+
+/// Accumulated cost for one party within one row.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PartyCost {
+    /// Channel bytes (sent + received) attributed to the row.
+    pub bytes: u64,
+    /// Communication rounds attributed to the row.
+    pub rounds: u64,
+    /// Wall-clock milliseconds spent in the row's spans.
+    pub ms: f64,
+}
+
+impl PartyCost {
+    fn absorb(&mut self, bytes: u64, rounds: u64, ms: f64) {
+        self.bytes += bytes;
+        self.rounds += rounds;
+        self.ms += ms;
+    }
+
+    /// Bytes as mebibytes.
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn mib(&self) -> f64 {
+        self.bytes as f64 / (1024.0 * 1024.0)
+    }
+}
+
+/// A protocol-stage sub-row (online only — offline work has no stages).
+#[derive(Debug, Clone, Default)]
+pub struct StageRow {
+    /// Stage name (`gemm`, `a2bm`, `ot-flow`, …).
+    pub name: String,
+    /// Per-party cost, keyed by party id.
+    pub online: BTreeMap<u64, PartyCost>,
+}
+
+/// One per-layer row of the report.
+#[derive(Debug, Clone, Default)]
+pub struct LayerRow {
+    /// Layer name (`conv0`, `abrelu1`, `fc3`, `input`, …).
+    pub name: String,
+    /// Ring width ℓ for the layer, when recorded (0 otherwise).
+    pub ring_bits: u64,
+    /// Output shape rendering, when recorded.
+    pub shape: String,
+    /// Per-party online cost.
+    pub online: BTreeMap<u64, PartyCost>,
+    /// Per-party offline (preprocessing) cost.
+    pub offline: BTreeMap<u64, PartyCost>,
+    /// Stage sub-rows in first-seen order.
+    pub stages: Vec<StageRow>,
+}
+
+/// The aggregated cost report. Build with [`CostReport::from_spans`] or
+/// [`CostReport::from_chrome`], render with [`CostReport::render`].
+#[derive(Debug, Clone, Default)]
+pub struct CostReport {
+    /// Per-layer rows in first-seen order.
+    pub rows: Vec<LayerRow>,
+    /// Party ids present, ascending.
+    pub parties: Vec<u64>,
+}
+
+/// Flattened view of one span, source-agnostic.
+struct Item {
+    pid: u64,
+    name: String,
+    cat: String,
+    top: bool,
+    layer: Option<String>,
+    bytes: u64,
+    rounds: u64,
+    ms: f64,
+    ring_bits: u64,
+    shape: Option<String>,
+}
+
+fn span_item(pid: u64, span: &SpanRecord) -> Item {
+    Item {
+        pid,
+        name: span.name.clone(),
+        cat: span.cat.clone(),
+        top: span.parent.is_none(),
+        layer: span.arg(ARG_LAYER).and_then(|v| match v {
+            ArgValue::Str(s) => Some(s.clone()),
+            _ => None,
+        }),
+        bytes: span.arg_u64(ARG_BYTES_SENT) + span.arg_u64(ARG_BYTES_RECV),
+        rounds: span.arg_u64(ARG_ROUNDS),
+        #[allow(clippy::cast_precision_loss)]
+        ms: span.dur_ns as f64 / 1e6,
+        ring_bits: span.arg_u64(ARG_RING_BITS),
+        shape: span.arg(ARG_SHAPE).and_then(|v| match v {
+            ArgValue::Str(s) => Some(s.clone()),
+            _ => None,
+        }),
+    }
+}
+
+fn chrome_item(ev: &ChromeEvent) -> Item {
+    let str_arg = |key: &str| {
+        ev.args.iter().find(|(k, _)| k == key).and_then(|(_, v)| match v {
+            ArgValue::Str(s) => Some(s.clone()),
+            _ => None,
+        })
+    };
+    Item {
+        pid: ev.pid,
+        name: ev.name.clone(),
+        cat: ev.cat.clone(),
+        top: ev.top,
+        layer: str_arg(ARG_LAYER),
+        bytes: ev.arg_u64(ARG_BYTES_SENT) + ev.arg_u64(ARG_BYTES_RECV),
+        rounds: ev.arg_u64(ARG_ROUNDS),
+        ms: ev.dur_us / 1e3,
+        ring_bits: ev.arg_u64(ARG_RING_BITS),
+        shape: str_arg(ARG_SHAPE),
+    }
+}
+
+impl CostReport {
+    /// Builds the report from live per-party span snapshots.
+    #[must_use]
+    pub fn from_spans(parties: &[(u32, &[SpanRecord])]) -> Self {
+        Self::build(parties.iter().flat_map(|&(pid, spans)| {
+            spans.iter().map(move |s| {
+                let mut item = span_item(u64::from(pid), s);
+                if item.layer.is_none() {
+                    // Stage spans recorded deep in protocol code don't name
+                    // their layer; the root ancestor in the span tree does.
+                    let mut root = None;
+                    let mut p = s.parent;
+                    while let Some(i) = p {
+                        root = Some(i);
+                        p = spans.get(i).and_then(|s| s.parent);
+                    }
+                    item.layer = root.and_then(|i| spans.get(i)).map(|s| s.name.clone());
+                }
+                item
+            })
+        }))
+    }
+
+    /// Builds the report from a parsed Chrome trace.
+    #[must_use]
+    pub fn from_chrome(events: &[ChromeEvent]) -> Self {
+        Self::build(events.iter().map(chrome_item))
+    }
+
+    fn row_mut<'a>(rows: &'a mut Vec<LayerRow>, name: &str) -> &'a mut LayerRow {
+        if let Some(i) = rows.iter().position(|r| r.name == name) {
+            &mut rows[i]
+        } else {
+            rows.push(LayerRow { name: name.to_owned(), ..LayerRow::default() });
+            rows.last_mut().expect("just pushed")
+        }
+    }
+
+    fn build(items: impl Iterator<Item = Item>) -> Self {
+        let mut rows: Vec<LayerRow> = Vec::new();
+        let mut parties: Vec<u64> = Vec::new();
+        for item in items {
+            if !parties.contains(&item.pid) {
+                parties.push(item.pid);
+            }
+            if item.cat == CAT_STAGE {
+                let Some(layer) = item.layer.as_deref() else { continue };
+                let row = Self::row_mut(&mut rows, layer);
+                let stage = if let Some(i) = row.stages.iter().position(|s| s.name == item.name) {
+                    &mut row.stages[i]
+                } else {
+                    row.stages.push(StageRow { name: item.name.clone(), ..StageRow::default() });
+                    row.stages.last_mut().expect("just pushed")
+                };
+                stage.online.entry(item.pid).or_default().absorb(item.bytes, item.rounds, item.ms);
+                continue;
+            }
+            if !item.top {
+                continue; // nested non-stage span: already counted by its root
+            }
+            let row = Self::row_mut(&mut rows, &item.name);
+            if item.ring_bits != 0 {
+                row.ring_bits = item.ring_bits;
+            }
+            if let Some(shape) = item.shape {
+                row.shape = shape;
+            }
+            let bucket = if item.cat == CAT_OFFLINE { &mut row.offline } else { &mut row.online };
+            bucket.entry(item.pid).or_default().absorb(item.bytes, item.rounds, item.ms);
+        }
+        parties.sort_unstable();
+        CostReport { rows, parties }
+    }
+
+    fn sum(&self, pick: impl Fn(&LayerRow) -> Option<&PartyCost>) -> PartyCost {
+        let mut total = PartyCost::default();
+        for row in &self.rows {
+            if let Some(c) = pick(row) {
+                total.absorb(c.bytes, c.rounds, c.ms);
+            }
+        }
+        total
+    }
+
+    /// Total online cost for a party (sum over top-level spans).
+    #[must_use]
+    pub fn online_total(&self, pid: u64) -> PartyCost {
+        self.sum(|r| r.online.get(&pid))
+    }
+
+    /// Total offline cost for a party.
+    #[must_use]
+    pub fn offline_total(&self, pid: u64) -> PartyCost {
+        self.sum(|r| r.offline.get(&pid))
+    }
+
+    /// Total channel bytes for a party, online + offline. By the span
+    /// conventions this reconciles exactly with
+    /// `ChannelStats::total_bytes()` on that party's endpoint.
+    #[must_use]
+    pub fn total_bytes(&self, pid: u64) -> u64 {
+        self.online_total(pid).bytes + self.offline_total(pid).bytes
+    }
+
+    /// Renders the human cost table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let name_w = self
+            .rows
+            .iter()
+            .flat_map(|r| {
+                std::iter::once(r.name.len()).chain(r.stages.iter().map(|s| s.name.len() + 4))
+            })
+            .chain(std::iter::once("layer".len()))
+            .max()
+            .unwrap_or(8)
+            .max(8);
+        let shape_w = self
+            .rows
+            .iter()
+            .map(|r| r.shape.len())
+            .chain(std::iter::once("shape".len()))
+            .max()
+            .unwrap_or(5);
+
+        // Header: one column group of four per party.
+        let _ = write!(out, "{:name_w$}  {:>2}  {:shape_w$}", "layer", "ℓ", "shape");
+        for &pid in &self.parties {
+            let _ = write!(out, " │ {:^40}", format!("party {pid}"));
+        }
+        out.push('\n');
+        let _ = write!(out, "{:name_w$}  {:>2}  {:shape_w$}", "", "", "");
+        for _ in &self.parties {
+            let _ = write!(
+                out,
+                " │ {:>10} {:>9} {:>7} {:>11}",
+                "on MiB", "off MiB", "rounds", "ms(on/off)"
+            );
+        }
+        out.push('\n');
+        let rule_w = name_w + 4 + shape_w + self.parties.len() * 44;
+        let _ = writeln!(out, "{}", "─".repeat(rule_w));
+
+        let write_costs = |out: &mut String,
+                           online: &BTreeMap<u64, PartyCost>,
+                           offline: &BTreeMap<u64, PartyCost>,
+                           parties: &[u64]| {
+            for &pid in parties {
+                let on = online.get(&pid).copied().unwrap_or_default();
+                let off = offline.get(&pid).copied().unwrap_or_default();
+                let _ = write!(
+                    out,
+                    " │ {:>10.3} {:>9.3} {:>7} {:>5.1}/{:>5.1}",
+                    on.mib(),
+                    off.mib(),
+                    on.rounds + off.rounds,
+                    on.ms,
+                    off.ms
+                );
+            }
+            out.push('\n');
+        };
+
+        for row in &self.rows {
+            let ring =
+                if row.ring_bits == 0 { String::from("–") } else { row.ring_bits.to_string() };
+            let _ = write!(out, "{:name_w$}  {:>2}  {:shape_w$}", row.name, ring, row.shape);
+            write_costs(&mut out, &row.online, &row.offline, &self.parties);
+            for stage in &row.stages {
+                let label = format!("  · {}", stage.name);
+                let _ = write!(out, "{label:name_w$}  {:>2}  {:shape_w$}", "", "");
+                write_costs(&mut out, &stage.online, &BTreeMap::new(), &self.parties);
+            }
+        }
+
+        let _ = writeln!(out, "{}", "─".repeat(rule_w));
+        let _ = write!(out, "{:name_w$}  {:>2}  {:shape_w$}", "total", "", "");
+        let (online_tot, offline_tot): (BTreeMap<_, _>, BTreeMap<_, _>) = (
+            self.parties.iter().map(|&p| (p, self.online_total(p))).collect(),
+            self.parties.iter().map(|&p| (p, self.offline_total(p))).collect(),
+        );
+        write_costs(&mut out, &online_tot, &offline_tot, &self.parties);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chrome::{chrome_trace, parse_chrome_trace};
+    use crate::json::Json;
+    use crate::tracer::Tracer;
+
+    fn traced_party() -> Vec<SpanRecord> {
+        let t = Tracer::new();
+        // Offline preprocessing for conv0.
+        let prep = t.begin("conv0", CAT_OFFLINE);
+        t.end_with(prep, &[(ARG_BYTES_SENT, 500u64.into()), (ARG_ROUNDS, 1u64.into())]);
+        // Online conv0 with a gemm stage.
+        let layer = t.begin_with(
+            "conv0",
+            CAT_LAYER,
+            &[(ARG_RING_BITS, 16u64.into()), (ARG_SHAPE, "1x6x24x24".into())],
+        );
+        let gemm = t.begin_with("gemm", CAT_STAGE, &[(ARG_LAYER, "conv0".into())]);
+        t.end_with(gemm, &[(ARG_BYTES_SENT, 700u64.into())]);
+        t.end_with(
+            layer,
+            &[
+                (ARG_BYTES_SENT, 1000u64.into()),
+                (ARG_BYTES_RECV, 24u64.into()),
+                (ARG_ROUNDS, 2u64.into()),
+            ],
+        );
+        // A second top-level layer.
+        let relu = t.begin_with("abrelu1", CAT_LAYER, &[(ARG_RING_BITS, 8u64.into())]);
+        t.end_with(relu, &[(ARG_BYTES_RECV, 2048u64.into()), (ARG_ROUNDS, 3u64.into())]);
+        t.snapshot()
+    }
+
+    #[test]
+    fn rows_merge_online_and_offline_by_name() {
+        let spans = traced_party();
+        let report = CostReport::from_spans(&[(0, &spans)]);
+        assert_eq!(report.rows.len(), 2);
+        let conv = &report.rows[0];
+        assert_eq!(conv.name, "conv0");
+        assert_eq!(conv.ring_bits, 16);
+        assert_eq!(conv.shape, "1x6x24x24");
+        assert_eq!(conv.online[&0].bytes, 1024);
+        assert_eq!(conv.online[&0].rounds, 2);
+        assert_eq!(conv.offline[&0].bytes, 500);
+        assert_eq!(conv.stages.len(), 1);
+        assert_eq!(conv.stages[0].name, "gemm");
+        assert_eq!(conv.stages[0].online[&0].bytes, 700);
+    }
+
+    #[test]
+    fn totals_sum_only_top_level_spans() {
+        let spans = traced_party();
+        let report = CostReport::from_spans(&[(0, &spans)]);
+        // gemm's 700 bytes are a subset of conv0's 1024 and must not be
+        // double counted.
+        assert_eq!(report.online_total(0).bytes, 1024 + 2048);
+        assert_eq!(report.offline_total(0).bytes, 500);
+        assert_eq!(report.total_bytes(0), 1024 + 2048 + 500);
+        assert_eq!(report.online_total(0).rounds, 5);
+    }
+
+    #[test]
+    fn chrome_rebuild_matches_live_report() {
+        let spans = traced_party();
+        let live = CostReport::from_spans(&[(0, &spans), (1, &spans)]);
+        let doc = chrome_trace(&[(0, &spans), (1, &spans)]);
+        let parsed = Json::parse(&doc.to_string_pretty()).unwrap();
+        let events = parse_chrome_trace(&parsed).unwrap();
+        let rebuilt = CostReport::from_chrome(&events);
+        assert_eq!(rebuilt.parties, vec![0, 1]);
+        assert_eq!(rebuilt.rows.len(), live.rows.len());
+        let close = |a: &BTreeMap<u64, PartyCost>, b: &BTreeMap<u64, PartyCost>| {
+            assert_eq!(a.len(), b.len());
+            for (pid, x) in a {
+                let y = &b[pid];
+                assert_eq!(x.bytes, y.bytes);
+                assert_eq!(x.rounds, y.rounds);
+                // ns → µs → ms float round trip may wobble in the last ULP.
+                assert!((x.ms - y.ms).abs() < 1e-6, "{} vs {}", x.ms, y.ms);
+            }
+        };
+        for (a, b) in live.rows.iter().zip(&rebuilt.rows) {
+            assert_eq!(a.name, b.name);
+            close(&a.online, &b.online);
+            close(&a.offline, &b.offline);
+            assert_eq!(a.stages.len(), b.stages.len());
+        }
+        assert_eq!(rebuilt.total_bytes(1), live.total_bytes(1));
+    }
+
+    #[test]
+    fn render_mentions_every_row_and_party() {
+        let spans = traced_party();
+        let report = CostReport::from_spans(&[(0, &spans), (1, &spans)]);
+        let table = report.render();
+        for needle in ["conv0", "abrelu1", "· gemm", "party 0", "party 1", "total", "1x6x24x24"] {
+            assert!(table.contains(needle), "table missing {needle:?}:\n{table}");
+        }
+    }
+}

@@ -1,0 +1,442 @@
+//! The span runtime: nested, monotonic, thread-safe trace recording.
+//!
+//! A [`Tracer`] records *spans* — named intervals with a category, public
+//! key/value arguments, and monotonic start/duration timestamps. Spans nest
+//! per thread: [`Tracer::begin`] pushes onto the calling thread's span
+//! stack and [`Tracer::end`] pops it, so a span started while another is
+//! open on the same thread records that span as its parent. Recording is a
+//! short critical section on one mutex; a *disabled* tracer (the default
+//! everywhere) reduces every call to one atomic load and is safe to leave
+//! in protocol hot paths.
+//!
+//! Tracers are cheap to clone (`Arc` internals); clones share the same
+//! span log, so one tracer can be handed to every module a party runs.
+//!
+//! Secrecy: spans may carry only **public structure** — layer names,
+//! shapes, ring widths, byte/round counts, timings. Never share values,
+//! sign flags, comparison codes or any other secret-derived data. See
+//! DESIGN.md §10.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
+
+/// A public span/metric argument value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// Unsigned integer (byte counts, rounds, ring widths).
+    U64(u64),
+    /// Floating point (derived rates, mebibytes).
+    F64(f64),
+    /// Short public string (shape renderings, stage kinds).
+    Str(String),
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        ArgValue::U64(v)
+    }
+}
+
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> Self {
+        ArgValue::F64(v)
+    }
+}
+
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> Self {
+        ArgValue::Str(v.to_owned())
+    }
+}
+
+impl From<String> for ArgValue {
+    fn from(v: String) -> Self {
+        ArgValue::Str(v)
+    }
+}
+
+impl ArgValue {
+    /// The value as `u64` when it is one.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            ArgValue::U64(v) => Some(*v),
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            ArgValue::F64(v) if v.fract() == 0.0 && *v >= 0.0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+}
+
+/// One recorded span.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Span name (`conv0`, `gemm`, `a2bm`, …).
+    pub name: String,
+    /// Category: `layer`, `stage`, `offline`, or a caller-chosen label.
+    pub cat: String,
+    /// Recording thread (small dense ordinal, stable within a process).
+    pub tid: u64,
+    /// Index of the enclosing span in the snapshot, if any.
+    pub parent: Option<usize>,
+    /// Start, nanoseconds since the tracer's epoch (monotonic).
+    pub start_ns: u64,
+    /// Duration in nanoseconds (0 while still open).
+    pub dur_ns: u64,
+    /// Public key/value arguments.
+    pub args: Vec<(String, ArgValue)>,
+}
+
+impl SpanRecord {
+    /// Looks up an argument by key.
+    #[must_use]
+    pub fn arg(&self, key: &str) -> Option<&ArgValue> {
+        self.args.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// An argument as `u64` (0 when absent or non-numeric).
+    #[must_use]
+    pub fn arg_u64(&self, key: &str) -> u64 {
+        self.arg(key).and_then(ArgValue::as_u64).unwrap_or(0)
+    }
+}
+
+/// Handle for an open span; returned by [`Tracer::begin`], consumed by
+/// [`Tracer::end`]. The sentinel value stands for "tracer disabled,
+/// nothing recorded".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanId(usize);
+
+impl SpanId {
+    const NONE: SpanId = SpanId(usize::MAX);
+}
+
+/// Where the human log sink writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LogSink {
+    /// Timestamped lines on stderr (the default).
+    #[default]
+    Stderr,
+    /// Drop all log lines (`--quiet`).
+    Silent,
+}
+
+#[derive(Default)]
+struct TraceState {
+    spans: Vec<SpanRecord>,
+    /// Per-thread stacks of open span indices (parent linkage).
+    stacks: HashMap<u64, Vec<usize>>,
+}
+
+struct Inner {
+    enabled: bool,
+    epoch: Instant,
+    st: Mutex<TraceState>,
+    sink: Mutex<LogSink>,
+}
+
+/// The span recorder. See the [module docs](self).
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.inner.enabled)
+            .field("spans", &self.lock().spans.len())
+            .finish()
+    }
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::disabled()
+    }
+}
+
+/// Dense per-thread ordinal: `ThreadId` is opaque, Chrome traces want a
+/// small integer. First use on a thread claims the next ordinal.
+fn thread_ordinal() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static ORD: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    ORD.with(|o| *o)
+}
+
+impl Tracer {
+    /// A recording tracer.
+    #[must_use]
+    pub fn new() -> Self {
+        Tracer {
+            inner: Arc::new(Inner {
+                enabled: true,
+                epoch: Instant::now(),
+                st: Mutex::new(TraceState::default()),
+                sink: Mutex::new(LogSink::default()),
+            }),
+        }
+    }
+
+    /// A tracer that records nothing; every span call is one branch.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Tracer {
+            inner: Arc::new(Inner {
+                enabled: false,
+                epoch: Instant::now(),
+                st: Mutex::new(TraceState::default()),
+                sink: Mutex::new(LogSink::default()),
+            }),
+        }
+    }
+
+    /// Whether this tracer records spans.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled
+    }
+
+    fn lock(&self) -> MutexGuard<'_, TraceState> {
+        self.inner.st.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn now_ns(&self) -> u64 {
+        u64::try_from(self.inner.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Opens a span. Returns a handle to pass to [`Tracer::end`].
+    pub fn begin(&self, name: impl Into<String>, cat: &str) -> SpanId {
+        self.begin_with(name, cat, &[])
+    }
+
+    /// Opens a span carrying initial arguments.
+    pub fn begin_with(
+        &self,
+        name: impl Into<String>,
+        cat: &str,
+        args: &[(&str, ArgValue)],
+    ) -> SpanId {
+        if !self.inner.enabled {
+            return SpanId::NONE;
+        }
+        let start_ns = self.now_ns();
+        let tid = thread_ordinal();
+        let mut st = self.lock();
+        let idx = st.spans.len();
+        let parent = st.stacks.get(&tid).and_then(|s| s.last().copied());
+        st.spans.push(SpanRecord {
+            name: name.into(),
+            cat: cat.to_owned(),
+            tid,
+            parent,
+            start_ns,
+            dur_ns: 0,
+            args: args.iter().map(|(k, v)| ((*k).to_owned(), v.clone())).collect(),
+        });
+        st.stacks.entry(tid).or_default().push(idx);
+        SpanId(idx)
+    }
+
+    /// Closes a span.
+    pub fn end(&self, id: SpanId) {
+        self.end_with(id, &[]);
+    }
+
+    /// Closes a span, appending final arguments (e.g. byte deltas measured
+    /// across the span).
+    pub fn end_with(&self, id: SpanId, args: &[(&str, ArgValue)]) {
+        if id == SpanId::NONE || !self.inner.enabled {
+            return;
+        }
+        let end_ns = self.now_ns();
+        let tid = thread_ordinal();
+        let mut st = self.lock();
+        if let Some(stack) = st.stacks.get_mut(&tid) {
+            // Pop through to this span: ends of enclosing spans implicitly
+            // close any children left open (mirrors Chrome's semantics).
+            while let Some(top) = stack.pop() {
+                if top == id.0 {
+                    break;
+                }
+            }
+        }
+        if let Some(span) = st.spans.get_mut(id.0) {
+            span.dur_ns = end_ns.saturating_sub(span.start_ns);
+            span.args.extend(args.iter().map(|(k, v)| ((*k).to_owned(), v.clone())));
+        }
+    }
+
+    /// Records a complete span in one call (for already-measured work).
+    pub fn record(
+        &self,
+        name: impl Into<String>,
+        cat: &str,
+        start_ns: u64,
+        dur_ns: u64,
+        args: &[(&str, ArgValue)],
+    ) {
+        if !self.inner.enabled {
+            return;
+        }
+        let tid = thread_ordinal();
+        let mut st = self.lock();
+        let parent = st.stacks.get(&tid).and_then(|s| s.last().copied());
+        st.spans.push(SpanRecord {
+            name: name.into(),
+            cat: cat.to_owned(),
+            tid,
+            parent,
+            start_ns,
+            dur_ns,
+            args: args.iter().map(|(k, v)| ((*k).to_owned(), v.clone())).collect(),
+        });
+    }
+
+    /// Snapshot of every span recorded so far (open spans have
+    /// `dur_ns == 0`), in begin order.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<SpanRecord> {
+        self.lock().spans.clone()
+    }
+
+    /// Number of spans recorded so far.
+    #[must_use]
+    pub fn span_count(&self) -> usize {
+        self.lock().spans.len()
+    }
+
+    // --- human log sink -------------------------------------------------
+
+    /// Redirects (or silences) the human log sink.
+    pub fn set_log_sink(&self, sink: LogSink) {
+        *self.inner.sink.lock().unwrap_or_else(PoisonError::into_inner) = sink;
+    }
+
+    /// Writes one progress line through the log sink with a monotonic
+    /// `[t+…s]` prefix. Works on disabled tracers too — logging is
+    /// orthogonal to span recording.
+    pub fn info(&self, msg: impl AsRef<str>) {
+        let sink = *self.inner.sink.lock().unwrap_or_else(PoisonError::into_inner);
+        if sink == LogSink::Silent {
+            return;
+        }
+        let t = self.inner.epoch.elapsed().as_secs_f64();
+        eprintln!("[t+{t:8.3}s] {}", msg.as_ref());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_records_nothing() {
+        let t = Tracer::disabled();
+        let id = t.begin("x", "layer");
+        t.end(id);
+        assert_eq!(t.span_count(), 0);
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn nesting_on_one_thread() {
+        let t = Tracer::new();
+        let outer = t.begin("outer", "layer");
+        let inner = t.begin_with("inner", "stage", &[("ring_bits", 16u64.into())]);
+        t.end_with(inner, &[("bytes_sent", 100u64.into())]);
+        let sibling = t.begin("sibling", "stage");
+        t.end(sibling);
+        t.end(outer);
+        let spans = t.snapshot();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0].name, "outer");
+        assert_eq!(spans[0].parent, None);
+        assert_eq!(spans[1].parent, Some(0), "inner nests under outer");
+        assert_eq!(spans[2].parent, Some(0), "sibling nests under outer");
+        assert_eq!(spans[1].arg_u64("ring_bits"), 16);
+        assert_eq!(spans[1].arg_u64("bytes_sent"), 100, "end args appended");
+        // Ordering: children start at or after the parent, end before its end.
+        assert!(spans[1].start_ns >= spans[0].start_ns);
+        assert!(
+            spans[1].start_ns + spans[1].dur_ns <= spans[0].start_ns + spans[0].dur_ns,
+            "child interval must sit inside the parent interval"
+        );
+        assert!(spans[2].start_ns >= spans[1].start_ns + spans[1].dur_ns);
+    }
+
+    #[test]
+    fn nesting_under_four_threads() {
+        let t = Tracer::new();
+        std::thread::scope(|scope| {
+            for worker in 0..4u64 {
+                let t = t.clone();
+                scope.spawn(move || {
+                    let outer = t.begin_with(format!("w{worker}"), "layer", &[]);
+                    for j in 0..3 {
+                        let s = t.begin(format!("w{worker}.s{j}"), "stage");
+                        t.end(s);
+                    }
+                    t.end(outer);
+                });
+            }
+        });
+        let spans = t.snapshot();
+        assert_eq!(spans.len(), 4 * 4);
+        // Per thread: one root, three children of that root, in begin order.
+        let mut tids: Vec<u64> = spans.iter().map(|s| s.tid).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        assert_eq!(tids.len(), 4, "four distinct thread ordinals");
+        for &tid in &tids {
+            let mine: Vec<&SpanRecord> = spans.iter().filter(|s| s.tid == tid).collect();
+            assert_eq!(mine.len(), 4);
+            let root = mine.iter().find(|s| s.cat == "layer").expect("one root per thread");
+            assert_eq!(root.parent, None);
+            let root_idx = spans.iter().position(|s| std::ptr::eq(s, *root)).unwrap();
+            let mut last_start = root.start_ns;
+            for child in mine.iter().filter(|s| s.cat == "stage") {
+                assert_eq!(child.parent, Some(root_idx), "stage nests under its thread's root");
+                assert!(child.start_ns >= last_start, "children recorded in begin order");
+                last_start = child.start_ns;
+            }
+        }
+    }
+
+    #[test]
+    fn end_closes_dangling_children() {
+        let t = Tracer::new();
+        let outer = t.begin("outer", "layer");
+        let _leaked = t.begin("leaked", "stage");
+        t.end(outer); // must pop the leaked child from the stack too
+        let after = t.begin("after", "layer");
+        t.end(after);
+        let spans = t.snapshot();
+        assert_eq!(spans[2].parent, None, "stack unwound past the leaked child");
+    }
+
+    #[test]
+    fn record_is_flat_and_timestamped() {
+        let t = Tracer::new();
+        t.record("external", "io", 5, 17, &[("n", 3u64.into())]);
+        let spans = t.snapshot();
+        assert_eq!(spans[0].start_ns, 5);
+        assert_eq!(spans[0].dur_ns, 17);
+        assert_eq!(spans[0].arg_u64("n"), 3);
+    }
+
+    #[test]
+    fn monotonic_timestamps() {
+        let t = Tracer::new();
+        let a = t.begin("a", "layer");
+        t.end(a);
+        let b = t.begin("b", "layer");
+        t.end(b);
+        let spans = t.snapshot();
+        assert!(spans[1].start_ns >= spans[0].start_ns + spans[0].dur_ns);
+    }
+}

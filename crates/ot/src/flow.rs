@@ -163,6 +163,7 @@ pub fn send_batch_flat<R: Rng + ?Sized>(
         total += n;
     }
     assert_eq!(total, msgs.len(), "arity must sum to the flat slot count");
+    let fallback_before = crate::lut_fallback_hits();
     let ebits = group.element_bits();
     // Step ①: r̂_i = g^{r_i}.
     let r_i = group.sample_exponent(rng);
@@ -192,6 +193,11 @@ pub fn send_batch_flat<R: Rng + ?Sized>(
         }
     });
     ep.send_bits(&enc, msg_bits)?;
+    group.note_batch(
+        arity.len(),
+        total,
+        crate::lut_fallback_hits().saturating_sub(fallback_before),
+    );
     Ok(())
 }
 
@@ -241,6 +247,7 @@ pub fn recv_batch<R: Rng + ?Sized>(
         }
         max_slots = max_slots.max(c.n);
     }
+    let fallback_before = crate::lut_fallback_hits();
     let ebits = group.element_bits();
     // Step ①: receive r̂_i.
     let r_hat = ep.recv_bits(ebits, 1)?[0];
@@ -278,6 +285,11 @@ pub fn recv_batch<R: Rng + ?Sized>(
             aq2pnn_transport::unpack_bits_at(&enc_bytes, msg_bits, offsets[k] + batch[k].choice);
         (slot ^ key) & msg_mask
     });
+    group.note_batch(
+        batch.len(),
+        total,
+        crate::lut_fallback_hits().saturating_sub(fallback_before),
+    );
     Ok(out)
 }
 
@@ -310,6 +322,29 @@ mod tests {
             .unwrap();
         h.join().unwrap();
         out
+    }
+
+    #[test]
+    fn batch_metrics_recorded_per_batch() {
+        let (mut g, t) = setup(16, 4);
+        let reg = aq2pnn_obs::MetricsRegistry::new();
+        g.attach_metrics(&reg);
+        // Receiver side uses the attached group; 3 items × 2 slots each.
+        let batch = vec![vec![1, 2], vec![3, 4], vec![5, 6]];
+        let choices = (0..3).map(|_| OtChoice { choice: 1, n: 2 }).collect();
+        let out = run_ot(&g, &t, batch, choices, 8);
+        assert_eq!(out, vec![2, 4, 6]);
+        let snap = reg.snapshot();
+        // run_ot clones the group for the sender thread, so both sides
+        // share the handles: one send batch + one recv batch.
+        assert_eq!(snap.counters["ot.batches"], 2);
+        assert_eq!(snap.counters["ot.batches_lut"], 2, "ℓ=16 group is LUT-backed");
+        assert_eq!(snap.counters["ot.lut_fallback_pows"], 0, "hot path must stay on the LUT");
+        let items = &snap.histograms["ot.batch_items"];
+        assert_eq!(items.count, 2);
+        assert!((items.sum - 6.0).abs() < 1e-9, "3 items per side");
+        let slots = &snap.histograms["ot.batch_slots"];
+        assert!((slots.sum - 12.0).abs() < 1e-9, "6 slots per side");
     }
 
     #[test]

@@ -55,6 +55,20 @@ impl fmt::Debug for Endpoint {
     }
 }
 
+/// Restores an endpoint's previous phase label on drop.
+/// Created by [`Endpoint::phase_scope`].
+#[must_use = "dropping the guard immediately restores the previous phase"]
+pub struct PhaseGuard {
+    ep: Endpoint,
+    prev: String,
+}
+
+impl Drop for PhaseGuard {
+    fn drop(&mut self) {
+        self.ep.set_phase(std::mem::take(&mut self.prev));
+    }
+}
+
 /// Creates a connected pair of [`Endpoint`]s — the 2PC link between party
 /// *i* and party *j* — over an in-process transport.
 #[must_use]
@@ -97,10 +111,30 @@ impl Endpoint {
         self.state.lock().phase.clone()
     }
 
+    /// Switches to `phase` and returns a guard that restores the previous
+    /// label when dropped. Unlike a manual `set_phase` save/restore pair,
+    /// scopes nest safely (LIFO) and survive early returns — the fix for
+    /// misattribution when e.g. an offline weight-mask opening runs inside
+    /// an online layer phase and something unwinds midway.
+    pub fn phase_scope(&self, phase: impl Into<String>) -> PhaseGuard {
+        let prev = {
+            let mut st = self.state.lock();
+            std::mem::replace(&mut st.phase, phase.into())
+        };
+        PhaseGuard { ep: self.clone(), prev }
+    }
+
     /// Snapshot of the accumulated statistics.
     #[must_use]
     pub fn stats(&self) -> ChannelStats {
         self.state.lock().stats.clone()
+    }
+
+    /// Cheap scalar totals (no per-phase map clone) — the delta source for
+    /// per-span byte attribution.
+    #[must_use]
+    pub fn totals(&self) -> crate::ChannelTotals {
+        self.state.lock().stats.totals()
     }
 
     /// Resets all counters (phase label is kept).
@@ -136,17 +170,24 @@ impl Endpoint {
     /// [`TransportError::RetriesExhausted`] from a session that could not
     /// repair a fault).
     pub fn send(&self, bytes: Bytes) -> Result<(), TransportError> {
-        {
-            let mut st = self.state.lock();
-            let was_receiving = st.receiving;
-            st.receiving = false;
-            let phase = st.phase.clone();
-            st.stats.record_send(&phase, bytes.len() as u64, was_receiving);
-            if let Some(cap) = &mut st.capture {
-                cap.push(bytes.to_vec());
-            }
+        // Deliver first, account after: a failed send reached neither the
+        // wire nor the eavesdropper, so it must not move counters, flip the
+        // round direction, or enter the transcript capture.
+        let len = bytes.len() as u64;
+        let captured = {
+            let st = self.state.lock();
+            st.capture.is_some().then(|| bytes.to_vec())
+        };
+        self.link.send(bytes)?;
+        let mut st = self.state.lock();
+        let was_receiving = st.receiving;
+        st.receiving = false;
+        let phase = st.phase.clone();
+        st.stats.record_send(&phase, len, was_receiving);
+        if let (Some(cap), Some(raw)) = (&mut st.capture, captured) {
+            cap.push(raw);
         }
-        self.link.send(bytes)
+        Ok(())
     }
 
     /// Receives the next raw byte message from the peer, blocking at most
@@ -313,6 +354,80 @@ mod tests {
         let st = a.stats();
         assert_eq!(st.phase("conv").bytes_sent, 16);
         assert_eq!(st.phase("relu").bytes_sent, 8);
+    }
+
+    #[test]
+    fn failed_send_is_not_counted_or_captured() {
+        // Regression: a send that never reached the wire used to move the
+        // byte/message counters, flip the round direction, and land in the
+        // leakage-harness capture.
+        let (a, b) = duplex();
+        a.start_capture();
+        a.send(Bytes::from_static(b"ok")).unwrap();
+        b.recv().unwrap();
+        drop(b);
+        assert_eq!(a.send(Bytes::from_static(b"lost")), Err(TransportError::Disconnected));
+        let st = a.stats();
+        assert_eq!(st.bytes_sent, 2, "failed send must not count bytes");
+        assert_eq!(st.messages_sent, 1, "failed send must not count a message");
+        assert_eq!(a.take_capture(), vec![b"ok".to_vec()], "failed send must not be captured");
+    }
+
+    #[test]
+    fn phase_scopes_nest_and_restore() {
+        let (a, b) = duplex();
+        a.set_phase("conv0");
+        {
+            let _offline = a.phase_scope("offline-f");
+            a.send(Bytes::from_static(b"mask")).unwrap();
+            {
+                let _inner = a.phase_scope("offline-f/resync");
+                a.send(Bytes::from_static(b"rs")).unwrap();
+            }
+            // Inner scope restored the outer offline label, not "conv0".
+            assert_eq!(a.phase(), "offline-f");
+            a.send(Bytes::from_static(b"mask2")).unwrap();
+        }
+        assert_eq!(a.phase(), "conv0");
+        a.send(Bytes::from_static(b"x")).unwrap();
+        for _ in 0..4 {
+            b.recv().unwrap();
+        }
+        let st = a.stats();
+        assert_eq!(st.phase("offline-f").bytes_sent, 9);
+        assert_eq!(st.phase("offline-f/resync").bytes_sent, 2);
+        assert_eq!(st.phase("conv0").bytes_sent, 1);
+    }
+
+    #[test]
+    fn per_phase_rounds_attribute_to_sending_phase() {
+        let (a, b) = duplex();
+        let t = std::thread::spawn(move || {
+            b.recv().unwrap();
+            b.send(Bytes::from_static(b"r")).unwrap();
+            b.recv().unwrap();
+        });
+        a.set_phase("gemm");
+        a.send(Bytes::from_static(b"q")).unwrap();
+        a.recv().unwrap();
+        a.set_phase("abrelu");
+        a.send(Bytes::from_static(b"s")).unwrap(); // flip happens here
+        t.join().unwrap();
+        let st = a.stats();
+        assert_eq!(st.rounds, 1);
+        assert_eq!(st.phase("abrelu").rounds, 1, "round charged to the sending phase");
+        assert_eq!(st.phase("gemm").rounds, 0);
+    }
+
+    #[test]
+    fn totals_match_stats() {
+        let (a, b) = duplex();
+        a.send(Bytes::from_static(b"abc")).unwrap();
+        b.recv().unwrap();
+        b.send(Bytes::from_static(b"d")).unwrap();
+        a.recv().unwrap();
+        assert_eq!(a.totals(), a.stats().totals());
+        assert_eq!(a.totals().total_bytes(), 4);
     }
 
     #[test]

@@ -69,7 +69,7 @@ mod tcp;
 mod transport;
 
 pub use bytes::Bytes;
-pub use channel::{duplex, duplex_with_timeout, Endpoint};
+pub use channel::{duplex, duplex_with_timeout, Endpoint, PhaseGuard};
 pub use error::TransportError;
 pub use fault::{FaultAction, FaultPlan, FaultStats, FaultyTransport};
 pub use frame::{Crc32, Frame, FrameKind, FRAME_HEADER_LEN, MAX_FRAME_PAYLOAD};
@@ -78,6 +78,6 @@ pub use packing::{
     pack_bits, pack_bits_reference, packed_len, unpack_bits, unpack_bits_at, unpack_bits_reference,
 };
 pub use session::{Session, SessionConfig, SessionTelemetry};
-pub use stats::{ChannelStats, PhaseStats};
+pub use stats::{ChannelStats, ChannelTotals, PhaseStats};
 pub use tcp::{TcpConfig, TcpTransport};
 pub use transport::{mem_pair, MemTransport, Transport};

@@ -27,6 +27,7 @@
 use crate::frame::{Frame, FrameKind};
 use crate::transport::Transport;
 use crate::TransportError;
+use aq2pnn_obs::{Counter, MetricsRegistry};
 use bytes::Bytes;
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
@@ -93,6 +94,73 @@ pub struct SessionTelemetry {
     pub duplicates: u64,
     /// Out-of-order (ahead-of-ack) data frames observed.
     pub gaps: u64,
+    /// Backoff sleeps performed while reconnecting.
+    pub backoff_sleeps: u64,
+    /// Total milliseconds spent in backoff sleeps.
+    pub backoff_ms: u64,
+}
+
+/// Metric handles mirroring [`SessionTelemetry`], incremented at the same
+/// sites. Detached by default (handles count locally, nothing exported);
+/// [`Session::attach_metrics`] rebinds them to a live registry under the
+/// stable `session.*` names.
+#[derive(Default, Clone)]
+struct SessionMetrics {
+    retransmits: Counter,
+    reconnects: Counter,
+    naks_sent: Counter,
+    corrupt_frames: Counter,
+    duplicates: Counter,
+    gaps: Counter,
+    backoff_sleeps: Counter,
+    backoff_ms: Counter,
+}
+
+impl SessionMetrics {
+    fn bound_to(reg: &MetricsRegistry) -> Self {
+        SessionMetrics {
+            retransmits: reg.counter("session.retransmits"),
+            reconnects: reg.counter("session.reconnects"),
+            naks_sent: reg.counter("session.naks_sent"),
+            corrupt_frames: reg.counter("session.corrupt_frames"),
+            duplicates: reg.counter("session.duplicates"),
+            gaps: reg.counter("session.gaps"),
+            backoff_sleeps: reg.counter("session.backoff_sleeps"),
+            backoff_ms: reg.counter("session.backoff_ms"),
+        }
+    }
+}
+
+/// Pairs each telemetry bump with its metric handle so the two views can
+/// never drift apart.
+macro_rules! note {
+    ($($fn_name:ident => $field:ident),* $(,)?) => {
+        impl SessionState {
+            $(fn $fn_name(&mut self) {
+                self.telemetry.$field += 1;
+                self.metrics.$field.inc();
+            })*
+        }
+    };
+}
+
+note! {
+    note_retransmit => retransmits,
+    note_reconnect => reconnects,
+    note_nak => naks_sent,
+    note_corrupt => corrupt_frames,
+    note_duplicate => duplicates,
+    note_gap => gaps,
+}
+
+impl SessionState {
+    fn note_backoff(&mut self, slept: Duration) {
+        let ms = u64::try_from(slept.as_millis()).unwrap_or(u64::MAX);
+        self.telemetry.backoff_sleeps += 1;
+        self.telemetry.backoff_ms += ms;
+        self.metrics.backoff_sleeps.inc();
+        self.metrics.backoff_ms.add(ms);
+    }
 }
 
 struct SessionState {
@@ -107,6 +175,7 @@ struct SessionState {
     inbox: VecDeque<Bytes>,
     recv_since_ack: u64,
     telemetry: SessionTelemetry,
+    metrics: SessionMetrics,
     /// When `Some`, every frame written to the link (data, control,
     /// retransmissions alike) is appended — the eavesdropper's true wire
     /// view, used by the leakage harness.
@@ -158,6 +227,7 @@ impl Session {
                 inbox: VecDeque::new(),
                 recv_since_ack: 0,
                 telemetry: SessionTelemetry::default(),
+                metrics: SessionMetrics::default(),
                 wire_capture: None,
             }),
         }
@@ -166,6 +236,24 @@ impl Session {
     /// Repair-work counters so far.
     pub fn telemetry(&self) -> SessionTelemetry {
         self.lock().telemetry
+    }
+
+    /// Binds the session's repair counters to `reg` under the stable
+    /// `session.*` metric names (and replays counts accumulated before the
+    /// attach, so the exported values always equal [`Self::telemetry`]).
+    pub fn attach_metrics(&self, reg: &MetricsRegistry) {
+        let mut st = self.lock();
+        let m = SessionMetrics::bound_to(reg);
+        let t = st.telemetry;
+        m.retransmits.add(t.retransmits);
+        m.reconnects.add(t.reconnects);
+        m.naks_sent.add(t.naks_sent);
+        m.corrupt_frames.add(t.corrupt_frames);
+        m.duplicates.add(t.duplicates);
+        m.gaps.add(t.gaps);
+        m.backoff_sleeps.add(t.backoff_sleeps);
+        m.backoff_ms.add(t.backoff_ms);
+        st.metrics = m;
     }
 
     /// Starts capturing every frame written to the link (including
@@ -236,12 +324,12 @@ impl Session {
                 if frame.seq < st.next_recv_seq {
                     // Duplicate (retransmission overlap): re-ack so the
                     // sender can prune.
-                    st.telemetry.duplicates += 1;
+                    st.note_duplicate();
                     self.write_control(st, FrameKind::Ack);
                 } else {
                     // Gap: something before this frame was lost.
-                    st.telemetry.gaps += 1;
-                    st.telemetry.naks_sent += 1;
+                    st.note_gap();
+                    st.note_nak();
                     self.write_control(st, FrameKind::Nak);
                 }
             }
@@ -275,7 +363,7 @@ impl Session {
             .map(|(s, p)| Frame::data(*s, ack, p.to_vec()))
             .collect();
         for f in &frames {
-            st.telemetry.retransmits += 1;
+            st.note_retransmit();
             // Best-effort: a failure here resurfaces on the data path.
             if self.write_frame(st, f).is_err() {
                 break;
@@ -297,8 +385,8 @@ impl Session {
                 Ok(frame) => self.process_frame(st, frame),
                 Err(_) => {
                     // Treated as loss; the Nak asks for retransmission.
-                    st.telemetry.corrupt_frames += 1;
-                    st.telemetry.naks_sent += 1;
+                    st.note_corrupt();
+                    st.note_nak();
                     self.write_control(st, FrameKind::Nak);
                     Ok(None)
                 }
@@ -321,13 +409,15 @@ impl Session {
                 .min(self.cfg.backoff_max);
             let jitter_range = (base.as_millis() as u64 / 2).max(1);
             let jitter = splitmix64(self.cfg.jitter_seed ^ u64::from(attempt)) % jitter_range;
-            std::thread::sleep(base + Duration::from_millis(jitter));
+            let slept = base + Duration::from_millis(jitter);
+            std::thread::sleep(slept);
+            st.note_backoff(slept);
             if self.link.reconnect().is_err() {
                 continue;
             }
             match self.handshake(st) {
                 Ok(()) => {
-                    st.telemetry.reconnects += 1;
+                    st.note_reconnect();
                     return Ok(());
                 }
                 Err(e @ TransportError::SequenceGap { .. }) => return Err(e),
@@ -358,7 +448,7 @@ impl Session {
             };
             let bytes = self.link.recv(Some(remaining))?;
             let Ok(frame) = Frame::decode(&bytes) else {
-                st.telemetry.corrupt_frames += 1;
+                st.note_corrupt();
                 continue;
             };
             if frame.kind == FrameKind::Hello {
@@ -461,7 +551,7 @@ impl Transport for Session {
                     }
                     // Silence can mean a dropped frame: ask for anything
                     // we are missing.
-                    st.telemetry.naks_sent += 1;
+                    st.note_nak();
                     self.write_control(&mut st, FrameKind::Nak);
                 }
                 Err(TransportError::Disconnected) => self.reconnect_and_resync(&mut st)?,
@@ -531,6 +621,32 @@ mod tests {
     fn splitmix_is_deterministic_and_spread() {
         assert_eq!(splitmix64(42), splitmix64(42));
         assert_ne!(splitmix64(1), splitmix64(2));
+    }
+
+    #[test]
+    fn attached_metrics_mirror_telemetry() {
+        let cfg = SessionConfig {
+            probe_interval: Duration::from_millis(5),
+            max_probes: 2,
+            ..SessionConfig::default()
+        };
+        let (a, b) = session_pair(cfg);
+        // One Nak accrues before the registry exists…
+        let _ = a.recv(Some(Duration::from_millis(20)));
+        let pre_naks = a.telemetry().naks_sent;
+        let reg = MetricsRegistry::new();
+        a.attach_metrics(&reg);
+        // …and more afterwards; the export must equal the full telemetry.
+        let _ = a.recv(Some(Duration::from_millis(20)));
+        b.send(Bytes::from(vec![7])).unwrap();
+        a.recv(None).unwrap();
+        let t = a.telemetry();
+        assert!(t.naks_sent > pre_naks || pre_naks > 0);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["session.naks_sent"], t.naks_sent);
+        assert_eq!(snap.counters["session.retransmits"], t.retransmits);
+        assert_eq!(snap.counters["session.reconnects"], t.reconnects);
+        assert_eq!(snap.counters["session.backoff_sleeps"], t.backoff_sleeps);
     }
 
     #[test]

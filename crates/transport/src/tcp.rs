@@ -170,6 +170,19 @@ impl TcpTransport {
         (self.wire_sent.load(Ordering::Relaxed), self.wire_received.load(Ordering::Relaxed))
     }
 
+    /// Publishes the wire-byte counters as `tcp.wire_tx_bytes` /
+    /// `tcp.wire_rx_bytes` gauges. Comparing these against the endpoint's
+    /// payload totals exposes the framing + retransmission overhead of the
+    /// whole session stack.
+    pub fn publish_wire_gauges(&self, reg: &aq2pnn_obs::MetricsRegistry) {
+        let (tx, rx) = self.wire_bytes();
+        #[allow(clippy::cast_precision_loss)]
+        {
+            reg.gauge_set("tcp.wire_tx_bytes", tx as f64);
+            reg.gauge_set("tcp.wire_rx_bytes", rx as f64);
+        }
+    }
+
     fn lock(&self) -> std::sync::MutexGuard<'_, TcpState> {
         self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
     }

@@ -1,4 +1,4 @@
-//! Workspace task runner. Currently one task:
+//! Workspace task runner. Two tasks:
 //!
 //! ```text
 //! cargo xtask lint [--deny] [--json PATH] [--self-test]
@@ -10,7 +10,18 @@
 //! (CI mode); `--json` writes the machine-readable report; `--self-test`
 //! checks the lint still catches every seeded violation in
 //! `crates/secrecy-lint/fixtures/violations.rs`.
+//!
+//! ```text
+//! cargo xtask report PATH
+//! ```
+//!
+//! rebuilds the paper-style per-layer cost report from a `trace.json`
+//! emitted by a traced run (`private_mnist_service --trace DIR`); `PATH`
+//! is the trace file or the directory containing it.
 
+use aq2pnn_obs::chrome::parse_chrome_trace;
+use aq2pnn_obs::json::Json;
+use aq2pnn_obs::report::CostReport;
 use secrecy_lint::{Config, Linter, Rule};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -143,12 +154,56 @@ fn run_self_test() -> ExitCode {
     }
 }
 
+/// `cargo xtask report PATH`: renders the per-layer cost table from a
+/// Chrome `trace.json` (file, or a directory holding one).
+fn report_main(args: &[String]) -> ExitCode {
+    let Some(arg) = args.first() else {
+        eprintln!("usage: cargo xtask report PATH  (trace.json or its directory)");
+        return ExitCode::FAILURE;
+    };
+    let mut path = PathBuf::from(arg);
+    if path.is_dir() {
+        path.push("trace.json");
+    }
+    let src = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("xtask: cannot read {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = match Json::parse(&src) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("xtask: {} is not valid JSON: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let events = match parse_chrome_trace(&doc) {
+        Ok(ev) => ev,
+        Err(e) => {
+            eprintln!("xtask: {} is not a valid Chrome trace: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    if events.is_empty() {
+        eprintln!("xtask: {} holds no span events", path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("{}", CostReport::from_chrome(&events).render());
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint_main(&args[1..]),
+        Some("report") => report_main(&args[1..]),
         _ => {
-            eprintln!("usage: cargo xtask lint [--deny] [--json PATH] [--self-test]");
+            eprintln!(
+                "usage: cargo xtask lint [--deny] [--json PATH] [--self-test]\n\
+                 \x20      cargo xtask report PATH"
+            );
             ExitCode::FAILURE
         }
     }

@@ -12,6 +12,11 @@
 //! # Single process, in-memory link:
 //! cargo run --release --example private_mnist_service
 //!
+//! # With the tracing/metrics layer on: emits trace.json (Chrome
+//! # trace_event, load in chrome://tracing or Perfetto), metrics.json and
+//! # the per-layer cost report into OUT/:
+//! cargo run --release --example private_mnist_service -- --trace OUT --metrics
+//!
 //! # Two real processes over TCP (run in two terminals):
 //! cargo run --release --example private_mnist_service -- --listen 127.0.0.1:9940
 //! cargo run --release --example private_mnist_service -- --connect 127.0.0.1:9940
@@ -20,9 +25,18 @@
 //! In two-process mode the connection runs through the fault-tolerant
 //! session layer: frames are sequence-numbered and checksummed, and the
 //! inference survives transient disconnects via reconnect + replay.
+//!
+//! Progress lines go through the tracer's human log sink (stderr with
+//! monotonic timestamps); `--quiet` silences them. The summary and the
+//! cost report print to stdout. All telemetry carries **public structure
+//! only** — layer names, shapes, ring widths, byte counts (DESIGN.md §10).
 
 use aq2pnn::engine::{run_party, PartyInput};
-use aq2pnn::sim::run_two_party;
+use aq2pnn::sim::{run_two_party_traced, PartyObs};
+use aq2pnn::substrate::obs::chrome::chrome_trace;
+use aq2pnn::substrate::obs::json::Json;
+use aq2pnn::substrate::obs::report::CostReport;
+use aq2pnn::substrate::obs::{LogSink, MetricsRegistry, Tracer};
 use aq2pnn::{PartyContext, ProtocolConfig};
 use aq2pnn_nn::data::SyntheticVision;
 use aq2pnn_nn::float::FloatNet;
@@ -30,7 +44,10 @@ use aq2pnn_nn::quant::{QuantConfig, QuantModel};
 use aq2pnn_nn::tensor::argmax_i64;
 use aq2pnn_nn::zoo;
 use aq2pnn_sharing::PartyId;
-use aq2pnn_transport::{Endpoint, NetworkModel, Session, SessionConfig, TcpConfig, TcpTransport};
+use aq2pnn_transport::{
+    duplex, Endpoint, NetworkModel, Session, SessionConfig, TcpConfig, TcpTransport,
+};
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -38,9 +55,17 @@ use std::time::{Duration, Instant};
 /// process: both sides of the two-process mode derive identical weights
 /// from the fixed seeds, standing in for the provider shipping its public
 /// architecture + the offline share setup of a real deployment.
-fn build_model() -> Result<(SyntheticVision, QuantModel), Box<dyn std::error::Error>> {
-    let data = SyntheticVision::mnist_like(2024);
-    let mut net = FloatNet::init(&zoo::lenet5(), 9)?;
+fn build_model(
+    log: &Tracer,
+    spec_name: &str,
+) -> Result<(SyntheticVision, QuantModel), Box<dyn std::error::Error>> {
+    let (spec, data) = match spec_name {
+        "tiny" => (zoo::tiny_cnn(4), SyntheticVision::tiny(4, 2024)),
+        "lenet5" => (zoo::lenet5(), SyntheticVision::mnist_like(2024)),
+        other => return Err(format!("unknown --model {other} (tiny|lenet5)").into()),
+    };
+    log.info(format!("training {} on synthetic data (deterministic seeds)…", spec.name));
+    let mut net = FloatNet::init(&spec, 9)?;
     net.train_epochs(&data, 3, 16, 0.05);
     let model = QuantModel::quantize(&net, &data.calibration(32), &QuantConfig::int8())?;
     Ok((data, model))
@@ -49,11 +74,16 @@ fn build_model() -> Result<(SyntheticVision, QuantModel), Box<dyn std::error::Er
 fn usage() -> ! {
     eprintln!(
         "usage: private_mnist_service [--listen ADDR | --connect ADDR] [--count N]\n\
+         \x20                            [--model tiny|lenet5] [--trace DIR] [--metrics] [--quiet]\n\
          \n\
          no flags        run both parties in-process\n\
          --listen ADDR   run as the model provider, accept one user on ADDR\n\
          --connect ADDR  run as the user, connect to a provider on ADDR\n\
-         --count N       number of test images to classify (default 10)"
+         --count N       number of test images to classify (default 10)\n\
+         --model NAME    model to serve: tiny | lenet5 (default lenet5)\n\
+         --trace DIR     write trace.json / metrics.json / report.txt into DIR\n\
+         --metrics       print the metrics JSON to stdout\n\
+         --quiet         suppress progress logging (summary still prints)"
     );
     std::process::exit(2)
 }
@@ -62,10 +92,22 @@ struct Args {
     listen: Option<String>,
     connect: Option<String>,
     count: usize,
+    model: String,
+    trace: Option<PathBuf>,
+    metrics: bool,
+    quiet: bool,
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { listen: None, connect: None, count: 10 };
+    let mut args = Args {
+        listen: None,
+        connect: None,
+        count: 10,
+        model: "lenet5".into(),
+        trace: None,
+        metrics: false,
+        quiet: false,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -74,6 +116,10 @@ fn parse_args() -> Args {
             "--count" => {
                 args.count = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
             }
+            "--model" => args.model = it.next().unwrap_or_else(|| usage()),
+            "--trace" => args.trace = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
+            "--metrics" => args.metrics = true,
+            "--quiet" => args.quiet = true,
             _ => usage(),
         }
     }
@@ -86,31 +132,78 @@ fn parse_args() -> Args {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = parse_args();
 
-    println!("training LeNet5 on synthetic MNIST (deterministic seeds)…");
-    let (data, model) = build_model()?;
-    println!("plaintext int8 accuracy {:.1}%", 100.0 * model.accuracy(&data.test()[..50]));
+    // Progress goes through the tracer's human log sink: timestamped on
+    // stderr by default, silenced by --quiet. A disabled tracer still
+    // logs — span recording and progress logging are independent switches.
+    let log = Tracer::disabled();
+    if args.quiet {
+        log.set_log_sink(LogSink::Silent);
+    }
+
+    let (data, model) = build_model(&log, &args.model)?;
+    log.info(format!(
+        "plaintext int8 accuracy {:.1}%",
+        100.0 * model.accuracy(&data.test()[..50.min(data.test().len())])
+    ));
 
     match (&args.listen, &args.connect) {
-        (Some(addr), None) => serve_tcp(addr, PartyId::ModelProvider, &data, &model, args.count),
-        (None, Some(addr)) => serve_tcp(addr, PartyId::User, &data, &model, args.count),
-        _ => run_in_process(&data, &model, args.count),
+        (Some(addr), None) => serve_tcp(addr, PartyId::ModelProvider, &data, &model, &args, &log),
+        (None, Some(addr)) => serve_tcp(addr, PartyId::User, &data, &model, &args, &log),
+        _ => run_in_process(&data, &model, &args, &log),
     }
+}
+
+/// Writes `trace.json`, `metrics.json` and `report.txt` into `dir`.
+fn write_artifacts(
+    dir: &Path,
+    trace: &Json,
+    metrics: &Json,
+    report: &str,
+    log: &Tracer,
+) -> Result<(), Box<dyn std::error::Error>> {
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(dir.join("trace.json"), trace.to_string_pretty())?;
+    std::fs::write(dir.join("metrics.json"), metrics.to_string_pretty())?;
+    std::fs::write(dir.join("report.txt"), report)?;
+    log.info(format!(
+        "observability artifacts written to {} (trace.json / metrics.json / report.txt)",
+        dir.display()
+    ));
+    Ok(())
 }
 
 /// Single-process demo: both parties on threads over the in-memory link.
 fn run_in_process(
     data: &SyntheticVision,
     model: &QuantModel,
-    n: usize,
+    args: &Args,
+    log: &Tracer,
 ) -> Result<(), Box<dyn std::error::Error>> {
     let cfg = ProtocolConfig::paper(16);
     let net_model = NetworkModel::paper_lan();
+    let n = args.count.min(data.test().len());
+    let obs_on = args.trace.is_some() || args.metrics;
+    let (user_obs, provider_obs) = if obs_on {
+        (PartyObs::enabled(), PartyObs::enabled())
+    } else {
+        (PartyObs::default(), PartyObs::default())
+    };
+
     let mut secure_correct = 0;
     let mut plain_agree = 0;
     let mut total_bytes = 0u64;
     let mut total_msgs = 0u64;
-    for s in data.test().iter().take(n) {
-        let run = run_two_party(model, &cfg, &s.image, 0)?;
+    for (i, s) in data.test().iter().take(n).enumerate() {
+        let (e0, e1) = duplex();
+        let run = run_two_party_traced(
+            e0,
+            e1,
+            model,
+            &cfg,
+            &s.image,
+            user_obs.clone(),
+            provider_obs.clone(),
+        )?;
         let pred = argmax_i64(&run.logits);
         if pred == s.label {
             secure_correct += 1;
@@ -121,6 +214,7 @@ fn run_in_process(
         }
         total_bytes += run.user_stats.total_bytes();
         total_msgs += run.user_stats.messages_sent + run.user_stats.messages_received;
+        log.info(format!("inference {i}: predicted {pred} (label {})", s.label));
     }
 
     let per_inf_bytes = total_bytes / n as u64;
@@ -134,6 +228,24 @@ fn run_in_process(
         per_inf_bytes as f64 / (1024.0 * 1024.0)
     );
     println!("  est. link time @1 Gbps : {:.1} ms per inference", 1e3 * link_secs);
+
+    if obs_on {
+        let spans = [user_obs.tracer.snapshot(), provider_obs.tracer.snapshot()];
+        let parties = [(0u32, &spans[0][..]), (1u32, &spans[1][..])];
+        let report = CostReport::from_spans(&parties);
+        let table = report.render();
+        println!("\nper-layer cost report ({n} inference(s), both parties):\n{table}");
+        let metrics = Json::obj(vec![
+            ("party0", user_obs.metrics.snapshot().to_json()),
+            ("party1", provider_obs.metrics.snapshot().to_json()),
+        ]);
+        if let Some(dir) = &args.trace {
+            write_artifacts(dir, &chrome_trace(&parties), &metrics, &table, log)?;
+        }
+        if args.metrics {
+            println!("{}", metrics.to_string_pretty());
+        }
+    }
     Ok(())
 }
 
@@ -143,15 +255,16 @@ fn serve_tcp(
     id: PartyId,
     data: &SyntheticVision,
     model: &QuantModel,
-    n: usize,
+    args: &Args,
+    log: &Tracer,
 ) -> Result<(), Box<dyn std::error::Error>> {
     let tcp = match id {
         PartyId::ModelProvider => {
-            println!("provider: listening on {addr}…");
+            log.info(format!("provider: listening on {addr}…"));
             TcpTransport::listen(addr)?
         }
         PartyId::User => {
-            println!("user: connecting to {addr}…");
+            log.info(format!("user: connecting to {addr}…"));
             // Generous dial timeout so the user may be started first.
             let cfg =
                 TcpConfig { connect_timeout: Duration::from_secs(30), ..TcpConfig::default() };
@@ -159,14 +272,27 @@ fn serve_tcp(
         }
     };
     let tcp = Arc::new(tcp);
-    let session = Session::new(Arc::clone(&tcp) as Arc<_>, SessionConfig::default());
+    let session = Arc::new(Session::new(Arc::clone(&tcp) as Arc<_>, SessionConfig::default()));
     // A 60 s receive deadline turns a dead peer into a typed Timeout
     // instead of a hang.
-    let ep = Endpoint::over_transport(Arc::new(session), Some(Duration::from_secs(60)));
+    let ep =
+        Endpoint::over_transport(Arc::clone(&session) as Arc<_>, Some(Duration::from_secs(60)));
     let cfg = ProtocolConfig::paper(16);
     let mut ctx = PartyContext::new(id, ep, cfg, None);
 
+    let obs_on = args.trace.is_some() || args.metrics;
+    let (tracer, metrics) = if obs_on {
+        (Tracer::new(), MetricsRegistry::new())
+    } else {
+        (Tracer::disabled(), MetricsRegistry::disabled())
+    };
+    if obs_on {
+        session.attach_metrics(&metrics);
+    }
+    ctx.set_obs(tracer.clone(), metrics.clone());
+
     let started = Instant::now();
+    let n = args.count.min(data.test().len());
     let mut secure_correct = 0;
     let mut total_bytes = 0u64;
     for (i, s) in data.test().iter().take(n).enumerate() {
@@ -180,7 +306,7 @@ fn serve_tcp(
             secure_correct += 1;
         }
         total_bytes += out.stats.total_bytes();
-        println!("  inference {i}: predicted {pred} (label {})", s.label);
+        log.info(format!("inference {i}: predicted {pred} (label {})", s.label));
     }
     let (wire_tx, wire_rx) = tcp.wire_bytes();
     let elapsed = started.elapsed();
@@ -197,5 +323,26 @@ fn serve_tcp(
         elapsed.as_secs_f64(),
         elapsed.as_secs_f64() / n as f64
     );
+
+    if obs_on {
+        // Wire-level byte gauges (framing included) alongside the session
+        // counters the reliability layer recorded during the run.
+        tcp.publish_wire_gauges(&metrics);
+        #[allow(clippy::cast_possible_truncation)] // party index is 0 or 1
+        let pid = id.index() as u32;
+        let spans = tracer.snapshot();
+        let parties = [(pid, &spans[..])];
+        let report = CostReport::from_spans(&parties);
+        let table = report.render();
+        println!("\nper-layer cost report ({n} inference(s), this party only):\n{table}");
+        let key = format!("party{pid}");
+        let metrics_doc = Json::obj(vec![(key.as_str(), metrics.snapshot().to_json())]);
+        if let Some(dir) = &args.trace {
+            write_artifacts(dir, &chrome_trace(&parties), &metrics_doc, &table, log)?;
+        }
+        if args.metrics {
+            println!("{}", metrics_doc.to_string_pretty());
+        }
+    }
     Ok(())
 }

@@ -23,6 +23,7 @@
 
 use aq2pnn::abrelu::{secure_sign, sign_from_codes};
 use aq2pnn::sim::{run_pair, run_pair_over};
+use aq2pnn::substrate::obs::{MetricsRegistry, Tracer};
 use aq2pnn::{ProtocolConfig, ReluMode};
 use aq2pnn_ring::{ct, Ring, RingTensor};
 use aq2pnn_sharing::{AShare, PartyId};
@@ -54,6 +55,13 @@ type Transcript = Vec<Vec<u8>>;
 /// Runs one MaskedMux secure-sign execution on `vals` and returns both
 /// parties' captured outbound transcripts.
 fn captured_sign_run(vals: &[i64], trial: u64) -> (Transcript, Transcript) {
+    captured_sign_run_obs(vals, trial, false)
+}
+
+/// [`captured_sign_run`] with optional tracing/metrics attached — the
+/// observability layer must be wire-invisible, so transcripts captured
+/// with and without it are compared byte for byte.
+fn captured_sign_run_obs(vals: &[i64], trial: u64, traced: bool) -> (Transcript, Transcript) {
     let mut cfg = ProtocolConfig::paper(Q1_BITS);
     cfg.relu_mode = ReluMode::MaskedMux;
     // Fresh offline material per trial — the masks, not a fixed setup,
@@ -64,6 +72,9 @@ fn captured_sign_run(vals: &[i64], trial: u64) -> (Transcript, Transcript) {
     let mut share_rng = StdRng::seed_from_u64(0x5eed_0000 + trial);
     let (s0, s1) = AShare::share(&t, &mut share_rng);
     run_pair(&cfg, move |ctx| {
+        if traced {
+            ctx.set_obs(Tracer::new(), MetricsRegistry::new());
+        }
         let mine = match ctx.id {
             PartyId::User => s0.clone(),
             PartyId::ModelProvider => s1.clone(),
@@ -72,6 +83,20 @@ fn captured_sign_run(vals: &[i64], trial: u64) -> (Transcript, Transcript) {
         secure_sign(ctx, &mine, ReluMode::MaskedMux).expect("secure_sign");
         ctx.ep.take_capture()
     })
+}
+
+/// Attaching the tracer/metrics layer must not change a single wire byte:
+/// spans observe the channel, they never touch it. Byte-identical
+/// transcripts (not just shapes) with observability on vs. off.
+#[test]
+fn tracing_does_not_change_the_wire_transcript() {
+    let half = 1i64 << (Q1_BITS - 1);
+    let vals: Vec<i64> = (0..VALUES_PER_TRIAL).map(|i| (i as i64 * 53 % half) - half / 2).collect();
+    for trial in 0..3u64 {
+        let plain = captured_sign_run_obs(&vals, 0x0b5_000 + trial, false);
+        let traced = captured_sign_run_obs(&vals, 0x0b5_000 + trial, true);
+        assert_eq!(plain, traced, "trial {trial}: tracing altered the wire transcript");
+    }
 }
 
 /// Message-size sequence of a two-party transcript pair — the shape an

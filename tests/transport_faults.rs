@@ -9,6 +9,7 @@
 //! `#[ignore]`d and executed by the release-mode CI fault-matrix job.
 
 use aq2pnn::sim::{run_two_party, run_two_party_over};
+use aq2pnn::substrate::obs::MetricsRegistry;
 use aq2pnn::{ProtocolConfig, ProtocolError};
 use aq2pnn_nn::data::SyntheticVision;
 use aq2pnn_nn::float::FloatNet;
@@ -183,6 +184,87 @@ fn dead_link_degrades_to_typed_error() {
         )
         | ProtocolError::Desync(_) => {}
         other => panic!("expected a typed transport/desync error, got: {other}"),
+    }
+}
+
+/// Fault-metrics soak: a fault-injected TCP inference with metrics
+/// registries attached to both sessions. The exported `session.*` counters
+/// must mirror the session telemetry *exactly*, and the detected-fault
+/// counters must reconcile with the seeded fault schedule: every injected
+/// corruption is one checksum failure (and one Nak) on the peer, every
+/// injected disconnect forces at least one reconnect.
+#[test]
+#[ignore = "soak: release-mode CI fault-matrix job runs this"]
+fn fault_metrics_soak_exported_counters_match_schedule() {
+    let (model, data) = trained_model(&zoo::tiny_cnn(4), 81);
+    let cfg = ProtocolConfig::paper(16);
+    let image = &data.test()[0].image;
+    let baseline = run_two_party(&model, &cfg, image, 0).expect("clean run").logits;
+
+    for seed in [7u64, 13, 29] {
+        // Corruption + duplication (event-driven recovery, deterministic
+        // per seed) plus one forced disconnect per side.
+        let mk_plan = |s: u64, cut: u64| FaultPlan {
+            seed: s,
+            corrupt_per_mille: 25,
+            duplicate_per_mille: 25,
+            disconnect_at: vec![cut],
+            ..FaultPlan::clean()
+        };
+        let plan0 = mk_plan(0xfa_0000 + seed, 7 + seed % 5);
+        let plan1 = mk_plan(0xfb_0000 + seed, 14 + seed % 7);
+        let (e0, e1, faults, sessions) = faulty_tcp_endpoints(plan0, plan1, soak_session_cfg(seed));
+        let regs = [MetricsRegistry::new(), MetricsRegistry::new()];
+        for (sess, reg) in sessions.iter().zip(&regs) {
+            sess.attach_metrics(reg);
+        }
+
+        let run = run_two_party_over(e0, e1, &model, &cfg, image)
+            .unwrap_or_else(|e| panic!("seed {seed}: inference failed under faults: {e}"));
+        assert_eq!(run.logits, baseline, "seed {seed}: logits diverged under faults");
+
+        let mut reconnects = 0u64;
+        for (side, (sess, reg)) in sessions.iter().zip(&regs).enumerate() {
+            let t = sess.telemetry();
+            let snap = reg.snapshot();
+            let counter = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+            // 1. The export is an exact mirror of the telemetry.
+            for (name, want) in [
+                ("session.retransmits", t.retransmits),
+                ("session.reconnects", t.reconnects),
+                ("session.naks_sent", t.naks_sent),
+                ("session.corrupt_frames", t.corrupt_frames),
+                ("session.duplicates", t.duplicates),
+                ("session.gaps", t.gaps),
+                ("session.backoff_sleeps", t.backoff_sleeps),
+                ("session.backoff_ms", t.backoff_ms),
+            ] {
+                assert_eq!(
+                    counter(name),
+                    want,
+                    "seed {seed} side {side}: exported {name} drifted from telemetry"
+                );
+            }
+            // 2. Every corruption injected by the *peer's* proxy is one
+            //    checksum failure here — no silent acceptance, no double
+            //    counting.
+            let peer_injected = faults[1 - side].stats();
+            assert_eq!(
+                t.corrupt_frames, peer_injected.corrupted,
+                "seed {seed} side {side}: detected corruptions != injected"
+            );
+            assert!(
+                t.naks_sent >= t.corrupt_frames,
+                "seed {seed} side {side}: corrupt frames must be Nak'd"
+            );
+            reconnects += t.reconnects;
+        }
+        let disconnects: u64 = faults.iter().map(|f| f.stats().disconnects).sum();
+        assert!(disconnects >= 2, "seed {seed}: both planned disconnects must fire");
+        assert!(
+            reconnects >= disconnects,
+            "seed {seed}: {disconnects} disconnects but only {reconnects} reconnects recorded"
+        );
     }
 }
 
