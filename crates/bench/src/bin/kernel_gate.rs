@@ -1,0 +1,177 @@
+//! Kernel-dispatch regression gate (CI threshold check).
+//!
+//! Compares the `dispatch_speedups` rows of a fresh `BENCH_kernels.json`
+//! (produced by `cargo bench -p aq2pnn-bench --bench kernels`, path
+//! override `BENCH_KERNELS_JSON`) against the committed
+//! `BENCH_kernels_baseline.json` (override `BENCH_KERNELS_BASELINE`) and
+//! exits nonzero when a specialized kernel lost more than
+//! `KERNEL_GATE_MAX_REGRESSION_PCT` (default 10) of its recorded win.
+//!
+//! The rows are **relative** quantities — each ISA kernel's speedup over
+//! the scalar dispatch kernel (`vs_scalar`) and over the pre-dispatch
+//! generic implementation (`vs_reference`) at the same ring width, both
+//! measured in the same process minutes apart — so they transfer across
+//! machines in a way raw ns/iter never would. Rows whose baseline ratio
+//! is below `KERNEL_GATE_MIN_WIN` (default 1.2) are reported but not
+//! gated: near-parity rows (e.g. a memory-bound fill where the vector
+//! unit can't win) would otherwise flap on scheduler noise, and a ratio
+//! hovering at 1.0 has no win to protect.
+//!
+//! Baseline rows for ISAs the host CPU does not support are skipped with
+//! a loud warning (the x86 baseline carries AVX rows a CI aarch64 runner
+//! can't measure); a baseline row whose ISA *is* supported but is missing
+//! from the fresh run fails the gate — silently dropping a kernel from
+//! the bench must not read as green.
+
+use aq2pnn_ring::IsaLevel;
+use std::process::ExitCode;
+
+#[derive(Debug, Clone)]
+struct Row {
+    kernel: String,
+    l: u32,
+    isa: String,
+    vs_scalar: f64,
+    vs_reference: f64,
+}
+
+/// Extracts `"name": "value"` from a single JSON row line.
+fn field_str(line: &str, name: &str) -> Option<String> {
+    let key = format!("\"{name}\": \"");
+    let at = line.find(&key)? + key.len();
+    let rest = &line[at..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Extracts `"name": <number>` from a single JSON row line.
+fn field_num(line: &str, name: &str) -> Option<f64> {
+    let key = format!("\"{name}\": ");
+    let at = line.find(&key)? + key.len();
+    let rest = &line[at..];
+    let end =
+        rest.find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-')).unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Line-oriented parse of the `dispatch_speedups` array — the reports are
+/// emitted one row per line by this workspace's own writers, and the
+/// offline workspace carries no JSON dependency.
+fn parse_rows(path: &str) -> Result<Vec<Row>, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("kernel-gate: read {path}: {e}"))?;
+    let mut rows = Vec::new();
+    let mut in_section = false;
+    for line in text.lines() {
+        if line.contains("\"dispatch_speedups\"") {
+            in_section = true;
+            continue;
+        }
+        if !in_section {
+            continue;
+        }
+        if line.trim_start().starts_with(']') {
+            break;
+        }
+        let row = (|| {
+            Some(Row {
+                kernel: field_str(line, "kernel")?,
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                l: field_num(line, "l")? as u32,
+                isa: field_str(line, "isa")?,
+                vs_scalar: field_num(line, "vs_scalar")?,
+                vs_reference: field_num(line, "vs_reference")?,
+            })
+        })();
+        match row {
+            Some(r) => rows.push(r),
+            None => return Err(format!("kernel-gate: malformed row in {path}: {line}")),
+        }
+    }
+    if !in_section {
+        return Err(format!("kernel-gate: no dispatch_speedups section in {path}"));
+    }
+    Ok(rows)
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn main() -> ExitCode {
+    let max_pct = env_f64("KERNEL_GATE_MAX_REGRESSION_PCT", 10.0);
+    let min_win = env_f64("KERNEL_GATE_MIN_WIN", 1.2);
+    let fresh_path =
+        std::env::var("BENCH_KERNELS_JSON").unwrap_or_else(|_| "BENCH_kernels.json".to_string());
+    let base_path = std::env::var("BENCH_KERNELS_BASELINE")
+        .unwrap_or_else(|_| "BENCH_kernels_baseline.json".to_string());
+
+    let (baseline, fresh) = match (parse_rows(&base_path), parse_rows(&fresh_path)) {
+        (Ok(b), Ok(f)) => (b, f),
+        (b, f) => {
+            for e in [b.err(), f.err()].into_iter().flatten() {
+                eprintln!("{e}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "kernel-gate: {} baseline rows ({base_path}) vs {} fresh rows ({fresh_path}), \
+         max regression {max_pct}%, min gated win {min_win}x",
+        baseline.len(),
+        fresh.len()
+    );
+
+    let mut failures = 0u32;
+    let mut skipped = 0u32;
+    let mut gated = 0u32;
+    for b in &baseline {
+        let Some(isa) = IsaLevel::parse(&b.isa) else {
+            eprintln!("kernel-gate: FAIL — baseline row has unknown ISA {:?}", b.isa);
+            failures += 1;
+            continue;
+        };
+        if !isa.supported() {
+            println!(
+                "kernel-gate: WARN — skipping {}/l{}/{}: ISA not supported on this host",
+                b.kernel, b.l, b.isa
+            );
+            skipped += 1;
+            continue;
+        }
+        let Some(f) = fresh.iter().find(|f| f.kernel == b.kernel && f.l == b.l && f.isa == b.isa)
+        else {
+            eprintln!(
+                "kernel-gate: FAIL — {}/l{}/{} present in baseline but missing from fresh run",
+                b.kernel, b.l, b.isa
+            );
+            failures += 1;
+            continue;
+        };
+        for (metric, base, now) in [
+            ("vs_scalar", b.vs_scalar, f.vs_scalar),
+            ("vs_reference", b.vs_reference, f.vs_reference),
+        ] {
+            let floor = base * (1.0 - max_pct / 100.0);
+            let verdict = if base < min_win {
+                "info"
+            } else if now < floor {
+                failures += 1;
+                "FAIL"
+            } else {
+                gated += 1;
+                "ok"
+            };
+            println!(
+                "kernel-gate: {verdict:>4} {}/l{}/{} {metric}: baseline {base:.3}x, \
+                 now {now:.3}x (floor {floor:.3}x)",
+                b.kernel, b.l, b.isa
+            );
+        }
+    }
+    if failures > 0 {
+        eprintln!("kernel-gate: FAIL — {failures} regression(s) beyond {max_pct}%");
+        return ExitCode::FAILURE;
+    }
+    println!("kernel-gate: PASS — {gated} gated metrics within {max_pct}%, {skipped} rows skipped");
+    ExitCode::SUCCESS
+}

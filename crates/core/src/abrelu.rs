@@ -29,7 +29,7 @@ use crate::{PartyContext, ProtocolError, ReluMode, ReluRounds};
 use aq2pnn_obs::report::CAT_STAGE;
 use aq2pnn_ot::{recv_batch, send_batch_flat, OtChoice};
 use aq2pnn_parallel::{par_chunks_mut, par_fill_indexed};
-use aq2pnn_ring::{ct, RingTensor};
+use aq2pnn_ring::{ct, simd, IsaLevel, RingTensor};
 use aq2pnn_sharing::a2b::{group_widths, split_groups_into};
 use aq2pnn_sharing::{AShare, PartyId};
 
@@ -170,7 +170,15 @@ pub fn secure_sign(
             match ctx.cfg.relu_rounds {
                 ReluRounds::Single => {
                     fill_sender_codes(
-                        &u_flat, u_cnt, &widths, 0, u_cnt, None, &mut msgs, &mut arity,
+                        &u_flat,
+                        u_cnt,
+                        &widths,
+                        0,
+                        u_cnt,
+                        None,
+                        IsaLevel::active(),
+                        &mut msgs,
+                        &mut arity,
                     );
                     send_batch_flat(
                         &ctx.ep,
@@ -184,7 +192,17 @@ pub fn secure_sign(
                 }
                 ReluRounds::Lazy => {
                     // Round 1: quadrant groups.
-                    fill_sender_codes(&u_flat, u_cnt, &widths, 0, 2, None, &mut msgs, &mut arity);
+                    fill_sender_codes(
+                        &u_flat,
+                        u_cnt,
+                        &widths,
+                        0,
+                        2,
+                        None,
+                        IsaLevel::active(),
+                        &mut msgs,
+                        &mut arity,
+                    );
                     send_batch_flat(
                         &ctx.ep,
                         &ctx.group,
@@ -211,6 +229,7 @@ pub fn secure_sign(
                             2,
                             u_cnt,
                             Some(&undecided),
+                            IsaLevel::active(),
                             &mut msgs,
                             &mut arity,
                         );
@@ -345,15 +364,65 @@ pub fn secure_sign(
 /// `from..to` of the items in `subset` (all items when `None`) directly
 /// into the reused flat `msgs`/`arity` buffers, laid out item-major →
 /// group-major → slot as [`send_batch_flat`] expects. The per-slot code
-/// evaluation fans out across threads.
+/// evaluation fans out across threads; the full-item standard pattern
+/// (`from..to` covering every A2BM group, 4×4 code table) additionally
+/// routes each item's fill through the width-specialized per-ISA kernel
+/// from [`aq2pnn_ring::simd`] (DESIGN.md §7.4).
+///
+/// Public (with an explicit `isa`) so benches and identity tests can drive
+/// the kernel per ISA level; the protocol calls it with
+/// [`IsaLevel::active`]. The produced codes are ISA-independent.
+///
+/// # Panics
+///
+/// Panics if `from..to` is not a valid group range for `widths` or the
+/// flat buffer geometry is inconsistent with `u_cnt`.
 #[allow(clippy::too_many_arguments)]
-fn fill_sender_codes(
+pub fn fill_sender_codes(
     u_flat: &[u8],
     u_cnt: usize,
     widths: &[u32],
     from: usize,
     to: usize,
     subset: Option<&[usize]>,
+    isa: IsaLevel,
+    msgs: &mut Vec<u64>,
+    arity: &mut Vec<usize>,
+) {
+    fill_codes_impl(u_flat, u_cnt, widths, from, to, subset, Some(isa), msgs, arity);
+}
+
+/// [`fill_sender_codes`] with the per-ISA item kernel disabled: the
+/// pre-dispatch generic loop (precomputed code rows + per-group memcpy),
+/// kept as the speedup denominator for the kernel benches and as a second
+/// ground truth for identity tests.
+///
+/// # Panics
+///
+/// Same geometry panics as [`fill_sender_codes`].
+#[allow(clippy::too_many_arguments)]
+pub fn fill_sender_codes_reference(
+    u_flat: &[u8],
+    u_cnt: usize,
+    widths: &[u32],
+    from: usize,
+    to: usize,
+    subset: Option<&[usize]>,
+    msgs: &mut Vec<u64>,
+    arity: &mut Vec<usize>,
+) {
+    fill_codes_impl(u_flat, u_cnt, widths, from, to, subset, None, msgs, arity);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn fill_codes_impl(
+    u_flat: &[u8],
+    u_cnt: usize,
+    widths: &[u32],
+    from: usize,
+    to: usize,
+    subset: Option<&[usize]>,
+    isa: Option<IsaLevel>,
     msgs: &mut Vec<u64>,
     arity: &mut Vec<usize>,
 ) {
@@ -385,10 +454,33 @@ fn fill_sender_codes(
             *slot = code(u as u8, l as u8);
         }
     }
+    // Full-item standard pattern: two 1-bit quadrant groups then *only*
+    // 2-bit groups — a 4×4 code table and stride 4·(U−1). This is the
+    // single-round schedule's shape on even ℓ, so it gets the per-ISA item
+    // kernel; partial ranges (the lazy schedule's rounds) and odd-ℓ rings
+    // (whose last group is 1-bit) keep the generic loop below.
+    let standard = from == 0
+        && to == u_cnt
+        && u_cnt >= 3
+        && widths[0] == 1
+        && widths[1] == 1
+        && widths[2..u_cnt].iter().all(|&w| w == 2);
+    let item_kernel = if standard {
+        isa.and_then(|isa| simd::fill_codes_item_fn(isa, u_cnt)).map(|f| {
+            let rows16: &[u64; 16] = rows.as_slice().try_into().expect("4x4 code table");
+            (f, rows16)
+        })
+    } else {
+        None
+    };
     let mut item_rows: Vec<&mut [u64]> = msgs.chunks_mut(stride).collect();
     par_chunks_mut(&mut item_rows, PAR_MIN_SLOTS / stride.max(1), |start, chunk| {
         for (j, slots) in chunk.iter_mut().enumerate() {
             let v = subset.map_or(start + j, |s| s[start + j]);
+            if let Some((f, rows16)) = item_kernel {
+                f(&u_flat[v * u_cnt..(v + 1) * u_cnt], rows16, slots);
+                continue;
+            }
             for g in from..to {
                 let u = u_flat[v * u_cnt + g] as usize;
                 let n = 1usize << widths[g];
@@ -588,6 +680,71 @@ mod tests {
         assert!(!sign_from_codes(&codes(-2, -2)));
         // (x_i, x_j) = (100, −95): x = 5 > 0.
         assert!(sign_from_codes(&codes(100, -95)));
+    }
+
+    /// The per-ISA item kernel must reproduce the generic slot loop
+    /// exactly: for every available ISA, ring width (monomorphized group
+    /// counts 7/9/11/17 and dyn-fallback counts), schedule range, and
+    /// subset shape, the flat OT message/arity buffers are identical.
+    #[test]
+    fn sender_codes_isa_independent() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for bits in [4u32, 8, 12, 16, 20, 24, 32] {
+            let ring = Ring::new(bits);
+            let widths = group_widths(bits);
+            let u_cnt = widths.len();
+            let n = 33;
+            let vals = RingTensor::random(ring, vec![n], &mut rng);
+            let mut u_flat = Vec::new();
+            split_groups_into(ring, vals.as_slice(), &widths, &mut u_flat);
+            let subset: Vec<usize> = (0..n).step_by(3).collect();
+            let ranges: [(usize, usize, Option<&[usize]>); 3] =
+                [(0, u_cnt, None), (0, 2, None), (2, u_cnt, Some(&subset))];
+            for (from, to, sub) in ranges {
+                let (mut want_msgs, mut want_arity) = (Vec::new(), Vec::new());
+                fill_sender_codes(
+                    &u_flat,
+                    u_cnt,
+                    &widths,
+                    from,
+                    to,
+                    sub,
+                    IsaLevel::Scalar,
+                    &mut want_msgs,
+                    &mut want_arity,
+                );
+                // Cross-check the scalar kernel against a direct per-slot
+                // evaluation of the Eq. 6 code.
+                let items = sub.map_or(n, <[usize]>::len);
+                let stride: usize = widths[from..to].iter().map(|&w| 1usize << w).sum();
+                assert_eq!(want_msgs.len(), items * stride);
+                for item in 0..items {
+                    let v = sub.map_or(item, |s| s[item]);
+                    let mut slot = item * stride;
+                    for g in from..to {
+                        let u = u_flat[v * u_cnt + g];
+                        for l in 0..(1u8 << widths[g]) {
+                            assert_eq!(want_msgs[slot], code(u, l), "bits={bits} g={g} l={l}");
+                            slot += 1;
+                        }
+                    }
+                }
+                let (mut msgs, mut arity) = (Vec::new(), Vec::new());
+                fill_sender_codes_reference(
+                    &u_flat, u_cnt, &widths, from, to, sub, &mut msgs, &mut arity,
+                );
+                assert_eq!(msgs, want_msgs, "reference bits={bits} from={from} to={to}");
+                assert_eq!(arity, want_arity, "reference bits={bits}");
+                for isa in IsaLevel::available() {
+                    let (mut msgs, mut arity) = (Vec::new(), Vec::new());
+                    fill_sender_codes(
+                        &u_flat, u_cnt, &widths, from, to, sub, isa, &mut msgs, &mut arity,
+                    );
+                    assert_eq!(msgs, want_msgs, "isa={isa} bits={bits} from={from} to={to}");
+                    assert_eq!(arity, want_arity, "isa={isa} bits={bits}");
+                }
+            }
+        }
     }
 
     fn share_vals(ring: Ring, vals: &[i64], seed: u64) -> (AShare, AShare) {

@@ -22,6 +22,10 @@
 //!   crates use wherever a computation touches secret share values, so
 //!   local timing stays share-independent (see DESIGN.md §"Secrecy
 //!   discipline").
+//! * [`isa`] / [`simd`] — runtime CPU-feature detection and the width- and
+//!   ISA-specialized kernel primitives (AVX2/AVX-512/NEON with a scalar
+//!   reference) behind the workspace's kernel dispatch layer
+//!   (DESIGN.md §7.4).
 //!
 //! # Example
 //!
@@ -40,16 +44,24 @@
 //!
 //! [MICRO '23]: https://doi.org/10.1145/3613424.3614297
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the SIMD intrinsic kernels in `simd::x86`/
+// `simd::neon` opt back in with module-local `#![allow(unsafe_code)]` and
+// carry the safety argument (feature-checked safe wrappers, asserted
+// length contracts) documented there and in DESIGN.md §7.4. Everything
+// else in the crate stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ct;
 mod error;
 pub mod extend;
+pub mod isa;
 mod ring;
+pub mod simd;
 mod tensor;
 
 pub use error::{RingError, ShapeError};
+pub use isa::IsaLevel;
 pub use ring::Ring;
 pub use tensor::RingTensor;
 

@@ -113,14 +113,73 @@ impl Ring {
     }
 
     /// `(a^e) mod Q` by square-and-multiply, constant-time in `e`: the
-    /// exponent is OT key material, so the ladder runs a fixed 64
-    /// iterations and folds each bit in with a branch-free select.
+    /// exponent is OT key material, so the ladder runs a fixed `ℓ`
+    /// iterations (monomorphized for the widths the OT group serves
+    /// without a LUT) and folds each bit in with a branch-free select.
     ///
     /// Used by the OT-flow's Diffie-Hellman-style masking; on the FPGA this
     /// is a look-up table (paper Sec. 4.3.1), which is only feasible because
-    /// the ring is small.
+    /// the ring is small — the software mirror of that LUT covers `ℓ ≤ 20`
+    /// (`OtGroup`), so this ladder is the hot path exactly on the wider
+    /// rings, where cutting 64 iterations to `ℓ` matters most.
+    /// [`Ring::pow_reference`] keeps the full 64-iteration ladder as the
+    /// cross-check ground truth.
     #[must_use]
     pub fn pow(self, a: u64, e: u64) -> u64 {
+        match self.bits {
+            12 => self.pow_ladder::<12>(a, e),
+            16 => self.pow_ladder::<16>(a, e),
+            20 => self.pow_ladder::<20>(a, e),
+            24 => self.pow_ladder::<24>(a, e),
+            32 => self.pow_ladder::<32>(a, e),
+            bits => self.pow_ladder_dyn(a, e, bits),
+        }
+    }
+
+    /// The truncated constant-time ladder, monomorphized per width so the
+    /// fixed-trip-count loop fully unrolls.
+    ///
+    /// Why `ℓ` iterations suffice: `a^e = a^{e mod 2^ℓ} · (a^{2^ℓ})^{e_hi}`
+    /// with `e_hi = ⌊e / 2^ℓ⌋`. After the `ℓ` squarings,
+    /// `base = a^{2^ℓ} mod 2^ℓ`, which is `1` for odd `a` (odd residues
+    /// have order dividing `2^{ℓ-2}`) and `0` for even `a` (2-adic
+    /// valuation `≥ 2^ℓ ≥ ℓ`) — in both cases `(a^{2^ℓ})^{e_hi}` equals
+    /// `base` itself whenever `e_hi ≠ 0`, so the entire high half of the
+    /// exponent folds into one multiply, gated branch-free.
+    fn pow_ladder<const BITS: u32>(self, a: u64, e: u64) -> u64 {
+        debug_assert_eq!(self.bits, BITS);
+        let mut base = self.reduce(a);
+        let mut acc = 1u64;
+        for i in 0..BITS {
+            let bit = (e >> i) & 1;
+            acc = crate::ct::select(bit, self.mul(acc, base), acc);
+            base = self.mul(base, base);
+        }
+        // Two-step shift: BITS may be 64, and a single `e >> 64` is UB.
+        let e_hi = (e >> (BITS - 1)) >> 1;
+        crate::ct::select(crate::ct::nonzero(e_hi), self.mul(acc, base), acc)
+    }
+
+    /// Runtime-width fallback of [`Ring::pow_ladder`] for rings outside the
+    /// monomorphized set. Identical math; the trip count is the (public)
+    /// ring width, never a secret.
+    fn pow_ladder_dyn(self, a: u64, e: u64, bits: u32) -> u64 {
+        let mut base = self.reduce(a);
+        let mut acc = 1u64;
+        for i in 0..bits {
+            let bit = (e >> i) & 1;
+            acc = crate::ct::select(bit, self.mul(acc, base), acc);
+            base = self.mul(base, base);
+        }
+        let e_hi = (e >> (bits - 1)) >> 1;
+        crate::ct::select(crate::ct::nonzero(e_hi), self.mul(acc, base), acc)
+    }
+
+    /// The pre-specialization 64-iteration constant-time ladder, kept as
+    /// ground truth for property tests and as the serial baseline for
+    /// benches. Bit-identical to [`Ring::pow`] on every input.
+    #[must_use]
+    pub fn pow_reference(self, a: u64, e: u64) -> u64 {
         let mut base = self.reduce(a);
         let mut acc = 1u64;
         for i in 0..64 {
@@ -332,6 +391,35 @@ mod tests {
                 naive = q.mul(naive, base);
             }
             assert_eq!(q.pow(base, exp), naive, "pow({base},{exp})");
+        }
+    }
+
+    /// The truncated `ℓ`-iteration ladder (monomorphized and dynamic
+    /// widths alike) must agree with the 64-iteration reference on every
+    /// input class that stresses the high-exponent fold: zero/odd/even
+    /// bases, exponents below and far above `2^ℓ`, and all-ones patterns.
+    #[test]
+    fn pow_matches_reference_across_widths() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xb007);
+        for bits in [1u32, 2, 3, 11, 12, 13, 16, 20, 21, 24, 25, 31, 32, 33, 48, 63, 64] {
+            let q = Ring::new(bits);
+            for &(a, e) in &[
+                (0u64, 0u64),
+                (0, 1),
+                (0, u64::MAX),
+                (1, u64::MAX),
+                (2, 1u64 << 40),
+                (5, (1u64 << 63) + 7),
+                (u64::MAX, u64::MAX),
+            ] {
+                assert_eq!(q.pow(a, e), q.pow_reference(a, e), "bits={bits} a={a} e={e}");
+            }
+            for _ in 0..200 {
+                let (a, e) = (rng.gen::<u64>(), rng.gen::<u64>());
+                assert_eq!(q.pow(a, e), q.pow_reference(a, e), "bits={bits} a={a} e={e}");
+            }
         }
     }
 

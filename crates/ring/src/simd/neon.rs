@@ -1,0 +1,116 @@
+//! aarch64 NEON kernels (128-bit lanes).
+//!
+//! Deliberately minimal: only the u16/u32 multiply-accumulate primitives,
+//! which map directly onto `vmla` — NEON has no 64-bit integer lane
+//! multiply, so the u64 paths and the packers stay on the scalar
+//! reference (the dispatch selectors in `super` route them there).
+//! The same two-layer safety argument as the x86 module applies: safe
+//! `checked` wrappers verify [`IsaLevel::supported`] before entering the
+//! `#[target_feature]` kernels, and lengths are asserted before any raw
+//! pointer arithmetic.
+
+#![allow(unsafe_code)]
+
+use super::scalar;
+use crate::isa::IsaLevel;
+use core::arch::aarch64::{
+    vaddq_u16, vaddq_u32, vdupq_n_u16, vdupq_n_u32, vld1q_u16, vld1q_u32, vmulq_u16, vmulq_u32,
+    vst1q_u16, vst1q_u32,
+};
+
+macro_rules! define_axpy {
+    ($axpy:ident, $axpy2:ident, $t:ty, $lanes:expr, $dup:path, $load:path, $store:path,
+     $mul:path, $add:path) => {
+        #[target_feature(enable = "neon")]
+        unsafe fn $axpy(row: &mut [$t], v: $t, b: &[$t]) {
+            assert_eq!(row.len(), b.len(), "axpy operand length mismatch");
+            let n = row.len();
+            let vv = $dup(v);
+            let rp = row.as_mut_ptr();
+            let bp = b.as_ptr();
+            let mut j = 0usize;
+            while j + $lanes <= n {
+                let r = $load(rp.add(j));
+                let x = $mul(vv, $load(bp.add(j)));
+                $store(rp.add(j), $add(r, x));
+                j += $lanes;
+            }
+            while j < n {
+                *rp.add(j) = (*rp.add(j)).wrapping_add(v.wrapping_mul(*bp.add(j)));
+                j += 1;
+            }
+        }
+
+        #[target_feature(enable = "neon")]
+        unsafe fn $axpy2(row: &mut [$t], v0: $t, b0: &[$t], v1: $t, b1: &[$t]) {
+            assert_eq!(row.len(), b0.len(), "axpy2 operand length mismatch");
+            assert_eq!(row.len(), b1.len(), "axpy2 operand length mismatch");
+            let n = row.len();
+            let vv0 = $dup(v0);
+            let vv1 = $dup(v1);
+            let rp = row.as_mut_ptr();
+            let bp0 = b0.as_ptr();
+            let bp1 = b1.as_ptr();
+            let mut j = 0usize;
+            while j + $lanes <= n {
+                let r = $load(rp.add(j));
+                let x0 = $mul(vv0, $load(bp0.add(j)));
+                let x1 = $mul(vv1, $load(bp1.add(j)));
+                $store(rp.add(j), $add(r, $add(x0, x1)));
+                j += $lanes;
+            }
+            while j < n {
+                *rp.add(j) = (*rp.add(j))
+                    .wrapping_add(v0.wrapping_mul(*bp0.add(j)))
+                    .wrapping_add(v1.wrapping_mul(*bp1.add(j)));
+                j += 1;
+            }
+        }
+    };
+}
+
+define_axpy!(
+    axpy_u16_neon_k,
+    axpy2_u16_neon_k,
+    u16,
+    8,
+    vdupq_n_u16,
+    vld1q_u16,
+    vst1q_u16,
+    vmulq_u16,
+    vaddq_u16
+);
+define_axpy!(
+    axpy_u32_neon_k,
+    axpy2_u32_neon_k,
+    u32,
+    4,
+    vdupq_n_u32,
+    vld1q_u32,
+    vst1q_u32,
+    vmulq_u32,
+    vaddq_u32
+);
+
+macro_rules! checked {
+    ($name:ident, $kernel:path, $fallback:path, ($($a:ident: $t:ty),*)) => {
+        pub(crate) fn $name($($a: $t),*) {
+            if IsaLevel::Neon.supported() {
+                // SAFETY: NEON presence verified; memory contracts asserted
+                // inside the kernel.
+                unsafe { $kernel($($a),*) }
+            } else {
+                $fallback($($a),*);
+            }
+        }
+    };
+}
+
+checked!(axpy_u16_neon, axpy_u16_neon_k, scalar::axpy_u16,
+    (row: &mut [u16], v: u16, b: &[u16]));
+checked!(axpy2_u16_neon, axpy2_u16_neon_k, scalar::axpy2_u16,
+    (row: &mut [u16], v0: u16, b0: &[u16], v1: u16, b1: &[u16]));
+checked!(axpy_u32_neon, axpy_u32_neon_k, scalar::axpy_u32,
+    (row: &mut [u32], v: u32, b: &[u32]));
+checked!(axpy2_u32_neon, axpy2_u32_neon_k, scalar::axpy2_u32,
+    (row: &mut [u32], v0: u32, b0: &[u32], v1: u32, b1: &[u32]));

@@ -7,6 +7,7 @@
 //! trusted-dealer role (explicitly an idealized offline phase — the online
 //! protocol is unchanged).
 
+use crate::kernels::KernelDispatch;
 use aq2pnn_ring::{Ring, RingTensor, ShapeError};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -59,26 +60,49 @@ impl TripleShare {
 /// below it, thread spawn overhead would dominate.
 const PAR_MIN_MACS: usize = 1 << 18;
 
-/// Plaintext matrix multiplication over a ring: `C[m,n] = A[m,k] ⊗ B[k,n]`.
+/// Plaintext matrix multiplication over a ring: `C[m,n] = A[m,k] ⊗ B[k,n]`,
+/// on the process-wide [`KernelDispatch`] table.
 ///
 /// Shared by the dealer (to compute `Z`) and by the online GEMM evaluating
-/// paper Eq. 1, so this is the single hottest kernel in the system. The
-/// implementation is cache-blocked with **deferred masking**: because the
-/// ring modulus `2^ℓ` divides `2^64`, the inner loops accumulate with plain
-/// `wrapping_mul`/`wrapping_add` (i.e. arithmetic mod `2^64`) and the ring
-/// mask is applied exactly once per output element at write-out — the result
-/// is bit-identical to reducing after every MAC. Output rows are processed
-/// in register-blocked quads (one pass over each `B` row updates four `C`
-/// rows) and large products fan out across threads by row chunks; every
-/// output element is written by exactly one thread, so parallel execution is
-/// deterministic. [`ring_matmul_reference`] keeps the scalar triple loop for
-/// cross-checking.
+/// paper Eq. 1, so this is the single hottest kernel in the system. See
+/// [`ring_matmul_with`] for the kernel structure.
 ///
 /// # Errors
 ///
 /// Returns [`ShapeError::ShapeMismatch`] if the operands are not rank-2
 /// with an agreeing inner dimension, or live on different rings.
 pub fn ring_matmul(a: &RingTensor, b: &RingTensor) -> Result<RingTensor, ShapeError> {
+    ring_matmul_with(KernelDispatch::active(), a, b)
+}
+
+/// [`ring_matmul`] on an explicit kernel table — the entry point benches,
+/// per-ISA property tests and accelerator backends use.
+///
+/// The implementation is cache-blocked with **deferred masking**: because
+/// the ring modulus `2^ℓ` divides the accumulator modulus, the inner loops
+/// accumulate with plain `wrapping_mul`/`wrapping_add` and the ring mask is
+/// applied exactly once per output element at write-out — bit-identical to
+/// reducing after every MAC. The accumulator width is picked per ring
+/// (`u16` for ℓ ≤ 16, `u32` for ℓ ≤ 32 — every paper configuration —
+/// else `u64`), which doubles/quadruples SIMD lane counts on the narrow
+/// paper widths. Output rows are processed in register-blocked quads (one
+/// pass over each pair of `B` rows updates four `C` rows through the
+/// table's `axpy2` kernels) and large products fan out across threads by
+/// row chunks; every output element is written by exactly one thread, so
+/// parallel execution is deterministic, and the dispatch table only moves
+/// *when* the answer is ready, never *what* it is.
+/// [`ring_matmul_reference`] keeps the scalar triple loop for
+/// cross-checking.
+///
+/// # Errors
+///
+/// Returns [`ShapeError::ShapeMismatch`] if the operands are not rank-2
+/// with an agreeing inner dimension, or live on different rings.
+pub fn ring_matmul_with(
+    d: &KernelDispatch,
+    a: &RingTensor,
+    b: &RingTensor,
+) -> Result<RingTensor, ShapeError> {
     let (ra, rb) = (a.ring(), b.ring());
     if ra != rb || a.shape().len() != 2 || b.shape().len() != 2 || a.shape()[1] != b.shape()[0] {
         return Err(ShapeError::ShapeMismatch { lhs: a.shape().to_vec(), rhs: b.shape().to_vec() });
@@ -86,14 +110,14 @@ pub fn ring_matmul(a: &RingTensor, b: &RingTensor) -> Result<RingTensor, ShapeEr
     let (m, k) = (a.shape()[0], a.shape()[1]);
     let n = b.shape()[1];
     let (da, db) = (a.as_slice(), b.as_slice());
-    // Narrow rings (ℓ ≤ 32 — every paper configuration) run entirely in
-    // u32: `2^ℓ | 2^32`, so accumulating mod 2^32 is just as exact as mod
-    // 2^64, halves the working set, and the compiler vectorizes the 32-bit
-    // multiply where the 64-bit one stays scalar.
+    if ra.bits() <= 16 {
+        return RingTensor::from_raw(ra, vec![m, n], matmul_narrow_u16(d, ra, m, k, n, da, db));
+    }
     if ra.bits() <= 32 {
-        return RingTensor::from_raw(ra, vec![m, n], matmul_narrow(ra, m, k, n, da, db));
+        return RingTensor::from_raw(ra, vec![m, n], matmul_narrow_u32(d, ra, m, k, n, da, db));
     }
     let mask = ra.mask();
+    let (axpy, axpy2) = (d.axpy_u64, d.axpy2_u64);
     let mut out = vec![0u64; m * n];
     // Row-aligned fan-out: size worker chunks so each gets at least
     // PAR_MIN_MACS multiply-accumulates (small products run inline).
@@ -104,7 +128,9 @@ pub fn ring_matmul(a: &RingTensor, b: &RingTensor) -> Result<RingTensor, ShapeEr
         for (q, quad) in rows.chunks_mut(4).enumerate() {
             let i0 = start + q * 4;
             if let [r0, r1, r2, r3] = quad {
-                accumulate_quad(
+                accumulate_quad_u64(
+                    axpy,
+                    axpy2,
                     [r0, r1, r2, r3],
                     [
                         &da[i0 * k..][..k],
@@ -117,7 +143,7 @@ pub fn ring_matmul(a: &RingTensor, b: &RingTensor) -> Result<RingTensor, ShapeEr
                 );
             } else {
                 for (t, row) in quad.iter_mut().enumerate() {
-                    accumulate_row(row, &da[(i0 + t) * k..][..k], db, n);
+                    accumulate_row_u64(axpy, row, &da[(i0 + t) * k..][..k], db, n);
                 }
             }
         }
@@ -131,68 +157,169 @@ pub fn ring_matmul(a: &RingTensor, b: &RingTensor) -> Result<RingTensor, ShapeEr
     RingTensor::from_raw(ra, vec![m, n], out)
 }
 
-/// The `ℓ ≤ 32` kernel: operands are demoted to `u32` once (`O(mk + kn)`),
-/// the `O(mkn)` accumulation runs wrapping mod `2^32`, and the ring mask is
-/// applied at write-out — bit-identical to the `u64` path because
-/// `2^ℓ | 2^32`.
-#[allow(clippy::cast_possible_truncation)] // ring values are < 2^32 by the ℓ ≤ 32 guard
-fn matmul_narrow(ring: Ring, m: usize, k: usize, n: usize, da: &[u64], db: &[u64]) -> Vec<u64> {
-    let a32: Vec<u32> = da.iter().map(|&v| v as u32).collect();
-    let b32: Vec<u32> = db.iter().map(|&v| v as u32).collect();
-    let mask = ring.mask() as u32;
-    let mut out = vec![0u32; m * n];
-    let macs_per_row = k.saturating_mul(n).max(1);
-    let min_rows = PAR_MIN_MACS.div_ceil(macs_per_row);
-    let mut rows: Vec<&mut [u32]> = out.chunks_mut(n.max(1)).collect();
-    aq2pnn_parallel::par_chunks_mut(&mut rows, min_rows, |start, rows| {
-        for (q, quad) in rows.chunks_mut(4).enumerate() {
-            let i0 = start + q * 4;
-            if let [r0, r1, r2, r3] = quad {
-                accumulate_quad_u32(
-                    [r0, r1, r2, r3],
-                    [
-                        &a32[i0 * k..][..k],
-                        &a32[(i0 + 1) * k..][..k],
-                        &a32[(i0 + 2) * k..][..k],
-                        &a32[(i0 + 3) * k..][..k],
-                    ],
-                    &b32,
-                    n,
-                );
-            } else {
-                for (t, row) in quad.iter_mut().enumerate() {
-                    accumulate_row_u32(row, &a32[(i0 + t) * k..][..k], &b32, n);
+/// Generates one narrow-accumulator matmul path: operands are demoted once
+/// (`O(mk + kn)`), the `O(mkn)` accumulation runs wrapping mod the
+/// accumulator width through the dispatch table's `axpy`/`axpy2` kernels,
+/// and the ring mask is applied at write-out — bit-identical to the `u64`
+/// path because `2^ℓ` divides the accumulator modulus.
+macro_rules! narrow_matmul {
+    ($name:ident, $row_fn:ident, $quad_fn:ident, $t:ty, $axpy_field:ident, $axpy2_field:ident) => {
+        #[allow(clippy::cast_possible_truncation)] // ring values fit the accumulator by the width guard
+        fn $name(
+            d: &KernelDispatch,
+            ring: Ring,
+            m: usize,
+            k: usize,
+            n: usize,
+            da: &[u64],
+            db: &[u64],
+        ) -> Vec<u64> {
+            let an: Vec<$t> = da.iter().map(|&v| v as $t).collect();
+            let bn: Vec<$t> = db.iter().map(|&v| v as $t).collect();
+            let mask = ring.mask() as $t;
+            let (axpy, axpy2) = (d.$axpy_field, d.$axpy2_field);
+            let mut out = vec![0 as $t; m * n];
+            let macs_per_row = k.saturating_mul(n).max(1);
+            let min_rows = PAR_MIN_MACS.div_ceil(macs_per_row);
+            let mut rows: Vec<&mut [$t]> = out.chunks_mut(n.max(1)).collect();
+            aq2pnn_parallel::par_chunks_mut(&mut rows, min_rows, |start, rows| {
+                for (q, quad) in rows.chunks_mut(4).enumerate() {
+                    let i0 = start + q * 4;
+                    if let [r0, r1, r2, r3] = quad {
+                        $quad_fn(
+                            axpy,
+                            axpy2,
+                            [r0, r1, r2, r3],
+                            [
+                                &an[i0 * k..][..k],
+                                &an[(i0 + 1) * k..][..k],
+                                &an[(i0 + 2) * k..][..k],
+                                &an[(i0 + 3) * k..][..k],
+                            ],
+                            &bn,
+                            n,
+                        );
+                    } else {
+                        for (t, row) in quad.iter_mut().enumerate() {
+                            $row_fn(axpy, row, &an[(i0 + t) * k..][..k], &bn, n);
+                        }
+                    }
                 }
+                for row in rows.iter_mut() {
+                    for v in row.iter_mut() {
+                        *v &= mask;
+                    }
+                }
+            });
+            out.into_iter().map(u64::from).collect()
+        }
+
+        /// Accumulates `A[i,:] ⊗ B` into one unreduced output row.
+        fn $row_fn(
+            axpy: fn(&mut [$t], $t, &[$t]),
+            row: &mut [$t],
+            a_row: &[$t],
+            db: &[$t],
+            n: usize,
+        ) {
+            for (p, &av) in a_row.iter().enumerate() {
+                if av == 0 {
+                    continue;
+                }
+                axpy(row, av, &db[p * n..p * n + n]);
             }
         }
-        for row in rows.iter_mut() {
-            for v in row.iter_mut() {
-                *v &= mask;
+
+        /// Quad kernel: one streaming pass over each pair of `B` rows feeds
+        /// four unreduced output rows through the 2-step-unrolled `axpy2`,
+        /// halving the dominant row load/store traffic versus one `k` step
+        /// at a time and reusing each loaded `B` lane four times.
+        fn $quad_fn(
+            axpy: fn(&mut [$t], $t, &[$t]),
+            axpy2: fn(&mut [$t], $t, &[$t], $t, &[$t]),
+            rows: [&mut &mut [$t]; 4],
+            a_rows: [&[$t]; 4],
+            db: &[$t],
+            n: usize,
+        ) {
+            let [r0, r1, r2, r3] = rows;
+            let (r0, r1, r2, r3) = (&mut r0[..n], &mut r1[..n], &mut r2[..n], &mut r3[..n]);
+            let [a0, a1, a2, a3] = a_rows;
+            let k = a0.len();
+            let mut p = 0;
+            while p + 2 <= k {
+                let (v0, v1, v2, v3) = (a0[p], a1[p], a2[p], a3[p]);
+                let (w0, w1, w2, w3) = (a0[p + 1], a1[p + 1], a2[p + 1], a3[p + 1]);
+                if v0 | v1 | v2 | v3 | w0 | w1 | w2 | w3 == 0 {
+                    p += 2;
+                    continue;
+                }
+                let bp = &db[p * n..p * n + n];
+                let bq = &db[(p + 1) * n..(p + 1) * n + n];
+                axpy2(r0, v0, bp, w0, bq);
+                axpy2(r1, v1, bp, w1, bq);
+                axpy2(r2, v2, bp, w2, bq);
+                axpy2(r3, v3, bp, w3, bq);
+                p += 2;
+            }
+            while p < k {
+                let (v0, v1, v2, v3) = (a0[p], a1[p], a2[p], a3[p]);
+                if v0 | v1 | v2 | v3 != 0 {
+                    let bp = &db[p * n..p * n + n];
+                    axpy(r0, v0, bp);
+                    axpy(r1, v1, bp);
+                    axpy(r2, v2, bp);
+                    axpy(r3, v3, bp);
+                }
+                p += 1;
             }
         }
-    });
-    out.into_iter().map(u64::from).collect()
+    };
 }
 
-/// Accumulates `A[i,:] ⊗ B` into one unreduced output row (mod `2^32`).
-fn accumulate_row_u32(row: &mut [u32], a_row: &[u32], db: &[u32], n: usize) {
+narrow_matmul!(
+    matmul_narrow_u16,
+    accumulate_row_u16,
+    accumulate_quad_u16,
+    u16,
+    axpy_u16,
+    axpy2_u16
+);
+narrow_matmul!(
+    matmul_narrow_u32,
+    accumulate_row_u32,
+    accumulate_quad_u32,
+    u32,
+    axpy_u32,
+    axpy2_u32
+);
+
+/// Accumulates `A[i,:] ⊗ B` into one unreduced output row (mod `2^64`).
+fn accumulate_row_u64(
+    axpy: fn(&mut [u64], u64, &[u64]),
+    row: &mut [u64],
+    a_row: &[u64],
+    db: &[u64],
+    n: usize,
+) {
     for (p, &av) in a_row.iter().enumerate() {
         if av == 0 {
             continue;
         }
-        let bp = &db[p * n..p * n + n];
-        for (o, &bv) in row.iter_mut().zip(bp) {
-            *o = o.wrapping_add(av.wrapping_mul(bv));
-        }
+        axpy(row, av, &db[p * n..p * n + n]);
     }
 }
 
-/// The `u32` quad kernel: one streaming pass over each pair of `B` rows
-/// feeds four unreduced output rows. The inner dimension is unrolled by
-/// two, so every read-modify-write of an output element absorbs two MACs —
-/// halving the dominant row load/store traffic versus one `k` step at a
-/// time — and each loaded `B[p,j]` is reused four times.
-fn accumulate_quad_u32(rows: [&mut &mut [u32]; 4], a_rows: [&[u32]; 4], db: &[u32], n: usize) {
+/// Register-blocked `u64` quad kernel: one streaming pass over each pair
+/// of `B` rows feeds four unreduced output rows through `axpy2`.
+fn accumulate_quad_u64(
+    axpy: fn(&mut [u64], u64, &[u64]),
+    axpy2: fn(&mut [u64], u64, &[u64], u64, &[u64]),
+    rows: [&mut &mut [u64]; 4],
+    a_rows: [&[u64]; 4],
+    db: &[u64],
+    n: usize,
+) {
     let [r0, r1, r2, r3] = rows;
     let (r0, r1, r2, r3) = (&mut r0[..n], &mut r1[..n], &mut r2[..n], &mut r3[..n]);
     let [a0, a1, a2, a3] = a_rows;
@@ -207,60 +334,22 @@ fn accumulate_quad_u32(rows: [&mut &mut [u32]; 4], a_rows: [&[u32]; 4], db: &[u3
         }
         let bp = &db[p * n..p * n + n];
         let bq = &db[(p + 1) * n..(p + 1) * n + n];
-        for (j, (&bv, &bw)) in bp.iter().zip(bq).enumerate() {
-            r0[j] = r0[j].wrapping_add(v0.wrapping_mul(bv)).wrapping_add(w0.wrapping_mul(bw));
-            r1[j] = r1[j].wrapping_add(v1.wrapping_mul(bv)).wrapping_add(w1.wrapping_mul(bw));
-            r2[j] = r2[j].wrapping_add(v2.wrapping_mul(bv)).wrapping_add(w2.wrapping_mul(bw));
-            r3[j] = r3[j].wrapping_add(v3.wrapping_mul(bv)).wrapping_add(w3.wrapping_mul(bw));
-        }
+        axpy2(r0, v0, bp, w0, bq);
+        axpy2(r1, v1, bp, w1, bq);
+        axpy2(r2, v2, bp, w2, bq);
+        axpy2(r3, v3, bp, w3, bq);
         p += 2;
     }
     while p < k {
         let (v0, v1, v2, v3) = (a0[p], a1[p], a2[p], a3[p]);
         if v0 | v1 | v2 | v3 != 0 {
             let bp = &db[p * n..p * n + n];
-            for (j, &bv) in bp.iter().enumerate() {
-                r0[j] = r0[j].wrapping_add(v0.wrapping_mul(bv));
-                r1[j] = r1[j].wrapping_add(v1.wrapping_mul(bv));
-                r2[j] = r2[j].wrapping_add(v2.wrapping_mul(bv));
-                r3[j] = r3[j].wrapping_add(v3.wrapping_mul(bv));
-            }
+            axpy(r0, v0, bp);
+            axpy(r1, v1, bp);
+            axpy(r2, v2, bp);
+            axpy(r3, v3, bp);
         }
         p += 1;
-    }
-}
-
-/// Accumulates `A[i,:] ⊗ B` into one unreduced output row (mod `2^64`).
-fn accumulate_row(row: &mut [u64], a_row: &[u64], db: &[u64], n: usize) {
-    for (p, &av) in a_row.iter().enumerate() {
-        if av == 0 {
-            continue;
-        }
-        let bp = &db[p * n..p * n + n];
-        for (o, &bv) in row.iter_mut().zip(bp) {
-            *o = o.wrapping_add(av.wrapping_mul(bv));
-        }
-    }
-}
-
-/// Register-blocked quad kernel: one streaming pass over each `B` row feeds
-/// four unreduced output rows, quartering `B` traffic versus row-at-a-time.
-fn accumulate_quad(rows: [&mut &mut [u64]; 4], a_rows: [&[u64]; 4], db: &[u64], n: usize) {
-    let [r0, r1, r2, r3] = rows;
-    let (r0, r1, r2, r3) = (&mut r0[..n], &mut r1[..n], &mut r2[..n], &mut r3[..n]);
-    let [a0, a1, a2, a3] = a_rows;
-    for p in 0..a0.len() {
-        let (v0, v1, v2, v3) = (a0[p], a1[p], a2[p], a3[p]);
-        if v0 | v1 | v2 | v3 == 0 {
-            continue;
-        }
-        let bp = &db[p * n..p * n + n];
-        for (j, &bv) in bp.iter().enumerate() {
-            r0[j] = r0[j].wrapping_add(v0.wrapping_mul(bv));
-            r1[j] = r1[j].wrapping_add(v1.wrapping_mul(bv));
-            r2[j] = r2[j].wrapping_add(v2.wrapping_mul(bv));
-            r3[j] = r3[j].wrapping_add(v3.wrapping_mul(bv));
-        }
     }
 }
 

@@ -18,6 +18,9 @@
 //! * [`trunc`] — share truncation for 2PC-BNReQ: the SecureML-style local
 //!   truncation the hardware uses (probabilistically correct) and an
 //!   idealized exact functionality for ablations.
+//! * [`kernels`] — the runtime [`kernels::KernelDispatch`] table binding
+//!   the GEMM inner loops to the best ISA the host supports (DESIGN.md
+//!   §7.4), and the seam an accelerator backend registers into.
 //!
 //! # Example
 //!
@@ -43,6 +46,7 @@ mod ashare;
 pub mod beaver;
 mod binary;
 pub mod dealer;
+pub mod kernels;
 mod party;
 pub mod trunc;
 

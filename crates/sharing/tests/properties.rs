@@ -1,9 +1,10 @@
 //! Property-based tests for the secret-sharing substrate.
 
-use aq2pnn_ring::{Ring, RingTensor};
+use aq2pnn_ring::{IsaLevel, Ring, RingTensor};
 use aq2pnn_sharing::a2b::{group_count, group_widths, join_groups, split_groups};
-use aq2pnn_sharing::beaver::{ring_hadamard, ring_matmul, ring_matmul_reference};
+use aq2pnn_sharing::beaver::{ring_hadamard, ring_matmul, ring_matmul_reference, ring_matmul_with};
 use aq2pnn_sharing::dealer::TripleDealer;
+use aq2pnn_sharing::kernels::KernelDispatch;
 use aq2pnn_sharing::{trunc, AShare, BShare, PartyId};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -91,6 +92,34 @@ proptest! {
             ring_matmul(&a, &b).unwrap(),
             ring_matmul_reference(&a, &b).unwrap()
         );
+    }
+
+    #[test]
+    fn dispatch_matmul_bit_identical_at_boundary_widths(
+        m in 1usize..10,
+        k in 1usize..10,
+        n in 1usize..10,
+        seed in any::<u64>(),
+    ) {
+        // Every ISA's dispatch table must agree bit-for-bit with the scalar
+        // triple-loop reference exactly at the accumulator-width dispatch
+        // boundaries: around ℓ = 12 and 16 (u16 path), 20 (u32 path, the
+        // widest paper ring), and 32 (u32 → u64 crossover).
+        let mut rng = StdRng::seed_from_u64(seed);
+        for bits in [11u32, 12, 13, 15, 16, 17, 20, 21, 31, 32, 33] {
+            let ring = Ring::new(bits);
+            let a = RingTensor::random(ring, vec![m, k], &mut rng);
+            let b = RingTensor::random(ring, vec![k, n], &mut rng);
+            let want = ring_matmul_reference(&a, &b).unwrap();
+            for isa in IsaLevel::available() {
+                let d = KernelDispatch::for_isa(isa);
+                prop_assert_eq!(
+                    &ring_matmul_with(&d, &a, &b).unwrap(),
+                    &want,
+                    "isa={} bits={}", isa, bits
+                );
+            }
+        }
     }
 
     #[test]

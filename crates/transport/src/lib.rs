@@ -75,7 +75,8 @@ pub use fault::{FaultAction, FaultPlan, FaultStats, FaultyTransport};
 pub use frame::{Crc32, Frame, FrameKind, FRAME_HEADER_LEN, MAX_FRAME_PAYLOAD};
 pub use network::{NetworkModel, SESSION_WIRE_FRAMING_BYTES};
 pub use packing::{
-    pack_bits, pack_bits_reference, packed_len, unpack_bits, unpack_bits_at, unpack_bits_reference,
+    pack_bits, pack_bits_reference, pack_bits_with_isa, packed_len, unpack_bits, unpack_bits_at,
+    unpack_bits_reference, unpack_bits_with_isa,
 };
 pub use session::{Session, SessionConfig, SessionTelemetry};
 pub use stats::{ChannelStats, ChannelTotals, PhaseStats};

@@ -4,6 +4,15 @@
 //! the fine-grained bit-width reconfigurability that the paper gets from the
 //! FPGA fabric and that CPU/GPU frameworks (fixed 32/64-bit lanes) cannot
 //! exploit. Elements are laid down LSB-first in a little-endian bit stream.
+//!
+//! The hot widths (sub-byte comparison codes and the paper rings ℓ = 12/20)
+//! route through the width-specialized 8-element group kernels in
+//! [`aq2pnn_ring::simd`], selected per ISA level at runtime (DESIGN.md
+//! §7.4). The wire format is kernel-independent: every specialized path is
+//! property-tested byte-identical to the generic bit loop.
+
+use aq2pnn_ring::simd;
+use aq2pnn_ring::IsaLevel;
 
 /// Number of bytes `count` elements of `bits`-bit width occupy on the wire.
 ///
@@ -45,8 +54,20 @@ const PAR_MIN_GROUPS: usize = 2048;
 /// assert_eq!(unpack_bits(&bytes, 10, 3), elems);
 /// ```
 #[must_use]
-#[allow(clippy::cast_possible_truncation)] // low-byte truncation is the packing operation itself
 pub fn pack_bits(elems: &[u64], bits: u32) -> Vec<u8> {
+    pack_bits_with_isa(elems, bits, IsaLevel::active())
+}
+
+/// [`pack_bits`] with an explicit ISA level — the entry point benches and
+/// per-ISA property tests use. The produced bytes are identical for every
+/// level; only throughput differs.
+///
+/// # Panics
+///
+/// Panics if `bits` is not in `1..=64`.
+#[must_use]
+#[allow(clippy::cast_possible_truncation)] // low-byte truncation is the packing operation itself
+pub fn pack_bits_with_isa(elems: &[u64], bits: u32, isa: IsaLevel) -> Vec<u8> {
     assert!((1..=64).contains(&bits), "element width must be 1..=64 bits");
     let mut out = vec![0u8; packed_len(bits, elems.len())];
     if bits.is_multiple_of(8) {
@@ -86,37 +107,37 @@ pub fn pack_bits(elems: &[u64], bits: u32) -> Vec<u8> {
         }
         return out;
     }
-    if bits < 8 && (8 % bits) == 0 {
-        // Sub-byte divisor widths (1/2/4 bits: bitmaps and the Eq. 6
-        // comparison codes): each byte holds exactly `8/bits` elements,
-        // packed LSB-first with no cross-byte straddling.
-        let per = (8 / bits) as usize;
-        let mask = (1u8 << bits) - 1;
-        for (o, chunk) in out.iter_mut().zip(elems.chunks(per)) {
-            let mut b = 0u8;
-            for (j, &e) in chunk.iter().enumerate() {
-                b |= (e as u8 & mask) << (j as u32 * bits);
-            }
-            *o = b;
-        }
-        return out;
-    }
-    let group_bytes = bits as usize; // 8 elements x `bits` bits = `bits` bytes
+    // 8 elements of any width span exactly `bits` bytes, so group
+    // boundaries are byte-aligned, workers never share a byte, and the
+    // specialized kernels (sub-byte comparison codes, the ℓ = 12/20 paper
+    // rings) can fill whole groups without bit-straddle logic.
+    let group_fn = simd::pack_group8_fn(isa, bits);
+    let group_bytes = bits as usize;
     let full_groups = elems.len() / 8;
-    // The grouped fan-out only pays for itself when there is real
-    // parallelism to claim; otherwise run the bit loop in one pass.
-    if full_groups < PAR_MIN_GROUPS || aq2pnn_parallel::max_threads() == 1 {
+    let serial = full_groups < PAR_MIN_GROUPS || aq2pnn_parallel::max_threads() == 1;
+    if group_fn.is_none() && serial {
+        // Unspecialized width, nothing to fan out: one pass of the bit loop.
         pack_into(elems, bits, &mut out);
         return out;
     }
+    let fill = |src: &[u64], buf: &mut [u8]| match group_fn {
+        Some(f) => f(src, buf),
+        None => pack_into(src, bits, buf),
+    };
     let (head, tail) = out.split_at_mut(full_groups * group_bytes);
-    let mut groups: Vec<&mut [u8]> = head.chunks_mut(group_bytes).collect();
-    aq2pnn_parallel::par_chunks_mut(&mut groups, PAR_MIN_GROUPS, |start, chunk| {
-        for (gi, buf) in chunk.iter_mut().enumerate() {
-            let g = start + gi;
-            pack_into(&elems[g * 8..g * 8 + 8], bits, buf);
+    if serial {
+        for (g, buf) in head.chunks_mut(group_bytes).enumerate() {
+            fill(&elems[g * 8..g * 8 + 8], buf);
         }
-    });
+    } else {
+        let mut groups: Vec<&mut [u8]> = head.chunks_mut(group_bytes).collect();
+        aq2pnn_parallel::par_chunks_mut(&mut groups, PAR_MIN_GROUPS, |start, chunk| {
+            for (gi, buf) in chunk.iter_mut().enumerate() {
+                let g = start + gi;
+                fill(&elems[g * 8..g * 8 + 8], buf);
+            }
+        });
+    }
     // Remainder (< 8 elements) starts on a byte boundary by construction.
     pack_into(&elems[full_groups * 8..], bits, tail);
     out
@@ -157,6 +178,19 @@ fn pack_into(elems: &[u64], bits: u32, out: &mut [u8]) {
 /// `count` elements.
 #[must_use]
 pub fn unpack_bits(bytes: &[u8], bits: u32, count: usize) -> Vec<u64> {
+    unpack_bits_with_isa(bytes, bits, count, IsaLevel::active())
+}
+
+/// [`unpack_bits`] with an explicit ISA level — the entry point benches and
+/// per-ISA property tests use. The decoded elements are identical for every
+/// level; only throughput differs.
+///
+/// # Panics
+///
+/// Panics if `bits` is not in `1..=64` or if `bytes` is too short to hold
+/// `count` elements.
+#[must_use]
+pub fn unpack_bits_with_isa(bytes: &[u8], bits: u32, count: usize, isa: IsaLevel) -> Vec<u64> {
     assert!((1..=64).contains(&bits), "element width must be 1..=64 bits");
     assert!(
         bytes.len() >= packed_len(bits, count),
@@ -185,32 +219,36 @@ pub fn unpack_bits(bytes: &[u8], bits: u32, count: usize) -> Vec<u64> {
                 .collect(),
         };
     }
-    if bits < 8 && (8 % bits) == 0 {
-        let per = (8 / bits) as usize;
-        let mask = (1u8 << bits) - 1;
-        let mut out = vec![0u64; count];
-        for (chunk, &b) in out.chunks_mut(per).zip(bytes) {
-            for (j, slot) in chunk.iter_mut().enumerate() {
-                *slot = u64::from((b >> (j as u32 * bits)) & mask);
-            }
-        }
-        return out;
-    }
+    // Mirror of the grouped pack path: specialized widths decode whole
+    // 8-element groups through the per-ISA kernel, the rest use the bit
+    // loop per group.
+    let group_fn = simd::unpack_group8_fn(isa, bits);
     let mut out = vec![0u64; count];
     let group_bytes = bits as usize;
     let full_groups = count / 8;
-    if full_groups < PAR_MIN_GROUPS || aq2pnn_parallel::max_threads() == 1 {
+    let serial = full_groups < PAR_MIN_GROUPS || aq2pnn_parallel::max_threads() == 1;
+    if group_fn.is_none() && serial {
         unpack_into(bytes, bits, &mut out);
         return out;
     }
+    let fill = |src: &[u8], grp: &mut [u64]| match group_fn {
+        Some(f) => f(src, grp),
+        None => unpack_into(src, bits, grp),
+    };
     let (head, tail) = out.split_at_mut(full_groups * 8);
-    let mut groups: Vec<&mut [u64]> = head.chunks_mut(8).collect();
-    aq2pnn_parallel::par_chunks_mut(&mut groups, PAR_MIN_GROUPS, |start, chunk| {
-        for (gi, grp) in chunk.iter_mut().enumerate() {
-            let g = start + gi;
-            unpack_into(&bytes[g * group_bytes..(g + 1) * group_bytes], bits, grp);
+    if serial {
+        for (g, grp) in head.chunks_mut(8).enumerate() {
+            fill(&bytes[g * group_bytes..(g + 1) * group_bytes], grp);
         }
-    });
+    } else {
+        let mut groups: Vec<&mut [u64]> = head.chunks_mut(8).collect();
+        aq2pnn_parallel::par_chunks_mut(&mut groups, PAR_MIN_GROUPS, |start, chunk| {
+            for (gi, grp) in chunk.iter_mut().enumerate() {
+                let g = start + gi;
+                fill(&bytes[g * group_bytes..(g + 1) * group_bytes], grp);
+            }
+        });
+    }
     unpack_into(&bytes[full_groups * group_bytes..], bits, tail);
     out
 }
@@ -338,6 +376,36 @@ mod tests {
             let packed = pack_bits(&elems, bits);
             assert_eq!(packed.len(), packed_len(bits, elems.len()));
             assert_eq!(unpack_bits(&packed, bits, elems.len()), elems, "bits={bits}");
+        }
+    }
+
+    #[test]
+    fn every_isa_matches_reference_bytes_on_every_width() {
+        // The wire format is kernel-independent: for every ISA level the
+        // host can run (plus scalar), the packed bytes and decoded elements
+        // must be identical to the generic bit-loop reference. Widths cover
+        // the specialized set (1/2/4/12/20), the dispatch boundaries around
+        // it (11/13/21), and unspecialized odd widths.
+        for isa in IsaLevel::available() {
+            for bits in [1u32, 2, 3, 4, 5, 11, 12, 13, 16, 20, 21, 31, 32, 33, 63, 64] {
+                let mask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+                for count in [0usize, 1, 7, 8, 9, 16, 61] {
+                    let elems: Vec<u64> = (0..count as u64)
+                        .map(|i| 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i + 11) & mask)
+                        .collect();
+                    let packed = pack_bits_with_isa(&elems, bits, isa);
+                    assert_eq!(
+                        packed,
+                        pack_bits_reference(&elems, bits),
+                        "pack isa={isa} bits={bits} count={count}"
+                    );
+                    assert_eq!(
+                        unpack_bits_with_isa(&packed, bits, count, isa),
+                        elems,
+                        "unpack isa={isa} bits={bits} count={count}"
+                    );
+                }
+            }
         }
     }
 

@@ -409,16 +409,30 @@ fn sign_from_codes_timing_is_input_independent() {
 
 /// The `Ring::pow` square-and-multiply ladder must not leak the exponent's
 /// Hamming weight or bit pattern: all-zero exponents vs. random exponents.
+/// ℓ = 31 exercises the dynamic-width ladder.
 #[test]
 fn ring_pow_timing_is_exponent_independent() {
-    let ring = Ring::new(31);
-    let mut rng = StdRng::seed_from_u64(0x90f1);
+    ring_pow_timing_check(31, "Ring::pow (dyn ladder)", 0x90f1);
+}
+
+/// Same check on the ℓ = 24 monomorphized ladder — the width-specialized
+/// path that serves the OT-flow exactly where the group LUT no longer
+/// applies (ℓ > 20). The truncated trip count and the branch-free
+/// high-exponent fold must stay exponent-independent.
+#[test]
+fn ring_pow_specialized_ladder_timing_is_exponent_independent() {
+    ring_pow_timing_check(24, "Ring::pow (specialized ladder)", 0x90f2);
+}
+
+fn ring_pow_timing_check(bits: u32, name: &str, seed: u64) {
+    let ring = Ring::new(bits);
+    let mut rng = StdRng::seed_from_u64(seed);
     let zero_exp: Vec<(u64, u64)> =
         (0..TIMING_SAMPLES).map(|_| (ring.reduce(rng.gen()), 0u64)).collect();
     let rand_exp: Vec<(u64, u64)> =
         (0..TIMING_SAMPLES).map(|_| (ring.reduce(rng.gen()), rng.gen())).collect();
     let inputs = [zero_exp, rand_exp];
-    assert_constant_time("Ring::pow", || {
+    assert_constant_time(name, || {
         measure_classes(&inputs, |&(base, exp): &(u64, u64)| ring.pow(base, exp))
     });
 }
