@@ -1,0 +1,400 @@
+//! Background offline dealer: precomputed Beaver material off the
+//! critical path.
+//!
+//! A prepared model's per-inference offline cost is the triple draw on
+//! each linear layer's [`TripleLane`]: sampling a fresh compact `A`,
+//! computing `Z = expand(A) ⊗ B` (a full GEMM at layer shape) and
+//! splitting both into shares. Inline, that work sits on the online
+//! critical path even though it depends on nothing the client sends.
+//!
+//! [`DealerPool`] moves it onto a dedicated [`aq2pnn_parallel::Worker`]:
+//! each lane becomes a [`LaneSlot`] — the lane itself plus a bounded FIFO
+//! of pre-generated [`TripleShare`]s keyed by the lane's `(a_shape, ℓ)` —
+//! and a single background refill loop keeps every queue at its
+//! configured depth (backpressure: the producer sleeps while all queues
+//! are full and wakes on consumption). A warm online pass then *pops*
+//! instead of *generating*.
+//!
+//! ## Determinism
+//!
+//! Correctness requires both parties to consume triple `#k` of a lane for
+//! inference `#k` — the lane's RNG stream defines the material. Two
+//! invariants keep that true with a concurrent producer:
+//!
+//! * generation is serialized by the lane mutex and the producer pushes
+//!   into the queue **before** releasing it, so queue order == RNG order;
+//! * a consumer that misses the queue acquires the lane mutex (waiting
+//!   out any in-flight background generation), re-checks the queue, and
+//!   only then generates inline — the next element of the stream.
+//!
+//! Production *timing* therefore never affects protocol transcripts: the
+//! pool is a pure latency optimization, local to each party, with no
+//! cross-party coordination.
+//!
+//! ## Exhaustion
+//!
+//! [`ExhaustionPolicy::GenerateInline`] (the default) degrades to the
+//! inline path on a miss — a cold pool is merely slow, never wrong.
+//! [`ExhaustionPolicy::Fail`] instead surfaces the typed
+//! [`ProtocolError::DealerExhausted`], for deployments that would rather
+//! shed load than let online latency absorb offline work.
+//!
+//! OT label powers (the other offline-ish material) are *not* pooled
+//! here: they are cached per batch inside `aq2pnn_ot::flow` and their
+//! cost is already amortized across the batch dimension.
+
+use crate::{PartyContext, ProtocolError};
+use aq2pnn_obs::MetricsRegistry;
+use aq2pnn_parallel::Worker;
+use aq2pnn_ring::RingTensor;
+use aq2pnn_sharing::beaver::TripleShare;
+use aq2pnn_sharing::dealer::TripleLane;
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// The public linear expansion a lane's `Z` is computed under (im2col for
+/// conv layers, row-vector reshape for linear layers).
+pub type ExpandFn = Box<dyn Fn(&RingTensor) -> RingTensor + Send + Sync>;
+
+/// What [`LaneSlot::take`] does when the precomputed queue is empty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExhaustionPolicy {
+    /// Generate the next triple inline on the caller's thread (correct,
+    /// merely slower — the cold-start and overload fallback).
+    GenerateInline,
+    /// Return [`ProtocolError::DealerExhausted`] so the caller can shed
+    /// the request instead of absorbing offline latency online.
+    Fail,
+}
+
+/// Configuration for [`DealerPool`].
+#[derive(Debug, Clone, Copy)]
+pub struct DealerConfig {
+    /// Precomputed triples kept per lane (the backpressure bound).
+    pub depth: usize,
+    /// Behavior when a take misses the queue.
+    pub policy: ExhaustionPolicy,
+}
+
+impl Default for DealerConfig {
+    fn default() -> Self {
+        // Two full batches of headroom at the service's default batch
+        // size; small enough that a LeNet5-sized model pools a few MiB.
+        DealerConfig { depth: 16, policy: ExhaustionPolicy::GenerateInline }
+    }
+}
+
+/// Pool-wide state shared between the handle, the slots and the refill
+/// loop. Deliberately free of references back to the slots so there is no
+/// `Arc` cycle.
+struct PoolSignal {
+    state: Mutex<PoolState>,
+    /// Wakes the refill loop (consumption made space / pause toggled /
+    /// shutdown).
+    wake: Condvar,
+}
+
+struct PoolState {
+    paused: bool,
+    closed: bool,
+    /// Set by consumers after a pop; cleared by the producer before each
+    /// scan so wakeups are never lost.
+    dirty: bool,
+}
+
+/// One lane's pooled offline material: the generator (lane + expansion)
+/// and the bounded queue of ready triples.
+pub struct LaneSlot {
+    label: String,
+    /// Generation order == consumption order == the lane's RNG stream.
+    /// Lock order is always `lane` then `queue`; the take fast path locks
+    /// `queue` alone.
+    lane: Mutex<TripleLane>,
+    expand: ExpandFn,
+    queue: Mutex<VecDeque<TripleShare>>,
+    depth: usize,
+    policy: ExhaustionPolicy,
+    signal: Arc<PoolSignal>,
+    metrics: MetricsRegistry,
+}
+
+impl std::fmt::Debug for LaneSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LaneSlot")
+            .field("label", &self.label)
+            .field("depth", &self.depth)
+            .field("queued", &self.queue.lock().len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl LaneSlot {
+    /// The layer label this slot serves (`conv0`, `fc4`, …).
+    #[must_use]
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Triples currently ready in the queue.
+    #[must_use]
+    pub fn queued(&self) -> usize {
+        self.queue.lock().len()
+    }
+
+    /// Pops the next precomputed triple, falling back per the configured
+    /// [`ExhaustionPolicy`] when the queue is empty.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::DealerExhausted`] on an empty queue under
+    /// [`ExhaustionPolicy::Fail`].
+    pub fn take(&self) -> Result<TripleShare, ProtocolError> {
+        if let Some(t) = self.pop() {
+            self.metrics.add("dealer.hits", 1);
+            return Ok(t);
+        }
+        self.metrics.add("dealer.misses", 1);
+        match self.policy {
+            ExhaustionPolicy::Fail => {
+                Err(ProtocolError::DealerExhausted { layer: self.label.clone() })
+            }
+            ExhaustionPolicy::GenerateInline => {
+                // Wait out any in-flight background generation (it pushes
+                // before releasing the lane lock), then re-check: a triple
+                // that landed meanwhile is *earlier* in the stream than
+                // anything we could generate now.
+                let mut lane = self.lane.lock();
+                if let Some(t) = self.pop() {
+                    return Ok(t);
+                }
+                Ok(lane.next(|t| (self.expand)(t)))
+            }
+        }
+    }
+
+    /// Queue pop + bookkeeping shared by the hit path and the post-lock
+    /// re-check.
+    fn pop(&self) -> Option<TripleShare> {
+        let mut queue = self.queue.lock();
+        let t = queue.pop_front();
+        let len = queue.len();
+        drop(queue);
+        if t.is_some() {
+            self.record_depth(len);
+            // Space opened up: wake the refill loop.
+            self.signal.state.lock().dirty = true;
+            self.signal.wake.notify_all();
+        }
+        t
+    }
+
+    /// One background generation step: produce the lane's next triple and
+    /// queue it. Returns `false` when the queue is already at depth.
+    fn refill_one(&self) -> bool {
+        let lane = &mut *self.lane.lock();
+        if self.queue.lock().len() >= self.depth {
+            return false;
+        }
+        let t = lane.next(|t| (self.expand)(t));
+        // Push while still holding the lane lock: queue order == stream
+        // order even against the inline-fallback path.
+        let mut queue = self.queue.lock();
+        queue.push_back(t);
+        let len = queue.len();
+        drop(queue);
+        self.metrics.add("dealer.generated", 1);
+        self.record_depth(len);
+        true
+    }
+
+    #[allow(clippy::cast_precision_loss)]
+    fn record_depth(&self, len: usize) {
+        if self.metrics.is_enabled() {
+            self.metrics.gauge_set(&format!("dealer.queue_depth.{}", self.label), len as f64);
+        }
+    }
+}
+
+/// Handle to a running background dealer. Owns the worker thread; on drop
+/// the refill loop stops and any model still pointing at the slots falls
+/// back to inline generation (the slots stay valid via `Arc`).
+pub struct DealerPool {
+    slots: Vec<Arc<LaneSlot>>,
+    signal: Arc<PoolSignal>,
+    /// Keeps the refill thread alive; dropped (and joined) last.
+    _worker: Worker,
+}
+
+impl std::fmt::Debug for DealerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DealerPool").field("lanes", &self.slots.len()).finish_non_exhaustive()
+    }
+}
+
+impl DealerPool {
+    /// Builds a pool over `lanes` (one `(label, lane, expand)` per linear
+    /// layer, in layer order) and starts the background refill loop.
+    ///
+    /// Used through [`crate::prepared::PreparedModel::spawn_dealer`],
+    /// which moves a prepared model's resident lanes in here; constructing
+    /// directly is useful for tests and benches.
+    #[must_use]
+    pub fn new(
+        ctx: &PartyContext,
+        lanes: Vec<(String, TripleLane, ExpandFn)>,
+        cfg: DealerConfig,
+    ) -> DealerPool {
+        let depth = cfg.depth.max(1);
+        let signal = Arc::new(PoolSignal {
+            state: Mutex::new(PoolState { paused: false, closed: false, dirty: true }),
+            wake: Condvar::new(),
+        });
+        let slots: Vec<Arc<LaneSlot>> = lanes
+            .into_iter()
+            .map(|(label, lane, expand)| {
+                Arc::new(LaneSlot {
+                    label,
+                    lane: Mutex::new(lane),
+                    expand,
+                    queue: Mutex::new(VecDeque::with_capacity(depth)),
+                    depth,
+                    policy: cfg.policy,
+                    signal: Arc::clone(&signal),
+                    metrics: ctx.metrics.clone(),
+                })
+            })
+            .collect();
+        ctx.tracer.info(format!(
+            "dealer: background pool over {} lanes, depth {depth}, policy {:?}",
+            slots.len(),
+            cfg.policy
+        ));
+        let worker = Worker::spawn("aq2pnn-dealer");
+        let loop_slots = slots.clone();
+        let loop_signal = Arc::clone(&signal);
+        worker.submit(move || refill_loop(&loop_slots, &loop_signal));
+        DealerPool { slots, signal, _worker: worker }
+    }
+
+    /// The pooled lane slots, in layer order.
+    #[must_use]
+    pub fn slots(&self) -> &[Arc<LaneSlot>] {
+        &self.slots
+    }
+
+    /// Stops background refilling (queues drain but are not replenished).
+    /// Deterministic-exhaustion knob for tests and cold-start benches.
+    pub fn pause(&self) {
+        self.signal.state.lock().paused = true;
+        self.signal.wake.notify_all();
+    }
+
+    /// Resumes background refilling after [`DealerPool::pause`].
+    pub fn resume(&self) {
+        let mut st = self.signal.state.lock();
+        st.paused = false;
+        st.dirty = true;
+        drop(st);
+        self.signal.wake.notify_all();
+    }
+
+    /// True once every lane queue is at its configured depth.
+    #[must_use]
+    pub fn is_warm(&self) -> bool {
+        self.slots.iter().all(|s| s.queued() >= s.depth)
+    }
+
+    /// Blocks until the pool is warm or `timeout` elapses; returns whether
+    /// it warmed in time.
+    #[must_use]
+    pub fn wait_warm(&self, timeout: std::time::Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        while !self.is_warm() {
+            if std::time::Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        true
+    }
+}
+
+impl Drop for DealerPool {
+    fn drop(&mut self) {
+        self.signal.state.lock().closed = true;
+        self.signal.wake.notify_all();
+        // `_worker` drops after this, joining the refill thread.
+    }
+}
+
+/// The background refill loop: round-robin over the slots, topping each
+/// queue up to depth; park on the pool condvar when no queue has space.
+fn refill_loop(slots: &[Arc<LaneSlot>], signal: &Arc<PoolSignal>) {
+    loop {
+        {
+            let mut st = signal.state.lock();
+            if st.closed {
+                return;
+            }
+            if st.paused {
+                signal.wake.wait(&mut st);
+                continue;
+            }
+            // Consume the pending wakeup; a pop arriving after this point
+            // re-sets it and the post-scan wait returns immediately.
+            st.dirty = false;
+        }
+        let mut progressed = false;
+        for slot in slots {
+            // One triple per slot per sweep keeps refill breadth-first
+            // across layers, so a whole inference's worth of material
+            // becomes available as early as possible.
+            if signal.state.lock().closed {
+                return;
+            }
+            progressed |= slot.refill_one();
+        }
+        if !progressed {
+            let mut st = signal.state.lock();
+            if !st.dirty && !st.closed {
+                signal.wake.wait(&mut st);
+            }
+        }
+    }
+}
+
+/// Where a prepared linear layer draws its per-inference triples from:
+/// its own resident lane (inline generation on the online path) or a
+/// pooled slot fed by the background dealer.
+pub(crate) enum TripleSource {
+    Inline(Box<TripleLane>),
+    Pooled(Arc<LaneSlot>),
+}
+
+impl TripleSource {
+    /// Draws the next `b` triples in stream order (one per batched image).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ProtocolError::DealerExhausted`] from a strict pooled
+    /// slot.
+    #[allow(clippy::cast_precision_loss)]
+    pub(crate) fn take_n(
+        &mut self,
+        b: usize,
+        expand: impl Fn(&RingTensor) -> RingTensor,
+    ) -> Result<Vec<TripleShare>, ProtocolError> {
+        match self {
+            TripleSource::Inline(lane) => Ok((0..b).map(|_| lane.next(&expand)).collect()),
+            TripleSource::Pooled(slot) => {
+                slot.metrics.observe_with(
+                    "dealer.take_batch",
+                    &aq2pnn_obs::Histogram::exponential(1.0, 2.0, 6),
+                    b as f64,
+                );
+                (0..b).map(|_| slot.take()).collect()
+            }
+        }
+    }
+}

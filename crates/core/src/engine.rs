@@ -56,6 +56,43 @@ pub struct InferenceOutput {
     pub stats: ChannelStats,
 }
 
+/// What a party brings to a **batched** online pass
+/// ([`PreparedModel::run_batch`]): the user its `B` private images, the
+/// provider the (public) batch size so both sides walk the same widened
+/// shapes.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchInput<'a> {
+    /// Party 0: the private images (float CHW, one slice per image).
+    User(&'a [&'a [f32]]),
+    /// Party 1: contributes the weights; `batch` must equal the user's
+    /// image count (it is public protocol structure, like the model).
+    Provider {
+        /// Number of images in the batch.
+        batch: usize,
+    },
+}
+
+impl BatchInput<'_> {
+    /// The batch size both parties agreed on.
+    #[must_use]
+    pub fn batch(&self) -> usize {
+        match self {
+            BatchInput::User(images) => images.len(),
+            BatchInput::Provider { batch } => *batch,
+        }
+    }
+}
+
+/// Result of one party's batched inference pass.
+#[derive(Debug, Clone)]
+pub struct BatchOutput {
+    /// Recovered integer logits, one vector per image, in input order.
+    pub logits: Vec<Vec<i64>>,
+    /// This party's channel statistics (the endpoint's running total, as
+    /// with [`InferenceOutput::stats`]).
+    pub stats: ChannelStats,
+}
+
 /// Runs one secure inference as `ctx.id`. Must be called concurrently by
 /// both parties over a connected channel pair, with identical `model` and
 /// configuration.

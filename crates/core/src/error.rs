@@ -27,6 +27,14 @@ pub enum ProtocolError {
         /// The ring width of the shares it was given.
         got: u32,
     },
+    /// The background offline dealer had no precomputed material for a
+    /// layer and its pool is configured to fail rather than generate
+    /// inline ([`crate::dealer::ExhaustionPolicy::Fail`]). Shed the
+    /// request or retry once the pool has refilled.
+    DealerExhausted {
+        /// The layer label whose lane ran dry (`conv0`, `fc4`, …).
+        layer: String,
+    },
 }
 
 impl fmt::Display for ProtocolError {
@@ -39,6 +47,9 @@ impl fmt::Display for ProtocolError {
             ProtocolError::Desync(msg) => write!(f, "parties desynchronized: {msg}"),
             ProtocolError::RingMismatch { expected, got } => {
                 write!(f, "shares on ring 2^{got} where the operation requires 2^{expected}")
+            }
+            ProtocolError::DealerExhausted { layer } => {
+                write!(f, "offline dealer pool exhausted at layer {layer} (strict policy)")
             }
         }
     }

@@ -211,9 +211,125 @@ pub fn secure_matmul_prepared(
     expanded_online(ctx, in_share, w_share, f_open, triple, expand)
 }
 
+/// Batched online AS-GEMM for prepared models: `b` images share **one**
+/// `E` exchange (all masks concatenated, one round-trip) and Eq. 1 is then
+/// evaluated as a single stacked GEMM whose row axis grows `b×` — the ring
+/// kernels see `[b·m, k] ⊗ [k, n]`, so per-call overheads (thread fan-out,
+/// round latency) amortize across the batch.
+///
+/// `in_share` holds the `b` images' shares concatenated (flat,
+/// `b · ∏item_shape` elements); `item_shape` is the per-image feature-map
+/// shape the triples were drawn at, and `triples` holds one fresh triple
+/// per image (stream order = image order — the batched pass consumes the
+/// lane exactly as `b` sequential runs would, which is what makes batched
+/// logits bit-identical to sequential ones).
+///
+/// # Errors
+///
+/// Propagates transport failures; returns [`ProtocolError::Desync`] on
+/// mismatched message sizes and [`ProtocolError::Shape`] on malformed
+/// operands.
+#[allow(clippy::too_many_arguments)]
+pub fn secure_matmul_prepared_batch(
+    ctx: &mut PartyContext,
+    in_share: &AShare,
+    b: usize,
+    item_shape: &[usize],
+    w_share: &AShare,
+    f: &RingTensor,
+    triples: &[TripleShare],
+    expand: impl Fn(&RingTensor) -> RingTensor,
+) -> Result<AShare, ProtocolError> {
+    let ring = in_share.ring();
+    let item: usize = item_shape.iter().product();
+    if w_share.shape().len() != 2 || ring != w_share.ring() {
+        return Err(ProtocolError::Shape(aq2pnn_ring::ShapeError::ShapeMismatch {
+            lhs: in_share.shape().to_vec(),
+            rhs: w_share.shape().to_vec(),
+        }));
+    }
+    if in_share.len() != b * item || triples.len() != b {
+        return Err(ProtocolError::Shape(aq2pnn_ring::ShapeError::ShapeMismatch {
+            lhs: in_share.shape().to_vec(),
+            rhs: vec![b, item],
+        }));
+    }
+    let xv = in_share.as_tensor().as_slice();
+
+    // Online: open E = IN − A at feature-map size, all images in one
+    // round-trip.
+    let mut e_share = vec![0u64; b * item];
+    for (i, triple) in triples.iter().enumerate() {
+        if triple.a.len() != item {
+            return Err(ProtocolError::Shape(aq2pnn_ring::ShapeError::ShapeMismatch {
+                lhs: triple.a.shape().to_vec(),
+                rhs: item_shape.to_vec(),
+            }));
+        }
+        let a = triple.a.as_slice();
+        // secrecy: allow(secret-index, "`i` counts triples — the public batch size — and `item` is the public per-image shape product; only share *values* are secret")
+        for j in 0..item {
+            e_share[i * item + j] = ring.sub(xv[i * item + j], a[j]);
+        }
+    }
+    let e_peer = ctx.ep.exchange_bits(&e_share, ring.bits(), e_share.len())?;
+    if e_peer.len() != e_share.len() {
+        return Err(ProtocolError::Desync("online E exchange size mismatch".into()));
+    }
+    let e_open: Vec<u64> = e_share.iter().zip(&e_peer).map(|(&a, &p)| ring.add(a, p)).collect();
+
+    // Per-image local expansion, stacked along the GEMM row axis, plus the
+    // per-image Z shares stacked the same way.
+    let mut e_stack: Vec<u64> = Vec::new();
+    let mut in_stack: Vec<u64> = Vec::new();
+    let mut z_stack: Vec<u64> = Vec::new();
+    let mut rows_per_image = 0usize;
+    let mut cols = 0usize;
+    let n_out = w_share.shape()[1];
+    for (i, triple) in triples.iter().enumerate() {
+        // secrecy: allow(secret-index, "slice bounds are image offsets from the public batch position `i` and public shape product `item`")
+        let e_img = RingTensor::from_raw(
+            ring,
+            item_shape.to_vec(),
+            e_open[i * item..(i + 1) * item].to_vec(),
+        )?;
+        // secrecy: allow(secret-index, "same public image offsets as the E slice above")
+        let x_img =
+            RingTensor::from_raw(ring, item_shape.to_vec(), xv[i * item..(i + 1) * item].to_vec())?;
+        let e_ex = expand(&e_img);
+        let x_ex = expand(&x_img);
+        // secrecy: allow(secret-branch, "first-iteration geometry capture; `i` is the public batch position, identical on both parties")
+        if i == 0 {
+            rows_per_image = e_ex.shape()[0];
+            cols = e_ex.shape()[1];
+            let total = b * rows_per_image;
+            e_stack.reserve_exact(total * cols);
+            in_stack.reserve_exact(total * cols);
+            z_stack.reserve_exact(total * n_out);
+        }
+        e_stack.extend_from_slice(e_ex.as_slice());
+        in_stack.extend_from_slice(x_ex.as_slice());
+        z_stack.extend_from_slice(triple.z.as_slice());
+    }
+    let e = RingTensor::from_raw(ring, vec![b * rows_per_image, cols], e_stack)?;
+    let in_cols = RingTensor::from_raw(ring, vec![b * rows_per_image, cols], in_stack)?;
+    let z = RingTensor::from_raw(ring, vec![b * rows_per_image, n_out], z_stack)?;
+
+    // Eq. 1 on the stacked operands. Rows are independent in a GEMM, so
+    // the stacked product equals the concatenation of the per-image
+    // products bit-for-bit.
+    let in_f = ring_matmul(&in_cols, f)?;
+    let e_w = ring_matmul(&e, w_share.as_tensor())?;
+    let mut out = in_f.add(&e_w)?.add(&z)?;
+    if ctx.id.index() == 1 {
+        out = out.sub(&ring_matmul(&e, f)?)?;
+    }
+    Ok(AShare::from_tensor(out))
+}
+
 /// The per-inference core shared by [`secure_matmul_expanded`] and
-/// [`secure_matmul_prepared`]: open `E` at feature-map size, expand
-/// locally, evaluate Eq. 1.
+/// [`secure_matmul_prepared`]: the `b = 1` case of
+/// [`secure_matmul_prepared_batch`].
 fn expanded_online(
     ctx: &mut PartyContext,
     in_share: &AShare,
@@ -222,29 +338,17 @@ fn expanded_online(
     triple: &TripleShare,
     expand: impl Fn(&RingTensor) -> RingTensor,
 ) -> Result<AShare, ProtocolError> {
-    let ring = in_share.ring();
-    // Online: open E = IN − A at feature-map size.
-    let e_share = in_share.as_tensor().sub(&triple.a)?;
-    let e_peer = ctx.ep.exchange_bits(e_share.as_slice(), ring.bits(), e_share.len())?;
-    if e_peer.len() != e_share.len() {
-        return Err(ProtocolError::Desync("online E exchange size mismatch".into()));
-    }
-    let e_img = RingTensor::from_raw(
-        ring,
-        in_share.shape().to_vec(),
-        e_share.as_slice().iter().zip(&e_peer).map(|(&a, &b)| ring.add(a, b)).collect(),
-    )?;
-
-    // Local expansion and Eq. 1.
-    let e = expand(&e_img);
-    let in_cols = expand(in_share.as_tensor());
-    let in_f = ring_matmul(&in_cols, f)?;
-    let e_w = ring_matmul(&e, w_share.as_tensor())?;
-    let mut out = in_f.add(&e_w)?.add(&triple.z)?;
-    if ctx.id.index() == 1 {
-        out = out.sub(&ring_matmul(&e, f)?)?;
-    }
-    Ok(AShare::from_tensor(out))
+    let item_shape = in_share.shape().to_vec();
+    secure_matmul_prepared_batch(
+        ctx,
+        in_share,
+        1,
+        &item_shape,
+        w_share,
+        f,
+        std::slice::from_ref(triple),
+        expand,
+    )
 }
 
 #[cfg(test)]

@@ -74,6 +74,7 @@
 
 pub mod abrelu;
 mod config;
+pub mod dealer;
 pub mod engine;
 mod error;
 pub mod gemm;

@@ -8,7 +8,7 @@
 //! shows BNReQ barely improving with bit-width); average pooling is an
 //! AS-ALU sum plus a dyadic requant.
 
-use crate::gemm::{secure_matmul_expanded, secure_matmul_prepared};
+use crate::gemm::{secure_matmul_expanded, secure_matmul_prepared, secure_matmul_prepared_batch};
 use crate::{PartyContext, ProtocolError};
 use aq2pnn_nn::quant::Requant;
 use aq2pnn_ring::{Ring, RingTensor};
@@ -125,21 +125,67 @@ pub fn secure_conv2d_prepared(
     conv_finish(g, &out_mat, bias)
 }
 
+/// Batched 2PC-Conv2D online pass: `b` images' shares concatenated along
+/// the leading axis (`[b·in_c, ih, iw]` flat), one triple per image, one
+/// `E` round-trip for the whole batch. Output is `[b·out_c, oh, ow]` —
+/// at `b = 1` this is exactly [`secure_conv2d_prepared`].
+///
+/// # Errors
+///
+/// Propagates GEMM/transport failures.
+#[allow(clippy::too_many_arguments)]
+pub fn secure_conv2d_prepared_batch(
+    ctx: &mut PartyContext,
+    x: &AShare,
+    b: usize,
+    g: &ConvGeometry,
+    w_mat: &AShare,
+    bias: &AShare,
+    f_open: &RingTensor,
+    triples: &[TripleShare],
+) -> Result<AShare, ProtocolError> {
+    let geom = *g;
+    let (ih, iw) = g.in_hw;
+    let item_shape = [g.in_c, ih, iw];
+    let out_mat =
+        secure_matmul_prepared_batch(ctx, x, b, &item_shape, w_mat, f_open, triples, move |t| {
+            im2col_tensor(t, &geom)
+        })?;
+    conv_finish_batch(g, b, &out_mat, bias)
+}
+
 /// Transposes the `[oh·ow, out_c]` GEMM output to CHW and adds the
 /// per-channel bias share.
 fn conv_finish(g: &ConvGeometry, out_mat: &AShare, bias: &AShare) -> Result<AShare, ProtocolError> {
+    conv_finish_batch(g, 1, out_mat, bias)
+}
+
+/// Batched [`conv_finish`]: the GEMM output rows are the `b` images'
+/// `[oh·ow, out_c]` blocks stacked; each block is transposed to CHW
+/// independently, yielding `[b·out_c, oh, ow]`.
+fn conv_finish_batch(
+    g: &ConvGeometry,
+    b: usize,
+    out_mat: &AShare,
+    bias: &AShare,
+) -> Result<AShare, ProtocolError> {
     let ring = out_mat.ring();
     let (oh, ow) = g.out_hw;
     let m = out_mat.as_tensor().as_slice();
-    let b = bias.as_tensor().as_slice();
+    let bv = bias.as_tensor().as_slice();
     let pixels = oh * ow;
-    let mut out = vec![0u64; g.out_c * pixels];
-    for p in 0..pixels {
-        for oc in 0..g.out_c {
-            out[oc * pixels + p] = ring.add(m[p * g.out_c + oc], b[oc]);
+    let per = g.out_c * pixels;
+    let mut out = vec![0u64; b * per];
+    for i in 0..b {
+        let src = i * per;
+        let dst = i * per;
+        for p in 0..pixels {
+            for oc in 0..g.out_c {
+                out[dst + oc * pixels + p] = ring.add(m[src + p * g.out_c + oc], bv[oc]);
+            }
         }
     }
-    Ok(AShare::from_tensor(RingTensor::from_raw(ring, vec![g.out_c, oh, ow], out)?))
+    Ok(AShare::from_tensor(RingTensor::from_raw(ring, vec![b * g.out_c, oh, ow], out)?))
 }
 
 /// 2PC-Linear: a 1×`in_f` AS-GEMM against `[in_f, out_f]` plus bias.
@@ -185,12 +231,48 @@ pub fn secure_linear_prepared(
     linear_finish(&out, bias)
 }
 
+/// Batched 2PC-Linear online pass: `b` input rows concatenated flat
+/// (`b · in_f` elements), one triple per row, one `E` round-trip. Output
+/// is the flat `[b·out_f]` share — at `b = 1` this is exactly
+/// [`secure_linear_prepared`].
+///
+/// # Errors
+///
+/// Propagates GEMM/transport failures.
+pub fn secure_linear_prepared_batch(
+    ctx: &mut PartyContext,
+    x: &AShare,
+    b: usize,
+    w_mat: &AShare,
+    bias: &AShare,
+    f_open: &RingTensor,
+    triples: &[TripleShare],
+) -> Result<AShare, ProtocolError> {
+    let in_f = x.len() / b;
+    let item_shape = [in_f];
+    let out =
+        secure_matmul_prepared_batch(ctx, x, b, &item_shape, w_mat, f_open, triples, move |t| {
+            let mut m = t.clone();
+            m.reshape(vec![1, in_f]).expect("row vector");
+            m
+        })?;
+    linear_finish_batch(b, &out, bias)
+}
+
 /// Adds the bias share to the flat GEMM output row.
 fn linear_finish(out: &AShare, bias: &AShare) -> Result<AShare, ProtocolError> {
+    linear_finish_batch(1, out, bias)
+}
+
+/// Batched [`linear_finish`]: the bias share is added to each image's
+/// output row; the result stays flat (`[b·out_f]`).
+fn linear_finish_batch(b: usize, out: &AShare, bias: &AShare) -> Result<AShare, ProtocolError> {
     let ring = out.ring();
     let o = out.as_tensor().as_slice();
-    let b = bias.as_tensor().as_slice();
-    let data: Vec<u64> = o.iter().zip(b).map(|(&v, &bi)| ring.add(v, bi)).collect();
+    let bv = bias.as_tensor().as_slice();
+    let per = o.len() / b;
+    // secrecy: allow(secret-index, "`j % per` is the public position within an output row; lengths and batch size are architecture metadata")
+    let data: Vec<u64> = o.iter().enumerate().map(|(j, &v)| ring.add(v, bv[j % per])).collect();
     Ok(AShare::from_tensor(RingTensor::from_raw(ring, vec![data.len()], data)?))
 }
 

@@ -26,21 +26,23 @@
 //! callers see identical behavior (same phases, same byte counts).
 
 use crate::abrelu::abrelu;
-use crate::engine::{secure_max_windows, InferenceOutput, PartyInput};
+use crate::dealer::{DealerConfig, DealerPool, ExpandFn, LaneSlot, TripleSource};
+use crate::engine::{secure_max_windows, BatchInput, BatchOutput, InferenceOutput, PartyInput};
 use crate::gemm::open_weight_mask;
 use crate::ops::{
-    channel_sum, im2col_tensor, pool_sum, pool_windows, requant_share, secure_conv2d_prepared,
-    secure_linear_prepared, ConvGeometry,
+    channel_sum, im2col_tensor, pool_sum, pool_windows, requant_share,
+    secure_conv2d_prepared_batch, secure_linear_prepared_batch, ConvGeometry,
 };
 use crate::party::IoSpan;
 use crate::{PartyContext, PipelineMode, ProtocolError};
 use aq2pnn_nn::quant::{quantize_image, QuantModel, QuantOp, Requant};
 use aq2pnn_obs::report::{ARG_RING_BITS, ARG_SHAPE, CAT_LAYER, CAT_OFFLINE, CAT_STAGE};
+use aq2pnn_obs::Histogram;
 use aq2pnn_ring::{Ring, RingTensor};
-use aq2pnn_sharing::dealer::TripleLane;
 use aq2pnn_sharing::{AShare, PartyId};
 use rand::SeedableRng;
 use rand_chacha::ChaCha20Rng;
+use std::sync::Arc;
 
 /// A model lowered to its resident per-party inference state: weight and
 /// bias shares, opened weight masks, triple lanes, and pooling geometry.
@@ -78,14 +80,14 @@ enum PreparedKind {
         w_mat: AShare,
         bias: AShare,
         f_open: RingTensor,
-        lane: TripleLane,
+        source: TripleSource,
         requant: Requant,
     },
     Linear {
         w_mat: AShare,
         bias: AShare,
         f_open: RingTensor,
-        lane: TripleLane,
+        source: TripleSource,
         requant: Requant,
     },
     Relu,
@@ -162,6 +164,49 @@ impl PreparedModel {
         ctx: &mut PartyContext,
         input: PartyInput<'_>,
     ) -> Result<InferenceOutput, ProtocolError> {
+        let out = match input {
+            PartyInput::User(image) => self.run_batch(ctx, BatchInput::User(&[image])),
+            PartyInput::Provider => self.run_batch(ctx, BatchInput::Provider { batch: 1 }),
+        }?;
+        let mut logits = out.logits;
+        Ok(InferenceOutput { logits: logits.remove(0), stats: out.stats })
+    }
+
+    /// Runs one **batched** online pass: `B` images walk the network
+    /// together, so every layer's `E` opening, A2B conversion and OT flow
+    /// is one `B×`-sized message instead of `B` round-trips — per-message
+    /// latency and per-call setup amortize across the batch. Must be
+    /// called concurrently by both parties with the same batch size.
+    ///
+    /// Logits are bit-identical to `B` sequential [`PreparedModel::run`]
+    /// calls (the batched pass consumes each triple lane in the same
+    /// stream order), except under the `MaskedMux` + local-truncation
+    /// configuration, whose mux masks draw from the session RNG in
+    /// call-count-dependent order (the ±1 local-truncation jitter can then
+    /// land differently; reconstruction-exact configs are unaffected).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProtocolError`] on channel failure, desync, an empty
+    /// batch, or a party/input mismatch.
+    pub fn run_batch(
+        &mut self,
+        ctx: &mut PartyContext,
+        input: BatchInput<'_>,
+    ) -> Result<BatchOutput, ProtocolError> {
+        let b = input.batch();
+        // secrecy: allow(secret-branch, "`b` is the public batch size both parties agree on — architecture metadata under the §8 threat model, not image data")
+        if b == 0 {
+            return Err(ProtocolError::Model("empty batch".into()));
+        }
+        if ctx.metrics.is_enabled() {
+            #[allow(clippy::cast_precision_loss)]
+            ctx.metrics.observe_with(
+                "engine.batch_size",
+                &Histogram::exponential(1.0, 2.0, 6),
+                b as f64,
+            );
+        }
         let act_ring = match ctx.cfg.pipeline {
             PipelineMode::StayWide => ctx.q2(),
             PipelineMode::NarrowActivations => ctx.q1(),
@@ -169,17 +214,37 @@ impl PreparedModel {
 
         // --- Input sharing (offline-style PRG masks). ---
         ctx.ep.set_phase("input");
-        let in_span = ctx.span_begin("input", CAT_LAYER, &[]);
+        let batch_arg = [("batch", aq2pnn_obs::ArgValue::from(b as u64))];
+        // secrecy: allow(secret-branch, "span-arg choice keyed on the public batch size, identical on both parties")
+        let in_span = ctx.span_begin("input", CAT_LAYER, if b > 1 { &batch_arg } else { &[] });
         let n_in = self.n_in;
-        let mut in_stream = ChaCha20Rng::seed_from_u64(ctx.cfg.setup_seed ^ 0x1fa7_0001);
-        let mask = RingTensor::random(act_ring, vec![n_in], &mut in_stream);
+        // Per-image mask from the re-seeded input stream — byte-for-byte
+        // what `b` sequential runs would derive.
         let x = match (ctx.id, input) {
-            (PartyId::User, PartyInput::User(image)) => {
-                let qx = quantize_image(image, self.input_scale, self.act_bits);
-                let enc = RingTensor::from_signed(act_ring, vec![n_in], &qx)?;
-                AShare::from_tensor(enc.sub(&mask)?)
+            (PartyId::User, BatchInput::User(images)) => {
+                // secrecy: allow(secret-alloc, "capacity is the public batch size × public input shape, not an image value")
+                let mut data = Vec::with_capacity(b * n_in);
+                for image in images {
+                    let mut in_stream =
+                        ChaCha20Rng::seed_from_u64(ctx.cfg.setup_seed ^ 0x1fa7_0001);
+                    let mask = RingTensor::random(act_ring, vec![n_in], &mut in_stream);
+                    let qx = quantize_image(image, self.input_scale, self.act_bits);
+                    let enc = RingTensor::from_signed(act_ring, vec![n_in], &qx)?;
+                    data.extend_from_slice(enc.sub(&mask)?.as_slice());
+                }
+                AShare::from_tensor(RingTensor::from_raw(act_ring, vec![b * n_in], data)?)
             }
-            (PartyId::ModelProvider, PartyInput::Provider) => AShare::from_tensor(mask),
+            (PartyId::ModelProvider, BatchInput::Provider { .. }) => {
+                // secrecy: allow(secret-alloc, "capacity is the public batch size × public input shape, not an image value")
+                let mut data = Vec::with_capacity(b * n_in);
+                for _ in 0..b {
+                    let mut in_stream =
+                        ChaCha20Rng::seed_from_u64(ctx.cfg.setup_seed ^ 0x1fa7_0001);
+                    let mask = RingTensor::random(act_ring, vec![n_in], &mut in_stream);
+                    data.extend_from_slice(mask.as_slice());
+                }
+                AShare::from_tensor(RingTensor::from_raw(act_ring, vec![b * n_in], data)?)
+            }
             _ => {
                 return Err(ProtocolError::Model(
                     "party/input mismatch: user must pass User(image), provider Provider".into(),
@@ -190,7 +255,7 @@ impl PreparedModel {
         end_layer_span(ctx, in_span, &x);
 
         // --- Walk the prepared ops (online work only). ---
-        let out = run_ops(ctx, &mut self.ops, x)?;
+        let out = run_ops(ctx, &mut self.ops, x, b)?;
 
         // --- Reveal the logits. ---
         ctx.ep.set_phase("output");
@@ -202,12 +267,95 @@ impl PreparedModel {
         if theirs.len() != mine.len() {
             return Err(ProtocolError::Desync("output share length mismatch".into()));
         }
-        let logits: Vec<i64> = mine
+        let flat: Vec<i64> = mine
             .iter()
             .zip(&theirs)
             .map(|(&a, &b)| out_ring.decode_signed(out_ring.add(a, b)))
             .collect();
-        Ok(InferenceOutput { logits, stats: ctx.ep.stats() })
+        let per = flat.len() / b;
+        let logits: Vec<Vec<i64>> = flat.chunks(per).map(<[i64]>::to_vec).collect();
+        Ok(BatchOutput { logits, stats: ctx.ep.stats() })
+    }
+
+    /// Moves this model's resident triple lanes into a background
+    /// [`DealerPool`]: a dedicated worker thread keeps a bounded queue of
+    /// pre-generated triples per linear layer, so subsequent
+    /// [`PreparedModel::run`] / [`PreparedModel::run_batch`] calls *pop*
+    /// offline material instead of generating it on the online critical
+    /// path.
+    ///
+    /// Purely party-local (no protocol traffic, no cross-party
+    /// coordination) — one party may pool while the other stays inline.
+    /// Dropping the returned pool stops refilling; the model then falls
+    /// back to the pool's exhaustion behavior on the still-shared slots.
+    /// Calling again on an already-pooled model is a no-op returning an
+    /// empty pool.
+    pub fn spawn_dealer(&mut self, ctx: &PartyContext, cfg: DealerConfig) -> DealerPool {
+        let mut lanes: Vec<(String, aq2pnn_sharing::dealer::TripleLane, ExpandFn)> = Vec::new();
+        collect_lanes(&self.ops, &mut lanes);
+        let pool = DealerPool::new(ctx, lanes, cfg);
+        let mut cursor = 0usize;
+        assign_slots(&mut self.ops, pool.slots(), &mut cursor);
+        pool
+    }
+}
+
+/// Gathers `(label, lane, expand)` for every inline linear layer, in the
+/// online walk order (residual main before shortcut — the same order
+/// [`assign_slots`] revisits them in).
+fn collect_lanes(
+    ops: &[PreparedOp],
+    out: &mut Vec<(String, aq2pnn_sharing::dealer::TripleLane, ExpandFn)>,
+) {
+    for op in ops {
+        match &op.kind {
+            PreparedKind::Conv2d { geom, source: TripleSource::Inline(lane), .. } => {
+                let g = *geom;
+                out.push((
+                    format!("conv{}", op.idx),
+                    lane.as_ref().clone(),
+                    Box::new(move |t| im2col_tensor(t, &g)),
+                ));
+            }
+            PreparedKind::Linear { source: TripleSource::Inline(lane), .. } => {
+                let in_f: usize = lane.a_shape().iter().product();
+                out.push((
+                    format!("fc{}", op.idx),
+                    lane.as_ref().clone(),
+                    Box::new(move |t| {
+                        let mut m = t.clone();
+                        m.reshape(vec![1, in_f]).expect("row vector");
+                        m
+                    }),
+                ));
+            }
+            PreparedKind::Residual { main, shortcut } => {
+                collect_lanes(main, out);
+                collect_lanes(shortcut, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Second walk of [`PreparedModel::spawn_dealer`]: repoints each inline
+/// linear layer at its pooled slot, in the same order [`collect_lanes`]
+/// gathered them.
+fn assign_slots(ops: &mut [PreparedOp], slots: &[Arc<LaneSlot>], cursor: &mut usize) {
+    for op in ops.iter_mut() {
+        match &mut op.kind {
+            PreparedKind::Conv2d { source, .. } | PreparedKind::Linear { source, .. } => {
+                if matches!(source, TripleSource::Inline(_)) {
+                    *source = TripleSource::Pooled(Arc::clone(&slots[*cursor]));
+                    *cursor += 1;
+                }
+            }
+            PreparedKind::Residual { main, shortcut } => {
+                assign_slots(main, slots, cursor);
+                assign_slots(shortcut, slots, cursor);
+            }
+            _ => {}
+        }
     }
 }
 
@@ -335,7 +483,14 @@ fn prepare_ops(
                 let lane = ctx.expanded_lane(q2, cur_shape, &[kdim, *out_c]);
                 let f_open = open_weight_mask(ctx, &w_mat, lane.b_share())?;
                 *cur_shape = vec![*out_c, out_hw.0, out_hw.1];
-                PreparedKind::Conv2d { geom, w_mat, bias, f_open, lane, requant: *requant }
+                PreparedKind::Conv2d {
+                    geom,
+                    w_mat,
+                    bias,
+                    f_open,
+                    source: TripleSource::Inline(Box::new(lane)),
+                    requant: *requant,
+                }
             }
             QuantOp::Linear { in_f, out_f, w, bias, requant } => {
                 let w_mat = provider_share(
@@ -363,7 +518,13 @@ fn prepare_ops(
                 let lane = ctx.expanded_lane(q2, cur_shape, &[*in_f, *out_f]);
                 let f_open = open_weight_mask(ctx, &w_mat, lane.b_share())?;
                 *cur_shape = vec![*out_f];
-                PreparedKind::Linear { w_mat, bias, f_open, lane, requant: *requant }
+                PreparedKind::Linear {
+                    w_mat,
+                    bias,
+                    f_open,
+                    source: TripleSource::Inline(Box::new(lane)),
+                    requant: *requant,
+                }
             }
             QuantOp::Relu => PreparedKind::Relu,
             QuantOp::MaxPool { k, stride, pad, c, in_hw, out_hw } => {
@@ -411,11 +572,20 @@ fn prepare_ops(
 }
 
 /// The online walk: per-inference protocol work only. Needs `&mut` access
-/// for the triple lanes, which advance one `(A, Z)` pair per run.
+/// for the triple sources, which advance `b` `(A, Z)` pairs per pass.
+///
+/// Batch layout: activations stay flat with the image index as the
+/// slowest-varying axis — conv tensors are `[b·c, h, w]`, vectors
+/// `[b·n]` — so at `b = 1` every shape (and thus every span argument)
+/// matches the sequential pass exactly, and per-channel ops (pooling,
+/// requant, ABReLU) batch transparently by treating the `b·c` channels
+/// uniformly.
+#[allow(clippy::too_many_lines)]
 fn run_ops(
     ctx: &mut PartyContext,
     ops: &mut [PreparedOp],
     mut x: AShare,
+    b: usize,
 ) -> Result<AShare, ProtocolError> {
     let q2 = ctx.q2();
     let act_ring = match ctx.cfg.pipeline {
@@ -426,13 +596,14 @@ fn run_ops(
         let idx = op.idx;
         let span = layer_label(idx, &op.kind).map(|name| ctx.span_begin(name, CAT_LAYER, &[]));
         x = match &mut op.kind {
-            PreparedKind::Conv2d { geom, w_mat, bias, f_open, lane, requant } => {
+            PreparedKind::Conv2d { geom, w_mat, bias, f_open, source, requant } => {
                 ctx.ep.set_phase(format!("conv{idx}"));
                 let gemm = ctx.span_begin("gemm", CAT_STAGE, &[]);
                 let x2 = if x.ring() == q2 { x } else { ctx.extend_share(&x, q2)? };
                 let g = *geom;
-                let triple = lane.next(move |t| im2col_tensor(t, &g));
-                let acc = secure_conv2d_prepared(ctx, &x2, geom, w_mat, bias, f_open, &triple)?;
+                let triples = source.take_n(b, move |t| im2col_tensor(t, &g))?;
+                let acc =
+                    secure_conv2d_prepared_batch(ctx, &x2, b, geom, w_mat, bias, f_open, &triples)?;
                 ctx.span_end(gemm);
                 ctx.ep.set_phase(format!("bnreq{idx}"));
                 let bnreq = ctx.span_begin("bnreq", CAT_STAGE, &[]);
@@ -440,17 +611,17 @@ fn run_ops(
                 ctx.span_end(bnreq);
                 r
             }
-            PreparedKind::Linear { w_mat, bias, f_open, lane, requant } => {
+            PreparedKind::Linear { w_mat, bias, f_open, source, requant } => {
                 ctx.ep.set_phase(format!("fc{idx}"));
                 let gemm = ctx.span_begin("gemm", CAT_STAGE, &[]);
                 let x2 = if x.ring() == q2 { x } else { ctx.extend_share(&x, q2)? };
-                let in_f = x2.len();
-                let triple = lane.next(move |t| {
+                let in_f = x2.len() / b;
+                let triples = source.take_n(b, move |t| {
                     let mut m = t.clone();
                     m.reshape(vec![1, in_f]).expect("row vector");
                     m
-                });
-                let acc = secure_linear_prepared(ctx, &x2, w_mat, bias, f_open, &triple)?;
+                })?;
+                let acc = secure_linear_prepared_batch(ctx, &x2, b, w_mat, bias, f_open, &triples)?;
                 ctx.span_end(gemm);
                 ctx.ep.set_phase(format!("bnreq{idx}"));
                 let bnreq = ctx.span_begin("bnreq", CAT_STAGE, &[]);
@@ -464,21 +635,34 @@ fn run_ops(
             }
             PreparedKind::MaxPool { c, out_hw, windows } => {
                 ctx.ep.set_phase(format!("maxpool{idx}"));
-                let out = secure_max_windows(ctx, &x, windows)?;
+                let out = if b == 1 {
+                    secure_max_windows(ctx, &x, windows)?
+                } else {
+                    // Windows were precomputed for one image; shift the
+                    // indices per image so all b·c channels pool in one
+                    // tournament.
+                    let item = x.len() / b;
+                    let shifted: Vec<Vec<usize>> = (0..b)
+                        .flat_map(|i| {
+                            windows.iter().map(move |w| w.iter().map(|&ix| ix + i * item).collect())
+                        })
+                        .collect();
+                    secure_max_windows(ctx, &x, &shifted)?
+                };
                 let mut t = out.into_tensor();
-                t.reshape(vec![*c, out_hw.0, out_hw.1])?;
+                t.reshape(vec![b * *c, out_hw.0, out_hw.1])?;
                 AShare::from_tensor(t)
             }
             PreparedKind::AvgPool { k, stride, pad, c, in_hw, out_hw, requant } => {
                 ctx.ep.set_phase(format!("avgpool{idx}"));
                 let x2 = if x.ring() == q2 { x } else { ctx.extend_share(&x, q2)? };
-                let sums = pool_sum(&x2, *c, *in_hw, *k, *stride, *pad, *out_hw);
+                let sums = pool_sum(&x2, b * *c, *in_hw, *k, *stride, *pad, *out_hw);
                 requant_share(ctx, &sums, *requant, act_ring)?
             }
             PreparedKind::GlobalAvgPool { c, spatial, requant } => {
                 ctx.ep.set_phase(format!("gap{idx}"));
                 let x2 = if x.ring() == q2 { x } else { ctx.extend_share(&x, q2)? };
-                let sums = channel_sum(&x2, *c, *spatial);
+                let sums = channel_sum(&x2, b * *c, *spatial);
                 requant_share(ctx, &sums, *requant, act_ring)?
             }
             PreparedKind::Flatten => {
@@ -493,8 +677,8 @@ fn run_ops(
                 requant_share(ctx, &x2, *requant, act_ring)?
             }
             PreparedKind::Residual { main, shortcut } => {
-                let m = run_ops(ctx, main, x.clone())?;
-                let s = run_ops(ctx, shortcut, x)?;
+                let m = run_ops(ctx, main, x.clone(), b)?;
+                let s = run_ops(ctx, shortcut, x, b)?;
                 ctx.ep.set_phase(format!("resadd{idx}"));
                 let add_span = ctx.span_begin(format!("resadd{idx}"), CAT_LAYER, &[]);
                 let mut mt = m.into_tensor();

@@ -2,8 +2,10 @@
 //! in-process duplex link — or over any caller-supplied endpoint pair, e.g.
 //! a TCP loopback session or a fault-injected link.
 
-use crate::engine::{run_party, InferenceOutput, PartyInput};
+use crate::dealer::DealerConfig;
+use crate::engine::{run_party, BatchInput, InferenceOutput, PartyInput};
 use crate::oracle::IdealOracle;
+use crate::prepared::PreparedModel;
 use crate::{PartyContext, ProtocolConfig, ProtocolError};
 use aq2pnn_nn::quant::QuantModel;
 use aq2pnn_obs::{MetricsRegistry, Tracer};
@@ -172,4 +174,99 @@ pub fn run_two_party_traced(
         )));
     }
     Ok(TwoPartyRun { logits: user.logits, user_stats: user.stats, provider_stats: provider.stats })
+}
+
+/// Result of a simulated batched service run.
+#[derive(Debug, Clone)]
+pub struct ServiceRun {
+    /// Recovered logits, one vector per image, in input order.
+    pub logits: Vec<Vec<i64>>,
+    /// Communication statistics of party 0 (the user).
+    pub user_stats: ChannelStats,
+    /// Communication statistics of party 1 (the model provider).
+    pub provider_stats: ChannelStats,
+}
+
+/// Runs a batched two-party inference service over one in-process session:
+/// both parties prepare `model` **once**, optionally spawn a background
+/// [`crate::dealer::DealerPool`] (warmed before the first batch when
+/// `dealer` is set), and classify `images` in `batch`-sized chunks via
+/// [`PreparedModel::run_batch`].
+///
+/// # Errors
+///
+/// Propagates any [`ProtocolError`] from either party;
+/// [`ProtocolError::Desync`] if the parties recover different logits or a
+/// party thread dies.
+#[allow(clippy::too_many_arguments)]
+pub fn run_two_party_service(
+    e0: Endpoint,
+    e1: Endpoint,
+    model: &QuantModel,
+    cfg: &ProtocolConfig,
+    images: &[&[f32]],
+    batch: usize,
+    dealer: Option<DealerConfig>,
+    user_obs: PartyObs,
+    provider_obs: PartyObs,
+) -> Result<ServiceRun, ProtocolError> {
+    type PartyResult = Result<(Vec<Vec<i64>>, ChannelStats), ProtocolError>;
+    let batch = batch.max(1);
+    let count = images.len();
+    let oracle = Arc::new(IdealOracle::new(cfg.setup_seed ^ 0x0eac1e));
+    let (cfg1, o1, m1) = (cfg.clone(), Arc::clone(&oracle), model.clone());
+    let handle = std::thread::spawn(move || -> PartyResult {
+        let mut ctx = PartyContext::new(PartyId::ModelProvider, e1, cfg1, Some(o1));
+        ctx.set_obs(provider_obs.tracer, provider_obs.metrics);
+        let mut prepared = PreparedModel::prepare(&mut ctx, &m1)?;
+        let _pool = dealer.map(|d| {
+            let pool = prepared.spawn_dealer(&ctx, d);
+            let _ = pool.wait_warm(std::time::Duration::from_secs(10));
+            pool
+        });
+        let mut logits = Vec::with_capacity(count);
+        let mut done = 0usize;
+        while done < count {
+            let b = batch.min(count - done);
+            let out = prepared.run_batch(&mut ctx, BatchInput::Provider { batch: b })?;
+            logits.extend(out.logits);
+            done += b;
+        }
+        Ok((logits, ctx.ep.stats()))
+    });
+    let mut ctx = PartyContext::new(PartyId::User, e0, cfg.clone(), Some(oracle));
+    ctx.set_obs(user_obs.tracer, user_obs.metrics);
+    let user: PartyResult = (|| {
+        let mut prepared = PreparedModel::prepare(&mut ctx, model)?;
+        let _pool = dealer.map(|d| {
+            let pool = prepared.spawn_dealer(&ctx, d);
+            let _ = pool.wait_warm(std::time::Duration::from_secs(10));
+            pool
+        });
+        let mut logits = Vec::with_capacity(count);
+        let mut done = 0usize;
+        while done < count {
+            let chunk = &images[done..(done + batch).min(count)];
+            let out = prepared.run_batch(&mut ctx, BatchInput::User(chunk))?;
+            logits.extend(out.logits);
+            done += chunk.len();
+        }
+        Ok((logits, ctx.ep.stats()))
+    })();
+    // On a party-0 error, drop ctx to tear the link down before joining
+    // (same rationale as run_two_party_traced).
+    let (user_logits, user_stats) = match user {
+        Ok(ok) => ok,
+        Err(e) => {
+            drop(ctx);
+            let _ = handle.join();
+            return Err(e);
+        }
+    };
+    let (provider_logits, provider_stats) =
+        handle.join().map_err(|_| ProtocolError::Desync("party 1 thread panicked".into()))??;
+    if user_logits != provider_logits {
+        return Err(ProtocolError::Desync("parties recovered different logits".into()));
+    }
+    Ok(ServiceRun { logits: user_logits, user_stats, provider_stats })
 }

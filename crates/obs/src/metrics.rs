@@ -16,7 +16,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// Version of the metric-name schema emitted in `metrics.json`.
-pub const METRICS_SCHEMA_VERSION: u64 = 1;
+///
+/// * v1 — session/transport/OT counters and gauges.
+/// * v2 — adds the batched-service family: `dealer.hits`,
+///   `dealer.misses`, `dealer.generated`, `dealer.queue_depth.{layer}`
+///   gauges, and the `dealer.take_batch` / `engine.batch_size`
+///   histograms. Purely additive; v1 documents still parse.
+pub const METRICS_SCHEMA_VERSION: u64 = 2;
 
 /// A counter handle: increments are one relaxed atomic add. Cheap to clone.
 #[derive(Debug, Clone, Default)]
@@ -148,7 +154,9 @@ impl MetricsSnapshot {
             .get("metrics_version")
             .and_then(Json::as_u64)
             .ok_or("metrics.json: missing metrics_version")?;
-        if version != METRICS_SCHEMA_VERSION {
+        // v2 is additive over v1, so any version up to the current one
+        // parses with the same structure.
+        if version == 0 || version > METRICS_SCHEMA_VERSION {
             return Err(format!("metrics.json: unsupported schema version {version}"));
         }
         let mut snap = MetricsSnapshot::default();
@@ -402,5 +410,16 @@ mod tests {
         assert_eq!(back.counters, snap.counters);
         assert_eq!(back.gauges, snap.gauges);
         assert_eq!(back.histograms, snap.histograms);
+    }
+
+    #[test]
+    fn older_schema_versions_still_parse() {
+        let v1 = r#"{"metrics_version": 1, "counters": {"session.retransmits": 7}}"#;
+        let doc = crate::json::Json::parse(v1).unwrap();
+        let snap = MetricsSnapshot::from_json(&doc).expect("v1 is forward-parseable");
+        assert_eq!(snap.counters["session.retransmits"], 7);
+        let v9 = r#"{"metrics_version": 9, "counters": {}}"#;
+        let doc = crate::json::Json::parse(v9).unwrap();
+        assert!(MetricsSnapshot::from_json(&doc).is_err());
     }
 }

@@ -14,6 +14,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
 /// The maximum number of worker threads fan-outs will use: the
 /// `AQ2PNN_THREADS` environment variable when set (minimum 1), otherwise
 /// the machine's available parallelism.
@@ -94,6 +97,106 @@ where
     out.into_iter().map(|v| v.expect("every index visited")).collect()
 }
 
+/// A boxed unit of work for a [`Worker`].
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct WorkerState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct WorkerShared {
+    state: Mutex<WorkerState>,
+    cv: Condvar,
+}
+
+/// A long-lived background worker thread with a FIFO job queue.
+///
+/// Unlike the scoped fan-outs above — which exist only for the duration of
+/// one kernel call — a `Worker` persists across protocol operations, so
+/// subsystems can move work *off* the critical path entirely (the offline
+/// dealer pre-generates Beaver material here while the online pass runs on
+/// the caller's thread). Jobs run strictly in submission order on one
+/// thread, so a producer that must consume a deterministic RNG stream in
+/// order can rely on FIFO execution.
+///
+/// Dropping the `Worker` signals shutdown: the job currently running
+/// finishes, queued-but-unstarted jobs are discarded, and the thread is
+/// joined. Long-running jobs should therefore poll their own cancellation
+/// flag if prompt shutdown matters.
+pub struct Worker {
+    shared: Arc<WorkerShared>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Worker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Worker").field("pending", &self.pending()).finish_non_exhaustive()
+    }
+}
+
+impl Worker {
+    /// Spawns a named background worker thread with an empty queue.
+    #[must_use]
+    pub fn spawn(name: &str) -> Worker {
+        let shared = Arc::new(WorkerShared {
+            state: Mutex::new(WorkerState { jobs: VecDeque::new(), shutdown: false }),
+            cv: Condvar::new(),
+        });
+        let run = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name(name.to_string())
+            .spawn(move || loop {
+                let job = {
+                    let mut st = run.state.lock().expect("worker mutex");
+                    loop {
+                        if let Some(job) = st.jobs.pop_front() {
+                            break job;
+                        }
+                        if st.shutdown {
+                            return;
+                        }
+                        st = run.cv.wait(st).expect("worker mutex");
+                    }
+                };
+                job();
+            })
+            .expect("spawn background worker thread");
+        Worker { shared, handle: Some(handle) }
+    }
+
+    /// Enqueues a job; it runs after all previously submitted jobs.
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
+        let mut st = self.shared.state.lock().expect("worker mutex");
+        if !st.shutdown {
+            st.jobs.push_back(Box::new(job));
+        }
+        drop(st);
+        self.shared.cv.notify_one();
+    }
+
+    /// The number of jobs queued but not yet started (the running job, if
+    /// any, is not counted).
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.shared.state.lock().expect("worker mutex").jobs.len()
+    }
+}
+
+impl Drop for Worker {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("worker mutex");
+            st.shutdown = true;
+            st.jobs.clear();
+        }
+        self.shared.cv.notify_one();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -140,5 +243,35 @@ mod tests {
     #[test]
     fn thread_cap_respected() {
         assert!(max_threads() >= 1);
+    }
+
+    #[test]
+    fn worker_runs_jobs_in_submission_order() {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let w = Worker::spawn("test-worker");
+        for i in 0..32u32 {
+            let log = Arc::clone(&log);
+            w.submit(move || log.lock().unwrap().push(i));
+        }
+        // Synchronize on a final job instead of sleeping.
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        w.submit(move || {
+            *pair2.0.lock().unwrap() = true;
+            pair2.1.notify_one();
+        });
+        let mut done = pair.0.lock().unwrap();
+        while !*done {
+            done = pair.1.wait(done).unwrap();
+        }
+        drop(done);
+        assert_eq!(*log.lock().unwrap(), (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn worker_drop_joins_cleanly() {
+        let w = Worker::spawn("drop-worker");
+        w.submit(|| {});
+        drop(w); // must not hang or panic
     }
 }

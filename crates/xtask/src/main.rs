@@ -22,6 +22,7 @@
 use aq2pnn_obs::chrome::parse_chrome_trace;
 use aq2pnn_obs::json::Json;
 use aq2pnn_obs::report::CostReport;
+use aq2pnn_obs::MetricsSnapshot;
 use secrecy_lint::{Config, Linter, Rule};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -191,7 +192,60 @@ fn report_main(args: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!("{}", CostReport::from_chrome(&events).render());
+    // Sibling metrics.json (same --trace dir): summarize the
+    // batched-service family when present. The service writes either a
+    // bare snapshot or `{"party0": snapshot, "party1": snapshot}`.
+    if let Some(dir) = path.parent() {
+        let mpath = dir.join("metrics.json");
+        if let Ok(src) = std::fs::read_to_string(&mpath) {
+            if let Ok(doc) = Json::parse(&src) {
+                let labeled: Vec<(String, &Json)> = if doc.get("metrics_version").is_some() {
+                    vec![(String::new(), &doc)]
+                } else if let Json::Obj(entries) = &doc {
+                    entries.iter().map(|(k, v)| (format!("{k}: "), v)).collect()
+                } else {
+                    Vec::new()
+                };
+                for (label, sub) in labeled {
+                    match MetricsSnapshot::from_json(sub) {
+                        Ok(snap) => {
+                            if let Some(line) = dealer_summary(&snap) {
+                                println!("{label}{line}");
+                            }
+                        }
+                        Err(e) => eprintln!("xtask: {}: {e}", mpath.display()),
+                    }
+                }
+            }
+        }
+    }
     ExitCode::SUCCESS
+}
+
+/// One-line dealer/batch summary from a metrics snapshot, `None` when the
+/// run recorded none of the v2 batched-service metrics.
+fn dealer_summary(snap: &MetricsSnapshot) -> Option<String> {
+    let hits = snap.counters.get("dealer.hits").copied();
+    let misses = snap.counters.get("dealer.misses").copied();
+    let generated = snap.counters.get("dealer.generated").copied();
+    let batch = snap.histograms.get("engine.batch_size");
+    if hits.is_none() && misses.is_none() && generated.is_none() && batch.is_none() {
+        return None;
+    }
+    let (h, m) = (hits.unwrap_or(0), misses.unwrap_or(0));
+    let total = h + m;
+    #[allow(clippy::cast_precision_loss)]
+    let hit_rate = if total == 0 { 0.0 } else { 100.0 * h as f64 / total as f64 };
+    let mut line = format!(
+        "dealer hits {h} / misses {m} ({hit_rate:.1}% hit), generated {}",
+        generated.unwrap_or(0)
+    );
+    if let Some(hist) = batch {
+        #[allow(clippy::cast_precision_loss)]
+        let mean = if hist.count == 0 { 0.0 } else { hist.sum / hist.count as f64 };
+        line.push_str(&format!(", {} batches (mean size {mean:.1})", hist.count));
+    }
+    Some(line)
 }
 
 fn main() -> ExitCode {

@@ -22,9 +22,15 @@
 //!    ("Leakage harness").
 
 use aq2pnn::abrelu::{secure_sign, sign_from_codes};
+use aq2pnn::engine::BatchInput;
+use aq2pnn::prepared::PreparedModel;
 use aq2pnn::sim::{run_pair, run_pair_over};
 use aq2pnn::substrate::obs::{MetricsRegistry, Tracer};
 use aq2pnn::{ProtocolConfig, ReluMode};
+use aq2pnn_nn::data::SyntheticVision;
+use aq2pnn_nn::float::FloatNet;
+use aq2pnn_nn::quant::{QuantConfig, QuantModel};
+use aq2pnn_nn::zoo;
 use aq2pnn_ring::{ct, Ring, RingTensor};
 use aq2pnn_sharing::{AShare, PartyId};
 use aq2pnn_transport::{
@@ -298,6 +304,95 @@ fn session_fault_wire_transcript_is_plaintext_independent() {
     assert!(
         chi2 < CHI2_THRESHOLD,
         "wire transcripts differ between secret classes under faults: \
+         chi2 = {chi2:.1} over {df} df (threshold {CHI2_THRESHOLD})"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Batched online-pass transcripts
+// ---------------------------------------------------------------------------
+
+/// Batched trials (each is two full prepared inferences, one per class).
+const BATCH_TRIALS: usize = 8;
+/// Images per batched pass.
+const BATCH_B: usize = 2;
+
+/// The trained model the batched-transcript checks run, built once.
+fn batched_leakage_model() -> &'static QuantModel {
+    static CELL: std::sync::OnceLock<QuantModel> = std::sync::OnceLock::new();
+    CELL.get_or_init(|| {
+        let data = SyntheticVision::tiny(4, 4021);
+        let mut net = FloatNet::init(&zoo::tiny_cnn(4), 4022).expect("valid spec");
+        net.train_epochs(&data, 2, 8, 0.05);
+        QuantModel::quantize(&net, &data.calibration(16), &QuantConfig::int8())
+            .expect("quantization succeeds")
+    })
+}
+
+/// Captures both parties' outbound transcripts of one **batched** online
+/// pass (`PreparedModel::run_batch` over `images`) under MaskedMux, with
+/// fresh offline material per trial. The capture starts *after*
+/// preparation: preparation is image-independent by construction, the
+/// online pass is what must not leak the batch contents.
+fn captured_batched_run(images: &[Vec<f32>], trial: u64) -> (Transcript, Transcript) {
+    let mut cfg = ProtocolConfig::paper(16);
+    cfg.relu_mode = ReluMode::MaskedMux;
+    cfg.setup_seed ^= 0x6a7c_b100 + trial;
+    let model = batched_leakage_model().clone();
+    let images: Arc<Vec<Vec<f32>>> = Arc::new(images.to_vec());
+    let b = images.len();
+    run_pair(&cfg, move |ctx| {
+        let mut prepared = PreparedModel::prepare(ctx, &model).expect("prepare");
+        let refs: Vec<&[f32]> = images.iter().map(Vec::as_slice).collect();
+        let input = match ctx.id {
+            PartyId::User => BatchInput::User(&refs),
+            PartyId::ModelProvider => BatchInput::Provider { batch: b },
+        };
+        ctx.ep.start_capture();
+        prepared.run_batch(ctx, input).expect("batched inference");
+        ctx.ep.take_capture()
+    })
+}
+
+/// A fixed image batch vs. a fresh random batch per trial: the batched
+/// online pass stacks all `B` images into shared GEMMs, and its wire
+/// transcript must carry no signal about the batch contents — identical
+/// message shapes and χ²-indistinguishable byte distributions, exactly
+/// the guarantee the per-image transcript tests establish for `B = 1`.
+#[test]
+fn batched_online_transcript_is_image_independent() {
+    let n_in = {
+        let data = SyntheticVision::tiny(4, 4021);
+        data.test()[0].image.len()
+    };
+    let fixed: Vec<Vec<f32>> = (0..BATCH_B)
+        .map(|i| (0..n_in).map(|p| ((p + 7 * i) % 13) as f32 / 13.0).collect())
+        .collect();
+
+    let mut class_a = Vec::with_capacity(BATCH_TRIALS);
+    let mut class_b = Vec::with_capacity(BATCH_TRIALS);
+    for trial in 0..BATCH_TRIALS as u64 {
+        let mut rng = StdRng::seed_from_u64(0xba7c_4000 + trial);
+        let random: Vec<Vec<f32>> =
+            (0..BATCH_B).map(|_| (0..n_in).map(|_| rng.gen_range(0.0f32..1.0)).collect()).collect();
+        class_a.push(captured_batched_run(&fixed, trial));
+        class_b.push(captured_batched_run(&random, trial));
+    }
+
+    // Shape equality: the batched message schedule (one exchange per
+    // layer, sizes scaled by B) is public protocol structure, identical
+    // for every trial of both classes.
+    let reference = shape(&class_a[0]);
+    for t in class_a.iter().chain(class_b.iter()) {
+        assert_eq!(shape(t), reference, "batched transcript shape depends on the images");
+    }
+
+    let (chi2, df) = chi2_two_sample(&byte_histogram(&class_a), &byte_histogram(&class_b));
+    eprintln!("batched fixed-vs-random transcript: chi2 = {chi2:.1}, df = {df}");
+    assert!(df >= 64, "wire alphabet unexpectedly narrow: df = {df}");
+    assert!(
+        chi2 < CHI2_THRESHOLD,
+        "batched transcript byte distributions differ between image classes: \
          chi2 = {chi2:.1} over {df} df (threshold {CHI2_THRESHOLD})"
     );
 }

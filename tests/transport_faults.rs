@@ -8,7 +8,8 @@
 //! loopback run with forced mid-inference disconnects. The LeNet5 soak is
 //! `#[ignore]`d and executed by the release-mode CI fault-matrix job.
 
-use aq2pnn::sim::{run_two_party, run_two_party_over};
+use aq2pnn::dealer::{DealerConfig, ExhaustionPolicy};
+use aq2pnn::sim::{run_two_party, run_two_party_over, run_two_party_service, PartyObs};
 use aq2pnn::substrate::obs::MetricsRegistry;
 use aq2pnn::{ProtocolConfig, ProtocolError};
 use aq2pnn_nn::data::SyntheticVision;
@@ -16,7 +17,7 @@ use aq2pnn_nn::float::FloatNet;
 use aq2pnn_nn::quant::{QuantConfig, QuantModel};
 use aq2pnn_nn::zoo;
 use aq2pnn_transport::{
-    mem_pair, Endpoint, FaultPlan, FaultyTransport, Session, SessionConfig, TcpConfig,
+    duplex, mem_pair, Endpoint, FaultPlan, FaultyTransport, Session, SessionConfig, TcpConfig,
     TcpTransport, Transport, TransportError,
 };
 use std::sync::Arc;
@@ -265,6 +266,71 @@ fn fault_metrics_soak_exported_counters_match_schedule() {
             reconnects >= disconnects,
             "seed {seed}: {disconnects} disconnects but only {reconnects} reconnects recorded"
         );
+    }
+}
+
+/// Batched service pass with a **background dealer** over a lossy link:
+/// the dealer is party-local offline machinery, so link faults must not
+/// perturb the batched online pass — the chunked `run_batch` logits must
+/// stay bit-identical to the clean in-memory service run, with bounded
+/// repair work. One seeded schedule keeps the fault-matrix job's runtime
+/// in budget; the per-image lossy sweep above covers the seed space.
+#[test]
+#[ignore = "soak: release-mode CI fault-matrix job runs this"]
+fn batched_dealer_service_bit_identical_under_lossy_link() {
+    let (model, data) = trained_model(&zoo::tiny_cnn(4), 91);
+    let cfg = ProtocolConfig::paper(16);
+    let images: Vec<&[f32]> = data.test().iter().take(4).map(|s| s.image.as_slice()).collect();
+
+    // Clean baseline with the *same* consumption pattern (batch 2, two
+    // chunks): local truncation makes logits a function of the per-lane
+    // triple stream position, so the baseline must batch identically.
+    let (e0, e1) = duplex();
+    let baseline = run_two_party_service(
+        e0,
+        e1,
+        &model,
+        &cfg,
+        &images,
+        2,
+        None,
+        PartyObs::default(),
+        PartyObs::default(),
+    )
+    .expect("clean service run")
+    .logits;
+
+    let seed = 91u64;
+    let (e0, e1, faults, sessions) = faulty_mem_endpoints(
+        FaultPlan::lossy(seed),
+        FaultPlan::lossy(seed ^ 0xFFFF),
+        soak_session_cfg(seed),
+    );
+    let dealer = DealerConfig { depth: 8, policy: ExhaustionPolicy::GenerateInline };
+    let run = run_two_party_service(
+        e0,
+        e1,
+        &model,
+        &cfg,
+        &images,
+        2,
+        Some(dealer),
+        PartyObs::default(),
+        PartyObs::default(),
+    )
+    .expect("dealer-backed service must survive the lossy link");
+    assert_eq!(run.logits, baseline, "batched logits diverged under faults");
+
+    let injected: u64 = faults
+        .iter()
+        .map(|f| {
+            let s = f.stats();
+            s.dropped + s.duplicated + s.corrupted + s.delayed
+        })
+        .sum();
+    assert!(injected > 0, "lossy schedule never fired — soak is vacuous");
+    for s in &sessions {
+        assert!(s.telemetry().retransmits < 40_000, "unbounded retransmission under faults");
     }
 }
 
