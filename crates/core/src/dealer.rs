@@ -44,12 +44,12 @@
 //! cost is already amortized across the batch dimension.
 
 use crate::{PartyContext, ProtocolError};
-use aq2pnn_obs::MetricsRegistry;
+use aq2pnn_obs::{MetricsRegistry, Tracer};
+use aq2pnn_parallel::sync::{AtomicBool, Condvar, Mutex, Ordering};
 use aq2pnn_parallel::Worker;
 use aq2pnn_ring::RingTensor;
 use aq2pnn_sharing::beaver::TripleShare;
 use aq2pnn_sharing::dealer::TripleLane;
-use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -117,6 +117,13 @@ pub struct LaneSlot {
     policy: ExhaustionPolicy,
     signal: Arc<PoolSignal>,
     metrics: MetricsRegistry,
+    /// Set when a background generation step panicked mid-draw. A panic
+    /// inside `lane.next` may have half-advanced the lane's RNG stream,
+    /// so *any* further draw from this lane — background or inline —
+    /// risks a silent cross-party desync. A wedged slot therefore fails
+    /// every take with [`ProtocolError::DealerExhausted`], regardless of
+    /// policy, and the refill loop stops touching it.
+    wedged: AtomicBool,
 }
 
 impl std::fmt::Debug for LaneSlot {
@@ -142,6 +149,13 @@ impl LaneSlot {
         self.queue.lock().len()
     }
 
+    /// True once a background generation step panicked on this lane (see
+    /// the `wedged` field docs); the slot refuses all further takes.
+    #[must_use]
+    pub fn is_wedged(&self) -> bool {
+        self.wedged.load(Ordering::SeqCst)
+    }
+
     /// Pops the next precomputed triple, falling back per the configured
     /// [`ExhaustionPolicy`] when the queue is empty.
     ///
@@ -150,6 +164,13 @@ impl LaneSlot {
     /// [`ProtocolError::DealerExhausted`] on an empty queue under
     /// [`ExhaustionPolicy::Fail`].
     pub fn take(&self) -> Result<TripleShare, ProtocolError> {
+        if self.is_wedged() {
+            // Not policy-dependent: after a mid-draw panic the stream
+            // position is unknown, so inline fallback could desync the
+            // parties. Shedding with a typed error is the only safe
+            // degradation.
+            return Err(ProtocolError::DealerExhausted { layer: self.label.clone() });
+        }
         if let Some(t) = self.pop() {
             self.metrics.add("dealer.hits", 1);
             return Ok(t);
@@ -245,6 +266,17 @@ impl DealerPool {
         lanes: Vec<(String, TripleLane, ExpandFn)>,
         cfg: DealerConfig,
     ) -> DealerPool {
+        Self::new_inner(&ctx.tracer, &ctx.metrics, lanes, cfg)
+    }
+
+    /// Context-free constructor backing [`DealerPool::new`]; the loom
+    /// models build pools through this without standing up a transport.
+    pub(crate) fn new_inner(
+        tracer: &Tracer,
+        metrics: &MetricsRegistry,
+        lanes: Vec<(String, TripleLane, ExpandFn)>,
+        cfg: DealerConfig,
+    ) -> DealerPool {
         let depth = cfg.depth.max(1);
         let signal = Arc::new(PoolSignal {
             state: Mutex::new(PoolState { paused: false, closed: false, dirty: true }),
@@ -261,11 +293,12 @@ impl DealerPool {
                     depth,
                     policy: cfg.policy,
                     signal: Arc::clone(&signal),
-                    metrics: ctx.metrics.clone(),
+                    metrics: metrics.clone(),
+                    wedged: AtomicBool::new(false),
                 })
             })
             .collect();
-        ctx.tracer.info(format!(
+        tracer.info(format!(
             "dealer: background pool over {} lanes, depth {depth}, policy {:?}",
             slots.len(),
             cfg.policy
@@ -338,7 +371,7 @@ fn refill_loop(slots: &[Arc<LaneSlot>], signal: &Arc<PoolSignal>) {
                 return;
             }
             if st.paused {
-                signal.wake.wait(&mut st);
+                let _st = signal.wake.wait(st);
                 continue;
             }
             // Consume the pending wakeup; a pop arriving after this point
@@ -353,12 +386,21 @@ fn refill_loop(slots: &[Arc<LaneSlot>], signal: &Arc<PoolSignal>) {
             if signal.state.lock().closed {
                 return;
             }
-            progressed |= slot.refill_one();
+            if slot.is_wedged() {
+                continue;
+            }
+            // A panicking expansion must not take down the refill thread
+            // (the other slots can still serve) — but it wedges its slot:
+            // the lane's stream position is now unknowable.
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| slot.refill_one())) {
+                Ok(p) => progressed |= p,
+                Err(_) => slot.wedged.store(true, Ordering::SeqCst),
+            }
         }
         if !progressed {
-            let mut st = signal.state.lock();
+            let st = signal.state.lock();
             if !st.dirty && !st.closed {
-                signal.wake.wait(&mut st);
+                let _st = signal.wake.wait(st);
             }
         }
     }
@@ -396,5 +438,107 @@ impl TripleSource {
                 (0..b).map(|_| slot.take()).collect()
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aq2pnn_ring::Ring;
+    use aq2pnn_sharing::dealer::TripleDealer;
+    use std::time::{Duration, Instant};
+
+    fn tiny_lane(seed: u64) -> TripleLane {
+        let mut dealer = TripleDealer::from_seed(seed);
+        let (lane, _peer) = dealer.expanded_lane(Ring::new(8), &[1, 2], &[2, 1]);
+        lane
+    }
+
+    /// A panic inside a background generation step must wedge only that
+    /// slot — every take on it fails typed (inline fallback would risk a
+    /// cross-party desync from a half-advanced RNG stream) — while the
+    /// refill thread survives to keep serving the healthy lanes.
+    #[test]
+    fn panicked_refill_wedges_slot_but_pool_survives() {
+        let bomb: ExpandFn = Box::new(|t: &RingTensor| {
+            if std::thread::current().name() == Some("aq2pnn-dealer") {
+                panic!("seeded refill bomb");
+            }
+            t.clone()
+        });
+        let pool = DealerPool::new_inner(
+            &Tracer::disabled(),
+            &MetricsRegistry::disabled(),
+            vec![
+                ("bad".to_string(), tiny_lane(1), bomb),
+                ("good".to_string(), tiny_lane(2), Box::new(RingTensor::clone)),
+            ],
+            DealerConfig { depth: 2, policy: ExhaustionPolicy::GenerateInline },
+        );
+        let bad = Arc::clone(&pool.slots()[0]);
+        let good = Arc::clone(&pool.slots()[1]);
+
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !(bad.is_wedged() && good.queued() >= 2) {
+            assert!(Instant::now() < deadline, "pool never wedged bad / warmed good");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+
+        // Wedged slot: typed failure despite the GenerateInline policy.
+        match bad.take() {
+            Err(ProtocolError::DealerExhausted { ref layer }) => assert_eq!(layer, "bad"),
+            Ok(_) => panic!("wedged slot must not serve"),
+            Err(other) => panic!("expected DealerExhausted, got {other}"),
+        }
+
+        // Healthy slot still drains and refills: the worker outlived the
+        // panic.
+        for _ in 0..4 {
+            good.take().expect("healthy lane keeps serving");
+        }
+        drop(pool); // join must not hang on the survived worker
+    }
+}
+
+/// Exhaustive schedule exploration of the dealer's push-before-unlock
+/// queue and backpressure parking, on the production code (the `sync`
+/// facade swaps in the loom backend). Run via
+/// `RUSTFLAGS="--cfg loom" cargo test -p aq2pnn --lib loom_`.
+#[cfg(all(loom, test))]
+mod loom_tests {
+    use super::*;
+    use aq2pnn_ring::Ring;
+    use aq2pnn_sharing::dealer::TripleDealer;
+
+    /// A consumer draining a depth-1 pool races the background refill
+    /// loop. Under every interleaving: takes must yield the lane's RNG
+    /// stream in order (push-before-unlock invariant), no schedule may
+    /// deadlock (lost-wakeup freedom for the dirty/wake handshake, both
+    /// directions), and drop must shut the refill loop down cleanly.
+    #[test]
+    fn loom_dealer_stream_order_and_shutdown() {
+        loom::model(|| {
+            let mut dealer = TripleDealer::from_seed(7);
+            // 1×1 shapes keep the GEMM inline (no scoped-thread fan-out
+            // inside the model) and the state space small.
+            let (lane, _peer) = dealer.expanded_lane(Ring::new(8), &[1, 1], &[1, 1]);
+            let mut reference = lane.clone();
+            let expected: Vec<TripleShare> =
+                (0..3).map(|_| reference.next(RingTensor::clone)).collect();
+
+            let pool = DealerPool::new_inner(
+                &Tracer::disabled(),
+                &MetricsRegistry::disabled(),
+                vec![("l0".to_string(), lane, Box::new(RingTensor::clone) as ExpandFn)],
+                DealerConfig { depth: 1, policy: ExhaustionPolicy::GenerateInline },
+            );
+            let slot = Arc::clone(&pool.slots()[0]);
+            for (k, want) in expected.iter().enumerate() {
+                let got = slot.take().expect("take under GenerateInline");
+                assert!(got == *want, "take {k} out of stream order");
+            }
+            drop(pool);
+        });
+        assert!(loom::explored() > 1, "model must explore real interleavings");
     }
 }

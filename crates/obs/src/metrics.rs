@@ -13,7 +13,7 @@
 use crate::json::Json;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// Version of the metric-name schema emitted in `metrics.json`.
 ///
@@ -224,7 +224,7 @@ impl std::fmt::Debug for MetricsRegistry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("MetricsRegistry")
             .field("enabled", &self.inner.enabled)
-            .field("metrics", &self.lock().len())
+            .field("metrics", &self.with_map(|st| st.len()))
             .finish()
     }
 }
@@ -260,8 +260,12 @@ impl MetricsRegistry {
         self.inner.enabled
     }
 
-    fn lock(&self) -> MutexGuard<'_, BTreeMap<String, Slot>> {
-        self.inner.st.lock().unwrap_or_else(PoisonError::into_inner)
+    /// Runs `f` under the registry lock. Scoping the guard to a closure
+    /// keeps every critical section inside this function — nothing can
+    /// hold the lock across a call boundary or a blocking operation.
+    fn with_map<R>(&self, f: impl FnOnce(&mut BTreeMap<String, Slot>) -> R) -> R {
+        let mut st = self.inner.st.lock().unwrap_or_else(PoisonError::into_inner);
+        f(&mut st)
     }
 
     /// Registers (or retrieves) the counter `name` and returns its handle.
@@ -270,11 +274,12 @@ impl MetricsRegistry {
         if !self.inner.enabled {
             return Counter::default();
         }
-        let mut st = self.lock();
-        match st.entry(name.to_owned()).or_insert_with(|| Slot::Counter(Counter::default())) {
-            Slot::Counter(c) => c.clone(),
-            _ => Counter::default(), // name collision with another kind: orphan handle
-        }
+        self.with_map(|st| {
+            match st.entry(name.to_owned()).or_insert_with(|| Slot::Counter(Counter::default())) {
+                Slot::Counter(c) => c.clone(),
+                _ => Counter::default(), // name collision with another kind: orphan handle
+            }
+        })
     }
 
     /// One-shot counter add (registers on first use).
@@ -289,7 +294,7 @@ impl MetricsRegistry {
         if !self.inner.enabled {
             return;
         }
-        self.lock().insert(name.to_owned(), Slot::Gauge(v));
+        self.with_map(|st| st.insert(name.to_owned(), Slot::Gauge(v)));
     }
 
     /// Observes `v` into the histogram `name`, creating it with the given
@@ -298,11 +303,12 @@ impl MetricsRegistry {
         if !self.inner.enabled {
             return;
         }
-        let mut st = self.lock();
-        let slot = st.entry(name.to_owned()).or_insert_with(|| Slot::Histogram(bounds.clone()));
-        if let Slot::Histogram(h) = slot {
-            h.observe(v);
-        }
+        self.with_map(|st| {
+            let slot = st.entry(name.to_owned()).or_insert_with(|| Slot::Histogram(bounds.clone()));
+            if let Slot::Histogram(h) = slot {
+                h.observe(v);
+            }
+        });
     }
 
     /// Observes `v` into the histogram `name` with the default exponential
@@ -317,22 +323,23 @@ impl MetricsRegistry {
     /// Snapshot of every registered metric.
     #[must_use]
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let st = self.lock();
-        let mut snap = MetricsSnapshot::default();
-        for (name, slot) in st.iter() {
-            match slot {
-                Slot::Counter(c) => {
-                    snap.counters.insert(name.clone(), c.get());
-                }
-                Slot::Gauge(v) => {
-                    snap.gauges.insert(name.clone(), *v);
-                }
-                Slot::Histogram(h) => {
-                    snap.histograms.insert(name.clone(), h.clone());
+        self.with_map(|st| {
+            let mut snap = MetricsSnapshot::default();
+            for (name, slot) in st.iter() {
+                match slot {
+                    Slot::Counter(c) => {
+                        snap.counters.insert(name.clone(), c.get());
+                    }
+                    Slot::Gauge(v) => {
+                        snap.gauges.insert(name.clone(), *v);
+                    }
+                    Slot::Histogram(h) => {
+                        snap.histograms.insert(name.clone(), h.clone());
+                    }
                 }
             }
-        }
-        snap
+            snap
+        })
     }
 }
 

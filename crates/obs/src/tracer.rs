@@ -19,7 +19,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Instant;
 
 /// A public span/metric argument value.
@@ -147,7 +147,7 @@ impl std::fmt::Debug for Tracer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Tracer")
             .field("enabled", &self.inner.enabled)
-            .field("spans", &self.lock().spans.len())
+            .field("spans", &self.with_state(|st| st.spans.len()))
             .finish()
     }
 }
@@ -201,8 +201,12 @@ impl Tracer {
         self.inner.enabled
     }
 
-    fn lock(&self) -> MutexGuard<'_, TraceState> {
-        self.inner.st.lock().unwrap_or_else(PoisonError::into_inner)
+    /// Runs `f` under the state lock. Scoping the guard to a closure keeps
+    /// every critical section inside this function — nothing can hold the
+    /// lock across a call boundary or a blocking operation.
+    fn with_state<R>(&self, f: impl FnOnce(&mut TraceState) -> R) -> R {
+        let mut st = self.inner.st.lock().unwrap_or_else(PoisonError::into_inner);
+        f(&mut st)
     }
 
     fn now_ns(&self) -> u64 {
@@ -226,20 +230,22 @@ impl Tracer {
         }
         let start_ns = self.now_ns();
         let tid = thread_ordinal();
-        let mut st = self.lock();
-        let idx = st.spans.len();
-        let parent = st.stacks.get(&tid).and_then(|s| s.last().copied());
-        st.spans.push(SpanRecord {
-            name: name.into(),
-            cat: cat.to_owned(),
-            tid,
-            parent,
-            start_ns,
-            dur_ns: 0,
-            args: args.iter().map(|(k, v)| ((*k).to_owned(), v.clone())).collect(),
-        });
-        st.stacks.entry(tid).or_default().push(idx);
-        SpanId(idx)
+        let name = name.into();
+        self.with_state(|st| {
+            let idx = st.spans.len();
+            let parent = st.stacks.get(&tid).and_then(|s| s.last().copied());
+            st.spans.push(SpanRecord {
+                name,
+                cat: cat.to_owned(),
+                tid,
+                parent,
+                start_ns,
+                dur_ns: 0,
+                args: args.iter().map(|(k, v)| ((*k).to_owned(), v.clone())).collect(),
+            });
+            st.stacks.entry(tid).or_default().push(idx);
+            SpanId(idx)
+        })
     }
 
     /// Closes a span.
@@ -255,20 +261,21 @@ impl Tracer {
         }
         let end_ns = self.now_ns();
         let tid = thread_ordinal();
-        let mut st = self.lock();
-        if let Some(stack) = st.stacks.get_mut(&tid) {
-            // Pop through to this span: ends of enclosing spans implicitly
-            // close any children left open (mirrors Chrome's semantics).
-            while let Some(top) = stack.pop() {
-                if top == id.0 {
-                    break;
+        self.with_state(|st| {
+            if let Some(stack) = st.stacks.get_mut(&tid) {
+                // Pop through to this span: ends of enclosing spans implicitly
+                // close any children left open (mirrors Chrome's semantics).
+                while let Some(top) = stack.pop() {
+                    if top == id.0 {
+                        break;
+                    }
                 }
             }
-        }
-        if let Some(span) = st.spans.get_mut(id.0) {
-            span.dur_ns = end_ns.saturating_sub(span.start_ns);
-            span.args.extend(args.iter().map(|(k, v)| ((*k).to_owned(), v.clone())));
-        }
+            if let Some(span) = st.spans.get_mut(id.0) {
+                span.dur_ns = end_ns.saturating_sub(span.start_ns);
+                span.args.extend(args.iter().map(|(k, v)| ((*k).to_owned(), v.clone())));
+            }
+        });
     }
 
     /// Records a complete span in one call (for already-measured work).
@@ -284,16 +291,18 @@ impl Tracer {
             return;
         }
         let tid = thread_ordinal();
-        let mut st = self.lock();
-        let parent = st.stacks.get(&tid).and_then(|s| s.last().copied());
-        st.spans.push(SpanRecord {
-            name: name.into(),
-            cat: cat.to_owned(),
-            tid,
-            parent,
-            start_ns,
-            dur_ns,
-            args: args.iter().map(|(k, v)| ((*k).to_owned(), v.clone())).collect(),
+        let name = name.into();
+        self.with_state(|st| {
+            let parent = st.stacks.get(&tid).and_then(|s| s.last().copied());
+            st.spans.push(SpanRecord {
+                name,
+                cat: cat.to_owned(),
+                tid,
+                parent,
+                start_ns,
+                dur_ns,
+                args: args.iter().map(|(k, v)| ((*k).to_owned(), v.clone())).collect(),
+            });
         });
     }
 
@@ -301,13 +310,13 @@ impl Tracer {
     /// `dur_ns == 0`), in begin order.
     #[must_use]
     pub fn snapshot(&self) -> Vec<SpanRecord> {
-        self.lock().spans.clone()
+        self.with_state(|st| st.spans.clone())
     }
 
     /// Number of spans recorded so far.
     #[must_use]
     pub fn span_count(&self) -> usize {
-        self.lock().spans.len()
+        self.with_state(|st| st.spans.len())
     }
 
     // --- human log sink -------------------------------------------------

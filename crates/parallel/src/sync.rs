@@ -1,0 +1,161 @@
+//! Loom-aware synchronization facade for the hand-rolled sync layer.
+//!
+//! Every long-lived concurrent structure in the workspace (the dealer
+//! pool, this crate's [`Worker`](crate::Worker)) builds on these
+//! primitives instead of `std::sync` directly. Under normal builds they
+//! are thin wrappers over `std` with **poison recovery**: a panicked
+//! holder never cascades `PoisonError` panics into other threads — the
+//! data is returned as-is and higher layers degrade via their own typed
+//! errors (`DealerExhausted`, inline fallback). Under
+//! `RUSTFLAGS="--cfg loom"` the same call sites compile against the
+//! vendored loom model checker, so the `loom_*` tests exhaustively
+//! explore the real production lock/condvar protocol, not a copy.
+//!
+//! API shape: `lock()` returns the guard directly (never a
+//! `LockResult`), and `Condvar::wait` consumes and returns the guard by
+//! value — `st = cv.wait(st)` — which is the one shape both backends
+//! share.
+
+use std::sync::PoisonError;
+
+#[cfg(loom)]
+use loom::sync as imp;
+#[cfg(not(loom))]
+use std::sync as imp;
+
+pub use std::sync::atomic::Ordering;
+
+#[cfg(loom)]
+pub use loom::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize};
+#[cfg(not(loom))]
+pub use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize};
+
+/// Mutual exclusion with poison recovery (std) or model-checked
+/// scheduling (loom).
+pub struct Mutex<T>(imp::Mutex<T>);
+
+/// Guard returned by [`Mutex::lock`].
+pub struct MutexGuard<'a, T>(imp::MutexGuard<'a, T>);
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex holding `t`.
+    pub fn new(t: T) -> Self {
+        Self(imp::Mutex::new(t))
+    }
+
+    /// Acquires the mutex, recovering the data from a poisoned lock
+    /// instead of propagating the holder's panic.
+    // sync: allow(guard-escape, "the facade's whole job is handing the guard to its caller")
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard(self.0.lock().unwrap_or_else(PoisonError::into_inner))
+    }
+}
+
+impl<T> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mutex").finish_non_exhaustive()
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        T::fmt(self, f)
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+/// Condition variable paired with [`Mutex`].
+pub struct Condvar(imp::Condvar);
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub fn new() -> Self {
+        Self(imp::Condvar::new())
+    }
+
+    /// Atomically releases `guard` and waits for a notification, then
+    /// re-acquires the lock. Always call in a predicate loop:
+    /// `while !ready { st = cv.wait(st); }`.
+    // sync: allow(guard-escape, "wait must return the re-acquired guard by contract")
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        MutexGuard(self.0.wait(guard.0).unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Wakes one waiter (if any; otherwise the notification is lost).
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wakes all waiters.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
+    }
+}
+
+/// Model-aware thread spawning for the long-lived background workers.
+pub mod thread {
+    /// Handle to a spawned background thread.
+    pub struct JoinHandle(Imp);
+
+    #[cfg(loom)]
+    type Imp = loom::thread::JoinHandle<()>;
+    #[cfg(not(loom))]
+    type Imp = std::thread::JoinHandle<()>;
+
+    impl JoinHandle {
+        /// Waits for the thread to finish; a panic on the worker thread
+        /// is reported as `Err` rather than propagated.
+        pub fn join(self) -> std::thread::Result<()> {
+            self.0.join()
+        }
+    }
+
+    impl std::fmt::Debug for JoinHandle {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("JoinHandle").finish_non_exhaustive()
+        }
+    }
+
+    /// Spawns a named thread (the name is dropped under loom, which
+    /// names model threads itself).
+    pub fn spawn_named(name: &str, f: impl FnOnce() + Send + 'static) -> JoinHandle {
+        #[cfg(loom)]
+        {
+            let _ = name;
+            JoinHandle(loom::thread::spawn(f))
+        }
+        #[cfg(not(loom))]
+        {
+            JoinHandle(
+                std::thread::Builder::new()
+                    .name(name.to_string())
+                    .spawn(f)
+                    .expect("spawn background thread"),
+            )
+        }
+    }
+}

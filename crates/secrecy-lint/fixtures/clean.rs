@@ -1,0 +1,35 @@
+//! Known-good secrecy patterns the taint pass must stay silent on.
+//!
+//! Public observables (lengths, shapes), protocol-level receives, and a
+//! documented `declassify` reveal — the negative control for
+//! `cargo xtask lint --self-test`.
+
+/// Lengths and shapes are public by the cost model.
+fn public_len(s: &AShare) -> usize {
+    let n = s.len();
+    if n > 3 {
+        n
+    } else {
+        0
+    }
+}
+
+/// Values received from the peer are public words by protocol design.
+fn recv_public(ep: &Endpoint) -> u64 {
+    let m = ep.recv().unwrap();
+    if m.len() > 0 {
+        1
+    } else {
+        0
+    }
+}
+
+/// Documented reveal: the mask is opened by the A2BM protocol itself.
+// secrecy: declassify — mask is opened by protocol design
+fn open_masked(s: AShare) -> u64 {
+    if s.into_tensor().get(0) > 0 {
+        1
+    } else {
+        0
+    }
+}

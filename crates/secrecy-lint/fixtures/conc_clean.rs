@@ -1,0 +1,65 @@
+//! Known-good concurrency patterns the pass must stay silent on.
+//!
+//! Mirrors the idioms the real crates use: consistent lock order,
+//! predicate-loop condvar waits, explicit `drop` before blocking calls,
+//! condition temporaries that die at `{`, and a *reasoned, used*
+//! allow annotation (sync namespace) for a sanctioned residual.
+
+struct W {
+    state: Mutex<u64>,
+    q: Mutex<Vec<u64>>,
+    cv: Condvar,
+}
+
+impl W {
+    /// Consistent order everywhere in this file: `state` before `q`.
+    fn tick(&self) {
+        let st = self.state.lock().unwrap();
+        let q = self.q.lock().unwrap();
+        drop(q);
+        drop(st);
+    }
+
+    /// Predicate loop around the wait, wait on the lock it holds.
+    fn wait_predicate(&self) {
+        let mut st = self.state.lock().unwrap();
+        while *st == 0 {
+            st = self.cv.wait(st).unwrap();
+        }
+        drop(st);
+    }
+
+    /// Notify pairs with the waiter above.
+    fn bump(&self) {
+        let mut st = self.state.lock().unwrap();
+        *st += 1;
+        drop(st);
+        self.cv.notify_one();
+    }
+
+    /// Guard explicitly dropped before the blocking send.
+    fn publish(&self, ep: &Endpoint) {
+        let mut q = self.q.lock().unwrap();
+        let item = q.pop();
+        drop(q);
+        ep.send(item);
+    }
+
+    /// Condition temporary dies at `{` — the sleep below runs unlocked.
+    fn deep(&self) -> bool {
+        if self.q.lock().unwrap().len() > 3 {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            return true;
+        }
+        false
+    }
+
+    /// Sanctioned residual: the handoff protocol requires sending the
+    /// final length while the queue is still closed.
+    fn sanctioned(&self, ep: &Endpoint) {
+        // sync: allow(blocking-while-locked, "fixture: handoff sends the final count under the queue lock by design")
+        let q = self.q.lock().unwrap();
+        ep.send(q.len());
+        drop(q);
+    }
+}

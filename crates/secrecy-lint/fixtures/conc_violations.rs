@@ -1,0 +1,77 @@
+//! Seeded concurrency violations for `cargo xtask lint-concurrency --self-test`.
+//!
+//! This file is NOT compiled into any crate — it exists so CI can verify
+//! the concurrency pass still detects every rule class. Inline markers
+//! (`expect:` comments) pin each diagnostic to its exact line; the
+//! self-test fails on any missing *or* extra diagnostic.
+
+struct Pair {
+    a: Mutex<u64>,
+    b: Mutex<u64>,
+    q: Mutex<Vec<u64>>,
+    cv: Condvar,
+    lone: Condvar,
+}
+
+impl Pair {
+    /// One half of the seeded deadlock: takes `a` then `b`.
+    fn ordered(&self) {
+        let ga = self.a.lock().unwrap();
+        let gb = self.b.lock().unwrap(); // expect: lock-order-cycle
+        drop(gb);
+        drop(ga);
+    }
+
+    /// The other half: takes `b` then `a`, closing the cycle.
+    fn reversed(&self) {
+        let gb = self.b.lock().unwrap();
+        let ga = self.a.lock().unwrap();
+        drop(ga);
+        drop(gb);
+    }
+
+    /// Channel send while holding a guard.
+    fn blocking_send(&self, ep: &Endpoint) {
+        let g = self.a.lock().unwrap(); // expect: blocking-while-locked
+        ep.send(1);
+        drop(g);
+    }
+
+    /// Condvar wait with no predicate loop around it.
+    fn wait_no_loop(&self) {
+        let mut g = self.a.lock().unwrap();
+        g = self.cv.wait(g).unwrap(); // expect: condvar-misuse
+        drop(g);
+    }
+
+    /// Condvar wait releases `a` but still holds `q` — a foreign guard
+    /// pinned across the sleep.
+    fn wait_foreign(&self) {
+        let gq = self.q.lock().unwrap(); // expect: blocking-while-locked
+        let mut ga = self.a.lock().unwrap();
+        loop {
+            ga = self.cv.wait(ga).unwrap();
+        }
+    }
+
+    /// Notify on a condvar nobody anywhere waits on.
+    fn notify_lone(&self) {
+        self.lone.notify_all(); // expect: condvar-misuse
+    }
+
+    /// The critical section escapes through the return value.
+    fn leak(&self) -> MutexGuard<'_, u64> { // expect: guard-escape
+        self.a.lock().unwrap()
+    }
+
+    /// Copying out of the guard is fine — so this allow suppresses
+    /// nothing and must itself fire.
+    // sync: allow(guard-escape, "seeded unused annotation for the self-test") // expect: unused-allow
+    fn no_guard(&self) -> u64 {
+        *self.a.lock().unwrap()
+    }
+
+    /// Missing mandatory reason string.
+    // sync: allow(lock-order-cycle) // expect: malformed-allow
+    fn untouched(&self) {}
+}

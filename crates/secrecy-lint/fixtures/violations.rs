@@ -7,7 +7,7 @@
 /// secret-branch: control flow keyed on a share value.
 fn seeded_branch(x: &AShare) -> u64 {
     let v = x.as_tensor().get(0);
-    if v > 7 {
+    if v > 7 { // expect: secret-branch
         1
     } else {
         0
@@ -17,13 +17,13 @@ fn seeded_branch(x: &AShare) -> u64 {
 /// secret-index: table lookup keyed on a share value.
 fn seeded_index(x: AShare, table: &[u64]) -> u64 {
     let i = x.into_tensor().get(0) as usize;
-    table[i]
+    table[i] // expect: secret-index
 }
 
 /// secret-alloc: buffer sized from a share value.
 fn seeded_alloc(x: AShare) -> Vec<u64> {
     let n = x.into_tensor().get(0) as usize;
-    let mut buf = Vec::with_capacity(n);
+    let mut buf = Vec::with_capacity(n); // expect: secret-alloc
     buf.push(0);
     buf
 }
@@ -32,17 +32,17 @@ fn seeded_alloc(x: AShare) -> Vec<u64> {
 /// capture forms).
 fn seeded_sink(x: AShare) {
     let w = x.into_tensor().get(0);
-    println!("observed {w}");
+    println!("observed {w}"); // expect: secret-sink
 }
 
 /// secret-compare: raw equality on shares instead of `ct::eq`.
 fn seeded_compare(x: AShare, y: u64) -> bool {
-    let b = x.into_tensor().get(0) == y;
+    let b = x.into_tensor().get(0) == y; // expect: secret-compare
     b
 }
 
 /// unused-allow: annotation that suppresses nothing must itself fire.
-// secrecy: allow(secret-branch, "seeded unused annotation for the self-test")
+// secrecy: allow(secret-branch, "seeded unused annotation for the self-test") // expect: unused-allow
 fn seeded_unused_allow() -> u64 {
     42
 }

@@ -1,7 +1,9 @@
 //! A small self-contained Rust lexer.
 //!
 //! Produces a flat token stream with line numbers plus the `// secrecy:`
-//! control comments the analysis layer consumes. It understands exactly as
+//! and `// sync:` control comments the analysis layers consume (the taint
+//! pass reads the `secrecy` namespace, the concurrency pass reads the
+//! `sync` namespace). It understands exactly as
 //! much Rust as the taint pass needs: identifiers, literals (including raw
 //! strings and char-vs-lifetime disambiguation), nested block comments and
 //! multi-character operators. It does **not** try to be a conforming lexer
@@ -40,12 +42,35 @@ pub struct Tok {
     pub line: u32,
 }
 
-/// A `// secrecy: …` control comment.
+/// Directive namespace: which analysis pass a control comment addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ns {
+    /// `// secrecy: …` — consumed by the taint pass.
+    Secrecy,
+    /// `// sync: …` — consumed by the concurrency pass.
+    Sync,
+}
+
+impl Ns {
+    /// The comment prefix, e.g. `secrecy`.
+    #[must_use]
+    pub fn prefix(self) -> &'static str {
+        match self {
+            Ns::Secrecy => "secrecy",
+            Ns::Sync => "sync",
+        }
+    }
+}
+
+/// A `// secrecy: …` or `// sync: …` control comment.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct SecrecyComment {
+pub struct Directive {
     /// 1-based line the comment appears on.
     pub line: u32,
-    /// Text after `secrecy:`, trimmed (e.g. `allow(secret-index, "…")`).
+    /// Which pass the directive addresses.
+    pub ns: Ns,
+    /// Text after the `<ns>:` prefix, trimmed
+    /// (e.g. `allow(secret-index, "…")`).
     pub body: String,
 }
 
@@ -72,9 +97,10 @@ fn single_op(c: char) -> &'static str {
     "?"
 }
 
-/// Lexes `src`, returning the token stream and any `// secrecy:` comments.
+/// Lexes `src`, returning the token stream and any `// secrecy:` /
+/// `// sync:` control comments.
 #[must_use]
-pub fn lex(src: &str) -> (Vec<Tok>, Vec<SecrecyComment>) {
+pub fn lex(src: &str) -> (Vec<Tok>, Vec<Directive>) {
     let b = src.as_bytes();
     let mut toks = Vec::new();
     let mut comments = Vec::new();
@@ -94,11 +120,16 @@ pub fn lex(src: &str) -> (Vec<Tok>, Vec<SecrecyComment>) {
                     i += 1;
                 }
                 let text = &src[start..i];
-                if let Some(pos) = text.find("secrecy:") {
-                    comments.push(SecrecyComment {
-                        line,
-                        body: text[pos + "secrecy:".len()..].trim().to_string(),
-                    });
+                for ns in [Ns::Secrecy, Ns::Sync] {
+                    let tag = format!("{}:", ns.prefix());
+                    if let Some(pos) = text.find(&tag) {
+                        comments.push(Directive {
+                            line,
+                            ns,
+                            body: text[pos + tag.len()..].trim().to_string(),
+                        });
+                        break;
+                    }
                 }
             }
             '/' if i + 1 < b.len() && b[i + 1] == b'*' => {
@@ -302,7 +333,18 @@ mod tests {
         let (_, comments) = lex("let x = 1; // secrecy: allow(secret-index, \"why\")\n");
         assert_eq!(comments.len(), 1);
         assert_eq!(comments[0].line, 1);
+        assert_eq!(comments[0].ns, Ns::Secrecy);
         assert!(comments[0].body.starts_with("allow(secret-index"));
+    }
+
+    #[test]
+    fn captures_sync_comments() {
+        let (_, comments) =
+            lex("// plain comment\nfn f() {} // sync: allow(guard-escape, \"facade\")\n");
+        assert_eq!(comments.len(), 1);
+        assert_eq!(comments[0].line, 2);
+        assert_eq!(comments[0].ns, Ns::Sync);
+        assert!(comments[0].body.starts_with("allow(guard-escape"));
     }
 
     #[test]

@@ -34,107 +34,18 @@
 //!
 //! [`AShare`]: https://docs.rs/aq2pnn-sharing
 
+pub mod conc;
 pub mod lexer;
+pub mod model;
+pub mod selftest;
 mod taint;
 pub mod tree;
 
-pub use taint::{Config, Rule, Violation};
+pub use conc::ConcLinter;
+pub use model::{AllowSite, Report, Rule, Violation, ALLOW_WINDOW};
+pub use taint::Config;
 
-use lexer::SecrecyComment;
-
-/// How many lines after an allow annotation it covers (inclusive).
-pub const ALLOW_WINDOW: u32 = 5;
-
-/// A parsed `// secrecy: allow(rule, "reason")` site.
-#[derive(Debug, Clone)]
-pub struct AllowSite {
-    /// File the annotation is in.
-    pub file: String,
-    /// 1-based line of the annotation.
-    pub line: u32,
-    /// Rule it suppresses.
-    pub rule: Rule,
-    /// The mandatory justification.
-    pub reason: String,
-    /// Whether it suppressed at least one violation.
-    pub used: bool,
-}
-
-/// Result of a lint run.
-#[derive(Debug, Clone)]
-pub struct Report {
-    /// Surviving violations, sorted by file and line.
-    pub violations: Vec<Violation>,
-    /// Allow annotations found (with use marks).
-    pub allows: Vec<AllowSite>,
-    /// Number of files analyzed.
-    pub files: usize,
-    /// Number of functions analyzed.
-    pub functions: usize,
-}
-
-impl Report {
-    /// Whether the run is clean (no violations survive).
-    #[must_use]
-    pub fn is_clean(&self) -> bool {
-        self.violations.is_empty()
-    }
-
-    /// Serializes the report as JSON (hand-rolled — no serde available for
-    /// arbitrary nesting in the vendored shims).
-    #[must_use]
-    pub fn to_json(&self) -> String {
-        let mut s = String::from("{\n");
-        s.push_str(&format!("  \"files\": {},\n", self.files));
-        s.push_str(&format!("  \"functions\": {},\n", self.functions));
-        s.push_str(&format!(
-            "  \"allows_total\": {},\n  \"allows_used\": {},\n",
-            self.allows.len(),
-            self.allows.iter().filter(|a| a.used).count()
-        ));
-        s.push_str("  \"violations\": [\n");
-        for (i, v) in self.violations.iter().enumerate() {
-            s.push_str(&format!(
-                "    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}{}\n",
-                json_escape(&v.file),
-                v.line,
-                v.rule.name(),
-                json_escape(&v.message),
-                if i + 1 == self.violations.len() { "" } else { "," }
-            ));
-        }
-        s.push_str("  ],\n  \"allows\": [\n");
-        for (i, a) in self.allows.iter().enumerate() {
-            s.push_str(&format!(
-                "    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"used\": {}, \
-                 \"reason\": \"{}\"}}{}\n",
-                json_escape(&a.file),
-                a.line,
-                a.rule.name(),
-                a.used,
-                json_escape(&a.reason),
-                if i + 1 == self.allows.len() { "" } else { "," }
-            ));
-        }
-        s.push_str("  ]\n}\n");
-        s
-    }
-}
-
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
+use lexer::Ns;
 
 /// The linter: add files, then [`Linter::run`].
 pub struct Linter {
@@ -162,10 +73,9 @@ impl Linter {
     pub fn add_file(&mut self, name: &str, src: &str) {
         let (toks, comments) = lexer::lex(src);
         let trees = tree::build(toks);
-        let mut declassify_lines = Vec::new();
-        for c in &comments {
-            self.parse_secrecy_comment(name, c, &mut declassify_lines);
-        }
+        let parsed = model::parse_directives(name, Ns::Secrecy, &comments);
+        self.pre_violations.extend(parsed.malformed);
+        self.allows.extend(parsed.allows);
         let file_idx = self.file_names.len();
         self.file_names.push(name.to_string());
         taint::extract(
@@ -173,67 +83,10 @@ impl Linter {
             file_idx,
             name,
             &self.cfg,
-            &declassify_lines,
+            &parsed.declassify_lines,
             &mut self.fns,
             &mut self.pre_violations,
         );
-    }
-
-    fn parse_secrecy_comment(
-        &mut self,
-        file: &str,
-        c: &SecrecyComment,
-        declassify_lines: &mut Vec<u32>,
-    ) {
-        let body = c.body.trim();
-        if body == "declassify" || body.starts_with("declassify ") {
-            declassify_lines.push(c.line);
-            return;
-        }
-        let malformed = |msg: &str| Violation {
-            file: file.to_string(),
-            line: c.line,
-            rule: Rule::MalformedAllow,
-            message: msg.to_string(),
-        };
-        if let Some(rest) = body.strip_prefix("allow") {
-            let rest = rest.trim_start();
-            let Some(inner) = rest.strip_prefix('(').and_then(|r| r.rfind(')').map(|p| &r[..p]))
-            else {
-                self.pre_violations
-                    .push(malformed("secrecy allow: expected `allow(rule, \"reason\")`"));
-                return;
-            };
-            let Some((rule_s, reason_s)) = inner.split_once(',') else {
-                self.pre_violations.push(malformed(
-                    "secrecy allow: missing mandatory reason — `allow(rule, \"reason\")`",
-                ));
-                return;
-            };
-            let Some(rule) = Rule::parse(rule_s.trim()) else {
-                self.pre_violations
-                    .push(malformed(&format!("secrecy allow: unknown rule `{}`", rule_s.trim())));
-                return;
-            };
-            let reason = reason_s.trim().trim_matches('"').trim();
-            if reason.is_empty() {
-                self.pre_violations
-                    .push(malformed("secrecy allow: reason string must be non-empty"));
-                return;
-            }
-            self.allows.push(AllowSite {
-                file: file.to_string(),
-                line: c.line,
-                rule,
-                reason: reason.to_string(),
-                used: false,
-            });
-        } else {
-            self.pre_violations.push(malformed(&format!(
-                "unrecognized `// secrecy:` directive `{body}` (expected `allow(rule, \
-                 \"reason\")` or `declassify`)"
-            )));
-        }
     }
 
     /// Debugging hook: runs the analysis and returns the names of
@@ -253,37 +106,7 @@ impl Linter {
         let mut an = taint::Analyzer::new(&self.cfg);
         let mut violations = an.run(&self.fns, &self.file_names);
         violations.extend(self.pre_violations.clone());
-
-        // Apply allows: a violation inside [allow.line, allow.line+WINDOW]
-        // of a same-file, same-rule annotation is suppressed.
-        let allows = &mut self.allows;
-        violations.retain(|v| {
-            for a in allows.iter_mut() {
-                if a.rule == v.rule
-                    && a.file == v.file
-                    && v.line >= a.line
-                    && v.line <= a.line + ALLOW_WINDOW
-                {
-                    a.used = true;
-                    return false;
-                }
-            }
-            true
-        });
-        for a in allows.iter() {
-            if !a.used {
-                violations.push(Violation {
-                    file: a.file.clone(),
-                    line: a.line,
-                    rule: Rule::UnusedAllow,
-                    message: format!(
-                        "allow({}) suppresses nothing within {ALLOW_WINDOW} lines — remove it",
-                        a.rule.name()
-                    ),
-                });
-            }
-        }
-        violations.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+        model::apply_allows(&mut violations, &mut self.allows);
         Report {
             violations,
             allows: self.allows,

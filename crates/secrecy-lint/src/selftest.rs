@@ -1,0 +1,155 @@
+//! Shared fixture harness for both analysis passes.
+//!
+//! Fixtures are ordinary Rust sources under `fixtures/` with inline
+//! *expect markers*:
+//!
+//! ```text
+//! t[i]; // expect: secret-index
+//! let g = self.a.lock(); // expect[+1]: blocking-while-locked
+//! ```
+//!
+//! `// expect: rule[, rule…]` asserts those rules fire on that line;
+//! `// expect[+N]:` offsets the expectation N lines down (for rules
+//! reported at a different line than the seeded construct). The check is
+//! exact and bidirectional: every expected `(line, rule)` must fire, and
+//! nothing else may. Clean fixtures assert zero violations.
+//!
+//! The harness backs both the crate's own unit tests and the
+//! `cargo xtask lint --self-test` / `lint-concurrency --self-test`
+//! commands, so the linters are exercised against known-good and
+//! known-bad inputs in the same way everywhere.
+
+use std::collections::BTreeSet;
+
+use crate::model::Report;
+use crate::{lint_sources, ConcLinter, Config};
+
+/// Which analysis pass a fixture targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pass {
+    /// The secret-independence (taint) pass.
+    Secrecy,
+    /// The concurrency-soundness pass.
+    Conc,
+}
+
+/// Parses `// expect…` markers out of raw fixture source.
+#[must_use]
+pub fn expected(src: &str) -> BTreeSet<(u32, String)> {
+    let mut out = BTreeSet::new();
+    for (i, l) in src.lines().enumerate() {
+        let Ok(ln) = u32::try_from(i + 1) else { continue };
+        let Some(pos) = l.find("// expect") else { continue };
+        let rest = &l[pos + "// expect".len()..];
+        let (off, rest) = if let Some(r) = rest.strip_prefix('[') {
+            let Some(end) = r.find(']') else { continue };
+            let off: u32 = r[..end].trim_start_matches('+').parse().unwrap_or(0);
+            (off, &r[end + 1..])
+        } else {
+            (0, rest)
+        };
+        let Some(rules) = rest.trim_start().strip_prefix(':') else { continue };
+        for rule in rules.split(',') {
+            let rule = rule.trim();
+            if !rule.is_empty() {
+                out.insert((ln + off, rule.to_string()));
+            }
+        }
+    }
+    out
+}
+
+/// Runs one pass over a single named source.
+#[must_use]
+pub fn run_pass(pass: Pass, name: &str, src: &str) -> Report {
+    match pass {
+        Pass::Secrecy => lint_sources(Config::aq2pnn(), &[(name.to_string(), src.to_string())]),
+        Pass::Conc => {
+            let mut l = ConcLinter::new();
+            l.add_file(name, src);
+            l.run()
+        }
+    }
+}
+
+/// Checks a violation fixture: the emitted `(line, rule)` set must equal
+/// the expect-marker set exactly. Returns human-readable mismatches.
+#[must_use]
+pub fn check_fixture(pass: Pass, name: &str, src: &str) -> Vec<String> {
+    let want = expected(src);
+    let report = run_pass(pass, name, src);
+    let got: BTreeSet<(u32, String)> =
+        report.violations.iter().map(|v| (v.line, v.rule.name().to_string())).collect();
+    let mut errors = Vec::new();
+    if want.is_empty() {
+        errors.push(format!("{name}: violation fixture carries no `// expect` markers"));
+    }
+    for (line, rule) in want.difference(&got) {
+        errors.push(format!("{name}:{line}: expected `{rule}` did not fire"));
+    }
+    for (line, rule) in got.difference(&want) {
+        errors.push(format!("{name}:{line}: unexpected `{rule}` fired"));
+    }
+    errors
+}
+
+/// Checks a clean fixture: the pass must emit nothing at all.
+#[must_use]
+pub fn check_clean(pass: Pass, name: &str, src: &str) -> Vec<String> {
+    let report = run_pass(pass, name, src);
+    report
+        .violations
+        .iter()
+        .map(|v| {
+            format!(
+                "{name}:{}: `{}` fired on a clean fixture: {}",
+                v.line,
+                v.rule.name(),
+                v.message
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expect_markers_parse_offsets_and_lists() {
+        let src = "a // expect: r1, r2\nb\nc // expect[+2]: r3\n";
+        let want = expected(src);
+        assert!(want.contains(&(1, "r1".into())));
+        assert!(want.contains(&(1, "r2".into())));
+        assert!(want.contains(&(5, "r3".into())));
+        assert_eq!(want.len(), 3);
+    }
+
+    #[test]
+    fn secrecy_violations_fixture_matches_markers() {
+        let src = include_str!("../fixtures/violations.rs");
+        let errors = check_fixture(Pass::Secrecy, "fixtures/violations.rs", src);
+        assert!(errors.is_empty(), "{}", errors.join("\n"));
+    }
+
+    #[test]
+    fn secrecy_clean_fixture_is_clean() {
+        let src = include_str!("../fixtures/clean.rs");
+        let errors = check_clean(Pass::Secrecy, "fixtures/clean.rs", src);
+        assert!(errors.is_empty(), "{}", errors.join("\n"));
+    }
+
+    #[test]
+    fn conc_violations_fixture_matches_markers() {
+        let src = include_str!("../fixtures/conc_violations.rs");
+        let errors = check_fixture(Pass::Conc, "fixtures/conc_violations.rs", src);
+        assert!(errors.is_empty(), "{}", errors.join("\n"));
+    }
+
+    #[test]
+    fn conc_clean_fixture_is_clean() {
+        let src = include_str!("../fixtures/conc_clean.rs");
+        let errors = check_clean(Pass::Conc, "fixtures/conc_clean.rs", src);
+        assert!(errors.is_empty(), "{}", errors.join("\n"));
+    }
+}

@@ -8,70 +8,9 @@
 //! driver verifies are (a) well-formed and (b) actually used.
 
 use crate::lexer::TokKind;
+use crate::model::{Rule, Violation};
 use crate::tree::Tree;
 use std::collections::{HashMap, HashSet};
-
-/// Lint rules.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Rule {
-    /// `if`/`while`/`match`/short-circuit condition derived from a secret.
-    SecretBranch,
-    /// Array/slice index or range bound derived from a secret.
-    SecretIndex,
-    /// Allocation size (`with_capacity`, `reserve`, `vec![_; n]`) derived
-    /// from a secret.
-    SecretAlloc,
-    /// Secret reaches a `format!`-family / logging / `Debug` sink.
-    SecretSink,
-    /// Raw `==`/`<`/`.cmp()` on secrets instead of `aq2pnn_ring::ct`.
-    SecretCompare,
-    /// A `// secrecy: allow` that suppressed nothing.
-    UnusedAllow,
-    /// A `// secrecy:` comment the lint could not parse.
-    MalformedAllow,
-}
-
-impl Rule {
-    /// The rule's kebab-case name as used in allow annotations.
-    #[must_use]
-    pub fn name(self) -> &'static str {
-        match self {
-            Rule::SecretBranch => "secret-branch",
-            Rule::SecretIndex => "secret-index",
-            Rule::SecretAlloc => "secret-alloc",
-            Rule::SecretSink => "secret-sink",
-            Rule::SecretCompare => "secret-compare",
-            Rule::UnusedAllow => "unused-allow",
-            Rule::MalformedAllow => "malformed-allow",
-        }
-    }
-
-    /// Parses a rule name from an allow annotation.
-    #[must_use]
-    pub fn parse(s: &str) -> Option<Rule> {
-        Some(match s {
-            "secret-branch" => Rule::SecretBranch,
-            "secret-index" => Rule::SecretIndex,
-            "secret-alloc" => Rule::SecretAlloc,
-            "secret-sink" => Rule::SecretSink,
-            "secret-compare" => Rule::SecretCompare,
-            _ => return None,
-        })
-    }
-}
-
-/// One reported violation.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Violation {
-    /// File the violation is in (as registered with the linter).
-    pub file: String,
-    /// 1-based source line.
-    pub line: u32,
-    /// Which rule fired.
-    pub rule: Rule,
-    /// Human-readable description.
-    pub message: String,
-}
 
 /// What the analysis treats as secret, public, and neutralizing.
 #[derive(Debug, Clone)]

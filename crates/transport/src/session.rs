@@ -267,6 +267,7 @@ impl Session {
         self.lock().wire_capture.take().unwrap_or_default()
     }
 
+    // sync: allow(guard-escape, "single poison-recovery point; callers hold st for one protocol op")
     fn lock(&self) -> MutexGuard<'_, SessionState> {
         self.st.lock().unwrap_or_else(PoisonError::into_inner)
     }
@@ -501,6 +502,7 @@ impl Session {
 
 impl Transport for Session {
     fn send(&self, bytes: Bytes) -> Result<(), TransportError> {
+        // sync: allow(blocking-while-locked, "session state must stay locked across the reliability protocol; one session per connection, no cross-lock contention")
         let mut st = self.lock();
         self.wait_for_replay_room(&mut st)?;
         let seq = st.next_send_seq;
@@ -518,6 +520,7 @@ impl Transport for Session {
     }
 
     fn recv(&self, deadline: Option<Duration>) -> Result<Bytes, TransportError> {
+        // sync: allow(blocking-while-locked, "the pump loop owns the session for the whole receive; see send")
         let mut st = self.lock();
         let overall = deadline.map(|d| Instant::now() + d);
         let mut probes = 0u32;
@@ -565,6 +568,7 @@ impl Transport for Session {
     }
 
     fn reconnect(&self) -> Result<(), TransportError> {
+        // sync: allow(blocking-while-locked, "resync rewrites sequencing state; the lock must span backoff + handshake")
         let mut st = self.lock();
         self.reconnect_and_resync(&mut st)
     }

@@ -1,15 +1,19 @@
-//! Workspace task runner. Two tasks:
+//! Workspace task runner. Three tasks:
 //!
 //! ```text
-//! cargo xtask lint [--deny] [--json PATH] [--self-test]
+//! cargo xtask lint             [--deny] [--json PATH] [--self-test]
+//! cargo xtask lint-concurrency [--deny] [--json PATH] [--self-test]
 //! ```
 //!
-//! runs the `secrecy-lint` secret-independence analysis over every
-//! protocol crate's `src/` tree (`crates/*` minus `bench`, the lint
-//! itself and this runner). `--deny` exits nonzero on any violation
-//! (CI mode); `--json` writes the machine-readable report; `--self-test`
-//! checks the lint still catches every seeded violation in
-//! `crates/secrecy-lint/fixtures/violations.rs`.
+//! run the `secrecy-lint` analyses over every protocol crate's `src/`
+//! tree (`crates/*` minus `bench`, the lint itself and this runner):
+//! `lint` is the secret-independence (taint) pass, `lint-concurrency`
+//! the concurrency-soundness pass (lock-order cycles, blocking while
+//! locked, condvar misuse, guard escapes). `--deny` exits nonzero on any
+//! violation (CI mode); `--json` writes the machine-readable report;
+//! `--self-test` runs the pass against its seeded good/bad fixtures
+//! under `crates/secrecy-lint/fixtures/` and fails on any missing or
+//! extra diagnostic.
 //!
 //! ```text
 //! cargo xtask report PATH
@@ -23,7 +27,8 @@ use aq2pnn_obs::chrome::parse_chrome_trace;
 use aq2pnn_obs::json::Json;
 use aq2pnn_obs::report::CostReport;
 use aq2pnn_obs::MetricsSnapshot;
-use secrecy_lint::{Config, Linter, Rule};
+use secrecy_lint::selftest::{self, Pass};
+use secrecy_lint::{ConcLinter, Config, Linter, Report};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -53,13 +58,29 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
     }
 }
 
-fn lint_main(args: &[String]) -> ExitCode {
+/// Which analysis pass a lint invocation drives.
+fn pass_label(pass: Pass) -> &'static str {
+    match pass {
+        Pass::Secrecy => "secrecy-lint",
+        Pass::Conc => "concurrency-lint",
+    }
+}
+
+/// The `(violations, clean)` fixture pair for a pass.
+fn fixtures_for(pass: Pass) -> (&'static str, &'static str) {
+    match pass {
+        Pass::Secrecy => ("fixtures/violations.rs", "fixtures/clean.rs"),
+        Pass::Conc => ("fixtures/conc_violations.rs", "fixtures/conc_clean.rs"),
+    }
+}
+
+fn lint_main(pass: Pass, args: &[String]) -> ExitCode {
     let deny = args.iter().any(|a| a == "--deny");
     let self_test = args.iter().any(|a| a == "--self-test");
     let json_path = args.iter().position(|a| a == "--json").and_then(|i| args.get(i + 1)).cloned();
 
     if self_test {
-        return run_self_test();
+        return run_self_test(pass);
     }
 
     let root = workspace_root();
@@ -79,23 +100,35 @@ fn lint_main(args: &[String]) -> ExitCode {
         collect_rs(&dir.join("src"), &mut files);
     }
 
-    let mut linter = Linter::new(Config::aq2pnn());
+    let mut secrecy = (pass == Pass::Secrecy).then(|| Linter::new(Config::aq2pnn()));
+    let mut conc = (pass == Pass::Conc).then(ConcLinter::new);
     for path in &files {
         let Ok(src) = std::fs::read_to_string(path) else {
             eprintln!("xtask: cannot read {}", path.display());
             return ExitCode::FAILURE;
         };
         let rel = path.strip_prefix(&root).unwrap_or(path);
-        linter.add_file(&rel.display().to_string(), &src);
+        let rel = rel.display().to_string();
+        if let Some(l) = secrecy.as_mut() {
+            l.add_file(&rel, &src);
+        }
+        if let Some(l) = conc.as_mut() {
+            l.add_file(&rel, &src);
+        }
     }
-    let report = linter.run();
+    let report: Report = match (secrecy, conc) {
+        (Some(l), _) => l.run(),
+        (_, Some(l)) => l.run(),
+        _ => unreachable!(),
+    };
 
     for v in &report.violations {
         println!("{}:{}: [{}] {}", v.file, v.line, v.rule.name(), v.message);
     }
     let used = report.allows.iter().filter(|a| a.used).count();
     println!(
-        "secrecy-lint: {} files, {} functions, {} violation(s), {}/{} allow annotation(s) used",
+        "{}: {} files, {} functions, {} violation(s), {}/{} allow annotation(s) used",
+        pass_label(pass),
         report.files,
         report.functions,
         report.violations.len(),
@@ -107,50 +140,46 @@ fn lint_main(args: &[String]) -> ExitCode {
             eprintln!("xtask: cannot write {p}: {e}");
             return ExitCode::FAILURE;
         }
-        println!("secrecy-lint: JSON report written to {p}");
+        println!("{}: JSON report written to {p}", pass_label(pass));
     }
     if deny && !report.is_clean() {
-        eprintln!("secrecy-lint: violations present in --deny mode");
+        eprintln!("{}: violations present in --deny mode", pass_label(pass));
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }
 
-/// Expected rule hits in the seeded fixture. The fixture exists so CI can
-/// prove the lint still *fires*: a lint that silently stopped reporting
-/// would otherwise look identical to a clean tree.
-const FIXTURE_EXPECT: &[(&str, Rule)] = &[
-    ("branch", Rule::SecretBranch),
-    ("index", Rule::SecretIndex),
-    ("alloc", Rule::SecretAlloc),
-    ("sink", Rule::SecretSink),
-    ("compare", Rule::SecretCompare),
-    ("unused-allow", Rule::UnusedAllow),
-];
-
-fn run_self_test() -> ExitCode {
-    let fixture = workspace_root().join("crates/secrecy-lint/fixtures/violations.rs");
-    let Ok(src) = std::fs::read_to_string(&fixture) else {
-        eprintln!("xtask: cannot read fixture {}", fixture.display());
-        return ExitCode::FAILURE;
-    };
-    let mut linter = Linter::new(Config::aq2pnn());
-    linter.add_file("fixtures/violations.rs", &src);
-    let report = linter.run();
-    let mut ok = true;
-    for (label, rule) in FIXTURE_EXPECT {
-        let n = report.violations.iter().filter(|v| v.rule == *rule).count();
-        if n == 0 {
-            eprintln!("self-test FAILED: seeded `{label}` violation not detected");
-            ok = false;
+/// Runs a pass against its seeded fixtures via the shared harness in
+/// `secrecy_lint::selftest`: the violations fixture must produce exactly
+/// its `expect:` markers, the clean fixture must produce nothing. A lint
+/// that silently stopped firing would otherwise look identical to a
+/// clean tree.
+fn run_self_test(pass: Pass) -> ExitCode {
+    let (bad, good) = fixtures_for(pass);
+    let base = workspace_root().join("crates/secrecy-lint");
+    let mut errors = Vec::new();
+    for (name, clean) in [(bad, false), (good, true)] {
+        let path = base.join(name);
+        let Ok(src) = std::fs::read_to_string(&path) else {
+            eprintln!("xtask: cannot read fixture {}", path.display());
+            return ExitCode::FAILURE;
+        };
+        let errs = if clean {
+            selftest::check_clean(pass, name, &src)
         } else {
-            println!("self-test: {label}: {n} hit(s)");
-        }
+            selftest::check_fixture(pass, name, &src)
+        };
+        let verdict = if errs.is_empty() { "ok" } else { "FAILED" };
+        println!("self-test: {name}: {verdict}");
+        errors.extend(errs);
     }
-    if ok {
-        println!("secrecy-lint self-test passed ({} violations total)", report.violations.len());
+    if errors.is_empty() {
+        println!("{} self-test passed", pass_label(pass));
         ExitCode::SUCCESS
     } else {
+        for e in &errors {
+            eprintln!("self-test FAILED: {e}");
+        }
         ExitCode::FAILURE
     }
 }
@@ -251,11 +280,13 @@ fn dealer_summary(snap: &MetricsSnapshot) -> Option<String> {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lint") => lint_main(&args[1..]),
+        Some("lint") => lint_main(Pass::Secrecy, &args[1..]),
+        Some("lint-concurrency") => lint_main(Pass::Conc, &args[1..]),
         Some("report") => report_main(&args[1..]),
         _ => {
             eprintln!(
-                "usage: cargo xtask lint [--deny] [--json PATH] [--self-test]\n\
+                "usage: cargo xtask lint             [--deny] [--json PATH] [--self-test]\n\
+                 \x20      cargo xtask lint-concurrency [--deny] [--json PATH] [--self-test]\n\
                  \x20      cargo xtask report PATH"
             );
             ExitCode::FAILURE
