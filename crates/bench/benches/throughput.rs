@@ -23,6 +23,14 @@
 //! `offline`-prefixed phase gains a byte during the timed passes** — the
 //! bench asserts it, so a regression fails loudly.
 //!
+//! A second sweep measures the **multi-tenant server** (`aq2pnn-server`
+//! over the in-process [`mem_acceptor`]): 1/4/16 concurrent clients each
+//! running a full admission → session → inference round trip, plus an
+//! overload burst against a one-slot server that measures how fast a
+//! `Shed` verdict reaches the extra dialers. Rows land in the same JSON
+//! under `server_results` with per-client completion p50/p99, aggregate
+//! images/sec, shed counts and shed-reply latency, and the drain report.
+//!
 //! Emits `BENCH_service.json` (override with `BENCH_SERVICE_JSON`):
 //! per-config measured/LAN/WAN images-per-sec, pass and per-image p50/p99,
 //! online bytes and messages per pass, dealer hit/miss counters, and the
@@ -30,7 +38,9 @@
 //! one-at-a-time service rate on the WAN profile, where per-message
 //! latency dominates). Knobs: `THROUGHPUT_BATCHES` (comma-separated `B`
 //! list, default `1,2,4,8,16`), `THROUGHPUT_TRIALS` (timed passes per
-//! configuration, default 10).
+//! configuration, default 10), `SERVER_CLIENTS` (comma-separated client
+//! counts, default `1,4,16`), `SERVER_CLIENT_IMAGES` (images per client,
+//! default 2).
 
 use aq2pnn::dealer::{DealerConfig, ExhaustionPolicy};
 use aq2pnn::engine::BatchInput;
@@ -219,6 +229,171 @@ impl Measurement {
     }
 }
 
+/// One multi-client server configuration, measured end to end.
+struct ServerMeasurement {
+    clients: usize,
+    images_per_client: usize,
+    /// Wall time from first dial to last completion.
+    wall_ns: u64,
+    /// Per-client dial-to-logits time, completed clients only.
+    per_client_ns: Vec<u64>,
+    /// Dial-to-`Shed`-verdict time of each shed client (overload row).
+    shed_reply_ns: Vec<u64>,
+    counters: aq2pnn_server::ServerCounters,
+    drain: aq2pnn_server::DrainReport,
+}
+
+/// Runs `clients` concurrent full client sessions against one shared
+/// server over the in-process acceptor. With `overload` set, the server
+/// gets a single serve slot and no queue, one occupant client pins it,
+/// and the remaining dialers measure the shed path instead.
+fn run_server_config(
+    model: &QuantModel,
+    images: &[Vec<f32>],
+    clients: usize,
+    images_per_client: usize,
+    overload: bool,
+) -> ServerMeasurement {
+    use aq2pnn_server::{
+        mem_acceptor, run_client, ClientConfig, ClientError, InferenceServer, ModelRegistry,
+        ServerConfig, ServerObs,
+    };
+    let mut scfg = ServerConfig::default();
+    if overload {
+        scfg.max_sessions = 1;
+        scfg.queue_depth = 0;
+    } else {
+        scfg.max_sessions = clients;
+        scfg.queue_depth = clients;
+    }
+    scfg.dealer = Some(DealerConfig {
+        depth: (2 * images_per_client).max(16),
+        policy: ExhaustionPolicy::GenerateInline,
+    });
+    let mut registry = ModelRegistry::new();
+    registry.insert("lenet5", model.clone());
+    let (acc, dial) = mem_acceptor();
+    let mut server =
+        InferenceServer::start(Box::new(acc), scfg, registry, ServerObs::default());
+
+    let ccfg = ClientConfig {
+        model: "lenet5".into(),
+        q1_bits: 16,
+        batch: images_per_client,
+        ..ClientConfig::default()
+    };
+    // One full dial-to-logits client session on its own thread; `n_images`
+    // at the configured batch size, timed from the dial.
+    let spawn_client = |n_images: usize, batch: usize| {
+        let (d, m) = (dial.clone(), model.clone());
+        let c = ClientConfig { batch, ..ccfg.clone() };
+        let imgs = images.to_vec();
+        std::thread::spawn(move || {
+            let refs: Vec<&[f32]> =
+                (0..n_images).map(|i| imgs[i % imgs.len()].as_slice()).collect();
+            let t0 = Instant::now();
+            let res = d
+                .connect()
+                .map_err(ClientError::from)
+                .and_then(|link| run_client(link, &c, &m, &refs))
+                .map(|run| run.logits.len());
+            (u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX), res)
+        })
+    };
+
+    let t_all = Instant::now();
+    let mut per_client_ns = Vec::new();
+    let mut shed_reply_ns = Vec::new();
+    if overload {
+        // Eight one-image passes keep the single slot busy for far longer
+        // than the burst needs: sheds are answered at accept time.
+        let occupant = spawn_client(8, 1);
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while server.counters().active == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let burst: Vec<_> = (0..clients).map(|_| spawn_client(1, 1)).collect();
+        for h in burst {
+            let (ns, res) = h.join().expect("burst client thread");
+            match res {
+                Err(ClientError::Shed) => shed_reply_ns.push(ns),
+                other => panic!("overload burst expected Shed, got {other:?}"),
+            }
+        }
+        let (ns, res) = occupant.join().expect("occupant thread");
+        assert_eq!(res.expect("occupant session"), 8, "occupant got all its logits");
+        per_client_ns.push(ns);
+    } else {
+        let handles: Vec<_> =
+            (0..clients).map(|_| spawn_client(images_per_client, images_per_client)).collect();
+        for h in handles {
+            let (ns, res) = h.join().expect("client thread");
+            let n = res.expect("client session");
+            assert_eq!(n, images_per_client, "client got all its logits");
+            per_client_ns.push(ns);
+        }
+    }
+    let wall_ns = u64::try_from(t_all.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    // Drain first: it joins every session worker, so the counters read
+    // below are final (a client returns slightly before its server-side
+    // worker finishes billing the session).
+    let drain = server.drain();
+    let counters = server.counters();
+    ServerMeasurement {
+        clients,
+        images_per_client,
+        wall_ns,
+        per_client_ns,
+        shed_reply_ns,
+        counters,
+        drain,
+    }
+}
+
+impl ServerMeasurement {
+    fn json_row(&self) -> String {
+        let ms = |ns: u64| ns as f64 / 1e6;
+        let pcts = |v: &[u64]| {
+            let mut s = v.to_vec();
+            s.sort_unstable();
+            if s.is_empty() {
+                (0.0, 0.0)
+            } else {
+                (ms(percentile(&s, 0.50)), ms(percentile(&s, 0.99)))
+            }
+        };
+        let (p50, p99) = pcts(&self.per_client_ns);
+        let (shed_p50, shed_p99) = pcts(&self.shed_reply_ns);
+        let total_images = (self.per_client_ns.len() * self.images_per_client) as f64;
+        let images_per_sec = total_images / (self.wall_ns as f64 / 1e9);
+        format!(
+            "    {{\"row\": \"server_{}\", \"clients\": {}, \"images_per_client\": {}, \
+             \"images_per_sec\": {:.2}, \
+             \"client_p50_ms\": {:.3}, \"client_p99_ms\": {:.3}, \
+             \"shed\": {}, \"shed_reply_p50_ms\": {:.3}, \"shed_reply_p99_ms\": {:.3}, \
+             \"admitted\": {}, \"completed\": {}, \
+             \"drain_clean\": {}, \"drain_ms\": {}}}",
+            if self.shed_reply_ns.is_empty() {
+                format!("c{}", self.clients)
+            } else {
+                "overload".to_string()
+            },
+            self.clients,
+            self.images_per_client,
+            images_per_sec,
+            p50,
+            p99,
+            self.counters.shed,
+            shed_p50,
+            shed_p99,
+            self.counters.admitted,
+            self.counters.completed,
+            self.drain.clean,
+            self.drain.drain_ms,
+        )
+    }
+}
+
 fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name).ok().and_then(|v| v.trim().parse().ok()).unwrap_or(default)
 }
@@ -289,12 +464,40 @@ fn main() {
         eprintln!("  warm B=8 vs sequential (WAN): {s:.2}x images/sec");
     }
 
+    // Multi-tenant server sweep: concurrent clients over the in-process
+    // acceptor, then an overload burst against a one-slot server.
+    let client_counts: Vec<usize> = std::env::var("SERVER_CLIENTS")
+        .map(|v| v.split(',').filter_map(|s| s.trim().parse().ok()).filter(|&c| c >= 1).collect())
+        .ok()
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 4, 16]);
+    let images_per_client = env_usize("SERVER_CLIENT_IMAGES", 2);
+    let mut server_rows = Vec::new();
+    for &c in &client_counts {
+        let m = run_server_config(&model, &images, c, images_per_client, false);
+        eprintln!(
+            "  server {c:2} client(s): {:7.2} img/s aggregate, completed {}, drain {}",
+            (m.per_client_ns.len() * m.images_per_client) as f64 / (m.wall_ns as f64 / 1e9),
+            m.counters.completed,
+            if m.drain.clean { "clean" } else { "forced" },
+        );
+        server_rows.push(m.json_row());
+    }
+    let m = run_server_config(&model, &images, 4, 1, true);
+    eprintln!(
+        "  server overload burst: {} shed with typed errors, occupant completed",
+        m.counters.shed
+    );
+    server_rows.push(m.json_row());
+
     let out = format!(
         "{{\n  \"model\": \"lenet5\",\n  \"config\": \"paper16\",\n  \
          \"networks\": {{\"lan\": \"1 Gbps / 50 us\", \"wan\": \"200 Mbps / 40 ms RTT\"}},\n  \
          \"results\": [\n{}\n  ],\n  \
+         \"server_results\": [\n{}\n  ],\n  \
          \"b8_vs_sequential_speedup\": {}\n}}\n",
         rows.join(",\n"),
+        server_rows.join(",\n"),
         speedup.map_or_else(|| "null".to_string(), |s| format!("{s:.3}")),
     );
     let path =

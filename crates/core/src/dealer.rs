@@ -237,14 +237,130 @@ impl LaneSlot {
     }
 }
 
-/// Handle to a running background dealer. Owns the worker thread; on drop
-/// the refill loop stops and any model still pointing at the slots falls
-/// back to inline generation (the slots stay valid via `Arc`).
+/// One hub member: a live pool's slots, keyed so the pool's drop can
+/// deregister exactly itself.
+struct HubMember {
+    id: u64,
+    slots: Vec<Arc<LaneSlot>>,
+}
+
+/// A refill worker **shared across sessions**: one thread, one condvar,
+/// many [`DealerPool`]s. The multi-tenant server keeps a single hub and
+/// registers each session's prepared-model lanes with it
+/// ([`crate::prepared::PreparedModel::spawn_dealer_on`]); a session's
+/// teardown drops its pool, which deregisters its lanes — the reclaim the
+/// chaos soak asserts on — without disturbing any other session's queues.
+///
+/// Dropping the hub itself stops refilling for everyone; surviving pools
+/// degrade to their exhaustion policy on the still-valid slots.
+pub struct DealerHub {
+    signal: Arc<PoolSignal>,
+    members: Arc<Mutex<Vec<HubMember>>>,
+    next_id: Mutex<u64>,
+    /// Keeps the shared refill thread alive; dropped (and joined) last.
+    _worker: Worker,
+}
+
+impl std::fmt::Debug for DealerHub {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DealerHub").field("pools", &self.members.lock().len()).finish()
+    }
+}
+
+impl DealerHub {
+    /// Starts the shared refill worker (named `aq2pnn-dealer`, same as a
+    /// dedicated pool's) with no members yet.
+    #[must_use]
+    pub fn new() -> DealerHub {
+        let signal = Arc::new(PoolSignal {
+            state: Mutex::new(PoolState { paused: false, closed: false, dirty: true }),
+            wake: Condvar::new(),
+        });
+        let members: Arc<Mutex<Vec<HubMember>>> = Arc::new(Mutex::new(Vec::new()));
+        let worker = Worker::spawn("aq2pnn-dealer");
+        let loop_members = Arc::clone(&members);
+        let loop_signal = Arc::clone(&signal);
+        worker.submit(move || hub_refill_loop(&loop_members, &loop_signal));
+        DealerHub { signal, members, next_id: Mutex::new(0), _worker: worker }
+    }
+
+    /// Live registered pools (sessions currently drawing from the hub).
+    #[must_use]
+    pub fn member_pools(&self) -> usize {
+        self.members.lock().len()
+    }
+
+    /// Registers `lanes` as a new pool fed by this hub's worker. The
+    /// returned pool behaves like [`DealerPool::new`]'s except that
+    /// dropping it only deregisters these lanes — the shared worker keeps
+    /// serving every other member.
+    #[must_use]
+    pub fn register(
+        &self,
+        tracer: &Tracer,
+        metrics: &MetricsRegistry,
+        lanes: Vec<(String, TripleLane, ExpandFn)>,
+        cfg: DealerConfig,
+    ) -> DealerPool {
+        let slots = make_slots(&self.signal, metrics, lanes, cfg);
+        tracer.info(format!(
+            "dealer: hub pool over {} lanes, depth {}, policy {:?}",
+            slots.len(),
+            cfg.depth.max(1),
+            cfg.policy
+        ));
+        let id = {
+            let mut next = self.next_id.lock();
+            *next += 1;
+            *next
+        };
+        self.members.lock().push(HubMember { id, slots: slots.clone() });
+        // New empty queues exist: wake the shared loop to warm them.
+        self.signal.state.lock().dirty = true;
+        self.signal.wake.notify_all();
+        DealerPool {
+            slots,
+            signal: Arc::clone(&self.signal),
+            attachment: Attachment::Hub { members: Arc::clone(&self.members), id },
+        }
+    }
+}
+
+impl Default for DealerHub {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for DealerHub {
+    fn drop(&mut self) {
+        self.signal.state.lock().closed = true;
+        self.signal.wake.notify_all();
+        // `_worker` drops after this, joining the shared refill thread.
+    }
+}
+
+/// How a [`DealerPool`]'s slots are kept warm, which also fixes what its
+/// drop must tear down.
+enum Attachment {
+    /// Dedicated worker: drop closes the pool signal and joins the thread.
+    Owned(#[allow(dead_code)] Worker),
+    /// Member of a shared [`DealerHub`]: drop deregisters this pool's
+    /// slots; the hub's worker and the other members are untouched.
+    Hub {
+        members: Arc<Mutex<Vec<HubMember>>>,
+        id: u64,
+    },
+}
+
+/// Handle to a running background dealer. Owns (or holds membership in)
+/// the refill worker; on drop the refill stops for this pool's lanes and
+/// any model still pointing at the slots falls back to inline generation
+/// (the slots stay valid via `Arc`).
 pub struct DealerPool {
     slots: Vec<Arc<LaneSlot>>,
     signal: Arc<PoolSignal>,
-    /// Keeps the refill thread alive; dropped (and joined) last.
-    _worker: Worker,
+    attachment: Attachment,
 }
 
 impl std::fmt::Debug for DealerPool {
@@ -277,37 +393,22 @@ impl DealerPool {
         lanes: Vec<(String, TripleLane, ExpandFn)>,
         cfg: DealerConfig,
     ) -> DealerPool {
-        let depth = cfg.depth.max(1);
         let signal = Arc::new(PoolSignal {
             state: Mutex::new(PoolState { paused: false, closed: false, dirty: true }),
             wake: Condvar::new(),
         });
-        let slots: Vec<Arc<LaneSlot>> = lanes
-            .into_iter()
-            .map(|(label, lane, expand)| {
-                Arc::new(LaneSlot {
-                    label,
-                    lane: Mutex::new(lane),
-                    expand,
-                    queue: Mutex::new(VecDeque::with_capacity(depth)),
-                    depth,
-                    policy: cfg.policy,
-                    signal: Arc::clone(&signal),
-                    metrics: metrics.clone(),
-                    wedged: AtomicBool::new(false),
-                })
-            })
-            .collect();
+        let slots = make_slots(&signal, metrics, lanes, cfg);
         tracer.info(format!(
-            "dealer: background pool over {} lanes, depth {depth}, policy {:?}",
+            "dealer: background pool over {} lanes, depth {}, policy {:?}",
             slots.len(),
+            cfg.depth.max(1),
             cfg.policy
         ));
         let worker = Worker::spawn("aq2pnn-dealer");
         let loop_slots = slots.clone();
         let loop_signal = Arc::clone(&signal);
         worker.submit(move || refill_loop(&loop_slots, &loop_signal));
-        DealerPool { slots, signal, _worker: worker }
+        DealerPool { slots, signal, attachment: Attachment::Owned(worker) }
     }
 
     /// The pooled lane slots, in layer order.
@@ -318,6 +419,8 @@ impl DealerPool {
 
     /// Stops background refilling (queues drain but are not replenished).
     /// Deterministic-exhaustion knob for tests and cold-start benches.
+    /// On a hub-registered pool this pauses the *shared* refill loop —
+    /// every member — since the signal is hub-wide.
     pub fn pause(&self) {
         self.signal.state.lock().paused = true;
         self.signal.wake.notify_all();
@@ -355,9 +458,88 @@ impl DealerPool {
 
 impl Drop for DealerPool {
     fn drop(&mut self) {
-        self.signal.state.lock().closed = true;
-        self.signal.wake.notify_all();
-        // `_worker` drops after this, joining the refill thread.
+        match &self.attachment {
+            Attachment::Owned(_) => {
+                self.signal.state.lock().closed = true;
+                self.signal.wake.notify_all();
+                // The owned worker drops after this, joining the thread.
+            }
+            Attachment::Hub { members, id } => {
+                // Deregister only this pool's lanes; the shared worker and
+                // every other member keep running.
+                members.lock().retain(|m| m.id != *id);
+                self.signal.state.lock().dirty = true;
+                self.signal.wake.notify_all();
+            }
+        }
+    }
+}
+
+/// Builds the slot set for one pool over `signal`, shared by the dedicated
+/// and hub constructors.
+fn make_slots(
+    signal: &Arc<PoolSignal>,
+    metrics: &MetricsRegistry,
+    lanes: Vec<(String, TripleLane, ExpandFn)>,
+    cfg: DealerConfig,
+) -> Vec<Arc<LaneSlot>> {
+    let depth = cfg.depth.max(1);
+    lanes
+        .into_iter()
+        .map(|(label, lane, expand)| {
+            Arc::new(LaneSlot {
+                label,
+                lane: Mutex::new(lane),
+                expand,
+                queue: Mutex::new(VecDeque::with_capacity(depth)),
+                depth,
+                policy: cfg.policy,
+                signal: Arc::clone(signal),
+                metrics: metrics.clone(),
+                wedged: AtomicBool::new(false),
+            })
+        })
+        .collect()
+}
+
+/// The shared-hub refill loop: like [`refill_loop`] but re-snapshots the
+/// member list each sweep, so pools can register and deregister while the
+/// worker runs. Lock order: pool-signal state and the member list are
+/// never held together.
+fn hub_refill_loop(members: &Arc<Mutex<Vec<HubMember>>>, signal: &Arc<PoolSignal>) {
+    loop {
+        {
+            let mut st = signal.state.lock();
+            if st.closed {
+                return;
+            }
+            if st.paused {
+                let _st = signal.wake.wait(st);
+                continue;
+            }
+            st.dirty = false;
+        }
+        let snapshot: Vec<Arc<LaneSlot>> =
+            members.lock().iter().flat_map(|m| m.slots.iter().cloned()).collect();
+        let mut progressed = false;
+        for slot in &snapshot {
+            if signal.state.lock().closed {
+                return;
+            }
+            if slot.is_wedged() {
+                continue;
+            }
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| slot.refill_one())) {
+                Ok(p) => progressed |= p,
+                Err(_) => slot.wedged.store(true, Ordering::SeqCst),
+            }
+        }
+        if !progressed {
+            let st = signal.state.lock();
+            if !st.dirty && !st.closed {
+                let _st = signal.wake.wait(st);
+            }
+        }
     }
 }
 
@@ -497,6 +679,41 @@ mod tests {
             good.take().expect("healthy lane keeps serving");
         }
         drop(pool); // join must not hang on the survived worker
+    }
+
+    /// Two pools share one hub worker; dropping one deregisters only its
+    /// lanes (the reclaim path the server relies on), while the other
+    /// keeps refilling. Dropping the hub stops refills but leaves the
+    /// surviving pool's slots valid for inline fallback.
+    #[test]
+    fn hub_shares_worker_and_reclaims_dropped_pools() {
+        let hub = DealerHub::new();
+        let tracer = Tracer::disabled();
+        let metrics = MetricsRegistry::disabled();
+        let cfg = DealerConfig { depth: 2, policy: ExhaustionPolicy::GenerateInline };
+        let p1 =
+            hub.register(&tracer, &metrics, vec![("a".into(), tiny_lane(1), Box::new(RingTensor::clone) as ExpandFn)], cfg);
+        let p2 =
+            hub.register(&tracer, &metrics, vec![("b".into(), tiny_lane(2), Box::new(RingTensor::clone) as ExpandFn)], cfg);
+        assert_eq!(hub.member_pools(), 2);
+        assert!(p1.wait_warm(Duration::from_secs(10)), "hub never warmed pool 1");
+        assert!(p2.wait_warm(Duration::from_secs(10)), "hub never warmed pool 2");
+
+        // Session teardown: pool 1's lanes deregister, pool 2 survives.
+        drop(p1);
+        assert_eq!(hub.member_pools(), 1);
+        let s2 = Arc::clone(&p2.slots()[0]);
+        for _ in 0..4 {
+            s2.take().expect("surviving pool keeps serving");
+        }
+        assert!(p2.wait_warm(Duration::from_secs(10)), "hub stopped refilling survivor");
+
+        // Hub teardown: no more refills, but takes still succeed inline.
+        drop(hub);
+        for _ in 0..3 {
+            s2.take().expect("inline fallback after hub drop");
+        }
+        drop(p2);
     }
 }
 

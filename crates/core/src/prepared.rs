@@ -24,6 +24,22 @@
 //!
 //! `run_party` is now a thin `prepare`-then-`run` wrapper, so single-shot
 //! callers see identical behavior (same phases, same byte counts).
+//!
+//! # Template/bind split
+//!
+//! [`PreparedModel::prepare`] itself is two halves:
+//!
+//! * [`PreparedTemplate::build`] — everything **channel-free and
+//!   dealer-free**: weight/bias share derivation from the setup PRG,
+//!   GEMM-layout transposition, pooling-window precomputation. The result
+//!   is `Send + Sync` plain data, so a multi-tenant server builds it once
+//!   per (model, ℓ-profile) and shares it across sessions behind an `Arc`.
+//! * [`PreparedTemplate::bind`] — the per-session remainder: drawing each
+//!   linear layer's [`TripleLane`] from the session dealer (keeping the
+//!   dealer stream in lockstep with a peer doing a full `prepare`) and the
+//!   one interactive step, the `offline-f` weight-mask openings.
+//!
+//! `prepare` = `build` + `bind`, with byte-identical wire traffic.
 
 use crate::abrelu::abrelu;
 use crate::dealer::{DealerConfig, DealerPool, ExpandFn, LaneSlot, TripleSource};
@@ -34,7 +50,7 @@ use crate::ops::{
     secure_conv2d_prepared_batch, secure_linear_prepared_batch, ConvGeometry,
 };
 use crate::party::IoSpan;
-use crate::{PartyContext, PipelineMode, ProtocolError};
+use crate::{PartyContext, PipelineMode, ProtocolConfig, ProtocolError};
 use aq2pnn_nn::quant::{quantize_image, QuantModel, QuantOp, Requant};
 use aq2pnn_obs::report::{ARG_RING_BITS, ARG_SHAPE, CAT_LAYER, CAT_OFFLINE, CAT_STAGE};
 use aq2pnn_obs::Histogram;
@@ -135,16 +151,8 @@ impl PreparedModel {
         ctx: &mut PartyContext,
         model: &QuantModel,
     ) -> Result<PreparedModel, ProtocolError> {
-        let mut wstream = ChaCha20Rng::seed_from_u64(ctx.cfg.setup_seed ^ 0x7e19_0002);
-        let mut layer_idx = 0usize;
-        let mut cur_shape = vec![model.input_shape.elements()];
-        let ops = prepare_ops(ctx, &model.ops, &mut cur_shape, &mut wstream, &mut layer_idx)?;
-        Ok(PreparedModel {
-            ops,
-            n_in: model.input_shape.elements(),
-            input_scale: model.input_scale,
-            act_bits: model.act_bits,
-        })
+        let cfg = ctx.cfg.clone();
+        PreparedTemplate::build(ctx.id, &cfg, model)?.bind(ctx)
     }
 
     /// Runs one secure inference over the prepared state. Must be called
@@ -298,6 +306,210 @@ impl PreparedModel {
         assign_slots(&mut self.ops, pool.slots(), &mut cursor);
         pool
     }
+
+    /// Like [`PreparedModel::spawn_dealer`], but registers the lanes with
+    /// a shared [`DealerHub`] instead of spawning a dedicated worker — the
+    /// multi-tenant server's shape, where one dealer thread serves every
+    /// session and a session's teardown (dropping the returned pool)
+    /// reclaims exactly its own lanes.
+    pub fn spawn_dealer_on(
+        &mut self,
+        ctx: &PartyContext,
+        cfg: DealerConfig,
+        hub: &crate::dealer::DealerHub,
+    ) -> DealerPool {
+        let mut lanes: Vec<(String, aq2pnn_sharing::dealer::TripleLane, ExpandFn)> = Vec::new();
+        collect_lanes(&self.ops, &mut lanes);
+        let pool = hub.register(&ctx.tracer, &ctx.metrics, lanes, cfg);
+        let mut cursor = 0usize;
+        assign_slots(&mut self.ops, pool.slots(), &mut cursor);
+        pool
+    }
+}
+
+/// The channel-free, dealer-free half of preparation: weight and bias
+/// shares in GEMM layout plus all static geometry, derived purely from
+/// `(party, config, model)`. Plain data — `Send + Sync` — so a server
+/// builds one per (model, ℓ-profile), wraps it in an `Arc`, and
+/// [`PreparedTemplate::bind`]s it once per session.
+pub struct PreparedTemplate {
+    ops: Vec<TemplateOp>,
+    n_in: usize,
+    input_scale: f32,
+    act_bits: u32,
+}
+
+impl std::fmt::Debug for PreparedTemplate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PreparedTemplate")
+            .field("ops", &self.ops.len())
+            .field("n_in", &self.n_in)
+            .finish_non_exhaustive()
+    }
+}
+
+struct TemplateOp {
+    idx: usize,
+    kind: TemplateKind,
+}
+
+enum TemplateKind {
+    Conv2d {
+        geom: ConvGeometry,
+        w_mat: AShare,
+        bias: AShare,
+        /// Activation shape *entering* the layer — fixes the compact
+        /// triple shape the bound lane must draw.
+        a_shape: Vec<usize>,
+        out_shape: Vec<usize>,
+        requant: Requant,
+    },
+    Linear {
+        w_mat: AShare,
+        bias: AShare,
+        a_shape: Vec<usize>,
+        out_shape: Vec<usize>,
+        requant: Requant,
+    },
+    Relu,
+    MaxPool {
+        c: usize,
+        out_hw: (usize, usize),
+        windows: Vec<Vec<usize>>,
+    },
+    AvgPool {
+        k: usize,
+        stride: usize,
+        pad: usize,
+        c: usize,
+        in_hw: (usize, usize),
+        out_hw: (usize, usize),
+        requant: Requant,
+    },
+    GlobalAvgPool {
+        c: usize,
+        spatial: usize,
+        requant: Requant,
+    },
+    Flatten,
+    Rescale {
+        requant: Requant,
+    },
+    Residual {
+        main: Vec<TemplateOp>,
+        shortcut: Vec<TemplateOp>,
+    },
+}
+
+impl PreparedTemplate {
+    /// Derives the template for `model` as party `id`: weight/bias share
+    /// derivation from the setup PRG, GEMM-layout transposition, pooling
+    /// windows. No channel, no dealer — safe to run anywhere, any number
+    /// of times, and cacheable across sessions.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProtocolError`] for a model the engine cannot lower.
+    pub fn build(
+        id: PartyId,
+        cfg: &ProtocolConfig,
+        model: &QuantModel,
+    ) -> Result<PreparedTemplate, ProtocolError> {
+        let mut wstream = ChaCha20Rng::seed_from_u64(cfg.setup_seed ^ 0x7e19_0002);
+        let mut layer_idx = 0usize;
+        let mut cur_shape = vec![model.input_shape.elements()];
+        let ops = build_ops(id, cfg.q2(), &model.ops, &mut cur_shape, &mut wstream, &mut layer_idx)?;
+        Ok(PreparedTemplate {
+            ops,
+            n_in: model.input_shape.elements(),
+            input_scale: model.input_scale,
+            act_bits: model.act_bits,
+        })
+    }
+
+    /// Completes preparation for one session: draws each linear layer's
+    /// triple lane from `ctx`'s dealer (same order as a full
+    /// [`PreparedModel::prepare`], so both parties' dealer streams stay in
+    /// lockstep even when only one side uses a cached template) and runs
+    /// the `offline-f` weight-mask openings — the only interactive step.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProtocolError`] on channel failure or desync.
+    pub fn bind(&self, ctx: &mut PartyContext) -> Result<PreparedModel, ProtocolError> {
+        let ops = bind_ops(ctx, &self.ops)?;
+        Ok(PreparedModel {
+            ops,
+            n_in: self.n_in,
+            input_scale: self.input_scale,
+            act_bits: self.act_bits,
+        })
+    }
+}
+
+/// The bind walk: mirrors [`build_ops`] order exactly so dealer
+/// consumption matches a monolithic `prepare`.
+fn bind_ops(ctx: &mut PartyContext, ops: &[TemplateOp]) -> Result<Vec<PreparedOp>, ProtocolError> {
+    let q2 = ctx.q2();
+    let mut out = Vec::with_capacity(ops.len());
+    for op in ops {
+        let idx = op.idx;
+        let kind = match &op.kind {
+            TemplateKind::Conv2d { geom, w_mat, bias, a_shape, out_shape, requant } => {
+                let span = ctx.span_begin(format!("conv{idx}"), CAT_OFFLINE, &[]);
+                let lane = ctx.expanded_lane(q2, a_shape, w_mat.shape());
+                let f_open = open_weight_mask(ctx, w_mat, lane.b_share())?;
+                ctx.span_end_with(span, &[(ARG_SHAPE, shape_str(out_shape).into())]);
+                PreparedKind::Conv2d {
+                    geom: *geom,
+                    w_mat: w_mat.clone(),
+                    bias: bias.clone(),
+                    f_open,
+                    source: TripleSource::Inline(Box::new(lane)),
+                    requant: *requant,
+                }
+            }
+            TemplateKind::Linear { w_mat, bias, a_shape, out_shape, requant } => {
+                let span = ctx.span_begin(format!("fc{idx}"), CAT_OFFLINE, &[]);
+                let lane = ctx.expanded_lane(q2, a_shape, w_mat.shape());
+                let f_open = open_weight_mask(ctx, w_mat, lane.b_share())?;
+                ctx.span_end_with(span, &[(ARG_SHAPE, shape_str(out_shape).into())]);
+                PreparedKind::Linear {
+                    w_mat: w_mat.clone(),
+                    bias: bias.clone(),
+                    f_open,
+                    source: TripleSource::Inline(Box::new(lane)),
+                    requant: *requant,
+                }
+            }
+            TemplateKind::Relu => PreparedKind::Relu,
+            TemplateKind::MaxPool { c, out_hw, windows } => {
+                PreparedKind::MaxPool { c: *c, out_hw: *out_hw, windows: windows.clone() }
+            }
+            TemplateKind::AvgPool { k, stride, pad, c, in_hw, out_hw, requant } => {
+                PreparedKind::AvgPool {
+                    k: *k,
+                    stride: *stride,
+                    pad: *pad,
+                    c: *c,
+                    in_hw: *in_hw,
+                    out_hw: *out_hw,
+                    requant: *requant,
+                }
+            }
+            TemplateKind::GlobalAvgPool { c, spatial, requant } => {
+                PreparedKind::GlobalAvgPool { c: *c, spatial: *spatial, requant: *requant }
+            }
+            TemplateKind::Flatten => PreparedKind::Flatten,
+            TemplateKind::Rescale { requant } => PreparedKind::Rescale { requant: *requant },
+            TemplateKind::Residual { main, shortcut } => PreparedKind::Residual {
+                main: bind_ops(ctx, main)?,
+                shortcut: bind_ops(ctx, shortcut)?,
+            },
+        };
+        out.push(PreparedOp { idx, kind });
+    }
+    Ok(out)
 }
 
 /// Gathers `(label, lane, expand)` for every inline linear layer, in the
@@ -398,14 +610,14 @@ fn layer_label(idx: usize, kind: &PreparedKind) -> Option<String> {
 /// provider, consuming the shared PRG stream (both parties must call in
 /// lockstep).
 fn provider_share(
-    ctx: &PartyContext,
+    id: PartyId,
     plain: impl Fn() -> RingTensor,
     ring: Ring,
     shape: &[usize],
     stream: &mut ChaCha20Rng,
 ) -> AShare {
     let mask = RingTensor::random(ring, shape.to_vec(), stream);
-    match ctx.id {
+    match id {
         PartyId::User => AShare::from_tensor(mask),
         PartyId::ModelProvider => {
             let p = plain();
@@ -414,32 +626,25 @@ fn provider_share(
     }
 }
 
-/// The offline lowering walk: mirrors the engine's execution order
-/// (depth-first, residual main before shortcut) so PRG stream and dealer
-/// consumption stay in lockstep across parties. `cur_shape` tracks the
-/// activation tensor shape, which fixes each layer's compact triple shape.
+/// The template lowering walk: mirrors the engine's execution order
+/// (depth-first, residual main before shortcut) so PRG stream consumption
+/// stays in lockstep across parties. `cur_shape` tracks the activation
+/// tensor shape, which fixes each layer's compact triple shape (recorded
+/// as `a_shape` for [`bind_ops`] to draw the matching lane). Dealer- and
+/// channel-free by construction.
 #[allow(clippy::too_many_lines)]
-fn prepare_ops(
-    ctx: &mut PartyContext,
+fn build_ops(
+    id: PartyId,
+    q2: Ring,
     ops: &[QuantOp],
     cur_shape: &mut Vec<usize>,
     wstream: &mut ChaCha20Rng,
     layer_idx: &mut usize,
-) -> Result<Vec<PreparedOp>, ProtocolError> {
-    let q2 = ctx.q2();
+) -> Result<Vec<TemplateOp>, ProtocolError> {
     let mut out = Vec::with_capacity(ops.len());
     for op in ops {
         let idx = *layer_idx;
         *layer_idx += 1;
-        // The linear layers are the only ops with offline traffic (the
-        // `offline-f` weight-mask openings); give each its own
-        // `CAT_OFFLINE` span so the cost report's offline column
-        // attributes preparation bytes per layer.
-        let prep_span = match op {
-            QuantOp::Conv2d { .. } => Some(ctx.span_begin(format!("conv{idx}"), CAT_OFFLINE, &[])),
-            QuantOp::Linear { .. } => Some(ctx.span_begin(format!("fc{idx}"), CAT_OFFLINE, &[])),
-            _ => None,
-        };
         let kind = match op {
             QuantOp::Conv2d { in_c, out_c, k, stride, pad, in_hw, out_hw, w, bias, requant } => {
                 let geom = ConvGeometry {
@@ -455,7 +660,7 @@ fn prepare_ops(
                 // Weight matrix [in_c·k·k, out_c] on Q2, transposed once
                 // from the model's [out_c, in_c·k·k] layout.
                 let w_mat = provider_share(
-                    ctx,
+                    id,
                     || {
                         let mut data = vec![0u64; kdim * out_c];
                         for oc in 0..*out_c {
@@ -471,7 +676,7 @@ fn prepare_ops(
                     wstream,
                 );
                 let bias = provider_share(
-                    ctx,
+                    id,
                     || {
                         RingTensor::from_signed(q2, vec![*out_c], bias)
                             .expect("bias length matches")
@@ -480,21 +685,20 @@ fn prepare_ops(
                     &[*out_c],
                     wstream,
                 );
-                let lane = ctx.expanded_lane(q2, cur_shape, &[kdim, *out_c]);
-                let f_open = open_weight_mask(ctx, &w_mat, lane.b_share())?;
+                let a_shape = cur_shape.clone();
                 *cur_shape = vec![*out_c, out_hw.0, out_hw.1];
-                PreparedKind::Conv2d {
+                TemplateKind::Conv2d {
                     geom,
                     w_mat,
                     bias,
-                    f_open,
-                    source: TripleSource::Inline(Box::new(lane)),
+                    a_shape,
+                    out_shape: cur_shape.clone(),
                     requant: *requant,
                 }
             }
             QuantOp::Linear { in_f, out_f, w, bias, requant } => {
                 let w_mat = provider_share(
-                    ctx,
+                    id,
                     || {
                         let mut data = vec![0u64; in_f * out_f];
                         for of in 0..*out_f {
@@ -509,32 +713,31 @@ fn prepare_ops(
                     wstream,
                 );
                 let bias = provider_share(
-                    ctx,
+                    id,
                     || RingTensor::from_signed(q2, vec![*out_f], bias).expect("bias length"),
                     q2,
                     &[*out_f],
                     wstream,
                 );
-                let lane = ctx.expanded_lane(q2, cur_shape, &[*in_f, *out_f]);
-                let f_open = open_weight_mask(ctx, &w_mat, lane.b_share())?;
+                let a_shape = cur_shape.clone();
                 *cur_shape = vec![*out_f];
-                PreparedKind::Linear {
+                TemplateKind::Linear {
                     w_mat,
                     bias,
-                    f_open,
-                    source: TripleSource::Inline(Box::new(lane)),
+                    a_shape,
+                    out_shape: cur_shape.clone(),
                     requant: *requant,
                 }
             }
-            QuantOp::Relu => PreparedKind::Relu,
+            QuantOp::Relu => TemplateKind::Relu,
             QuantOp::MaxPool { k, stride, pad, c, in_hw, out_hw } => {
                 let windows = pool_windows(*c, *in_hw, *k, *stride, *pad, *out_hw);
                 *cur_shape = vec![*c, out_hw.0, out_hw.1];
-                PreparedKind::MaxPool { c: *c, out_hw: *out_hw, windows }
+                TemplateKind::MaxPool { c: *c, out_hw: *out_hw, windows }
             }
             QuantOp::AvgPool { k, stride, pad, c, in_hw, out_hw, requant } => {
                 *cur_shape = vec![*c, out_hw.0, out_hw.1];
-                PreparedKind::AvgPool {
+                TemplateKind::AvgPool {
                     k: *k,
                     stride: *stride,
                     pad: *pad,
@@ -546,27 +749,24 @@ fn prepare_ops(
             }
             QuantOp::GlobalAvgPool { c, in_hw, requant } => {
                 *cur_shape = vec![*c];
-                PreparedKind::GlobalAvgPool { c: *c, spatial: in_hw.0 * in_hw.1, requant: *requant }
+                TemplateKind::GlobalAvgPool { c: *c, spatial: in_hw.0 * in_hw.1, requant: *requant }
             }
             QuantOp::Flatten => {
                 *cur_shape = vec![cur_shape.iter().product()];
-                PreparedKind::Flatten
+                TemplateKind::Flatten
             }
-            QuantOp::Rescale { requant } => PreparedKind::Rescale { requant: *requant },
+            QuantOp::Rescale { requant } => TemplateKind::Rescale { requant: *requant },
             QuantOp::Residual { main, shortcut } => {
                 let mut main_shape = cur_shape.clone();
-                let main_ops = prepare_ops(ctx, main, &mut main_shape, wstream, layer_idx)?;
+                let main_ops = build_ops(id, q2, main, &mut main_shape, wstream, layer_idx)?;
                 let mut short_shape = cur_shape.clone();
-                let short_ops = prepare_ops(ctx, shortcut, &mut short_shape, wstream, layer_idx)?;
+                let short_ops = build_ops(id, q2, shortcut, &mut short_shape, wstream, layer_idx)?;
                 // The residual add flattens both branches to one vector.
                 *cur_shape = vec![main_shape.iter().product()];
-                PreparedKind::Residual { main: main_ops, shortcut: short_ops }
+                TemplateKind::Residual { main: main_ops, shortcut: short_ops }
             }
         };
-        if let Some(span) = prep_span {
-            ctx.span_end_with(span, &[(ARG_SHAPE, shape_str(cur_shape).into())]);
-        }
-        out.push(PreparedOp { idx, kind });
+        out.push(TemplateOp { idx, kind });
     }
     Ok(out)
 }

@@ -22,7 +22,14 @@ use std::sync::{Arc, Mutex, PoisonError};
 ///   `dealer.misses`, `dealer.generated`, `dealer.queue_depth.{layer}`
 ///   gauges, and the `dealer.take_batch` / `engine.batch_size`
 ///   histograms. Purely additive; v1 documents still parse.
-pub const METRICS_SCHEMA_VERSION: u64 = 2;
+/// * v3 — adds the multi-tenant server family: the
+///   `server.sessions_{admitted,shed,reaped,rejected,faulted,completed}`
+///   counters, the `server.sessions_active` and `server.drain_ms` gauges,
+///   and the per-stream reliability counters
+///   `session.<stream>.{acks_sent,naks_sent,retransmits,duplicates,corrupt_frames,misrouted,reconnects}`
+///   (stream `0` keeps the unprefixed v1 `session.*` names). Purely
+///   additive; v1 and v2 documents still parse.
+pub const METRICS_SCHEMA_VERSION: u64 = 3;
 
 /// A counter handle: increments are one relaxed atomic add. Cheap to clone.
 #[derive(Debug, Clone, Default)]
@@ -154,8 +161,8 @@ impl MetricsSnapshot {
             .get("metrics_version")
             .and_then(Json::as_u64)
             .ok_or("metrics.json: missing metrics_version")?;
-        // v2 is additive over v1, so any version up to the current one
-        // parses with the same structure.
+        // Every schema bump so far is additive, so any version up to the
+        // current one parses with the same structure.
         if version == 0 || version > METRICS_SCHEMA_VERSION {
             return Err(format!("metrics.json: unsupported schema version {version}"));
         }
@@ -425,8 +432,19 @@ mod tests {
         let doc = crate::json::Json::parse(v1).unwrap();
         let snap = MetricsSnapshot::from_json(&doc).expect("v1 is forward-parseable");
         assert_eq!(snap.counters["session.retransmits"], 7);
+        // A v2 document (dealer family) parses under the v3 schema too.
+        let v2 = r#"{"metrics_version": 2,
+                     "counters": {"dealer.hits": 3, "dealer.misses": 1},
+                     "gauges": {"dealer.queue_depth.conv1": 8.0}}"#;
+        let doc = crate::json::Json::parse(v2).unwrap();
+        let snap = MetricsSnapshot::from_json(&doc).expect("v2 is forward-parseable");
+        assert_eq!(snap.counters["dealer.hits"], 3);
+        assert!((snap.gauges["dealer.queue_depth.conv1"] - 8.0).abs() < f64::EPSILON);
         let v9 = r#"{"metrics_version": 9, "counters": {}}"#;
         let doc = crate::json::Json::parse(v9).unwrap();
+        assert!(MetricsSnapshot::from_json(&doc).is_err());
+        let v0 = r#"{"metrics_version": 0, "counters": {}}"#;
+        let doc = crate::json::Json::parse(v0).unwrap();
         assert!(MetricsSnapshot::from_json(&doc).is_err());
     }
 }

@@ -1,0 +1,59 @@
+//! Minimal SIGINT/SIGTERM latch for the serving binary.
+//!
+//! The workspace bans external dependencies, so this binds `signal(2)`
+//! directly instead of pulling in `libc`/`signal-hook`. The handler does
+//! the only async-signal-safe thing possible — it stores to a static
+//! atomic — and the serve loop polls [`shutdown_requested`] to start a
+//! graceful drain.
+//!
+//! This module is the crate's **single documented `unsafe` exception**
+//! (the crate root is `deny(unsafe_code)`): registering a signal handler
+//! is inherently an FFI call. The unsafety is confined to
+//! [`install_handlers`]; everything observable from safe code is an
+//! atomic bool.
+
+#![allow(unsafe_code)]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// POSIX `SIGINT` (Ctrl-C).
+pub const SIGINT: i32 = 2;
+/// POSIX `SIGTERM` (polite kill).
+pub const SIGTERM: i32 = 15;
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_signum: i32) {
+    // Async-signal-safe: a single relaxed store, nothing else.
+    SHUTDOWN.store(true, Ordering::Relaxed);
+}
+
+extern "C" {
+    /// `sighandler_t signal(int signum, sighandler_t handler)` — the one
+    /// libc symbol this crate touches.
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+/// Registers the latch for SIGINT and SIGTERM. Idempotent; later
+/// registrations win harmlessly (same handler).
+pub fn install_handlers() {
+    // SAFETY: `on_signal` is an `extern "C" fn(i32)` whose body is a
+    // single atomic store (async-signal-safe per POSIX); `signal(2)` with
+    // a valid function pointer cannot fault. The return value (previous
+    // handler) is deliberately ignored.
+    unsafe {
+        signal(SIGINT, on_signal as *const () as usize);
+        signal(SIGTERM, on_signal as *const () as usize);
+    }
+}
+
+/// Whether a SIGINT/SIGTERM arrived since [`install_handlers`].
+#[must_use]
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::Relaxed)
+}
+
+/// Clears the latch (tests; a second signal re-latches it).
+pub fn reset() {
+    SHUTDOWN.store(false, Ordering::Relaxed);
+}

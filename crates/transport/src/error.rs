@@ -34,6 +34,20 @@ pub enum TransportError {
     RetriesExhausted(String),
     /// An OS-level I/O failure that is not a clean disconnect or timeout.
     Io(String),
+    /// The peer speaks a different frame-format version (e.g. a
+    /// pre-stream-ID v1 peer talking to a v2 endpoint). Terminal: the two
+    /// sides cannot even agree on header layout, so no recovery applies.
+    VersionMismatch {
+        /// The frame version this side encodes.
+        ours: u8,
+        /// The version byte observed on the wire.
+        theirs: u8,
+    },
+    /// The server refused admission: it is at its configured session bound
+    /// and answered with a typed `Shed` frame instead of serving (or
+    /// hanging). Terminal for this connection; the client may retry later
+    /// against a fresh connection.
+    Shed,
 }
 
 impl fmt::Display for TransportError {
@@ -49,6 +63,10 @@ impl fmt::Display for TransportError {
                 write!(f, "retries exhausted: {what}")
             }
             TransportError::Io(what) => write!(f, "transport i/o failure: {what}"),
+            TransportError::VersionMismatch { ours, theirs } => {
+                write!(f, "frame version mismatch: we speak v{ours}, peer sent v{theirs}")
+            }
+            TransportError::Shed => write!(f, "server shed the session: admission bound reached"),
         }
     }
 }
@@ -109,5 +127,7 @@ mod tests {
         assert!(TransportError::Disconnected.is_recoverable());
         assert!(!TransportError::RetriesExhausted("dead".into()).is_recoverable());
         assert!(!TransportError::SequenceGap { expected: 4, got: 9 }.is_recoverable());
+        assert!(!TransportError::VersionMismatch { ours: 2, theirs: 1 }.is_recoverable());
+        assert!(!TransportError::Shed.is_recoverable());
     }
 }

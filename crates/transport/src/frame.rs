@@ -1,5 +1,5 @@
 //! The session frame format: length-prefixed, sequence-numbered,
-//! checksummed.
+//! checksummed, stream-tagged.
 //!
 //! Every message the [`crate::Session`] reliability layer puts on a link is
 //! one frame:
@@ -7,13 +7,14 @@
 //! ```text
 //! offset  size  field
 //!      0     2  magic 0xA2 0x2F
-//!      2     1  format version (currently 1)
-//!      3     1  kind (Data/Ack/Nak/Hello/Ping)
-//!      4     8  seq   (LE) — Data: this frame's sequence number
-//!     12     8  ack   (LE) — cumulative: next seq the sender expects
-//!     20     4  payload length (LE)
-//!     24     4  CRC-32 (IEEE) over header[0..24] ++ payload
-//!     28     …  payload
+//!      2     1  format version (currently 2)
+//!      3     1  kind (Data/Ack/Nak/Hello/Ping/Shed)
+//!      4     8  stream (LE) — session/stream ID for server-side demux
+//!     12     8  seq    (LE) — Data: this frame's sequence number
+//!     20     8  ack    (LE) — cumulative: next seq the sender expects
+//!     28     4  payload length (LE)
+//!     32     4  CRC-32 (IEEE) over header[0..32] ++ payload
+//!     36     …  payload
 //! ```
 //!
 //! The sequence number counts **Data** frames only; control frames carry
@@ -22,21 +23,32 @@
 //! buffer. The CRC turns link-level corruption into a typed
 //! [`TransportError::Corrupt`] instead of protocol desynchronization.
 //!
+//! Version 2 (this PR) inserted the `stream` field so a multi-tenant
+//! server can multiplex many client sessions over one frame vocabulary:
+//! a point-to-point session uses stream 0, a server-admitted session uses
+//! the ID the server's Hello reply assigned. Decoding a version-1 frame
+//! (or any other version) yields the typed
+//! [`TransportError::VersionMismatch`] so old peers fail fast instead of
+//! desynchronizing. The `Shed` kind is the server's typed overload reply:
+//! "not admitted, go away" — carrying the refusal in-band means an
+//! overloaded server never answers with a hang.
+//!
 //! Frame *payloads* are secret carriers (shares, masked openings, OT
-//! ciphertexts). Header metadata — kind, seq, ack, length — is observable
-//! by design and must therefore never depend on secrets; see DESIGN.md §9.
+//! ciphertexts). Header metadata — kind, stream, seq, ack, length — is
+//! observable by design and must therefore never depend on secrets; see
+//! DESIGN.md §9.
 
 use crate::TransportError;
 
 /// Frame header length in bytes.
-pub const FRAME_HEADER_LEN: usize = 28;
+pub const FRAME_HEADER_LEN: usize = 36;
 
 /// Hard cap on a frame payload (64 MiB): a corrupted or hostile length
 /// field must not drive an unbounded allocation.
 pub const MAX_FRAME_PAYLOAD: usize = 64 << 20;
 
 const MAGIC: [u8; 2] = [0xA2, 0x2F];
-const VERSION: u8 = 1;
+const VERSION: u8 = 2;
 
 /// What a frame means to the session layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,10 +60,16 @@ pub enum FrameKind {
     /// Retransmission request: "resend everything from `ack`".
     Nak,
     /// Reconnect handshake: advertises both counters so the two sides can
-    /// resynchronize after a disconnect.
+    /// resynchronize after a disconnect. Also the admission handshake: a
+    /// client's first Hello carries stream 0, the server's reply carries
+    /// the assigned stream ID in `seq`.
     Hello,
     /// Ack solicitation, sent when the replay buffer is under pressure.
     Ping,
+    /// Typed overload refusal: the server is over its admission bound and
+    /// will not serve this connection. Receiving one is terminal for the
+    /// session ([`TransportError::Shed`]).
+    Shed,
 }
 
 impl FrameKind {
@@ -62,6 +80,7 @@ impl FrameKind {
             FrameKind::Nak => 2,
             FrameKind::Hello => 3,
             FrameKind::Ping => 4,
+            FrameKind::Shed => 5,
         }
     }
 
@@ -72,6 +91,7 @@ impl FrameKind {
             2 => FrameKind::Nak,
             3 => FrameKind::Hello,
             4 => FrameKind::Ping,
+            5 => FrameKind::Shed,
             _ => return None,
         })
     }
@@ -82,8 +102,13 @@ impl FrameKind {
 pub struct Frame {
     /// Frame kind.
     pub kind: FrameKind,
+    /// Session/stream ID. 0 for point-to-point links; server-admitted
+    /// sessions stamp every frame with the ID assigned at admission so the
+    /// demux can route (and count misrouted frames).
+    pub stream: u64,
     /// Data sequence number (0 for control frames, except `Hello` which
-    /// carries the sender's `next_send_seq`).
+    /// carries the sender's `next_send_seq` — or, in an admission reply,
+    /// the assigned stream ID).
     pub seq: u64,
     /// Cumulative acknowledgement: the next sequence number the frame's
     /// sender expects to receive.
@@ -93,16 +118,23 @@ pub struct Frame {
 }
 
 impl Frame {
-    /// Builds a control frame (no payload).
+    /// Builds a control frame (no payload, stream 0).
     #[must_use]
     pub fn control(kind: FrameKind, seq: u64, ack: u64) -> Self {
-        Frame { kind, seq, ack, payload: Vec::new() }
+        Frame { kind, stream: 0, seq, ack, payload: Vec::new() }
     }
 
-    /// Builds a data frame.
+    /// Builds a data frame (stream 0).
     #[must_use]
     pub fn data(seq: u64, ack: u64, payload: Vec<u8>) -> Self {
-        Frame { kind: FrameKind::Data, seq, ack, payload }
+        Frame { kind: FrameKind::Data, stream: 0, seq, ack, payload }
+    }
+
+    /// Returns the frame re-stamped onto `stream`.
+    #[must_use]
+    pub fn on_stream(mut self, stream: u64) -> Self {
+        self.stream = stream;
+        self
     }
 
     /// Serializes the frame (header + checksum + payload).
@@ -112,11 +144,12 @@ impl Frame {
         out.extend_from_slice(&MAGIC);
         out.push(VERSION);
         out.push(self.kind.to_byte());
+        out.extend_from_slice(&self.stream.to_le_bytes());
         out.extend_from_slice(&self.seq.to_le_bytes());
         out.extend_from_slice(&self.ack.to_le_bytes());
         out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
         let mut crc = Crc32::new();
-        crc.update(&out[..24]);
+        crc.update(&out[..32]);
         crc.update(&self.payload);
         out.extend_from_slice(&crc.finish().to_le_bytes());
         out.extend_from_slice(&self.payload);
@@ -127,9 +160,10 @@ impl Frame {
     ///
     /// # Errors
     ///
-    /// [`TransportError::Corrupt`] when the magic, version, kind, length or
-    /// checksum is wrong. The error text names the malformed *field*; it
-    /// never echoes payload bytes.
+    /// [`TransportError::VersionMismatch`] when the version byte is not
+    /// ours (e.g. a pre-stream-ID peer); [`TransportError::Corrupt`] when
+    /// the magic, kind, length or checksum is wrong. The error text names
+    /// the malformed *field*; it never echoes payload bytes.
     pub fn decode(bytes: &[u8]) -> Result<Frame, TransportError> {
         if bytes.len() < FRAME_HEADER_LEN {
             return Err(TransportError::Corrupt(format!(
@@ -141,14 +175,15 @@ impl Frame {
             return Err(TransportError::Corrupt("bad magic".into()));
         }
         if bytes[2] != VERSION {
-            return Err(TransportError::Corrupt(format!("unsupported version {}", bytes[2])));
+            return Err(TransportError::VersionMismatch { ours: VERSION, theirs: bytes[2] });
         }
         let Some(kind) = FrameKind::from_byte(bytes[3]) else {
             return Err(TransportError::Corrupt(format!("unknown kind {}", bytes[3])));
         };
-        let seq = u64::from_le_bytes(bytes[4..12].try_into().expect("8 bytes"));
-        let ack = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
-        let len = u32::from_le_bytes(bytes[20..24].try_into().expect("4 bytes")) as usize;
+        let stream = u64::from_le_bytes(bytes[4..12].try_into().expect("8 bytes"));
+        let seq = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
+        let ack = u64::from_le_bytes(bytes[20..28].try_into().expect("8 bytes"));
+        let len = u32::from_le_bytes(bytes[28..32].try_into().expect("4 bytes")) as usize;
         if len > MAX_FRAME_PAYLOAD {
             return Err(TransportError::Corrupt(format!("payload length {len} exceeds cap")));
         }
@@ -158,14 +193,14 @@ impl Frame {
                 bytes.len()
             )));
         }
-        let stored_crc = u32::from_le_bytes(bytes[24..28].try_into().expect("4 bytes"));
+        let stored_crc = u32::from_le_bytes(bytes[32..36].try_into().expect("4 bytes"));
         let mut crc = Crc32::new();
-        crc.update(&bytes[..24]);
+        crc.update(&bytes[..32]);
         crc.update(&bytes[FRAME_HEADER_LEN..]);
         if crc.finish() != stored_crc {
             return Err(TransportError::Corrupt("checksum mismatch".into()));
         }
-        Ok(Frame { kind, seq, ack, payload: bytes[FRAME_HEADER_LEN..].to_vec() })
+        Ok(Frame { kind, stream, seq, ack, payload: bytes[FRAME_HEADER_LEN..].to_vec() })
     }
 }
 
@@ -238,6 +273,16 @@ mod tests {
         assert_eq!(Frame::decode(&d.encode()).unwrap(), d);
         let c = Frame::control(FrameKind::Nak, 0, 99);
         assert_eq!(Frame::decode(&c.encode()).unwrap(), c);
+        let s = Frame::control(FrameKind::Shed, 0, 0);
+        assert_eq!(Frame::decode(&s.encode()).unwrap(), s);
+    }
+
+    #[test]
+    fn stream_id_roundtrips() {
+        let d = Frame::data(5, 2, vec![7; 9]).on_stream(0xDEAD_BEEF_CAFE);
+        let back = Frame::decode(&d.encode()).unwrap();
+        assert_eq!(back.stream, 0xDEAD_BEEF_CAFE);
+        assert_eq!(back, d);
     }
 
     #[test]
@@ -248,7 +293,7 @@ mod tests {
 
     #[test]
     fn every_single_byte_flip_is_detected() {
-        let encoded = Frame::data(7, 3, (0..64).collect()).encode();
+        let encoded = Frame::data(7, 3, (0..64).collect()).on_stream(3).encode();
         for i in 0..encoded.len() {
             for bit in 0..8 {
                 let mut bad = encoded.clone();
@@ -256,6 +301,32 @@ mod tests {
                 assert!(Frame::decode(&bad).is_err(), "flip of byte {i} bit {bit} went undetected");
             }
         }
+    }
+
+    #[test]
+    fn version_one_peer_rejected_with_typed_error() {
+        // A version-1 frame (28-byte header, no stream field) must decode
+        // to VersionMismatch, not be misparsed as v2 fields.
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(&MAGIC);
+        v1.push(1); // old version byte
+        v1.push(0); // Data
+        v1.extend_from_slice(&7u64.to_le_bytes()); // seq
+        v1.extend_from_slice(&3u64.to_le_bytes()); // ack
+        v1.extend_from_slice(&4u32.to_le_bytes()); // len
+        let mut crc = Crc32::new();
+        crc.update(&v1);
+        crc.update(&[1, 2, 3, 4]);
+        v1.extend_from_slice(&crc.finish().to_le_bytes());
+        v1.extend_from_slice(&[1, 2, 3, 4]);
+        // Pad so the length check isn't what trips first.
+        while v1.len() < FRAME_HEADER_LEN {
+            v1.push(0);
+        }
+        assert_eq!(
+            Frame::decode(&v1),
+            Err(TransportError::VersionMismatch { ours: 2, theirs: 1 })
+        );
     }
 
     #[test]
@@ -271,7 +342,7 @@ mod tests {
     #[test]
     fn oversized_length_field_rejected_without_allocation() {
         let mut encoded = Frame::data(1, 1, vec![0; 8]).encode();
-        encoded[20..24].copy_from_slice(&u32::MAX.to_le_bytes());
+        encoded[28..32].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(matches!(Frame::decode(&encoded), Err(TransportError::Corrupt(_))));
     }
 }

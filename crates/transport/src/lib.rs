@@ -78,7 +78,7 @@ pub use packing::{
     pack_bits, pack_bits_reference, pack_bits_with_isa, packed_len, unpack_bits, unpack_bits_at,
     unpack_bits_reference, unpack_bits_with_isa,
 };
-pub use session::{Session, SessionConfig, SessionTelemetry};
+pub use session::{session_metric_name, Session, SessionConfig, SessionTelemetry};
 pub use stats::{ChannelStats, ChannelTotals, PhaseStats};
 pub use tcp::{TcpConfig, TcpTransport};
 pub use transport::{mem_pair, MemTransport, Transport};

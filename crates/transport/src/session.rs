@@ -20,9 +20,17 @@
 //!   which is what makes a mid-inference disconnect invisible to the
 //!   engine (same logits, bit for bit).
 //!
-//! Every header field an eavesdropper sees (kind, seq, ack, length) is a
-//! function of the message *schedule* — which both parties already know —
-//! and of link faults, never of secret payloads. See DESIGN.md §9.
+//! A session is bound to one **stream ID** (0 for point-to-point links;
+//! the server-assigned ID for multiplexed sessions). Every outgoing frame
+//! is stamped with it, frames carrying a different ID are counted
+//! ([`SessionTelemetry::misrouted`]) and discarded, and a typed `Shed`
+//! frame or a peer speaking another frame version terminates the session
+//! with the matching [`TransportError`] instead of a hang.
+//!
+//! Every header field an eavesdropper sees (kind, stream, seq, ack,
+//! length) is a function of the message *schedule* — which both parties
+//! already know — and of link faults, never of secret payloads. See
+//! DESIGN.md §9.
 
 use crate::frame::{Frame, FrameKind};
 use crate::transport::Transport;
@@ -98,12 +106,14 @@ pub struct SessionTelemetry {
     pub backoff_sleeps: u64,
     /// Total milliseconds spent in backoff sleeps.
     pub backoff_ms: u64,
+    /// Frames discarded because they carried another session's stream ID.
+    pub misrouted: u64,
 }
 
 /// Metric handles mirroring [`SessionTelemetry`], incremented at the same
 /// sites. Detached by default (handles count locally, nothing exported);
 /// [`Session::attach_metrics`] rebinds them to a live registry under the
-/// stable `session.*` names.
+/// per-stream `session.*` names (see [`session_metric_name`]).
 #[derive(Default, Clone)]
 struct SessionMetrics {
     retransmits: Counter,
@@ -114,19 +124,36 @@ struct SessionMetrics {
     gaps: Counter,
     backoff_sleeps: Counter,
     backoff_ms: Counter,
+    misrouted: Counter,
+}
+
+/// Metric name for one session-recovery counter. Stream 0 keeps the
+/// historical flat `session.<field>` names (schema v1/v2 dashboards stay
+/// valid); multiplexed streams get `session.<id>.<field>` so one client's
+/// retransmits never pollute another's counters — the per-stream
+/// telemetry fix this PR's chaos soak asserts on.
+#[must_use]
+pub fn session_metric_name(stream: u64, field: &str) -> String {
+    if stream == 0 {
+        format!("session.{field}")
+    } else {
+        format!("session.{stream}.{field}")
+    }
 }
 
 impl SessionMetrics {
-    fn bound_to(reg: &MetricsRegistry) -> Self {
+    fn bound_to(reg: &MetricsRegistry, stream: u64) -> Self {
+        let name = |field: &str| session_metric_name(stream, field);
         SessionMetrics {
-            retransmits: reg.counter("session.retransmits"),
-            reconnects: reg.counter("session.reconnects"),
-            naks_sent: reg.counter("session.naks_sent"),
-            corrupt_frames: reg.counter("session.corrupt_frames"),
-            duplicates: reg.counter("session.duplicates"),
-            gaps: reg.counter("session.gaps"),
-            backoff_sleeps: reg.counter("session.backoff_sleeps"),
-            backoff_ms: reg.counter("session.backoff_ms"),
+            retransmits: reg.counter(&name("retransmits")),
+            reconnects: reg.counter(&name("reconnects")),
+            naks_sent: reg.counter(&name("naks_sent")),
+            corrupt_frames: reg.counter(&name("corrupt_frames")),
+            duplicates: reg.counter(&name("duplicates")),
+            gaps: reg.counter(&name("gaps")),
+            backoff_sleeps: reg.counter(&name("backoff_sleeps")),
+            backoff_ms: reg.counter(&name("backoff_ms")),
+            misrouted: reg.counter(&name("misrouted")),
         }
     }
 }
@@ -151,6 +178,7 @@ note! {
     note_corrupt => corrupt_frames,
     note_duplicate => duplicates,
     note_gap => gaps,
+    note_misrouted => misrouted,
 }
 
 impl SessionState {
@@ -191,6 +219,9 @@ struct SessionState {
 pub struct Session {
     link: Arc<dyn Transport>,
     cfg: SessionConfig,
+    /// Stream ID stamped on every outgoing frame; frames tagged otherwise
+    /// are misrouted and discarded.
+    stream: u64,
     st: Mutex<SessionState>,
 }
 
@@ -213,12 +244,23 @@ pub(crate) fn splitmix64(mut x: u64) -> u64 {
 }
 
 impl Session {
-    /// Wraps `link` in a reliability session.
+    /// Wraps `link` in a reliability session on stream 0 (the
+    /// point-to-point default).
     #[must_use]
     pub fn new(link: Arc<dyn Transport>, cfg: SessionConfig) -> Self {
+        Session::with_stream(link, cfg, 0)
+    }
+
+    /// Wraps `link` in a reliability session bound to `stream` — the ID a
+    /// multi-tenant server assigned at admission. Both ends of one logical
+    /// session must agree on the ID; frames stamped otherwise are counted
+    /// as misrouted and dropped.
+    #[must_use]
+    pub fn with_stream(link: Arc<dyn Transport>, cfg: SessionConfig, stream: u64) -> Self {
         Session {
             link,
             cfg,
+            stream,
             st: Mutex::new(SessionState {
                 next_send_seq: 0,
                 next_recv_seq: 0,
@@ -238,12 +280,18 @@ impl Session {
         self.lock().telemetry
     }
 
-    /// Binds the session's repair counters to `reg` under the stable
+    /// The stream ID this session stamps on its frames.
+    #[must_use]
+    pub fn stream(&self) -> u64 {
+        self.stream
+    }
+
+    /// Binds the session's repair counters to `reg` under the per-stream
     /// `session.*` metric names (and replays counts accumulated before the
     /// attach, so the exported values always equal [`Self::telemetry`]).
     pub fn attach_metrics(&self, reg: &MetricsRegistry) {
         let mut st = self.lock();
-        let m = SessionMetrics::bound_to(reg);
+        let m = SessionMetrics::bound_to(reg, self.stream);
         let t = st.telemetry;
         m.retransmits.add(t.retransmits);
         m.reconnects.add(t.reconnects);
@@ -253,6 +301,7 @@ impl Session {
         m.gaps.add(t.gaps);
         m.backoff_sleeps.add(t.backoff_sleeps);
         m.backoff_ms.add(t.backoff_ms);
+        m.misrouted.add(t.misrouted);
         st.metrics = m;
     }
 
@@ -272,11 +321,12 @@ impl Session {
         self.st.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// Writes one frame to the link, recording it in the wire capture.
-    /// Link failure here is NOT recovered — callers decide (data frames
-    /// are safe in the replay buffer; control frames are best-effort).
-    fn write_frame(&self, st: &mut SessionState, frame: &Frame) -> Result<(), TransportError> {
-        let encoded = frame.encode();
+    /// Writes one frame to the link (stamped with this session's stream
+    /// ID), recording it in the wire capture. Link failure here is NOT
+    /// recovered — callers decide (data frames are safe in the replay
+    /// buffer; control frames are best-effort).
+    fn write_frame(&self, st: &mut SessionState, frame: Frame) -> Result<(), TransportError> {
+        let encoded = frame.on_stream(self.stream).encode();
         if let Some(cap) = &mut st.wire_capture {
             cap.push(encoded.clone());
         }
@@ -288,7 +338,7 @@ impl Session {
     /// recovery).
     fn write_control(&self, st: &mut SessionState, kind: FrameKind) {
         let ack = st.next_recv_seq;
-        let _ = self.write_frame(st, &Frame::control(kind, 0, ack));
+        let _ = self.write_frame(st, Frame::control(kind, 0, ack));
     }
 
     /// Handles one decoded frame. Returns a payload when `frame` is the
@@ -298,6 +348,16 @@ impl Session {
         st: &mut SessionState,
         frame: Frame,
     ) -> Result<Option<Bytes>, TransportError> {
+        // Another session's traffic leaked onto this link: count it and
+        // drop it before it can disturb our sequencing state.
+        if frame.stream != self.stream {
+            st.note_misrouted();
+            return Ok(None);
+        }
+        // A typed overload refusal from the server is terminal.
+        if frame.kind == FrameKind::Shed {
+            return Err(TransportError::Shed);
+        }
         // Every frame carries a cumulative ack: prune the replay buffer.
         if frame.ack > st.peer_acked {
             if frame.ack > st.next_send_seq {
@@ -341,9 +401,11 @@ impl Session {
                 // Peer resynced without us noticing a disconnect: answer
                 // and replay what it is missing.
                 let hello = Frame::control(FrameKind::Hello, st.next_send_seq, st.next_recv_seq);
-                let _ = self.write_frame(st, &hello);
+                let _ = self.write_frame(st, hello);
                 self.retransmit_from(st, frame.ack)?;
             }
+            // Handled above; kept for match exhaustiveness.
+            FrameKind::Shed => return Err(TransportError::Shed),
         }
         Ok(None)
     }
@@ -363,7 +425,7 @@ impl Session {
             .filter(|(s, _)| *s >= from)
             .map(|(s, p)| Frame::data(*s, ack, p.to_vec()))
             .collect();
-        for f in &frames {
+        for f in frames {
             st.note_retransmit();
             // Best-effort: a failure here resurfaces on the data path.
             if self.write_frame(st, f).is_err() {
@@ -384,6 +446,9 @@ impl Session {
         match self.link.recv(Some(deadline)) {
             Ok(bytes) => match Frame::decode(&bytes) {
                 Ok(frame) => self.process_frame(st, frame),
+                // An incompatible peer cannot be Nak'd into compliance:
+                // every frame it ever sends will fail the same way.
+                Err(e @ TransportError::VersionMismatch { .. }) => Err(e),
                 Err(_) => {
                     // Treated as loss; the Nak asks for retransmission.
                     st.note_corrupt();
@@ -439,7 +504,7 @@ impl Session {
     /// replay of everything the peer reports missing.
     fn handshake(&self, st: &mut SessionState) -> Result<(), TransportError> {
         let hello = Frame::control(FrameKind::Hello, st.next_send_seq, st.next_recv_seq);
-        self.write_frame(st, &hello)?;
+        self.write_frame(st, hello)?;
         let deadline = Instant::now() + self.cfg.handshake_timeout;
         loop {
             let now = Instant::now();
@@ -448,10 +513,18 @@ impl Session {
                 return Err(TransportError::Timeout);
             };
             let bytes = self.link.recv(Some(remaining))?;
-            let Ok(frame) = Frame::decode(&bytes) else {
-                st.note_corrupt();
-                continue;
+            let frame = match Frame::decode(&bytes) {
+                Ok(f) => f,
+                Err(e @ TransportError::VersionMismatch { .. }) => return Err(e),
+                Err(_) => {
+                    st.note_corrupt();
+                    continue;
+                }
             };
+            if frame.stream != self.stream {
+                st.note_misrouted();
+                continue;
+            }
             if frame.kind == FrameKind::Hello {
                 if frame.ack > st.next_send_seq {
                     return Err(TransportError::SequenceGap {
@@ -498,6 +571,52 @@ impl Session {
         }
         Ok(())
     }
+
+    /// Blocks until the peer has acknowledged every data frame this
+    /// session ever sent (the replay buffer is empty), probing with
+    /// `Ping` and retransmitting the unacked tail as needed.
+    ///
+    /// Call this before dropping the session when the *peer* may still
+    /// need the tail of the conversation: dropping closes the link, and a
+    /// frame lost on the wire after the local side stops driving the
+    /// protocol would otherwise be unrepairable — the peer would observe
+    /// a disconnect instead of a recoverable loss.
+    ///
+    /// The first round only probes (no retransmission), so over a healthy
+    /// link a flush never produces duplicate frames at the peer.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Timeout`] when `budget` expires with frames still
+    /// unacknowledged; link errors pass through. Callers that only flush
+    /// opportunistically (the peer may already have torn the link down)
+    /// can ignore the result.
+    pub fn flush(&self, budget: Duration) -> Result<(), TransportError> {
+        // sync: allow(blocking-while-locked, "the flush loop owns the session until the tail is acked; see send")
+        let deadline = Instant::now() + budget;
+        let mut st = self.lock();
+        let mut first = true;
+        while !st.replay.is_empty() {
+            if !first {
+                // A probe round came back (or timed out) without the tail
+                // being acked: assume loss and replay from the peer's
+                // last cumulative ack.
+                let from = st.peer_acked;
+                self.retransmit_from(&mut st, from)?;
+            }
+            first = false;
+            self.write_control(&mut st, FrameKind::Ping);
+            match self.pump(&mut st, self.cfg.probe_interval) {
+                Ok(Some(payload)) => st.inbox.push_back(payload),
+                Ok(None) | Err(TransportError::Timeout) => {}
+                Err(e) => return Err(e),
+            }
+            if Instant::now() >= deadline && !st.replay.is_empty() {
+                return Err(TransportError::Timeout);
+            }
+        }
+        Ok(())
+    }
 }
 
 impl Transport for Session {
@@ -509,7 +628,7 @@ impl Transport for Session {
         st.next_send_seq += 1;
         st.replay.push_back((seq, bytes.clone()));
         let frame = Frame::data(seq, st.next_recv_seq, bytes.to_vec());
-        match self.write_frame(&mut st, &frame) {
+        match self.write_frame(&mut st, frame) {
             Ok(()) => Ok(()),
             Err(TransportError::Disconnected) => {
                 // The frame sits in the replay buffer; resync replays it.
@@ -603,6 +722,88 @@ mod tests {
     }
 
     #[test]
+    fn flush_waits_for_the_tail_ack_without_duplicates() {
+        let cfg =
+            SessionConfig { probe_interval: Duration::from_millis(10), ..SessionConfig::default() };
+        let (a, b) = session_pair(cfg);
+        a.send(Bytes::from(vec![9])).unwrap();
+        // The receiver pumps until the link closes (a peer still driving
+        // the protocol), so the flush Ping gets its Ack.
+        let reader = std::thread::spawn(move || {
+            let first = b.recv(None).unwrap();
+            while b.recv(Some(Duration::from_millis(200))).is_ok() {}
+            (first, b.telemetry())
+        });
+        a.flush(Duration::from_secs(2)).unwrap();
+        assert_eq!(a.telemetry().retransmits, 0, "healthy link must not replay");
+        drop(a); // closes the link, releasing the reader
+        let (first, tel) = reader.join().unwrap();
+        assert_eq!(&first[..], &[9]);
+        assert_eq!(tel.duplicates, 0, "flush over a healthy link sent duplicates");
+    }
+
+    #[test]
+    fn flush_repairs_a_dropped_tail_frame() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        /// Swallows exactly one send (by outgoing index) — the tail-loss
+        /// scenario `flush` exists for.
+        struct DropNth {
+            inner: Arc<dyn Transport>,
+            n: u64,
+            sent: AtomicU64,
+        }
+        impl Transport for DropNth {
+            fn send(&self, bytes: Bytes) -> Result<(), TransportError> {
+                if self.sent.fetch_add(1, Ordering::SeqCst) == self.n {
+                    return Ok(());
+                }
+                self.inner.send(bytes)
+            }
+            fn recv(&self, deadline: Option<Duration>) -> Result<Bytes, TransportError> {
+                self.inner.recv(deadline)
+            }
+            fn shutdown(&self) {
+                self.inner.shutdown();
+            }
+            fn reconnect(&self) -> Result<(), TransportError> {
+                self.inner.reconnect()
+            }
+            fn supports_reconnect(&self) -> bool {
+                self.inner.supports_reconnect()
+            }
+            fn descriptor(&self) -> String {
+                format!("drop-nth({})", self.inner.descriptor())
+            }
+        }
+
+        let cfg =
+            SessionConfig { probe_interval: Duration::from_millis(10), ..SessionConfig::default() };
+        let (raw_a, raw_b) = mem_pair();
+        // Outgoing sends: 0 = data [1], 1 = data [2] (dropped tail).
+        let lossy = DropNth { inner: Arc::new(raw_a), n: 1, sent: AtomicU64::new(0) };
+        let a = Session::new(Arc::new(lossy), cfg);
+        let b = Session::new(Arc::new(raw_b), cfg);
+        a.send(Bytes::from(vec![1])).unwrap();
+        a.send(Bytes::from(vec![2])).unwrap();
+        let reader = std::thread::spawn(move || {
+            let one = b.recv(None).unwrap();
+            let two = b.recv(None).unwrap();
+            while b.recv(Some(Duration::from_millis(200))).is_ok() {}
+            (one, two)
+        });
+        // Without the flush, dropping `a` here would strand frame [2]
+        // forever; with it, the Ping solicits an Ack exposing the gap and
+        // the tail is replayed.
+        a.flush(Duration::from_secs(5)).unwrap();
+        assert!(a.telemetry().retransmits >= 1, "the dropped tail must be replayed");
+        drop(a);
+        let (one, two) = reader.join().unwrap();
+        assert_eq!(&one[..], &[1]);
+        assert_eq!(&two[..], &[2]);
+    }
+
+    #[test]
     fn recv_deadline_surfaces_timeout() {
         let cfg =
             SessionConfig { probe_interval: Duration::from_millis(10), ..SessionConfig::default() };
@@ -651,6 +852,49 @@ mod tests {
         assert_eq!(snap.counters["session.retransmits"], t.retransmits);
         assert_eq!(snap.counters["session.reconnects"], t.reconnects);
         assert_eq!(snap.counters["session.backoff_sleeps"], t.backoff_sleeps);
+    }
+
+    #[test]
+    fn mismatched_stream_frames_are_counted_and_dropped() {
+        let cfg =
+            SessionConfig { probe_interval: Duration::from_millis(10), ..SessionConfig::default() };
+        let (raw_a, raw_b) = mem_pair();
+        let (raw_a, raw_b) = (Arc::new(raw_a), Arc::new(raw_b));
+        let a = Session::with_stream(raw_a, cfg, 7);
+        // A frame from stream 9 must not advance stream 7's sequencing.
+        raw_b.send(Bytes::from(Frame::data(0, 0, vec![1]).on_stream(9).encode())).unwrap();
+        assert_eq!(a.recv(Some(Duration::from_millis(40))), Err(TransportError::Timeout));
+        assert_eq!(a.telemetry().misrouted, 1);
+        // The right stream still delivers.
+        raw_b.send(Bytes::from(Frame::data(0, 0, vec![2]).on_stream(7).encode())).unwrap();
+        assert_eq!(&a.recv(None).unwrap()[..], &[2]);
+    }
+
+    #[test]
+    fn shed_frame_surfaces_typed_error() {
+        let (raw_a, raw_b) = mem_pair();
+        let a = Session::with_stream(Arc::new(raw_a), SessionConfig::default(), 3);
+        raw_b
+            .send(Bytes::from(Frame::control(FrameKind::Shed, 0, 0).on_stream(3).encode()))
+            .unwrap();
+        assert_eq!(a.recv(None), Err(TransportError::Shed));
+    }
+
+    #[test]
+    fn per_stream_metrics_use_namespaced_names() {
+        let cfg = SessionConfig {
+            probe_interval: Duration::from_millis(5),
+            max_probes: 2,
+            ..SessionConfig::default()
+        };
+        let (raw_a, _raw_b) = mem_pair();
+        let a = Session::with_stream(Arc::new(raw_a), cfg, 42);
+        let reg = MetricsRegistry::new();
+        a.attach_metrics(&reg);
+        let _ = a.recv(Some(Duration::from_millis(20)));
+        let snap = reg.snapshot();
+        assert!(snap.counters.contains_key("session.42.naks_sent"));
+        assert!(!snap.counters.contains_key("session.naks_sent"));
     }
 
     #[test]

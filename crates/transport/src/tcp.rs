@@ -57,6 +57,11 @@ impl Default for TcpConfig {
 enum Role {
     Listener(TcpListener),
     Connector(SocketAddr),
+    /// A socket handed over by an external accept loop (the multi-tenant
+    /// server's acceptor). There is nothing to re-establish: once the
+    /// connection breaks, it stays broken and the session above surfaces a
+    /// typed error instead of reconnecting.
+    Accepted,
 }
 
 /// An established connection plus the resumable read state for the frame
@@ -90,6 +95,13 @@ pub struct TcpTransport {
     role: Role,
     cfg: TcpConfig,
     state: Mutex<TcpState>,
+    /// A `try_clone` of the current connection's socket, refreshed on
+    /// every (re)establish. [`Transport::shutdown`] closes it *without*
+    /// taking `state`: `recv`/`send` hold the state lock for the whole
+    /// blocking socket operation, so a shutdown that queued on that lock
+    /// would stall for the reader's full deadline instead of waking it.
+    /// Lock order: `state` before `shadow` (shadow is a leaf).
+    shadow: Mutex<Option<TcpStream>>,
     wire_sent: AtomicU64,
     wire_received: AtomicU64,
 }
@@ -108,6 +120,7 @@ impl TcpTransport {
             role: Role::Listener(listener),
             cfg: TcpConfig::default(),
             state: Mutex::new(TcpState { conn: None, broken: false }),
+            shadow: Mutex::new(None),
             wire_sent: AtomicU64::new(0),
             wire_received: AtomicU64::new(0),
         })
@@ -128,14 +141,39 @@ impl TcpTransport {
             role: Role::Connector(addr),
             cfg,
             state: Mutex::new(TcpState { conn: None, broken: false }),
+            shadow: Mutex::new(None),
             wire_sent: AtomicU64::new(0),
             wire_received: AtomicU64::new(0),
         };
         // Dial before taking the state lock — the mutex must never be
         // held across connection establishment (it blocks on the network).
         let conn = t.establish()?;
+        t.stash_shadow(&conn.stream);
         t.lock().conn = Some(conn);
         Ok(t)
+    }
+
+    /// Wraps a socket that an external accept loop already established —
+    /// the per-client transport inside a multi-tenant server. The
+    /// transport cannot reconnect ([`Transport::supports_reconnect`] is
+    /// false): the client owns re-dialing, and a fresh dial lands on a
+    /// fresh accepted transport.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Io`] if the socket options cannot be applied.
+    pub fn from_accepted(stream: TcpStream, cfg: TcpConfig) -> Result<Self, TransportError> {
+        stream.set_nodelay(cfg.nodelay).map_err(TransportError::from)?;
+        stream.set_write_timeout(cfg.write_timeout).map_err(TransportError::from)?;
+        let shadow = stream.try_clone().ok();
+        Ok(TcpTransport {
+            role: Role::Accepted,
+            cfg,
+            state: Mutex::new(TcpState { conn: Some(Conn::new(stream)), broken: false }),
+            shadow: Mutex::new(shadow),
+            wire_sent: AtomicU64::new(0),
+            wire_received: AtomicU64::new(0),
+        })
     }
 
     /// Listener variant of [`TcpTransport::connect`]-style construction
@@ -159,6 +197,7 @@ impl TcpTransport {
         match &self.role {
             Role::Listener(l) => l.local_addr().map_err(TransportError::from),
             Role::Connector(_) => Err(TransportError::Io("connector has no listen addr".into())),
+            Role::Accepted => Err(TransportError::Io("accepted socket has no listen addr".into())),
         }
     }
 
@@ -187,9 +226,20 @@ impl TcpTransport {
         self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
+    /// Refreshes the out-of-band shutdown handle for the current socket.
+    /// A failed `try_clone` leaves it `None` (shutdown then degrades to
+    /// waiting on the state lock — correct, just not prompt).
+    fn stash_shadow(&self, stream: &TcpStream) {
+        let clone = stream.try_clone().ok();
+        *self.shadow.lock().unwrap_or_else(std::sync::PoisonError::into_inner) = clone;
+    }
+
     /// One connection-establishment attempt for this role.
     fn establish(&self) -> Result<Conn, TransportError> {
         let stream = match &self.role {
+            // The external accept loop owns establishment; this transport
+            // only ever holds the one socket it was born with.
+            Role::Accepted => return Err(TransportError::Disconnected),
             Role::Connector(addr) => TcpStream::connect_timeout(addr, self.cfg.connect_timeout)
                 .map_err(TransportError::from)?,
             Role::Listener(listener) => {
@@ -224,7 +274,9 @@ impl TcpTransport {
             if st.broken {
                 return Err(TransportError::Disconnected);
             }
-            st.conn = Some(self.establish()?);
+            let conn = self.establish()?;
+            self.stash_shadow(&conn.stream);
+            st.conn = Some(conn);
         }
         Ok(())
     }
@@ -365,6 +417,20 @@ impl Transport for TcpTransport {
     }
 
     fn shutdown(&self) {
+        // Close the socket through the shadow handle FIRST, without the
+        // state lock: a peer blocked inside `recv` (which holds that lock
+        // for its whole deadline) is woken immediately instead of the
+        // shutdown queueing behind it — the server's reaper and drain
+        // force-close rely on this being prompt.
+        let shadow = {
+            // Scoped so the leaf `shadow` guard is released before the
+            // `state` lock below — the only acquisition order is state →
+            // shadow (see `stash_shadow`), never the reverse.
+            self.shadow.lock().unwrap_or_else(std::sync::PoisonError::into_inner).take()
+        };
+        if let Some(s) = shadow {
+            let _ = s.shutdown(Shutdown::Both);
+        }
         Self::fail_conn(&mut self.lock());
     }
 
@@ -376,13 +442,14 @@ impl Transport for TcpTransport {
         if let Some(old) = st.conn.take() {
             let _ = old.stream.shutdown(Shutdown::Both);
         }
+        self.stash_shadow(&conn.stream);
         st.conn = Some(conn);
         st.broken = false;
         Ok(())
     }
 
     fn supports_reconnect(&self) -> bool {
-        true
+        !matches!(self.role, Role::Accepted)
     }
 
     fn descriptor(&self) -> String {
@@ -394,6 +461,7 @@ impl Transport for TcpTransport {
                 )
             }
             Role::Connector(a) => format!("tcp-connect:{a}"),
+            Role::Accepted => "tcp-accepted".into(),
         }
     }
 }

@@ -5,7 +5,7 @@
 //! "NetworkModel calibration"):
 //!
 //! 1. **Bytes** — the per-message wire overhead of the deployed stack is
-//!    exactly [`SESSION_WIRE_FRAMING_BYTES`] per frame (28-byte session
+//!    exactly [`SESSION_WIRE_FRAMING_BYTES`] per frame (36-byte session
 //!    header + 4-byte length prefix) plus a bounded trickle of standalone
 //!    acks, measured from [`TcpTransport::wire_bytes`]. The model's
 //!    per-message overhead constant must sit within 2× of the measured

@@ -241,6 +241,9 @@ fn report_main(args: &[String]) -> ExitCode {
                             if let Some(line) = dealer_summary(&snap) {
                                 println!("{label}{line}");
                             }
+                            for line in server_summary(&snap) {
+                                println!("{label}{line}");
+                            }
                         }
                         Err(e) => eprintln!("xtask: {}: {e}", mpath.display()),
                     }
@@ -275,6 +278,60 @@ fn dealer_summary(snap: &MetricsSnapshot) -> Option<String> {
         line.push_str(&format!(", {} batches (mean size {mean:.1})", hist.count));
     }
     Some(line)
+}
+
+/// Multi-tenant server summary from a metrics snapshot (schema v3):
+/// one header line of `server.sessions_*` accounting, then one line per
+/// multiplexed stream aggregating its `session.<id>.*` recovery counters.
+/// Empty when the run recorded no server metrics.
+fn server_summary(snap: &MetricsSnapshot) -> Vec<String> {
+    let c = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+    let families = ["admitted", "completed", "shed", "reaped", "rejected", "faulted"];
+    if families.iter().all(|f| !snap.counters.contains_key(&format!("server.sessions_{f}"))) {
+        return Vec::new();
+    }
+    let mut lines = Vec::new();
+    let mut head = format!(
+        "server sessions: admitted {}, completed {}, shed {}, reaped {}, rejected {}, faulted {}",
+        c("server.sessions_admitted"),
+        c("server.sessions_completed"),
+        c("server.sessions_shed"),
+        c("server.sessions_reaped"),
+        c("server.sessions_rejected"),
+        c("server.sessions_faulted"),
+    );
+    if let Some(ms) = snap.gauges.get("server.drain_ms") {
+        head.push_str(&format!(" (drain {ms:.0} ms)"));
+    }
+    lines.push(head);
+    // Group `session.<id>.<field>` counters by stream ID.
+    let mut streams: std::collections::BTreeMap<u64, Vec<(String, u64)>> =
+        std::collections::BTreeMap::new();
+    for (key, &v) in &snap.counters {
+        let Some(rest) = key.strip_prefix("session.") else { continue };
+        let Some((id, field)) = rest.split_once('.') else { continue };
+        let Ok(id) = id.parse::<u64>() else { continue };
+        streams.entry(id).or_default().push((field.to_owned(), v));
+    }
+    for (id, fields) in streams {
+        let f = |name: &str| {
+            fields.iter().find(|(k, _)| k == name).map_or(0, |&(_, v)| v)
+        };
+        let repairs = f("retransmits") + f("naks_sent") + f("duplicates");
+        let faults = f("corrupt_frames") + f("misrouted") + f("reconnects");
+        let verdict = if repairs + faults == 0 { " — clean" } else { "" };
+        lines.push(format!(
+            "  stream {id}: retransmits {}, naks {}, dups {}, corrupt {}, misrouted {}, \
+             reconnects {}{verdict}",
+            f("retransmits"),
+            f("naks_sent"),
+            f("duplicates"),
+            f("corrupt_frames"),
+            f("misrouted"),
+            f("reconnects"),
+        ));
+    }
+    lines
 }
 
 fn main() -> ExitCode {

@@ -20,11 +20,20 @@
 //! # Two real processes over TCP (run in two terminals):
 //! cargo run --release --example private_mnist_service -- --listen 127.0.0.1:9940
 //! cargo run --release --example private_mnist_service -- --connect 127.0.0.1:9940
+//!
+//! # Multi-client service (the aq2pnn-server crate): one provider,
+//! # any number of concurrent users, bounded admission + graceful drain:
+//! cargo run --release --example private_mnist_service -- --serve 127.0.0.1:9940
+//! cargo run --release --example private_mnist_service -- --client 127.0.0.1:9940 &
+//! cargo run --release --example private_mnist_service -- --client 127.0.0.1:9940
+//! # SIGINT/SIGTERM on the server → drain; exit 0 clean, 3 force-closed
 //! ```
 //!
 //! In two-process mode the connection runs through the fault-tolerant
 //! session layer: frames are sequence-numbered and checksummed, and the
-//! inference survives transient disconnects via reconnect + replay.
+//! inference survives transient disconnects via reconnect + replay. The
+//! multi-client mode multiplexes every user onto its own session stream
+//! over one [`aq2pnn_server::InferenceServer`].
 //!
 //! Progress lines go through the tracer's human log sink (stderr with
 //! monotonic timestamps); `--quiet` silences them. The summary and the
@@ -41,47 +50,47 @@ use aq2pnn::substrate::obs::report::CostReport;
 use aq2pnn::substrate::obs::{LogSink, MetricsRegistry, Tracer};
 use aq2pnn::{PartyContext, ProtocolConfig};
 use aq2pnn_nn::data::SyntheticVision;
-use aq2pnn_nn::float::FloatNet;
-use aq2pnn_nn::quant::{QuantConfig, QuantModel};
+use aq2pnn_nn::quant::QuantModel;
 use aq2pnn_nn::tensor::argmax_i64;
-use aq2pnn_nn::zoo;
+use aq2pnn_server::{
+    demo_model, run_client, signal, ClientConfig, InferenceServer, ModelRegistry, ServerConfig,
+    ServerObs, TcpAcceptor,
+};
 use aq2pnn_sharing::PartyId;
 use aq2pnn_transport::{
     duplex, Endpoint, NetworkModel, Session, SessionConfig, TcpConfig, TcpTransport,
 };
+use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Builds the same deterministic dataset + trained/quantized model in any
-/// process: both sides of the two-process mode derive identical weights
-/// from the fixed seeds, standing in for the provider shipping its public
-/// architecture + the offline share setup of a real deployment.
+/// process — the shared [`aq2pnn_server::demo_model`] recipe, so the
+/// single-session modes, the multi-client modes and `aq2pnn-serve` all
+/// derive identical weights from the fixed seeds.
 fn build_model(
     log: &Tracer,
     spec_name: &str,
 ) -> Result<(SyntheticVision, QuantModel), Box<dyn std::error::Error>> {
-    let (spec, data) = match spec_name {
-        "tiny" => (zoo::tiny_cnn(4), SyntheticVision::tiny(4, 2024)),
-        "lenet5" => (zoo::lenet5(), SyntheticVision::mnist_like(2024)),
-        other => return Err(format!("unknown --model {other} (tiny|lenet5)").into()),
-    };
-    log.info(format!("training {} on synthetic data (deterministic seeds)…", spec.name));
-    let mut net = FloatNet::init(&spec, 9)?;
-    net.train_epochs(&data, 3, 16, 0.05);
-    let model = QuantModel::quantize(&net, &data.calibration(32), &QuantConfig::int8())?;
-    Ok((data, model))
+    log.info(format!("training {spec_name} on synthetic data (deterministic seeds)…"));
+    demo_model(spec_name).map_err(Into::into)
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: private_mnist_service [--listen ADDR | --connect ADDR] [--count N]\n\
+        "usage: private_mnist_service [--listen ADDR | --connect ADDR |\n\
+         \x20                             --serve ADDR | --client ADDR] [--count N]\n\
          \x20                            [--batch B] [--dealer inline|background]\n\
          \x20                            [--model tiny|lenet5] [--trace DIR] [--metrics] [--quiet]\n\
          \n\
          no flags        run both parties in-process\n\
          --listen ADDR   run as the model provider, accept one user on ADDR\n\
          --connect ADDR  run as the user, connect to a provider on ADDR\n\
+         --serve ADDR    run the multi-client provider (aq2pnn-server):\n\
+         \x20               bounded admission, per-session deadlines, and a\n\
+         \x20               SIGINT/SIGTERM graceful drain (exit 0 clean, 3 forced)\n\
+         --client ADDR   run one user session against a --serve provider\n\
          --count N       number of test images to classify (default 10)\n\
          --batch B       images per batched online pass (default 1; both\n\
          \x20               parties of a TCP session must agree)\n\
@@ -99,6 +108,8 @@ fn usage() -> ! {
 struct Args {
     listen: Option<String>,
     connect: Option<String>,
+    serve: Option<String>,
+    client: Option<String>,
     count: usize,
     batch: usize,
     background_dealer: bool,
@@ -122,6 +133,8 @@ fn parse_args() -> Args {
     let mut args = Args {
         listen: None,
         connect: None,
+        serve: None,
+        client: None,
         count: 10,
         batch: 1,
         background_dealer: false,
@@ -135,6 +148,8 @@ fn parse_args() -> Args {
         match flag.as_str() {
             "--listen" => args.listen = Some(it.next().unwrap_or_else(|| usage())),
             "--connect" => args.connect = Some(it.next().unwrap_or_else(|| usage())),
+            "--serve" => args.serve = Some(it.next().unwrap_or_else(|| usage())),
+            "--client" => args.client = Some(it.next().unwrap_or_else(|| usage())),
             "--count" => {
                 args.count = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
             }
@@ -157,7 +172,8 @@ fn parse_args() -> Args {
             _ => usage(),
         }
     }
-    if args.listen.is_some() && args.connect.is_some() {
+    let modes = [&args.listen, &args.connect, &args.serve, &args.client];
+    if modes.iter().filter(|m| m.is_some()).count() > 1 {
         usage();
     }
     args
@@ -180,11 +196,97 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         100.0 * model.accuracy(&data.test()[..50.min(data.test().len())])
     ));
 
+    if let Some(addr) = &args.serve {
+        return serve_multi(addr, &model, &args, &log);
+    }
+    if let Some(addr) = &args.client {
+        return client_session(addr, &data, &model, &args, &log);
+    }
     match (&args.listen, &args.connect) {
         (Some(addr), None) => serve_tcp(addr, PartyId::ModelProvider, &data, &model, &args, &log),
         (None, Some(addr)) => serve_tcp(addr, PartyId::User, &data, &model, &args, &log),
         _ => run_in_process(&data, &model, &args, &log),
     }
+}
+
+/// Multi-client provider: one [`InferenceServer`] serving any number of
+/// concurrent `--client` users until a SIGINT/SIGTERM drains it.
+fn serve_multi(
+    addr: &str,
+    model: &QuantModel,
+    args: &Args,
+    log: &Tracer,
+) -> Result<(), Box<dyn std::error::Error>> {
+    signal::install_handlers();
+    let mut registry = ModelRegistry::new();
+    registry.insert(args.model.clone(), model.clone());
+    let acceptor = TcpAcceptor::bind(addr, TcpConfig::default())?;
+    let bound = acceptor.local_addr().map_or_else(|_| addr.to_owned(), |a| a.to_string());
+    let cfg = ServerConfig { dealer: args.dealer_config(), ..ServerConfig::default() };
+    let mut server = InferenceServer::start(Box::new(acceptor), cfg, registry, ServerObs::default());
+    println!("listening on {bound}");
+    let _ = std::io::stdout().flush();
+    log.info("multi-client server up; SIGINT/SIGTERM drains");
+
+    while !signal::shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    log.info("signal received, draining…");
+    let report = server.drain();
+    let c = server.counters();
+    println!(
+        "drain clean={} forced={} ms={} admitted={} completed={} shed={} reaped={}",
+        report.clean, report.forced, report.drain_ms, c.admitted, c.completed, c.shed, c.reaped
+    );
+    std::process::exit(i32::from(!report.clean) * 3);
+}
+
+/// One user session against a `--serve` provider: admission, request,
+/// secure inference, accuracy summary.
+fn client_session(
+    addr: &str,
+    data: &SyntheticVision,
+    model: &QuantModel,
+    args: &Args,
+    log: &Tracer,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let n = args.count.min(data.test().len());
+    let images: Vec<&[f32]> = data.test().iter().take(n).map(|s| s.image.as_slice()).collect();
+    log.info(format!("user: connecting to {addr}…"));
+    let tcp = TcpConfig { connect_timeout: Duration::from_secs(30), ..TcpConfig::default() };
+    let link = Arc::new(TcpTransport::connect(addr, tcp)?);
+    let ccfg = ClientConfig {
+        model: args.model.clone(),
+        q1_bits: 16,
+        batch: args.batch,
+        ..ClientConfig::default()
+    };
+    let started = Instant::now();
+    let run = run_client(link, &ccfg, model, &images)?;
+    let elapsed = started.elapsed();
+    let mut secure_correct = 0;
+    for (s, logits) in data.test().iter().take(n).zip(&run.logits) {
+        if argmax_i64(logits) == s.label {
+            secure_correct += 1;
+        }
+    }
+    println!("\n{n} secure inferences as multiplexed client (stream {})", run.stream);
+    println!("  secure accuracy   : {secure_correct}/{n}");
+    println!(
+        "  payload traffic   : {:.3} MiB",
+        run.payload_bytes as f64 / (1024.0 * 1024.0)
+    );
+    println!(
+        "  wall-clock        : {:.2} s total, {:.2} s per inference",
+        elapsed.as_secs_f64(),
+        elapsed.as_secs_f64() / n as f64
+    );
+    let t = &run.telemetry;
+    println!(
+        "  link repairs      : {} retransmits, {} naks, {} reconnects",
+        t.retransmits, t.naks_sent, t.reconnects
+    );
+    Ok(())
 }
 
 /// Writes `trace.json`, `metrics.json` and `report.txt` into `dir`.

@@ -1,0 +1,114 @@
+//! Spawned-process coverage for `aq2pnn-serve`'s signal-driven drain.
+//!
+//! Exercises the deployable binary end to end: spawn it on an ephemeral
+//! port, read the `listening on <addr>` ready line, deliver a real
+//! SIGTERM/SIGINT and assert the documented exit codes — `0` for a clean
+//! drain, `3` when the drain budget expires and in-flight sessions are
+//! force-closed.
+//!
+//! The binary path comes from `CARGO_BIN_EXE_aq2pnn-serve` (set by cargo
+//! for integration tests of the crate that owns the binary), so no PATH
+//! assumptions are made. Signals are delivered with `kill(1)`, which
+//! every POSIX platform the server targets ships.
+
+use std::io::{BufRead, BufReader, Read};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const SERVE: &str = env!("CARGO_BIN_EXE_aq2pnn-serve");
+
+/// Spawns the serving binary and returns it with its bound address.
+fn spawn_serve(extra: &[&str]) -> (Child, String) {
+    let mut cmd = Command::new(SERVE);
+    // `tiny` trains in a couple of seconds even in debug builds.
+    cmd.args(["--listen", "127.0.0.1:0", "--model", "tiny"])
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null());
+    let mut child = cmd.spawn().expect("spawn aq2pnn-serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let ready = lines.next().expect("ready line").expect("read ready line");
+    let addr = ready
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected ready line: {ready:?}"))
+        .to_owned();
+    // Keep draining stdout in the background so the child can never block
+    // on a full pipe while we wait on it.
+    std::thread::spawn(move || for _ in lines {});
+    (child, addr)
+}
+
+fn deliver(child: &Child, sig: &str) {
+    let status = Command::new("kill")
+        .args([format!("-{sig}"), child.id().to_string()])
+        .status()
+        .expect("run kill");
+    assert!(status.success(), "kill -{sig} failed");
+}
+
+fn wait_with_deadline(mut child: Child, budget: Duration) -> i32 {
+    let deadline = Instant::now() + budget;
+    loop {
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            return status.code().expect("exit code (process must not die to a signal)");
+        }
+        if Instant::now() >= deadline {
+            let _ = child.kill();
+            panic!("aq2pnn-serve did not exit within {budget:?} after the signal");
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn sigterm_with_no_sessions_drains_clean_with_exit_zero() {
+    let (child, _addr) = spawn_serve(&[]);
+    deliver(&child, "TERM");
+    assert_eq!(wait_with_deadline(child, Duration::from_secs(30)), 0);
+}
+
+#[test]
+fn sigint_is_honoured_like_sigterm() {
+    let (child, _addr) = spawn_serve(&[]);
+    deliver(&child, "INT");
+    assert_eq!(wait_with_deadline(child, Duration::from_secs(30)), 0);
+}
+
+#[test]
+fn drain_budget_expiry_forces_sessions_and_exits_three() {
+    // A parked admission: connect and say nothing. The huge admission,
+    // idle and deadline budgets keep the reaper out of the way, so the
+    // session is still in flight when the 300 ms drain budget expires and
+    // must be force-closed — the documented exit-code-3 path.
+    let (child, addr) = spawn_serve(&[
+        "--admission-timeout-ms",
+        "120000",
+        "--idle-timeout-ms",
+        "120000",
+        "--session-deadline-ms",
+        "120000",
+        "--drain-timeout-ms",
+        "300",
+    ]);
+    let mut parked = TcpStream::connect(&addr).expect("connect to server");
+    // Admission happens on accept (no bytes needed); give the accept loop
+    // a beat to register the session before the signal lands.
+    std::thread::sleep(Duration::from_millis(300));
+
+    deliver(&child, "TERM");
+    let code = wait_with_deadline(child, Duration::from_secs(30));
+    assert_eq!(code, 3, "a force-closed drain must exit 3");
+
+    // The force-close reached the wire: the parked socket reads EOF (or a
+    // reset) rather than hanging.
+    parked.set_read_timeout(Some(Duration::from_secs(5))).expect("set timeout");
+    let mut buf = [0u8; 256];
+    loop {
+        match parked.read(&mut buf) {
+            Ok(0) | Err(_) => break, // EOF or reset: the server side is gone
+            Ok(_) => {}              // drain whatever was still queued
+        }
+    }
+}
