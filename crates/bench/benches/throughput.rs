@@ -30,6 +30,10 @@
 //! `Shed` verdict reaches the extra dialers. Rows land in the same JSON
 //! under `server_results` with per-client completion p50/p99, aggregate
 //! images/sec, shed counts and shed-reply latency, and the drain report.
+//! Each server config additionally emits `server.slo` rows — p50/p99 per
+//! latency class (admission / online / e2e) read from the server's live
+//! `server.slo.*_ms` histograms, the inside-the-server view of what the
+//! per-client timings measure from the outside.
 //!
 //! Emits `BENCH_service.json` (override with `BENCH_SERVICE_JSON`):
 //! per-config measured/LAN/WAN images-per-sec, pass and per-image p50/p99,
@@ -241,6 +245,9 @@ struct ServerMeasurement {
     shed_reply_ns: Vec<u64>,
     counters: aq2pnn_server::ServerCounters,
     drain: aq2pnn_server::DrainReport,
+    /// `(class_label, p50_ms, p99_ms, samples)` from the server's live
+    /// `server.slo.*_ms` histograms (admission / online / e2e).
+    slo: Vec<(String, f64, f64, u64)>,
 }
 
 /// Runs `clients` concurrent full client sessions against one shared
@@ -270,11 +277,15 @@ fn run_server_config(
         depth: (2 * images_per_client).max(16),
         policy: ExhaustionPolicy::GenerateInline,
     });
+    // Live SLO tracking with a never-violated budget: the rows report the
+    // latency distribution, not a pass/fail verdict.
+    scfg.slo_ms = Some(600_000);
     let mut registry = ModelRegistry::new();
     registry.insert("lenet5", model.clone());
     let (acc, dial) = mem_acceptor();
-    let mut server =
-        InferenceServer::start(Box::new(acc), scfg, registry, ServerObs::default());
+    let metrics = MetricsRegistry::new();
+    let obs = ServerObs { metrics: metrics.clone(), ..ServerObs::default() };
+    let mut server = InferenceServer::start(Box::new(acc), scfg, registry, obs);
 
     let ccfg = ClientConfig {
         model: "lenet5".into(),
@@ -339,6 +350,21 @@ fn run_server_config(
     // worker finishes billing the session).
     let drain = server.drain();
     let counters = server.counters();
+    let snap = metrics.snapshot();
+    let slo = aq2pnn::substrate::obs::SloClass::ALL
+        .iter()
+        .filter_map(|class| {
+            let h = snap.histograms.get(class.hist_name())?;
+            (h.count > 0).then(|| {
+                (
+                    class.label().to_string(),
+                    aq2pnn::substrate::obs::quantile(h, 0.50),
+                    aq2pnn::substrate::obs::quantile(h, 0.99),
+                    h.count,
+                )
+            })
+        })
+        .collect();
     ServerMeasurement {
         clients,
         images_per_client,
@@ -347,10 +373,36 @@ fn run_server_config(
         shed_reply_ns,
         counters,
         drain,
+        slo,
     }
 }
 
 impl ServerMeasurement {
+    fn config_name(&self) -> String {
+        if self.shed_reply_ns.is_empty() {
+            format!("c{}", self.clients)
+        } else {
+            "overload".to_string()
+        }
+    }
+
+    /// One `server.slo` row per latency class with recorded samples —
+    /// the live-histogram view of what `client_p50/p99` measure from the
+    /// outside.
+    fn slo_rows(&self) -> Vec<String> {
+        let name = self.config_name();
+        self.slo
+            .iter()
+            .map(|(class, p50, p99, samples)| {
+                format!(
+                    "    {{\"row\": \"server.slo\", \"config\": \"server_{name}\", \
+                     \"class\": \"{class}\", \"p50_ms\": {p50:.3}, \"p99_ms\": {p99:.3}, \
+                     \"samples\": {samples}}}"
+                )
+            })
+            .collect()
+    }
+
     fn json_row(&self) -> String {
         let ms = |ns: u64| ns as f64 / 1e6;
         let pcts = |v: &[u64]| {
@@ -373,11 +425,7 @@ impl ServerMeasurement {
              \"shed\": {}, \"shed_reply_p50_ms\": {:.3}, \"shed_reply_p99_ms\": {:.3}, \
              \"admitted\": {}, \"completed\": {}, \
              \"drain_clean\": {}, \"drain_ms\": {}}}",
-            if self.shed_reply_ns.is_empty() {
-                format!("c{}", self.clients)
-            } else {
-                "overload".to_string()
-            },
+            self.config_name(),
             self.clients,
             self.images_per_client,
             images_per_sec,
@@ -482,6 +530,7 @@ fn main() {
             if m.drain.clean { "clean" } else { "forced" },
         );
         server_rows.push(m.json_row());
+        server_rows.extend(m.slo_rows());
     }
     let m = run_server_config(&model, &images, 4, 1, true);
     eprintln!(
@@ -489,6 +538,7 @@ fn main() {
         m.counters.shed
     );
     server_rows.push(m.json_row());
+    server_rows.extend(m.slo_rows());
 
     let out = format!(
         "{{\n  \"model\": \"lenet5\",\n  \"config\": \"paper16\",\n  \

@@ -20,6 +20,15 @@
 //! separately proves the traced wire transcript is byte-identical; this
 //! binary guards the *time* axis.
 //!
+//! A second gate covers the **server online pass**: full `run_client`
+//! sessions against an in-process [`aq2pnn_server::InferenceServer`]
+//! with the whole telemetry stack off (no-op metrics, no recorder, no
+//! SLO) vs. on (recording registry, per-session flight recorder, SLO
+//! histograms, and a live admin scraper polling `/metrics` throughout).
+//! The timed interval is the client-observed secure online pass
+//! ([`aq2pnn_server::ClientRun::online_ns`]); the same minimum-of-trials
+//! estimator and threshold apply.
+//!
 //! The run emits `BENCH_obs_overhead.json` (override with
 //! `BENCH_OBS_OVERHEAD_JSON`) so CI can archive the measurement next to
 //! the kernel and nonlinear numbers.
@@ -29,11 +38,17 @@ use aq2pnn::sim::run_pair;
 use aq2pnn::substrate::obs::{MetricsRegistry, Tracer};
 use aq2pnn::{ProtocolConfig, ReluMode};
 use aq2pnn_ring::{Ring, RingTensor};
+use aq2pnn_server::{
+    demo_model, mem_acceptor, run_client, ClientConfig, InferenceServer, MemConnector,
+    ModelRegistry, ServerConfig, ServerObs,
+};
 use aq2pnn_sharing::{AShare, PartyId};
 use rand::SeedableRng;
 use std::io::Write;
 use std::process::ExitCode;
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// (ring bits, batch elements): the paper's INT12/INT16 activation
 /// carriers at a conv-layer-sized batch.
@@ -103,6 +118,126 @@ fn env_f64(name: &str, default: f64) -> f64 {
     std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
 }
 
+/// One in-process inference server, telemetry fully off or fully on.
+struct ServerVariant {
+    server: InferenceServer,
+    dial: MemConnector,
+    admin: Option<std::net::SocketAddr>,
+    flightrec_dir: Option<std::path::PathBuf>,
+}
+
+fn start_server(model: &aq2pnn_nn::quant::QuantModel, traced: bool) -> ServerVariant {
+    let flightrec_dir = traced
+        .then(|| std::env::temp_dir().join(format!("aq2pnn-obs-overhead-{}", std::process::id())));
+    let cfg = ServerConfig {
+        max_sessions: 2,
+        queue_depth: 2,
+        slo_ms: traced.then_some(600_000),
+        flightrec_dir: flightrec_dir.clone(),
+        ..ServerConfig::default()
+    };
+    let mut registry = ModelRegistry::new();
+    registry.insert("tiny", model.clone());
+    let (acc, dial) = mem_acceptor();
+    let obs = if traced {
+        ServerObs { metrics: MetricsRegistry::new(), ..ServerObs::default() }
+    } else {
+        ServerObs::default()
+    };
+    let mut server = InferenceServer::start(Box::new(acc), cfg, registry, obs);
+    let admin = traced.then(|| server.start_admin("127.0.0.1:0").expect("admin endpoint"));
+    ServerVariant { server, dial, admin, flightrec_dir }
+}
+
+/// One full client session; returns the client-observed online-pass
+/// nanoseconds (admission, session setup and preparation excluded).
+fn client_online_ns(
+    dial: &MemConnector,
+    model: &aq2pnn_nn::quant::QuantModel,
+    images: &[&[f32]],
+) -> f64 {
+    let cfg = ClientConfig {
+        model: "tiny".into(),
+        q1_bits: 16,
+        batch: images.len(),
+        ..ClientConfig::default()
+    };
+    let run = run_client(dial.connect().expect("connect"), &cfg, model, images)
+        .expect("overhead-gate client session");
+    #[allow(clippy::cast_precision_loss)]
+    let ns = run.online_ns as f64;
+    ns
+}
+
+/// The server-online-path overhead case: min-of-trials online-pass time
+/// against a telemetry-off server vs. a fully instrumented one being
+/// scraped throughout.
+fn server_case(
+    model: &aq2pnn_nn::quant::QuantModel,
+    images: &[Vec<f32>],
+    trials: usize,
+) -> CaseResult {
+    let refs: Vec<&[f32]> = images.iter().map(Vec::as_slice).collect();
+
+    let mut plain = start_server(model, false);
+    let mut traced = start_server(model, true);
+
+    // Correctness gate: both variants produce identical logits.
+    let ccfg = ClientConfig {
+        model: "tiny".into(),
+        q1_bits: 16,
+        batch: refs.len(),
+        ..ClientConfig::default()
+    };
+    let run_p = run_client(plain.dial.connect().expect("connect"), &ccfg, model, &refs)
+        .expect("plain reference run");
+    let run_t = run_client(traced.dial.connect().expect("connect"), &ccfg, model, &refs)
+        .expect("traced reference run");
+    assert_eq!(run_p.logits, run_t.logits, "telemetry changed the inference result");
+
+    // Live scraper against the traced server's admin endpoint for the
+    // whole measurement — the realistic worst case for the online path.
+    let stop = Arc::new(AtomicBool::new(false));
+    let scraper = traced.admin.map(|addr| {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut scrapes = 0u64;
+            while !stop.load(Ordering::SeqCst) {
+                if aq2pnn_transport::http_get(addr, "/metrics", Duration::from_secs(2)).is_ok() {
+                    scrapes += 1;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            scrapes
+        })
+    });
+
+    let mut plain_ns = f64::INFINITY;
+    let mut traced_ns = f64::INFINITY;
+    for _ in 0..trials {
+        plain_ns = plain_ns.min(client_online_ns(&plain.dial, model, &refs));
+        traced_ns = traced_ns.min(client_online_ns(&traced.dial, model, &refs));
+    }
+
+    stop.store(true, Ordering::SeqCst);
+    if let Some(h) = scraper {
+        let scrapes = h.join().expect("scraper thread");
+        assert!(scrapes > 0, "admin scraper never completed a scrape");
+    }
+    let _ = plain.server.drain();
+    let _ = traced.server.drain();
+    if let Some(dir) = traced.flightrec_dir.take() {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    CaseResult {
+        case: "server_online".to_string(),
+        plain_ns,
+        traced_ns,
+        overhead_pct: (traced_ns / plain_ns - 1.0) * 100.0,
+    }
+}
+
 struct CaseResult {
     case: String,
     plain_ns: f64,
@@ -165,6 +300,37 @@ fn main() -> ExitCode {
             traced_ns / 1e6
         );
         results.push(CaseResult { case, plain_ns, traced_ns, overhead_pct });
+    }
+
+    // Server online path, same retry policy: a full client/server session
+    // is noisier still, so a breach re-measures against fresh servers.
+    {
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let server_trials = env_f64("OBS_OVERHEAD_SERVER_TRIALS", 7.0).max(1.0) as usize;
+        let (data, model) = demo_model("tiny").expect("demo model");
+        let images: Vec<Vec<f32>> = data.test_images().into_iter().take(2).collect();
+        let mut best = server_case(&model, &images, server_trials);
+        for _ in 0..2 {
+            if best.overhead_pct < threshold {
+                break;
+            }
+            println!(
+                "obs-overhead {}: {:+.2}% breaches threshold, re-measuring",
+                best.case, best.overhead_pct
+            );
+            let next = server_case(&model, &images, server_trials);
+            if next.overhead_pct < best.overhead_pct {
+                best = next;
+            }
+        }
+        println!(
+            "obs-overhead {}: plain {:.2} ms, traced {:.2} ms, overhead {:+.2}%",
+            best.case,
+            best.plain_ns / 1e6,
+            best.traced_ns / 1e6,
+            best.overhead_pct
+        );
+        results.push(best);
     }
 
     let path = std::env::var("BENCH_OBS_OVERHEAD_JSON")

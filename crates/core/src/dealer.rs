@@ -185,11 +185,21 @@ impl LaneSlot {
                 // before releasing the lane lock), then re-check: a triple
                 // that landed meanwhile is *earlier* in the stream than
                 // anything we could generate now.
-                let mut lane = self.lane.lock();
-                if let Some(t) = self.pop() {
-                    return Ok(t);
-                }
-                Ok(lane.next(|t| (self.expand)(t)))
+                let started = std::time::Instant::now();
+                let t = {
+                    let mut lane = self.lane.lock();
+                    match self.pop() {
+                        Some(t) => t,
+                        None => lane.next(|t| (self.expand)(t)),
+                    }
+                };
+                // Bill the whole detour (lane-lock wait + inline
+                // generation) as starvation: wall-clock the online path
+                // lost to offline work. Recorded outside the lane guard;
+                // sub-millisecond stalls round down to 0.
+                let ms = u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX);
+                self.metrics.add("dealer.starved_ms", ms);
+                Ok(t)
             }
         }
     }
@@ -347,10 +357,7 @@ enum Attachment {
     Owned(#[allow(dead_code)] Worker),
     /// Member of a shared [`DealerHub`]: drop deregisters this pool's
     /// slots; the hub's worker and the other members are untouched.
-    Hub {
-        members: Arc<Mutex<Vec<HubMember>>>,
-        id: u64,
-    },
+    Hub { members: Arc<Mutex<Vec<HubMember>>>, id: u64 },
 }
 
 /// Handle to a running background dealer. Owns (or holds membership in)
@@ -691,10 +698,18 @@ mod tests {
         let tracer = Tracer::disabled();
         let metrics = MetricsRegistry::disabled();
         let cfg = DealerConfig { depth: 2, policy: ExhaustionPolicy::GenerateInline };
-        let p1 =
-            hub.register(&tracer, &metrics, vec![("a".into(), tiny_lane(1), Box::new(RingTensor::clone) as ExpandFn)], cfg);
-        let p2 =
-            hub.register(&tracer, &metrics, vec![("b".into(), tiny_lane(2), Box::new(RingTensor::clone) as ExpandFn)], cfg);
+        let p1 = hub.register(
+            &tracer,
+            &metrics,
+            vec![("a".into(), tiny_lane(1), Box::new(RingTensor::clone) as ExpandFn)],
+            cfg,
+        );
+        let p2 = hub.register(
+            &tracer,
+            &metrics,
+            vec![("b".into(), tiny_lane(2), Box::new(RingTensor::clone) as ExpandFn)],
+            cfg,
+        );
         assert_eq!(hub.member_pools(), 2);
         assert!(p1.wait_warm(Duration::from_secs(10)), "hub never warmed pool 1");
         assert!(p2.wait_warm(Duration::from_secs(10)), "hub never warmed pool 2");

@@ -418,7 +418,8 @@ impl PreparedTemplate {
         let mut wstream = ChaCha20Rng::seed_from_u64(cfg.setup_seed ^ 0x7e19_0002);
         let mut layer_idx = 0usize;
         let mut cur_shape = vec![model.input_shape.elements()];
-        let ops = build_ops(id, cfg.q2(), &model.ops, &mut cur_shape, &mut wstream, &mut layer_idx)?;
+        let ops =
+            build_ops(id, cfg.q2(), &model.ops, &mut cur_shape, &mut wstream, &mut layer_idx)?;
         Ok(PreparedTemplate {
             ops,
             n_in: model.input_shape.elements(),

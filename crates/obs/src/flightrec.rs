@@ -1,0 +1,290 @@
+//! Per-session flight recorder: a fixed-size ring of recent events.
+//!
+//! Every admitted server session gets one. Workers append short
+//! span/event records as the session progresses; the ring holds only the
+//! most recent `capacity` records (older ones are counted, then
+//! overwritten), so memory per session is bounded no matter how long a
+//! session lives. On clean completion the recorder is simply dropped; on
+//! a fault, reap or shed the server dumps it as
+//! `flightrec-<stream>.json` in Chrome `trace_event` format
+//! ([`FlightRecorder::to_chrome_json`]) so the session's final moments
+//! are debuggable after the fact.
+//!
+//! Like the rest of this crate the recorder is value-free: records carry
+//! public structure only (lifecycle names, shapes, counts, timings) —
+//! never share values or wire payloads. Concurrency follows the crate's
+//! lint-clean idiom: one leaf `Mutex` whose guard is scoped to a closure
+//! ([`FlightRecorder::with_ring`]), so nothing blocks while holding it.
+
+use crate::json::Json;
+use crate::tracer::ArgValue;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Instant;
+
+/// One recorded event. `start_ns` is relative to the recorder's epoch
+/// (session admission); instant events have `dur_ns == 0`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightRecord {
+    /// Nanoseconds since the recorder epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds (0 for instant events).
+    pub dur_ns: u64,
+    /// Event name (e.g. `admitted`, `online_pass`, `reaped`).
+    pub name: String,
+    /// Category (e.g. `lifecycle`, `slo`).
+    pub cat: String,
+    /// Public structured arguments.
+    pub args: Vec<(String, ArgValue)>,
+}
+
+struct Ring {
+    buf: VecDeque<FlightRecord>,
+    dropped: u64,
+}
+
+struct RecorderInner {
+    enabled: bool,
+    capacity: usize,
+    epoch: Instant,
+    ring: Mutex<Ring>,
+}
+
+/// The recorder handle. Cheap to clone; clones share the ring.
+#[derive(Clone)]
+pub struct FlightRecorder {
+    inner: Arc<RecorderInner>,
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("enabled", &self.inner.enabled)
+            .field("capacity", &self.inner.capacity)
+            .field("len", &self.with_ring(|r| r.buf.len()))
+            .finish()
+    }
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::disabled()
+    }
+}
+
+impl FlightRecorder {
+    /// A recording ring holding at most `capacity` records (clamped to
+    /// at least 1). The full backing store is allocated up front so
+    /// recording never grows the buffer.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            inner: Arc::new(RecorderInner {
+                enabled: true,
+                capacity,
+                epoch: Instant::now(),
+                ring: Mutex::new(Ring { buf: VecDeque::with_capacity(capacity), dropped: 0 }),
+            }),
+        }
+    }
+
+    /// A recorder that records nothing; every call is one branch.
+    #[must_use]
+    pub fn disabled() -> Self {
+        FlightRecorder {
+            inner: Arc::new(RecorderInner {
+                enabled: false,
+                capacity: 0,
+                epoch: Instant::now(),
+                ring: Mutex::new(Ring { buf: VecDeque::new(), dropped: 0 }),
+            }),
+        }
+    }
+
+    /// Whether this recorder records.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled
+    }
+
+    /// Maximum number of retained records.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    /// Runs `f` under the ring lock; the guard cannot escape the closure
+    /// or be held across a blocking call.
+    fn with_ring<R>(&self, f: impl FnOnce(&mut Ring) -> R) -> R {
+        let mut st = self.inner.ring.lock().unwrap_or_else(PoisonError::into_inner);
+        f(&mut st)
+    }
+
+    /// Nanoseconds since the recorder epoch — pair with [`Self::span`]
+    /// to record a timed interval.
+    #[must_use]
+    #[allow(clippy::cast_possible_truncation)] // u64 ns ≈ 584 years
+    pub fn now_ns(&self) -> u64 {
+        self.inner.epoch.elapsed().as_nanos() as u64
+    }
+
+    fn push(&self, rec: FlightRecord) {
+        self.with_ring(|r| {
+            if r.buf.len() == self.inner.capacity {
+                r.buf.pop_front();
+                r.dropped = r.dropped.saturating_add(1);
+            }
+            r.buf.push_back(rec);
+        });
+    }
+
+    /// Records an instant event stamped now.
+    pub fn event(&self, name: &str, cat: &str, args: &[(&str, ArgValue)]) {
+        if !self.inner.enabled {
+            return;
+        }
+        let start_ns = self.now_ns();
+        self.push(FlightRecord {
+            start_ns,
+            dur_ns: 0,
+            name: name.to_owned(),
+            cat: cat.to_owned(),
+            args: args.iter().map(|(k, v)| ((*k).to_owned(), v.clone())).collect(),
+        });
+    }
+
+    /// Records a span that began at `start_ns` (from [`Self::now_ns`])
+    /// and ends now.
+    pub fn span(&self, name: &str, cat: &str, start_ns: u64, args: &[(&str, ArgValue)]) {
+        if !self.inner.enabled {
+            return;
+        }
+        let dur_ns = self.now_ns().saturating_sub(start_ns);
+        self.push(FlightRecord {
+            start_ns,
+            dur_ns,
+            name: name.to_owned(),
+            cat: cat.to_owned(),
+            args: args.iter().map(|(k, v)| ((*k).to_owned(), v.clone())).collect(),
+        });
+    }
+
+    /// The retained records (oldest first) and how many older records
+    /// the ring has overwritten.
+    #[must_use]
+    pub fn snapshot(&self) -> (Vec<FlightRecord>, u64) {
+        if !self.inner.enabled {
+            return (Vec::new(), 0);
+        }
+        self.with_ring(|r| (r.buf.iter().cloned().collect(), r.dropped))
+    }
+
+    /// Renders the ring as a Chrome `trace_event` document (`pid` =
+    /// stream id), parseable by [`crate::chrome::parse_chrome_trace`].
+    /// Top-level extras `flightrec`, `stream` and `dropped` let tooling
+    /// tell a flight-recorder dump from an ordinary trace.
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)] // ns → µs floats
+    pub fn to_chrome_json(&self, stream: u64) -> Json {
+        let (records, dropped) = self.snapshot();
+        let mut events = Vec::with_capacity(records.len() + 1);
+        events.push(Json::obj(vec![
+            ("name", Json::from("process_name")),
+            ("ph", Json::from("M")),
+            ("pid", Json::from(stream)),
+            ("tid", Json::from(0u64)),
+            ("args", Json::obj(vec![("name", Json::from(format!("session {stream}")))])),
+        ]));
+        for rec in &records {
+            let args: Vec<(String, Json)> = rec
+                .args
+                .iter()
+                .map(|(k, v)| {
+                    let j = match v {
+                        ArgValue::U64(n) => Json::from(*n),
+                        ArgValue::F64(n) => Json::from(*n),
+                        ArgValue::Str(s) => Json::from(s.as_str()),
+                    };
+                    (k.clone(), j)
+                })
+                .collect();
+            events.push(Json::obj(vec![
+                ("name", Json::from(rec.name.as_str())),
+                ("cat", Json::from(rec.cat.as_str())),
+                ("ph", Json::from("X")),
+                ("pid", Json::from(stream)),
+                ("tid", Json::from(0u64)),
+                ("ts", Json::from(rec.start_ns as f64 / 1000.0)),
+                ("dur", Json::from(rec.dur_ns as f64 / 1000.0)),
+                ("args", Json::Obj(args)),
+            ]));
+        }
+        Json::obj(vec![
+            ("traceEvents", Json::Arr(events)),
+            ("displayTimeUnit", Json::from("ms")),
+            ("flightrec", Json::from(1u64)),
+            ("stream", Json::from(stream)),
+            ("dropped", Json::from(dropped)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chrome::parse_chrome_trace;
+
+    #[test]
+    fn ring_is_bounded_and_counts_drops() {
+        let rec = FlightRecorder::new(3);
+        for i in 0..5u64 {
+            rec.event("tick", "test", &[("i", ArgValue::U64(i))]);
+        }
+        let (records, dropped) = rec.snapshot();
+        assert_eq!(records.len(), 3, "ring retains only capacity records");
+        assert_eq!(dropped, 2);
+        // Oldest records were the ones overwritten.
+        let kept: Vec<u64> =
+            records.iter().map(|r| r.args[0].1.as_u64().unwrap_or(u64::MAX)).collect();
+        assert_eq!(kept, vec![2, 3, 4]);
+        // Timestamps are monotone.
+        assert!(records.windows(2).all(|w| w[0].start_ns <= w[1].start_ns));
+    }
+
+    #[test]
+    fn spans_measure_elapsed_time() {
+        let rec = FlightRecorder::new(8);
+        let t0 = rec.now_ns();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        rec.span("work", "test", t0, &[]);
+        let (records, _) = rec.snapshot();
+        assert!(records[0].dur_ns >= 1_000_000, "span covers the sleep");
+    }
+
+    #[test]
+    fn dump_is_chrome_trace_compatible() {
+        let rec = FlightRecorder::new(8);
+        rec.event("admitted", "lifecycle", &[("model", ArgValue::Str("tiny".into()))]);
+        let t0 = rec.now_ns();
+        rec.span("online_pass", "slo", t0, &[("batch", ArgValue::U64(4))]);
+        let doc = rec.to_chrome_json(7);
+        let text = doc.to_string_pretty();
+        let parsed = Json::parse(&text).expect("dump parses as JSON");
+        assert_eq!(parsed.get("flightrec").and_then(Json::as_u64), Some(1));
+        assert_eq!(parsed.get("stream").and_then(Json::as_u64), Some(7));
+        let events = parse_chrome_trace(&parsed).expect("chrome-trace compatible");
+        assert_eq!(events.len(), 2);
+        assert!(events.iter().all(|e| e.pid == 7));
+        let pass = events.iter().find(|e| e.name == "online_pass").unwrap();
+        assert_eq!(pass.arg_u64("batch"), 4);
+    }
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let rec = FlightRecorder::disabled();
+        rec.event("x", "y", &[]);
+        rec.span("x", "y", 0, &[]);
+        assert_eq!(rec.snapshot().0.len(), 0);
+    }
+}

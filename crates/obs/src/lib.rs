@@ -12,6 +12,12 @@
 //! - [`report::CostReport`] — the paper-style per-layer cost table
 //!   (MiB / rounds / ms, online vs offline, both parties side by side),
 //!   built from span data alone so it reconstructs from `trace.json`.
+//! - [`expo`] — Prometheus-style text exposition of a metrics snapshot
+//!   (and its parser), served live by the server's admin endpoint.
+//! - [`SloTracker`] — streaming latency histograms over fixed
+//!   log-spaced buckets, with p50/p90/p99 gauges recomputed on scrape.
+//! - [`FlightRecorder`] — a bounded per-session ring of recent events,
+//!   dumped in Chrome trace format when a session faults.
 //!
 //! # Secrecy
 //!
@@ -27,10 +33,16 @@
 #![warn(missing_docs)]
 
 pub mod chrome;
+pub mod expo;
+pub mod flightrec;
 pub mod json;
 pub mod metrics;
 pub mod report;
+pub mod slo;
 pub mod tracer;
 
+pub use expo::{parse_text, render_text, text_schema_version};
+pub use flightrec::{FlightRecord, FlightRecorder};
 pub use metrics::{Counter, Histogram, MetricsRegistry, MetricsSnapshot, METRICS_SCHEMA_VERSION};
+pub use slo::{quantile, SloClass, SloTracker, SLO_BUCKET_BOUNDS_MS};
 pub use tracer::{ArgValue, LogSink, SpanId, SpanRecord, Tracer};

@@ -29,16 +29,38 @@ use std::sync::{Arc, Mutex, PoisonError};
 ///   `session.<stream>.{acks_sent,naks_sent,retransmits,duplicates,corrupt_frames,misrouted,reconnects}`
 ///   (stream `0` keeps the unprefixed v1 `session.*` names). Purely
 ///   additive; v1 and v2 documents still parse.
-pub const METRICS_SCHEMA_VERSION: u64 = 3;
+/// * v4 — adds the live-telemetry family: the `server.inflight` gauge
+///   (admitted-and-not-yet-finished sessions, mirrors
+///   `server.sessions_active`), the `server.queue_wait_ms` histogram
+///   (admission-to-run-slot wait), the `dealer.starved_ms` counter
+///   (wall-clock ms spent generating triples inline on a dealer miss),
+///   the SLO latency histograms
+///   `server.slo.{admission,online,e2e}_ms` with their
+///   `server.slo.{admission,online,e2e}.p{50,90,99}` gauges (recomputed
+///   on scrape), and the `server.slo_violations` counter (`--slo-ms`
+///   budget overruns). Purely additive; v1–v3 documents still parse.
+pub const METRICS_SCHEMA_VERSION: u64 = 4;
 
 /// A counter handle: increments are one relaxed atomic add. Cheap to clone.
 #[derive(Debug, Clone, Default)]
 pub struct Counter(Arc<AtomicU64>);
 
 impl Counter {
-    /// Adds `v` to the counter.
+    /// Adds `v` to the counter, saturating at `u64::MAX` instead of
+    /// wrapping (a wrapped counter reads as a reset to a dashboard).
     pub fn add(&self, v: u64) {
-        self.0.fetch_add(v, Ordering::Relaxed);
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |c| Some(c.saturating_add(v)));
+    }
+
+    /// Subtracts `v` from the counter, clamping at zero instead of
+    /// wrapping — a double-decrement bug in teardown attribution must
+    /// not turn into a ~2^64 reading.
+    pub fn sub(&self, v: u64) {
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |c| Some(c.saturating_sub(v)));
     }
 
     /// Increments the counter by one.
@@ -304,6 +326,24 @@ impl MetricsRegistry {
         self.with_map(|st| st.insert(name.to_owned(), Slot::Gauge(v)));
     }
 
+    /// Adds `delta` (which may be negative) to the gauge `name`,
+    /// clamping the result at zero. Every gauge in the schema is an
+    /// occupancy or a duration, so a negative reading is always a
+    /// double-decrement bug — clamp it instead of exporting a negative
+    /// (or, for consumers that cast to unsigned, wrapped) value.
+    pub fn gauge_add(&self, name: &str, delta: f64) {
+        if !self.inner.enabled {
+            return;
+        }
+        self.with_map(|st| {
+            let cur = match st.get(name) {
+                Some(Slot::Gauge(v)) => *v,
+                _ => 0.0,
+            };
+            st.insert(name.to_owned(), Slot::Gauge((cur + delta).max(0.0)));
+        });
+    }
+
     /// Observes `v` into the histogram `name`, creating it with the given
     /// bounds on first use (later calls ignore `bounds`).
     pub fn observe_with(&self, name: &str, bounds: &Histogram, v: f64) {
@@ -362,6 +402,43 @@ mod tests {
         a.add(3);
         b.inc();
         assert_eq!(m.snapshot().counters["x.hits"], 4);
+    }
+
+    #[test]
+    fn counter_sub_clamps_at_zero() {
+        let m = MetricsRegistry::new();
+        let c = m.counter("server.teardowns");
+        c.add(2);
+        c.sub(1);
+        assert_eq!(c.get(), 1);
+        // The double-decrement bug: clamps at 0 instead of wrapping to
+        // ~2^64.
+        c.sub(5);
+        assert_eq!(c.get(), 0);
+        c.sub(1);
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn counter_add_saturates_at_max() {
+        let c = Counter::default();
+        c.add(u64::MAX - 1);
+        c.add(10);
+        assert_eq!(c.get(), u64::MAX);
+    }
+
+    #[test]
+    fn gauge_decrement_below_zero_clamps() {
+        let m = MetricsRegistry::new();
+        m.gauge_add("server.inflight", 2.0);
+        m.gauge_add("server.inflight", -1.0);
+        assert!((m.snapshot().gauges["server.inflight"] - 1.0).abs() < f64::EPSILON);
+        // Decrementing past zero clamps instead of going negative.
+        m.gauge_add("server.inflight", -3.0);
+        assert!(m.snapshot().gauges["server.inflight"].abs() < f64::EPSILON);
+        // A never-set gauge starts from zero.
+        m.gauge_add("server.queue", -1.0);
+        assert!(m.snapshot().gauges["server.queue"].abs() < f64::EPSILON);
     }
 
     #[test]
@@ -440,6 +517,30 @@ mod tests {
         let snap = MetricsSnapshot::from_json(&doc).expect("v2 is forward-parseable");
         assert_eq!(snap.counters["dealer.hits"], 3);
         assert!((snap.gauges["dealer.queue_depth.conv1"] - 8.0).abs() < f64::EPSILON);
+        // A v3 document (multi-tenant server family) parses under v4.
+        let v3 = r#"{"metrics_version": 3,
+                     "counters": {"server.sessions_admitted": 5, "server.sessions_reaped": 1,
+                                  "session.7.retransmits": 2},
+                     "gauges": {"server.sessions_active": 2.0, "server.drain_ms": 12.5}}"#;
+        let doc = crate::json::Json::parse(v3).unwrap();
+        let snap = MetricsSnapshot::from_json(&doc).expect("v3 is forward-parseable");
+        assert_eq!(snap.counters["server.sessions_admitted"], 5);
+        assert_eq!(snap.counters["session.7.retransmits"], 2);
+        // A v4 document (live-telemetry family) parses — the committed
+        // fixture for the current schema, covering each new metric kind.
+        let v4 = r#"{"metrics_version": 4,
+                     "counters": {"dealer.starved_ms": 17, "server.slo_violations": 1},
+                     "gauges": {"server.inflight": 3.0, "server.slo.e2e.p99": 41.5},
+                     "histograms": {"server.queue_wait_ms":
+                       {"bounds": [0.25, 0.5, 1.0], "counts": [4, 1, 0, 2],
+                        "sum": 9.75, "count": 7}}}"#;
+        let doc = crate::json::Json::parse(v4).unwrap();
+        let snap = MetricsSnapshot::from_json(&doc).expect("v4 parses");
+        assert_eq!(snap.counters["dealer.starved_ms"], 17);
+        assert_eq!(snap.counters["server.slo_violations"], 1);
+        assert!((snap.gauges["server.slo.e2e.p99"] - 41.5).abs() < f64::EPSILON);
+        assert_eq!(snap.histograms["server.queue_wait_ms"].counts, vec![4, 1, 0, 2]);
+        assert_eq!(snap.histograms["server.queue_wait_ms"].count, 7);
         let v9 = r#"{"metrics_version": 9, "counters": {}}"#;
         let doc = crate::json::Json::parse(v9).unwrap();
         assert!(MetricsSnapshot::from_json(&doc).is_err());

@@ -54,9 +54,7 @@ impl TcpAcceptor {
     ///
     /// Mapped OS failures querying the socket name.
     pub fn local_addr(&self) -> Result<SocketAddr, TransportError> {
-        self.listener
-            .local_addr()
-            .map_err(|e| TransportError::Corrupt(format!("local_addr: {e}")))
+        self.listener.local_addr().map_err(|e| TransportError::Corrupt(format!("local_addr: {e}")))
     }
 }
 
@@ -154,10 +152,7 @@ mod tests {
         client.send(Bytes::from_static(b"hi")).unwrap();
         assert_eq!(&server.recv(Some(Duration::from_millis(100))).unwrap()[..], b"hi");
         drop(dial);
-        assert!(matches!(
-            acc.accept(Duration::from_millis(5)),
-            Err(TransportError::Disconnected)
-        ));
+        assert!(matches!(acc.accept(Duration::from_millis(5)), Err(TransportError::Disconnected)));
     }
 
     #[test]

@@ -1,0 +1,159 @@
+//! A command-line user for `aq2pnn-serve`: dials the provider over TCP
+//! and runs real two-party inference sessions against it.
+//!
+//! ```sh
+//! aq2pnn-client --connect 127.0.0.1:9000 --model tiny --count 2 --sessions 3
+//! ```
+//!
+//! `--sessions N` runs N concurrent sessions (one thread each, fresh TCP
+//! link per session) — a reproducible client burst for load-testing a
+//! live server while its admin endpoint is scraped.
+//!
+//! `--park-ms N` is the operational fault probe: connect, complete
+//! admission by saying nothing (admission happens on accept), then hold
+//! the link silent for N ms. Parked longer than the server's
+//! `--idle-timeout-ms`, the session is reaped and — with `--flightrec`
+//! on — dumps a flight recorder, which is exactly how CI exercises the
+//! incident path against the deployed binary.
+//!
+//! The model weights are derived from the same deterministic demo recipe
+//! the server uses ([`demo_model`]), so both parties hold matching
+//! shares without any offline exchange.
+
+use aq2pnn_server::{demo_model, run_client, ClientConfig};
+use aq2pnn_transport::{TcpConfig, TcpTransport, Transport};
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Args {
+    connect: String,
+    model: String,
+    count: usize,
+    batch: usize,
+    sessions: usize,
+    q1_bits: u32,
+    park_ms: Option<u64>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: aq2pnn-client --connect ADDR [--model tiny|lenet5] [--count N]\n\
+         \x20                  [--batch N] [--sessions N] [--q1-bits N] [--park-ms N]\n\
+         \n\
+         --sessions N  concurrent sessions, one fresh TCP link each (default 1)\n\
+         --count N     images per session (default 2)\n\
+         --park-ms N   instead of inferring: connect, stay silent for N ms,\n\
+         \x20             then hang up — parked past the server's idle timeout\n\
+         \x20             this forces a reap (and a flight-recorder dump)\n\
+         \n\
+         exit codes: 0 all sessions completed, 1 any session failed, 2 usage"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        connect: String::new(),
+        model: "tiny".into(),
+        count: 2,
+        batch: 1,
+        sessions: 1,
+        q1_bits: 16,
+        park_ms: None,
+    };
+    let mut it = std::env::args().skip(1);
+    let num = |it: &mut dyn Iterator<Item = String>| -> u64 {
+        it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+    };
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--connect" => args.connect = it.next().unwrap_or_else(|| usage()),
+            "--model" => args.model = it.next().unwrap_or_else(|| usage()),
+            "--count" => args.count = usize::try_from(num(&mut it)).unwrap_or_else(|_| usage()),
+            "--batch" => args.batch = usize::try_from(num(&mut it)).unwrap_or_else(|_| usage()),
+            "--sessions" => {
+                args.sessions = usize::try_from(num(&mut it)).unwrap_or_else(|_| usage());
+            }
+            "--q1-bits" => args.q1_bits = u32::try_from(num(&mut it)).unwrap_or_else(|_| usage()),
+            "--park-ms" => args.park_ms = Some(num(&mut it)),
+            _ => usage(),
+        }
+    }
+    if args.connect.is_empty() || args.count == 0 || args.sessions == 0 {
+        usage();
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+
+    // The fault probe needs no model: admission happens on accept, so a
+    // silent socket held open is a fully admitted, fully idle session.
+    if let Some(ms) = args.park_ms {
+        let parked = match std::net::TcpStream::connect(&args.connect) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("aq2pnn-client: connect {}: {e}", args.connect);
+                std::process::exit(1);
+            }
+        };
+        println!("parked on {} for {ms} ms", args.connect);
+        std::thread::sleep(Duration::from_millis(ms));
+        drop(parked);
+        return;
+    }
+
+    eprintln!("training demo model {:?} (deterministic seeds)…", args.model);
+    let (data, model) = match demo_model(&args.model) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("aq2pnn-client: {e}");
+            std::process::exit(2);
+        }
+    };
+    let owned = data.test_images();
+    if owned.len() < args.count {
+        eprintln!("aq2pnn-client: model {:?} has only {} test images", args.model, owned.len());
+        std::process::exit(2);
+    }
+    let images: Vec<&[f32]> = owned.iter().take(args.count).map(Vec::as_slice).collect();
+    let cfg = ClientConfig {
+        model: args.model.clone(),
+        q1_bits: args.q1_bits,
+        batch: args.batch,
+        ..ClientConfig::default()
+    };
+
+    let mut failed = false;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..args.sessions)
+            .map(|i| {
+                let (connect, cfg, model, images) = (&args.connect, &cfg, &model, &images);
+                scope.spawn(move || {
+                    let link = TcpTransport::connect(connect, TcpConfig::default())
+                        .map_err(|e| format!("connect: {e}"))?;
+                    let run = run_client(Arc::new(link) as Arc<dyn Transport>, cfg, model, images)
+                        .map_err(|e| e.to_string())?;
+                    #[allow(clippy::cast_precision_loss)] // display only
+                    let online_ms = run.online_ns as f64 / 1_000_000.0;
+                    println!(
+                        "session {i}: stream {}, {} image(s), online {online_ms:.2} ms",
+                        run.stream,
+                        run.logits.len()
+                    );
+                    Ok::<_, String>(())
+                })
+            })
+            .collect();
+        for (i, h) in handles.into_iter().enumerate() {
+            if let Err(e) = h.join().expect("session thread panicked") {
+                eprintln!("session {i}: FAILED: {e}");
+                failed = true;
+            }
+        }
+    });
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -32,6 +32,9 @@ struct Args {
     idle_ms: u64,
     deadline_ms: u64,
     drain_ms: u64,
+    admin: Option<String>,
+    slo_ms: Option<u64>,
+    flightrec_dir: Option<String>,
 }
 
 fn usage() -> ! {
@@ -41,6 +44,13 @@ fn usage() -> ! {
          \x20                  [--admission-timeout-ms N] [--io-timeout-ms N]\n\
          \x20                  [--idle-timeout-ms N] [--session-deadline-ms N]\n\
          \x20                  [--drain-timeout-ms N]\n\
+         \x20                  [--admin ADDR] [--slo-ms N] [--flightrec DIR]\n\
+         \n\
+         --admin ADDR    loopback-only live telemetry endpoint\n\
+         \x20               (GET /metrics, /sessions, /healthz)\n\
+         --slo-ms N      end-to-end latency budget (server.slo_violations)\n\
+         --flightrec DIR per-session flight recorder; faulted/reaped\n\
+         \x20               sessions dump flightrec-<stream>.json here\n\
          \n\
          exit codes: 0 drained clean, 2 usage, 3 drain budget expired"
     );
@@ -59,6 +69,9 @@ fn parse_args() -> Args {
         idle_ms: 60_000,
         deadline_ms: 600_000,
         drain_ms: 10_000,
+        admin: None,
+        slo_ms: None,
+        flightrec_dir: None,
     };
     let mut it = std::env::args().skip(1);
     let num = |it: &mut dyn Iterator<Item = String>| -> u64 {
@@ -84,6 +97,9 @@ fn parse_args() -> Args {
             "--idle-timeout-ms" => args.idle_ms = num(&mut it),
             "--session-deadline-ms" => args.deadline_ms = num(&mut it),
             "--drain-timeout-ms" => args.drain_ms = num(&mut it),
+            "--admin" => args.admin = Some(it.next().unwrap_or_else(|| usage())),
+            "--slo-ms" => args.slo_ms = Some(num(&mut it)),
+            "--flightrec" => args.flightrec_dir = Some(it.next().unwrap_or_else(|| usage())),
             _ => usage(),
         }
     }
@@ -125,17 +141,35 @@ fn main() {
         session_deadline: Duration::from_millis(args.deadline_ms),
         idle_timeout: Duration::from_millis(args.idle_ms),
         drain_timeout: Duration::from_millis(args.drain_ms),
-        dealer: args.background_dealer.then_some(DealerConfig {
-            depth: 16,
-            policy: ExhaustionPolicy::GenerateInline,
-        }),
+        dealer: args
+            .background_dealer
+            .then_some(DealerConfig { depth: 16, policy: ExhaustionPolicy::GenerateInline }),
+        slo_ms: args.slo_ms,
+        flightrec_dir: args.flightrec_dir.as_ref().map(std::path::PathBuf::from),
         ..ServerConfig::default()
     };
-    let mut server = InferenceServer::start(Box::new(acceptor), cfg, registry, ServerObs::default());
+    // Live telemetry needs a recording registry; without it the admin
+    // endpoint (and SLO tracking) would scrape an empty store.
+    let obs = if args.admin.is_some() || args.slo_ms.is_some() {
+        ServerObs { metrics: aq2pnn_obs::MetricsRegistry::new(), ..ServerObs::default() }
+    } else {
+        ServerObs::default()
+    };
+    let mut server = InferenceServer::start(Box::new(acceptor), cfg, registry, obs);
+    let admin_addr = args.admin.as_ref().map(|a| match server.start_admin(a) {
+        Ok(resolved) => resolved,
+        Err(e) => {
+            eprintln!("aq2pnn-serve: {e}");
+            std::process::exit(2);
+        }
+    });
 
     // The ready line the process tests key on; flush so a piped reader
     // sees it immediately.
     println!("listening on {addr}");
+    if let Some(admin) = admin_addr {
+        println!("admin on {admin}");
+    }
     let _ = std::io::stdout().flush();
 
     while !signal::shutdown_requested() {

@@ -7,8 +7,7 @@ use aq2pnn::{PartyContext, ProtocolConfig, ProtocolError};
 use aq2pnn_nn::quant::QuantModel;
 use aq2pnn_sharing::PartyId;
 use aq2pnn_transport::{
-    Endpoint, Frame, FrameKind, Session, SessionConfig, SessionTelemetry, Transport,
-    TransportError,
+    Endpoint, Frame, FrameKind, Session, SessionConfig, SessionTelemetry, Transport, TransportError,
 };
 use std::sync::Arc;
 use std::time::Duration;
@@ -119,6 +118,11 @@ pub struct ClientRun {
     pub telemetry: SessionTelemetry,
     /// Application payload bytes this side sent + received.
     pub payload_bytes: u64,
+    /// Wall-clock nanoseconds spent in the secure online passes (the
+    /// lockstep `run_batch` loop), excluding admission, session setup and
+    /// preparation — the interval the server-side observability gate
+    /// measures.
+    pub online_ns: u64,
 }
 
 /// Runs one full service session as the *user*: admission handshake,
@@ -174,18 +178,19 @@ pub fn run_client(
     }
 
     // 3. The 2PC session proper, mirroring the server's lockstep.
-    let ep = Endpoint::over_transport(
-        Arc::clone(&session) as Arc<dyn Transport>,
-        Some(cfg.io_deadline),
-    );
+    let ep =
+        Endpoint::over_transport(Arc::clone(&session) as Arc<dyn Transport>, Some(cfg.io_deadline));
     let pcfg = ProtocolConfig::paper(cfg.q1_bits);
     let mut ctx = PartyContext::new(PartyId::User, ep, pcfg, None);
     let mut prepared = PreparedModel::prepare(&mut ctx, model)?;
     let mut logits = Vec::with_capacity(images.len());
+    let online_started = std::time::Instant::now();
     for chunk in images.chunks(batch) {
         let out = prepared.run_batch(&mut ctx, BatchInput::User(chunk))?;
         logits.extend(out.logits);
     }
+    #[allow(clippy::cast_possible_truncation)] // u64 ns ≈ 584 years
+    let online_ns = online_started.elapsed().as_nanos() as u64;
     // Graceful goodbye: we have our logits, but over a lossy link the
     // server may still be waiting on a dropped tail frame only we can
     // retransmit. Flush until the server acked everything (or its side of
@@ -196,5 +201,6 @@ pub fn run_client(
         stream,
         telemetry: session.telemetry(),
         payload_bytes: ctx.ep.stats().total_bytes(),
+        online_ns,
     })
 }

@@ -32,6 +32,12 @@
 //! * **Graceful drain** — shutdown sheds new admissions, waits for
 //!   in-flight sessions up to a drain budget, then force-closes stragglers
 //!   and reports which of the two happened ([`DrainReport`]).
+//! * **Live telemetry** — an optional loopback-only admin endpoint
+//!   ([`InferenceServer::start_admin`]) serves `/metrics` (schema-v4 text
+//!   exposition with SLO quantile gauges), `/sessions` and `/healthz`
+//!   while the server runs; every session carries a bounded
+//!   [`aq2pnn_obs::FlightRecorder`] that is dumped as
+//!   `flightrec-<stream>.json` when the session faults or is reaped.
 //!
 //! All telemetry carries **public structure only** (stream IDs, counts,
 //! shapes, timings) — see DESIGN.md §10.
@@ -41,6 +47,7 @@
 
 mod acceptor;
 mod activity;
+mod admin;
 mod client;
 mod proto;
 mod registry;
@@ -52,6 +59,4 @@ pub use activity::ActivityTransport;
 pub use client::{run_client, ClientConfig, ClientError, ClientRun};
 pub use proto::{InferenceRequest, MAX_BATCH, MAX_IMAGES};
 pub use registry::{demo_model, ModelRegistry, TemplateCache};
-pub use server::{
-    DrainReport, InferenceServer, ServerConfig, ServerCounters, ServerObs,
-};
+pub use server::{DrainReport, InferenceServer, ServerConfig, ServerCounters, ServerObs};

@@ -142,9 +142,8 @@ pub fn decode_reply(bytes: &[u8]) -> Result<Result<(), String>, TransportError> 
             if bytes.len() != 3 + len {
                 return Err(fail("length mismatch"));
             }
-            let msg = std::str::from_utf8(&bytes[3..])
-                .map_err(|_| fail("reason not UTF-8"))?
-                .to_owned();
+            let msg =
+                std::str::from_utf8(&bytes[3..]).map_err(|_| fail("reason not UTF-8"))?.to_owned();
             Ok(Err(msg))
         }
         _ => Err(fail("unknown tag or truncated")),
@@ -166,8 +165,8 @@ mod tests {
     fn malformed_requests_are_typed_errors() {
         assert!(InferenceRequest::decode(&[]).is_err());
         assert!(InferenceRequest::decode(&[9, 0, 1, 2]).is_err());
-        let mut ok = InferenceRequest { model: "m".into(), q1_bits: 16, batch: 1, count: 1 }
-            .encode();
+        let mut ok =
+            InferenceRequest { model: "m".into(), q1_bits: 16, batch: 1, count: 1 }.encode();
         ok.push(0xFF); // trailing byte
         assert!(InferenceRequest::decode(&ok).is_err());
     }

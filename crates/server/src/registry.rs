@@ -116,9 +116,7 @@ impl TemplateCache {
 /// # Errors
 ///
 /// An unknown name, or a training/quantization failure, as a message.
-pub fn demo_model(
-    name: &str,
-) -> Result<(aq2pnn_nn::data::SyntheticVision, QuantModel), String> {
+pub fn demo_model(name: &str) -> Result<(aq2pnn_nn::data::SyntheticVision, QuantModel), String> {
     use aq2pnn_nn::data::SyntheticVision;
     use aq2pnn_nn::float::FloatNet;
     use aq2pnn_nn::quant::QuantConfig;

@@ -21,7 +21,10 @@ use crate::registry::{ModelRegistry, TemplateCache};
 use aq2pnn::dealer::{DealerConfig, DealerHub};
 use aq2pnn::engine::BatchInput;
 use aq2pnn::{PartyContext, ProtocolConfig};
-use aq2pnn_obs::{Counter, MetricsRegistry, Tracer};
+use aq2pnn_obs::{
+    ArgValue, Counter, FlightRecorder, Histogram, MetricsRegistry, SloClass, SloTracker, Tracer,
+    SLO_BUCKET_BOUNDS_MS,
+};
 use aq2pnn_parallel::sync::{AtomicBool, AtomicU64, AtomicUsize, Mutex, Ordering};
 use aq2pnn_parallel::Worker;
 use aq2pnn_sharing::PartyId;
@@ -62,6 +65,18 @@ pub struct ServerConfig {
     /// Background offline dealer, shared across sessions through one
     /// [`DealerHub`]; `None` generates triples inline on the online path.
     pub dealer: Option<DealerConfig>,
+    /// End-to-end latency budget in milliseconds; completed sessions
+    /// exceeding it bump the `server.slo_violations` counter. `None`
+    /// tracks latency histograms without a budget.
+    pub slo_ms: Option<u64>,
+    /// Directory for flight-recorder dumps (`flightrec-<stream>.json`).
+    /// `None` disables per-session recording entirely; when set, every
+    /// session records into a bounded ring that is dropped on clean
+    /// completion and dumped here when the session faults, is rejected
+    /// or is reaped.
+    pub flightrec_dir: Option<std::path::PathBuf>,
+    /// Retained records per session flight recorder.
+    pub flightrec_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -77,6 +92,9 @@ impl Default for ServerConfig {
             drain_timeout: Duration::from_secs(10),
             session: SessionConfig::default(),
             dealer: None,
+            slo_ms: None,
+            flightrec_dir: None,
+            flightrec_capacity: 256,
         }
     }
 }
@@ -130,10 +148,17 @@ struct Counters {
     completed: Counter,
 }
 
-struct SessionSlot {
-    stream: u64,
-    link: Arc<ActivityTransport>,
-    admitted_at: Instant,
+pub(crate) struct SessionSlot {
+    pub(crate) stream: u64,
+    pub(crate) link: Arc<ActivityTransport>,
+    pub(crate) admitted_at: Instant,
+    /// The session's flight recorder (disabled unless
+    /// `cfg.flightrec_dir` is set). Shared with the session worker.
+    pub(crate) recorder: FlightRecorder,
+    /// The reliability session, published once the worker builds it so
+    /// the admin `/sessions` view can read live telemetry. Written and
+    /// read only under the `server.sessions` guard.
+    pub(crate) session: Option<Arc<Session>>,
 }
 
 struct SessionWorker {
@@ -149,30 +174,52 @@ enum Phase {
     Serve,
 }
 
-struct Inner {
-    cfg: ServerConfig,
+pub(crate) struct Inner {
+    pub(crate) cfg: ServerConfig,
     registry: ModelRegistry,
     templates: TemplateCache,
     hub: DealerHub,
-    tracer: Tracer,
-    metrics: MetricsRegistry,
+    pub(crate) tracer: Tracer,
+    pub(crate) metrics: MetricsRegistry,
     c: Counters,
+    /// SLO latency accounting (admission / online / e2e histograms).
+    pub(crate) slo: SloTracker,
+    /// Fixed bucket template for `server.queue_wait_ms`.
+    queue_wait_buckets: Histogram,
     /// Lock class `server.sessions` (leaf).
-    sessions: Mutex<Vec<SessionSlot>>,
+    pub(crate) sessions: Mutex<Vec<SessionSlot>>,
     /// Lock class `server.workers` (leaf).
     workers: Mutex<Vec<SessionWorker>>,
     /// Free 2PC serve slots (`max_sessions` at rest); bare atomic, no lock.
     run_slots: AtomicUsize,
     next_stream: AtomicU64,
-    in_flight: AtomicU64,
-    draining: AtomicBool,
-    stopping: AtomicBool,
+    pub(crate) in_flight: AtomicU64,
+    pub(crate) draining: AtomicBool,
+    pub(crate) stopping: AtomicBool,
 }
 
 impl Inner {
-    fn set_active_gauge(&self) {
+    pub(crate) fn set_active_gauge(&self) {
         #[allow(clippy::cast_precision_loss)] // session counts are tiny
-        self.metrics.gauge_set("server.sessions_active", self.in_flight.load(Ordering::SeqCst) as f64);
+        let active = self.in_flight.load(Ordering::SeqCst) as f64;
+        self.metrics.gauge_set("server.sessions_active", active);
+        // Schema v4 alias with the conventional name; same reading.
+        self.metrics.gauge_set("server.inflight", active);
+    }
+
+    /// Admission capacity: in-flight sessions beyond this are shed.
+    pub(crate) fn capacity(&self) -> u64 {
+        (self.cfg.max_sessions + self.cfg.queue_depth) as u64
+    }
+
+    /// A fresh flight recorder for one session (disabled unless dumps
+    /// are configured, so un-opted servers pay one branch per record).
+    fn new_recorder(&self) -> FlightRecorder {
+        if self.cfg.flightrec_dir.is_some() {
+            FlightRecorder::new(self.cfg.flightrec_capacity)
+        } else {
+            FlightRecorder::disabled()
+        }
     }
 }
 
@@ -185,6 +232,7 @@ pub struct InferenceServer {
     inner: Arc<Inner>,
     accept: Option<Worker>,
     reaper: Option<Worker>,
+    admin: Option<Worker>,
     stopped: bool,
 }
 
@@ -205,6 +253,8 @@ impl InferenceServer {
             faulted: obs.metrics.counter("server.sessions_faulted"),
             completed: obs.metrics.counter("server.sessions_completed"),
         };
+        #[allow(clippy::cast_precision_loss)] // millisecond budgets are small
+        let slo = SloTracker::new(&obs.metrics, cfg.slo_ms.map(|ms| ms as f64));
         let inner = Arc::new(Inner {
             run_slots: AtomicUsize::new(cfg.max_sessions),
             cfg,
@@ -214,6 +264,8 @@ impl InferenceServer {
             tracer: obs.tracer,
             metrics: obs.metrics,
             c,
+            slo,
+            queue_wait_buckets: Histogram::new(&SLO_BUCKET_BOUNDS_MS),
             sessions: Mutex::new(Vec::new()),
             workers: Mutex::new(Vec::new()),
             next_stream: AtomicU64::new(0),
@@ -235,7 +287,27 @@ impl InferenceServer {
             let inner = Arc::clone(&inner);
             reaper.submit(move || reap_loop(&inner));
         }
-        InferenceServer { inner, accept: Some(accept), reaper: Some(reaper), stopped: false }
+        InferenceServer {
+            inner,
+            accept: Some(accept),
+            reaper: Some(reaper),
+            admin: None,
+            stopped: false,
+        }
+    }
+
+    /// Boots the loopback-only admin listener on `addr` (e.g.
+    /// `127.0.0.1:0`) serving `GET /metrics`, `/sessions` and `/healthz`
+    /// (see DESIGN.md §14). Returns the resolved address.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `addr` does not bind or is not a loopback address —
+    /// the admin surface must never be reachable off-host.
+    pub fn start_admin(&mut self, addr: &str) -> Result<std::net::SocketAddr, TransportError> {
+        let (resolved, worker) = crate::admin::spawn_admin(&self.inner, addr)?;
+        self.admin = Some(worker);
+        Ok(resolved)
     }
 
     /// Current accounting snapshot.
@@ -315,6 +387,7 @@ impl InferenceServer {
         self.inner.stopping.store(true, Ordering::SeqCst);
         drop(self.accept.take());
         drop(self.reaper.take());
+        drop(self.admin.take());
         // `mem::take`, not `Vec::drain`: the concurrency lint resolves
         // callees by name and would conflate it with [`Self::drain`].
         let leftover: Vec<SessionWorker> = std::mem::take(&mut *self.inner.workers.lock());
@@ -358,8 +431,7 @@ fn accept_loop(inner: &Arc<Inner>, acceptor: &mut dyn Acceptor) {
 /// answered *immediately* with a typed `Shed` frame — the client never
 /// waits out a timeout to learn it was declined.
 fn admit(inner: &Arc<Inner>, link: Arc<dyn Transport>) {
-    let cap = inner.cfg.max_sessions + inner.cfg.queue_depth;
-    let over = inner.in_flight.load(Ordering::SeqCst) >= cap as u64;
+    let over = inner.in_flight.load(Ordering::SeqCst) >= inner.capacity();
     if over || inner.draining.load(Ordering::SeqCst) {
         let _ = link.send(Frame::control(FrameKind::Shed, 0, 0).encode().into());
         link.shutdown();
@@ -368,6 +440,9 @@ fn admit(inner: &Arc<Inner>, link: Arc<dyn Transport>) {
     }
     let stream = inner.next_stream.fetch_add(1, Ordering::SeqCst) + 1;
     let activity = Arc::new(ActivityTransport::new(link));
+    let admitted_at = Instant::now();
+    let recorder = inner.new_recorder();
+    recorder.event("admitted", "lifecycle", &[("stream", ArgValue::U64(stream))]);
     inner.in_flight.fetch_add(1, Ordering::SeqCst);
     inner.set_active_gauge();
     inner.c.admitted.inc();
@@ -376,7 +451,9 @@ fn admit(inner: &Arc<Inner>, link: Arc<dyn Transport>) {
         sessions.push(SessionSlot {
             stream,
             link: Arc::clone(&activity),
-            admitted_at: Instant::now(),
+            admitted_at,
+            recorder: recorder.clone(),
+            session: None,
         });
     }
     let worker = Worker::spawn("aq2pnn-session");
@@ -385,7 +462,7 @@ fn admit(inner: &Arc<Inner>, link: Arc<dyn Transport>) {
         let inner = Arc::clone(inner);
         let done = Arc::clone(&done);
         worker.submit(move || {
-            session_job(&inner, stream, &activity);
+            session_job(&inner, stream, &activity, &recorder, admitted_at);
             done.store(true, Ordering::SeqCst);
         });
     }
@@ -396,26 +473,44 @@ fn admit(inner: &Arc<Inner>, link: Arc<dyn Transport>) {
 /// One session end to end, plus its teardown bookkeeping. Runs on the
 /// session's dedicated worker; every exit path (success, client fault,
 /// reap, drain) lands in the same accounting.
-fn session_job(inner: &Arc<Inner>, stream: u64, link: &Arc<ActivityTransport>) {
-    let outcome = serve_session(inner, stream, link);
+fn session_job(
+    inner: &Arc<Inner>,
+    stream: u64,
+    link: &Arc<ActivityTransport>,
+    recorder: &FlightRecorder,
+    admitted_at: Instant,
+) {
+    let outcome = serve_session(inner, stream, link, recorder, admitted_at);
     match outcome {
         Ok(images) => {
             inner.c.completed.inc();
+            #[allow(clippy::cast_precision_loss)] // ms counts are small
+            inner.slo.observe(SloClass::EndToEnd, admitted_at.elapsed().as_secs_f64() * 1e3);
             inner.tracer.info(format!("server: session {stream} completed ({images} image(s))"));
+            // Clean completion: the flight recorder is dropped, not dumped.
         }
         Err((phase, err)) => {
-            if link.was_closed() {
+            let outcome = if link.was_closed() {
                 // The reaper (or drain) tore this link down; the error the
                 // worker observed is just the echo of that teardown.
                 inner.c.reaped.inc();
                 inner.tracer.info(format!("server: session {stream} reaped: {err}"));
+                "reaped"
             } else {
-                match phase {
-                    Phase::Admission => inner.c.rejected.inc(),
-                    Phase::Serve => inner.c.faulted.inc(),
-                }
+                let name = match phase {
+                    Phase::Admission => {
+                        inner.c.rejected.inc();
+                        "rejected"
+                    }
+                    Phase::Serve => {
+                        inner.c.faulted.inc();
+                        "faulted"
+                    }
+                };
                 inner.tracer.info(format!("server: session {stream} failed: {err}"));
-            }
+                name
+            };
+            dump_flightrec(inner, stream, recorder, outcome, &err);
         }
     }
     link.shutdown();
@@ -425,6 +520,48 @@ fn session_job(inner: &Arc<Inner>, stream: u64, link: &Arc<ActivityTransport>) {
     }
     inner.in_flight.fetch_sub(1, Ordering::SeqCst);
     inner.set_active_gauge();
+}
+
+/// Writes the session's flight-recorder ring as
+/// `<flightrec_dir>/flightrec-<stream>.json` (Chrome trace format). The
+/// terminal lifecycle event (`reaped` / `rejected` / `faulted`, with the
+/// public error text as its reason) is stamped first, so the dump always
+/// covers the session's final moment. Runs guard-free on the session
+/// worker; a failed write is logged, never fatal.
+fn dump_flightrec(
+    inner: &Inner,
+    stream: u64,
+    recorder: &FlightRecorder,
+    outcome: &'static str,
+    reason: &str,
+) {
+    let Some(dir) = &inner.cfg.flightrec_dir else { return };
+    if !recorder.is_enabled() {
+        return;
+    }
+    recorder.event(outcome, "lifecycle", &[("reason", ArgValue::Str(reason.to_owned()))]);
+    let doc = recorder.to_chrome_json(stream);
+    let path = dir.join(format!("flightrec-{stream}.json"));
+    let write =
+        std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, doc.to_string_pretty()));
+    match write {
+        Ok(()) => inner
+            .tracer
+            .info(format!("server: session {stream} flight recorder dumped to {}", path.display())),
+        Err(e) => {
+            inner.tracer.info(format!("server: session {stream} flight recorder dump failed: {e}"));
+        }
+    }
+}
+
+/// Publishes the session's reliability layer into its slot so the admin
+/// `/sessions` view can read live telemetry. Leaf `server.sessions`
+/// guard, held only for the scan-and-assign.
+fn publish_session(inner: &Inner, stream: u64, session: &Arc<Session>) {
+    let mut sessions = inner.sessions.lock();
+    if let Some(slot) = sessions.iter_mut().find(|s| s.stream == stream) {
+        slot.session = Some(Arc::clone(session));
+    }
 }
 
 /// RAII serve-slot permit: released on every exit path.
@@ -447,9 +584,7 @@ fn acquire_slot<'a>(
     loop {
         let free = slots.load(Ordering::SeqCst);
         if free > 0
-            && slots
-                .compare_exchange(free, free - 1, Ordering::SeqCst, Ordering::SeqCst)
-                .is_ok()
+            && slots.compare_exchange(free, free - 1, Ordering::SeqCst, Ordering::SeqCst).is_ok()
         {
             return Some(RunPermit(slots));
         }
@@ -465,6 +600,8 @@ fn serve_session(
     inner: &Arc<Inner>,
     stream: u64,
     link: &Arc<ActivityTransport>,
+    rec: &FlightRecorder,
+    admitted_at: Instant,
 ) -> Result<usize, (Phase, String)> {
     let cfg = &inner.cfg;
     let adm = |e: TransportError| (Phase::Admission, e.to_string());
@@ -478,14 +615,13 @@ fn serve_session(
         return Err((Phase::Admission, format!("expected Hello, got {:?}", hello.kind)));
     }
     link.send(Frame::control(FrameKind::Hello, stream, 0).encode().into()).map_err(adm)?;
+    rec.event("hello", "lifecycle", &[]);
 
     // 2. Reliable session (stream-stamped frames) + request header.
-    let session = Arc::new(Session::with_stream(
-        Arc::clone(link) as Arc<dyn Transport>,
-        cfg.session,
-        stream,
-    ));
+    let session =
+        Arc::new(Session::with_stream(Arc::clone(link) as Arc<dyn Transport>, cfg.session, stream));
     session.attach_metrics(&inner.metrics);
+    publish_session(inner, stream, &session);
     let req_bytes = session.recv(Some(cfg.admission_timeout)).map_err(adm)?;
     let req = InferenceRequest::decode(&req_bytes).map_err(adm)?;
     let verdict = req.validate().and_then(|()| {
@@ -500,15 +636,32 @@ fn serve_session(
         return Err((Phase::Admission, format!("rejected request: {reason}")));
     }
     let model = inner.registry.get(&req.model).expect("validated above");
+    rec.event(
+        "request",
+        "lifecycle",
+        &[
+            ("model", ArgValue::Str(req.model.clone())),
+            ("count", ArgValue::U64(u64::from(req.count))),
+            ("batch", ArgValue::U64(u64::from(req.batch))),
+            ("q1_bits", ArgValue::U64(u64::from(req.q1_bits))),
+        ],
+    );
 
     // 3. Serve slot: parked here while `max_sessions` peers are online
     //    (the admission queue). The reaper still covers us via deadlines.
     let slot_deadline = Instant::now() + cfg.session_deadline;
+    let queue_t0 = rec.now_ns();
+    let queued_at = Instant::now();
     let Some(_permit) = acquire_slot(&inner.run_slots, link, slot_deadline) else {
         let reason = "queued past deadline".to_owned();
         let _ = session.send(encode_reply(&Err(reason.clone())).into());
         return Err((Phase::Serve, reason));
     };
+    let queue_wait_ms = queued_at.elapsed().as_secs_f64() * 1e3;
+    inner.metrics.observe_with("server.queue_wait_ms", &inner.queue_wait_buckets, queue_wait_ms);
+    // Admission-wait SLO: connection admitted → run slot held.
+    inner.slo.observe(SloClass::Admission, admitted_at.elapsed().as_secs_f64() * 1e3);
+    rec.span("queue_wait", "slo", queue_t0, &[]);
     session.send(encode_reply(&Ok(())).into()).map_err(|e| (Phase::Serve, e.to_string()))?;
 
     // 4. The 2PC session proper. The prepared template is shared across
@@ -519,24 +672,23 @@ fn serve_session(
         .templates
         .get_or_build(&req.model, PartyId::ModelProvider, &pcfg, &model)
         .map_err(run)?;
-    let ep = Endpoint::over_transport(
-        Arc::clone(&session) as Arc<dyn Transport>,
-        Some(cfg.io_deadline),
-    );
+    let ep =
+        Endpoint::over_transport(Arc::clone(&session) as Arc<dyn Transport>, Some(cfg.io_deadline));
     let mut ctx = PartyContext::new(PartyId::ModelProvider, ep, pcfg, None);
     ctx.set_obs(inner.tracer.clone(), inner.metrics.clone());
     let mut prepared = template.bind(&mut ctx).map_err(run)?;
-    let _pool = cfg
-        .dealer
-        .as_ref()
-        .map(|d| prepared.spawn_dealer_on(&ctx, *d, &inner.hub));
+    let _pool = cfg.dealer.as_ref().map(|d| prepared.spawn_dealer_on(&ctx, *d, &inner.hub));
 
     let total = req.count as usize;
     let batch = req.batch as usize;
     let mut served = 0usize;
     while served < total {
         let b = batch.min(total - served);
+        let pass_t0 = rec.now_ns();
+        let pass_started = Instant::now();
         prepared.run_batch(&mut ctx, BatchInput::Provider { batch: b }).map_err(run)?;
+        inner.slo.observe(SloClass::Online, pass_started.elapsed().as_secs_f64() * 1e3);
+        rec.span("online_pass", "slo", pass_t0, &[("batch", ArgValue::U64(b as u64))]);
         served += b;
     }
     Ok(served)
@@ -550,7 +702,7 @@ fn reap_loop(inner: &Arc<Inner>) {
     while !inner.stopping.load(Ordering::SeqCst) {
         std::thread::sleep(inner.cfg.reap_interval);
         let now = Instant::now();
-        let victims: Vec<(u64, Arc<ActivityTransport>)> = {
+        let victims: Vec<(u64, Arc<ActivityTransport>, FlightRecorder, &'static str)> = {
             let sessions = inner.sessions.lock();
             sessions
                 .iter()
@@ -559,11 +711,19 @@ fn reap_loop(inner: &Arc<Inner>) {
                         && (now.duration_since(s.admitted_at) > inner.cfg.session_deadline
                             || s.link.idle_for() > inner.cfg.idle_timeout)
                 })
-                .map(|s| (s.stream, Arc::clone(&s.link)))
+                .map(|s| {
+                    let why = if now.duration_since(s.admitted_at) > inner.cfg.session_deadline {
+                        "session_deadline"
+                    } else {
+                        "idle_timeout"
+                    };
+                    (s.stream, Arc::clone(&s.link), s.recorder.clone(), why)
+                })
                 .collect()
         };
-        for (stream, link) in victims {
+        for (stream, link, recorder, why) in victims {
             inner.tracer.info(format!("server: reaping session {stream}"));
+            recorder.event("reaping", "lifecycle", &[("why", ArgValue::Str(why.to_owned()))]);
             link.close();
         }
         let finished: Vec<SessionWorker> = {

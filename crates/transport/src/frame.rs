@@ -323,10 +323,7 @@ mod tests {
         while v1.len() < FRAME_HEADER_LEN {
             v1.push(0);
         }
-        assert_eq!(
-            Frame::decode(&v1),
-            Err(TransportError::VersionMismatch { ours: 2, theirs: 1 })
-        );
+        assert_eq!(Frame::decode(&v1), Err(TransportError::VersionMismatch { ours: 2, theirs: 1 }));
     }
 
     #[test]

@@ -61,6 +61,7 @@ mod channel;
 mod error;
 mod fault;
 mod frame;
+mod line;
 mod network;
 mod packing;
 mod session;
@@ -73,6 +74,7 @@ pub use channel::{duplex, duplex_with_timeout, Endpoint, PhaseGuard};
 pub use error::TransportError;
 pub use fault::{FaultAction, FaultPlan, FaultStats, FaultyTransport};
 pub use frame::{Crc32, Frame, FrameKind, FRAME_HEADER_LEN, MAX_FRAME_PAYLOAD};
+pub use line::{http_get, LineReader, MAX_LINE_LEN};
 pub use network::{NetworkModel, SESSION_WIRE_FRAMING_BYTES};
 pub use packing::{
     pack_bits, pack_bits_reference, pack_bits_with_isa, packed_len, unpack_bits, unpack_bits_at,

@@ -1,0 +1,200 @@
+//! A minimal line-protocol reader for the server's admin endpoint.
+//!
+//! The admin listener speaks the simplest protocol that `curl` and a
+//! shell `/dev/tcp` redirect can drive: the client sends one request
+//! line (`GET /metrics HTTP/1.0` or just `GET /metrics`), the server
+//! replies with a plaintext body and closes. [`LineReader`] reads a
+//! single bounded, deadline-limited line from a stream — no buffering
+//! layer, no header parsing beyond skipping, no allocations past the
+//! line itself. [`http_get`] is the matching one-shot client used by
+//! `cargo xtask watch`, the chaos tests and CI.
+
+use crate::error::TransportError;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// Longest accepted request line; anything longer is [`TransportError::Corrupt`].
+/// Admin paths are a handful of bytes, so this bounds a hostile (or
+/// confused) client's memory use at the door.
+pub const MAX_LINE_LEN: usize = 1024;
+
+/// Reads `\n`-terminated lines off a [`TcpStream`] one byte batch at a
+/// time, with a length bound and an overall deadline.
+pub struct LineReader {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl LineReader {
+    /// Wraps `stream`. The stream's read timeout is managed per call.
+    #[must_use]
+    pub fn new(stream: TcpStream) -> Self {
+        LineReader { stream, buf: Vec::new() }
+    }
+
+    /// Reads one line (stripping the trailing `\n` / `\r\n`). Fails with
+    /// [`TransportError::Timeout`] when `deadline` expires first,
+    /// [`TransportError::Corrupt`] when a line exceeds [`MAX_LINE_LEN`],
+    /// and [`TransportError::Disconnected`] on EOF mid-line.
+    ///
+    /// # Errors
+    ///
+    /// See above; OS-level failures map through [`TransportError::from`].
+    pub fn read_line(&mut self, deadline: Duration) -> Result<String, TransportError> {
+        let start = Instant::now();
+        loop {
+            if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                let mut line: Vec<u8> = self.buf.drain(..=pos).collect();
+                line.pop(); // the \n
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                return String::from_utf8(line)
+                    .map_err(|_| TransportError::Corrupt("admin request line not UTF-8".into()));
+            }
+            if self.buf.len() > MAX_LINE_LEN {
+                return Err(TransportError::Corrupt("admin request line too long".into()));
+            }
+            let remaining = deadline
+                .checked_sub(start.elapsed())
+                .filter(|d| !d.is_zero())
+                .ok_or(TransportError::Timeout)?;
+            self.stream.set_read_timeout(Some(remaining))?;
+            let mut chunk = [0u8; 256];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Err(TransportError::Disconnected),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// Writes the full `body` to the stream (used for replies).
+    ///
+    /// # Errors
+    ///
+    /// OS-level failures map through [`TransportError::from`].
+    pub fn write_all(&mut self, body: &[u8]) -> Result<(), TransportError> {
+        self.stream.write_all(body)?;
+        self.stream.flush()?;
+        Ok(())
+    }
+
+    /// The wrapped stream, for shutdown.
+    #[must_use]
+    pub fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
+}
+
+/// One-shot HTTP/1.0-style GET against an admin endpoint: connects,
+/// sends the request line, reads the whole response until EOF, and
+/// returns the body (everything after the header blank line; the whole
+/// response when no header block is present). Fails on a non-`200`
+/// status line.
+///
+/// # Errors
+///
+/// Connection/read failures map through [`TransportError::from`];
+/// non-200 responses surface as [`TransportError::Io`] carrying the
+/// status line.
+pub fn http_get(
+    addr: impl ToSocketAddrs,
+    path: &str,
+    deadline: Duration,
+) -> Result<String, TransportError> {
+    let addr: SocketAddr = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| TransportError::Io("admin address did not resolve".into()))?;
+    let mut stream = TcpStream::connect_timeout(&addr, deadline)?;
+    stream.set_read_timeout(Some(deadline))?;
+    stream.set_nodelay(true)?;
+    stream.write_all(format!("GET {path} HTTP/1.0\r\n\r\n").as_bytes())?;
+    let mut response = String::new();
+    stream.take(1 << 22).read_to_string(&mut response)?; // 4 MiB cap
+    let (head, body) = match response.split_once("\r\n\r\n") {
+        Some((head, body)) => (head, body),
+        None => ("", response.as_str()),
+    };
+    if let Some(status) = head.lines().next() {
+        if !status.contains(" 200 ") {
+            return Err(TransportError::Io(format!("admin replied {status}")));
+        }
+    }
+    Ok(body.to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn reads_bounded_lines_with_deadline() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            s.write_all(b"GET /metrics HTTP/1.0\r\nHost: x\n").unwrap();
+            // Leave the connection open: the next read must hit the
+            // deadline, not block forever.
+            std::thread::sleep(Duration::from_millis(300));
+        });
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut r = LineReader::new(stream);
+        let d = Duration::from_millis(200);
+        assert_eq!(r.read_line(d).unwrap(), "GET /metrics HTTP/1.0");
+        assert_eq!(r.read_line(d).unwrap(), "Host: x");
+        assert_eq!(r.read_line(Duration::from_millis(50)), Err(TransportError::Timeout));
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn oversized_line_is_corrupt_not_oom() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            s.write_all(&vec![b'a'; MAX_LINE_LEN + 300]).unwrap();
+        });
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut r = LineReader::new(stream);
+        assert!(matches!(r.read_line(Duration::from_millis(500)), Err(TransportError::Corrupt(_))));
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn http_get_round_trip() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (s, _) = listener.accept().unwrap();
+            let mut r = LineReader::new(s);
+            let line = r.read_line(Duration::from_millis(500)).unwrap();
+            assert!(line.starts_with("GET /healthz"));
+            r.write_all(b"HTTP/1.0 200 OK\r\nContent-Length: 2\r\n\r\nok").unwrap();
+        });
+        let body = http_get(addr, "/healthz", Duration::from_millis(500)).unwrap();
+        assert_eq!(body, "ok");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn http_get_surfaces_non_200() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (s, _) = listener.accept().unwrap();
+            let mut r = LineReader::new(s);
+            let _ = r.read_line(Duration::from_millis(500));
+            r.write_all(b"HTTP/1.0 404 Not Found\r\n\r\nno").unwrap();
+        });
+        assert!(matches!(
+            http_get(addr, "/nope", Duration::from_millis(500)),
+            Err(TransportError::Io(_))
+        ));
+        server.join().unwrap();
+    }
+}

@@ -21,16 +21,31 @@
 //!
 //! rebuilds the paper-style per-layer cost report from a `trace.json`
 //! emitted by a traced run (`private_mnist_service --trace DIR`); `PATH`
-//! is the trace file or the directory containing it.
+//! is the trace file or the directory containing it. A flight-recorder
+//! dump (`flightrec-<stream>.json`, written by the server when a session
+//! faults or is reaped) is detected by its top-level `flightrec` marker
+//! and rendered as a per-session incident timeline instead.
+//!
+//! ```text
+//! cargo xtask watch ADDR [--once] [--interval-ms N]
+//! ```
+//!
+//! polls a running server's `--admin` endpoint and renders a one-screen
+//! operational dashboard (health, session accounting, SLO quantiles,
+//! dealer state, live session table). `--once` scrapes a single time
+//! and exits — the shape CI uses to smoke-test a deployment.
 
-use aq2pnn_obs::chrome::parse_chrome_trace;
+use aq2pnn_obs::chrome::{parse_chrome_trace, ChromeEvent};
 use aq2pnn_obs::json::Json;
 use aq2pnn_obs::report::CostReport;
-use aq2pnn_obs::MetricsSnapshot;
+use aq2pnn_obs::ArgValue;
+use aq2pnn_obs::{parse_text, quantile, MetricsSnapshot, SloClass};
+use aq2pnn_transport::http_get;
 use secrecy_lint::selftest::{self, Pass};
 use secrecy_lint::{ConcLinter, Config, Linter, Report};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Duration;
 
 /// Crates whose `src/` the lint skips: the lint and runner themselves
 /// (no protocol data), and the bench harness (vendored baseline copies,
@@ -209,6 +224,11 @@ fn report_main(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // A flight-recorder dump is a Chrome trace with extra top-level
+    // markers; it describes one faulted session, not a layer-cost run.
+    if doc.get("flightrec").is_some() {
+        return flightrec_report(&doc, &path);
+    }
     let events = match parse_chrome_trace(&doc) {
         Ok(ev) => ev,
         Err(e) => {
@@ -238,10 +258,7 @@ fn report_main(args: &[String]) -> ExitCode {
                 for (label, sub) in labeled {
                     match MetricsSnapshot::from_json(sub) {
                         Ok(snap) => {
-                            if let Some(line) = dealer_summary(&snap) {
-                                println!("{label}{line}");
-                            }
-                            for line in server_summary(&snap) {
+                            for line in metrics_summary(&snap) {
                                 println!("{label}{line}");
                             }
                         }
@@ -252,6 +269,23 @@ fn report_main(args: &[String]) -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// The combined dealer + server summary for one snapshot. A run that
+/// recorded server metrics but no dealer family ran with the background
+/// dealer off — say so explicitly rather than silently omitting the
+/// line, so a report reader can tell "disabled" from "no data".
+fn metrics_summary(snap: &MetricsSnapshot) -> Vec<String> {
+    let server = server_summary(snap);
+    let mut lines = Vec::new();
+    match dealer_summary(snap) {
+        Some(line) => lines.push(line),
+        None if !server.is_empty() => lines.push("dealer: disabled".to_owned()),
+        None => {}
+    }
+    lines.extend(server);
+    lines.extend(slo_summary(snap));
+    lines
 }
 
 /// One-line dealer/batch summary from a metrics snapshot, `None` when the
@@ -277,7 +311,34 @@ fn dealer_summary(snap: &MetricsSnapshot) -> Option<String> {
         let mean = if hist.count == 0 { 0.0 } else { hist.sum / hist.count as f64 };
         line.push_str(&format!(", {} batches (mean size {mean:.1})", hist.count));
     }
+    if let Some(ms) = snap.counters.get("dealer.starved_ms").filter(|&&ms| ms > 0) {
+        line.push_str(&format!(", starved {ms} ms"));
+    }
     Some(line)
+}
+
+/// Per-class SLO quantile lines (schema v4), empty when the run recorded
+/// no `server.slo.*_ms` histograms.
+fn slo_summary(snap: &MetricsSnapshot) -> Vec<String> {
+    let mut lines = Vec::new();
+    for class in SloClass::ALL {
+        let Some(h) = snap.histograms.get(class.hist_name()) else { continue };
+        if h.count == 0 {
+            continue;
+        }
+        lines.push(format!(
+            "slo {}: p50 {:.2} ms, p90 {:.2} ms, p99 {:.2} ms ({} samples)",
+            class.label(),
+            quantile(h, 0.50),
+            quantile(h, 0.90),
+            quantile(h, 0.99),
+            h.count
+        ));
+    }
+    if let Some(&v) = snap.counters.get("server.slo_violations").filter(|&&v| v > 0) {
+        lines.push(format!("slo violations: {v}"));
+    }
+    lines
 }
 
 /// Multi-tenant server summary from a metrics snapshot (schema v3):
@@ -314,9 +375,7 @@ fn server_summary(snap: &MetricsSnapshot) -> Vec<String> {
         streams.entry(id).or_default().push((field.to_owned(), v));
     }
     for (id, fields) in streams {
-        let f = |name: &str| {
-            fields.iter().find(|(k, _)| k == name).map_or(0, |&(_, v)| v)
-        };
+        let f = |name: &str| fields.iter().find(|(k, _)| k == name).map_or(0, |&(_, v)| v);
         let repairs = f("retransmits") + f("naks_sent") + f("duplicates");
         let faults = f("corrupt_frames") + f("misrouted") + f("reconnects");
         let verdict = if repairs + faults == 0 { " — clean" } else { "" };
@@ -334,19 +393,213 @@ fn server_summary(snap: &MetricsSnapshot) -> Vec<String> {
     lines
 }
 
+/// Renders a flight-recorder dump (one faulted/reaped session) as an
+/// incident timeline: every span relative to the session epoch, plus the
+/// drop count when the bounded ring wrapped.
+fn flightrec_report(doc: &Json, path: &Path) -> ExitCode {
+    let stream = doc.get("stream").and_then(Json::as_u64).unwrap_or(0);
+    let dropped = doc.get("dropped").and_then(Json::as_u64).unwrap_or(0);
+    let events = match parse_chrome_trace(doc) {
+        Ok(ev) => ev,
+        Err(e) => {
+            eprintln!("xtask: {} is not a valid flight recorder dump: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("flight recorder: stream {stream}, {} event(s), {dropped} dropped", events.len());
+    let mut sorted: Vec<&ChromeEvent> = events.iter().collect();
+    sorted.sort_by(|a, b| a.ts_us.total_cmp(&b.ts_us));
+    for e in &sorted {
+        let args: Vec<String> = e
+            .args
+            .iter()
+            .map(|(k, v)| match v {
+                ArgValue::U64(n) => format!("{k}={n}"),
+                ArgValue::F64(n) => format!("{k}={n}"),
+                ArgValue::Str(s) => format!("{k}={s}"),
+            })
+            .collect();
+        let args = if args.is_empty() { String::new() } else { format!("  [{}]", args.join(" ")) };
+        println!(
+            "  +{:>10.3} ms  {:>8.3} ms  {}/{}{args}",
+            e.ts_us / 1_000.0,
+            e.dur_us / 1_000.0,
+            e.cat,
+            e.name
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+/// `cargo xtask watch ADDR`: poll a server's `--admin` endpoint and
+/// render the operational dashboard.
+fn watch_main(args: &[String]) -> ExitCode {
+    let Some(addr) = args.first().filter(|a| !a.starts_with("--")).cloned() else {
+        eprintln!("usage: cargo xtask watch ADDR [--once] [--interval-ms N]");
+        return ExitCode::FAILURE;
+    };
+    let once = args.iter().any(|a| a == "--once");
+    let interval = args
+        .iter()
+        .position(|a| a == "--interval-ms")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_000u64);
+    let deadline = Duration::from_secs(2);
+    loop {
+        match scrape_dashboard(&addr, deadline) {
+            Ok(dash) => print!("{dash}"),
+            Err(e) => {
+                eprintln!("xtask: watch {addr}: {e}");
+                if once {
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        if once {
+            return ExitCode::SUCCESS;
+        }
+        println!("---");
+        std::thread::sleep(Duration::from_millis(interval));
+    }
+}
+
+/// One scrape of `/healthz` + `/metrics` + `/sessions`, rendered as the
+/// dashboard text. Split from `watch_main` so the render logic is
+/// testable against canned exposition text.
+fn scrape_dashboard(addr: &str, deadline: Duration) -> Result<String, String> {
+    let health = http_get(addr, "/healthz", deadline).map_err(|e| format!("/healthz: {e}"))?;
+    let metrics = http_get(addr, "/metrics", deadline).map_err(|e| format!("/metrics: {e}"))?;
+    let snap = parse_text(&metrics).map_err(|e| format!("/metrics parse: {e}"))?;
+    let sessions = http_get(addr, "/sessions", deadline).map_err(|e| format!("/sessions: {e}"))?;
+    Ok(render_dashboard(health.trim(), &snap, &sessions))
+}
+
+/// The dashboard body from already-fetched pieces.
+fn render_dashboard(health: &str, snap: &MetricsSnapshot, sessions: &str) -> String {
+    let mut out = format!("health: {health}\n");
+    let inflight = snap.gauges.get("server.inflight").copied().unwrap_or(0.0);
+    out.push_str(&format!("inflight: {inflight:.0}\n"));
+    for line in metrics_summary(snap) {
+        out.push_str(&line);
+        out.push('\n');
+    }
+    if let Some(h) = snap.histograms.get("server.queue_wait_ms").filter(|h| h.count > 0) {
+        out.push_str(&format!(
+            "queue wait: p50 {:.2} ms, p99 {:.2} ms ({} waits)\n",
+            quantile(h, 0.50),
+            quantile(h, 0.99),
+            h.count
+        ));
+    }
+    out.push_str(sessions);
+    out
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint_main(Pass::Secrecy, &args[1..]),
         Some("lint-concurrency") => lint_main(Pass::Conc, &args[1..]),
         Some("report") => report_main(&args[1..]),
+        Some("watch") => watch_main(&args[1..]),
         _ => {
             eprintln!(
                 "usage: cargo xtask lint             [--deny] [--json PATH] [--self-test]\n\
                  \x20      cargo xtask lint-concurrency [--deny] [--json PATH] [--self-test]\n\
-                 \x20      cargo xtask report PATH"
+                 \x20      cargo xtask report PATH\n\
+                 \x20      cargo xtask watch ADDR       [--once] [--interval-ms N]"
             );
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A v2 snapshot shaped like a server run with the background dealer
+    /// off: the server family is present, the dealer family absent.
+    const V2_SERVER_NO_DEALER: &str = r#"{
+        "metrics_version": 2,
+        "counters": {
+            "server.sessions_admitted": 4,
+            "server.sessions_completed": 4,
+            "server.sessions_shed": 0,
+            "server.sessions_reaped": 0,
+            "server.sessions_rejected": 0,
+            "server.sessions_faulted": 0
+        },
+        "gauges": {},
+        "histograms": {}
+    }"#;
+
+    #[test]
+    fn server_without_dealer_reports_dealer_disabled() {
+        let doc = Json::parse(V2_SERVER_NO_DEALER).expect("fixture json");
+        let snap = MetricsSnapshot::from_json(&doc).expect("fixture snapshot");
+        let lines = metrics_summary(&snap);
+        assert_eq!(lines.first().map(String::as_str), Some("dealer: disabled"));
+        assert!(
+            lines.iter().any(|l| l.contains("admitted 4, completed 4")),
+            "server accounting line missing: {lines:?}"
+        );
+    }
+
+    #[test]
+    fn dealer_metrics_suppress_the_disabled_line() {
+        let doc = Json::parse(
+            r#"{"metrics_version": 2,
+                "counters": {"dealer.hits": 9, "dealer.misses": 1,
+                             "server.sessions_admitted": 1},
+                "gauges": {}, "histograms": {}}"#,
+        )
+        .expect("json");
+        let snap = MetricsSnapshot::from_json(&doc).expect("snapshot");
+        let lines = metrics_summary(&snap);
+        assert!(lines[0].starts_with("dealer hits 9 / misses 1"), "{lines:?}");
+        assert!(!lines.iter().any(|l| l == "dealer: disabled"), "{lines:?}");
+    }
+
+    #[test]
+    fn pure_client_snapshot_stays_silent_about_the_dealer() {
+        let doc = Json::parse(
+            r#"{"metrics_version": 1,
+                "counters": {"transport.frames_sent": 12},
+                "gauges": {}, "histograms": {}}"#,
+        )
+        .expect("json");
+        let snap = MetricsSnapshot::from_json(&doc).expect("snapshot");
+        assert!(metrics_summary(&snap).is_empty());
+    }
+
+    #[test]
+    fn dashboard_renders_slo_and_queue_wait_from_v4_exposition() {
+        let text = "# SCHEMA 4\n\
+                    # TYPE server.inflight gauge\n\
+                    server.inflight 2\n\
+                    # TYPE server.sessions_admitted counter\n\
+                    server.sessions_admitted 5\n\
+                    # TYPE server.sessions_completed counter\n\
+                    server.sessions_completed 3\n\
+                    # TYPE server.slo.e2e_ms histogram\n\
+                    server.slo.e2e_ms_bucket{le=\"0.25\"} 1\n\
+                    server.slo.e2e_ms_bucket{le=\"0.5\"} 4\n\
+                    server.slo.e2e_ms_bucket{le=\"+Inf\"} 4\n\
+                    server.slo.e2e_ms_sum 1.5\n\
+                    server.slo.e2e_ms_count 4\n\
+                    # TYPE server.queue_wait_ms histogram\n\
+                    server.queue_wait_ms_bucket{le=\"0.25\"} 2\n\
+                    server.queue_wait_ms_bucket{le=\"+Inf\"} 2\n\
+                    server.queue_wait_ms_sum 0.2\n\
+                    server.queue_wait_ms_count 2\n";
+        let snap = parse_text(text).expect("v4 exposition parses");
+        let dash = render_dashboard("ok", &snap, "stream age_ms\n7 12\n");
+        assert!(dash.starts_with("health: ok\ninflight: 2\n"), "{dash}");
+        assert!(dash.contains("slo e2e: p50 "), "{dash}");
+        assert!(dash.contains("queue wait: p50 "), "{dash}");
+        assert!(dash.contains("dealer: disabled"), "{dash}");
+        assert!(dash.ends_with("stream age_ms\n7 12\n"), "{dash}");
     }
 }

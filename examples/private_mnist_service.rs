@@ -223,7 +223,8 @@ fn serve_multi(
     let acceptor = TcpAcceptor::bind(addr, TcpConfig::default())?;
     let bound = acceptor.local_addr().map_or_else(|_| addr.to_owned(), |a| a.to_string());
     let cfg = ServerConfig { dealer: args.dealer_config(), ..ServerConfig::default() };
-    let mut server = InferenceServer::start(Box::new(acceptor), cfg, registry, ServerObs::default());
+    let mut server =
+        InferenceServer::start(Box::new(acceptor), cfg, registry, ServerObs::default());
     println!("listening on {bound}");
     let _ = std::io::stdout().flush();
     log.info("multi-client server up; SIGINT/SIGTERM drains");
@@ -272,10 +273,7 @@ fn client_session(
     }
     println!("\n{n} secure inferences as multiplexed client (stream {})", run.stream);
     println!("  secure accuracy   : {secure_correct}/{n}");
-    println!(
-        "  payload traffic   : {:.3} MiB",
-        run.payload_bytes as f64 / (1024.0 * 1024.0)
-    );
+    println!("  payload traffic   : {:.3} MiB", run.payload_bytes as f64 / (1024.0 * 1024.0));
     println!(
         "  wall-clock        : {:.2} s total, {:.2} s per inference",
         elapsed.as_secs_f64(),

@@ -398,6 +398,219 @@ fn batched_online_transcript_is_image_independent() {
 }
 
 // ---------------------------------------------------------------------------
+// Telemetry hygiene
+// ---------------------------------------------------------------------------
+
+/// Every event name the server's flight recorder may emit (plus the
+/// Chrome metadata record). A dump containing any other name is treated
+/// as a leak until it is reviewed and added here.
+const FLIGHTREC_NAMES: &[&str] = &[
+    "process_name",
+    "admitted",
+    "hello",
+    "request",
+    "queue_wait",
+    "online_pass",
+    "reaping",
+    "reaped",
+    "rejected",
+    "faulted",
+];
+/// Allowed event categories ("" is the Chrome metadata record).
+const FLIGHTREC_CATS: &[&str] = &["", "lifecycle", "slo"];
+/// Allowed argument keys across all flight-recorder events.
+const FLIGHTREC_ARG_KEYS: &[&str] =
+    &["name", "stream", "reason", "model", "count", "batch", "q1_bits", "why"];
+
+/// A telemetry string is *structural*: short, printable ASCII, no binary
+/// or encoded payload can hide in it.
+fn assert_structural_string(context: &str, s: &str) {
+    assert!(s.len() <= 256, "{context}: suspiciously long string ({} bytes): {s:?}", s.len());
+    assert!(
+        s.chars().all(|c| (' '..='~').contains(&c)),
+        "{context}: non-printable or non-ASCII bytes: {s:?}"
+    );
+}
+
+/// Metric names are dotted identifiers; anything else in the exposition
+/// name position means arbitrary data is flowing into the admin surface.
+fn assert_metric_name(name: &str) {
+    // A histogram bucket sample carries one `le` label with a numeric bound.
+    let bare = name.split_once('{').map_or(name, |(n, rest)| {
+        let label = rest.strip_suffix('}').unwrap_or_else(|| panic!("unterminated label: {name}"));
+        let bound = label
+            .strip_prefix("le=\"")
+            .and_then(|b| b.strip_suffix('"'))
+            .unwrap_or_else(|| panic!("unexpected label on {name}"));
+        assert!(
+            bound == "+Inf" || bound.parse::<f64>().is_ok(),
+            "non-numeric bucket bound on {name}"
+        );
+        n
+    });
+    assert!(
+        !bare.is_empty() && bare.chars().all(|c| c.is_ascii_alphanumeric() || c == '.' || c == '_'),
+        "metric name with unexpected characters: {name:?}"
+    );
+}
+
+/// The `/metrics` body must be *only* names and numbers: a schema line,
+/// `# TYPE` comments, and `name value` samples.
+fn assert_metrics_body_hygienic(body: &str) {
+    for line in body.lines().filter(|l| !l.is_empty()) {
+        if let Some(rest) = line.strip_prefix("# SCHEMA ") {
+            assert!(rest.parse::<u64>().is_ok(), "bad schema line: {line:?}");
+        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let (name, kind) = (it.next().unwrap_or(""), it.next().unwrap_or(""));
+            assert_metric_name(name);
+            assert!(
+                matches!(kind, "counter" | "gauge" | "histogram") && it.next().is_none(),
+                "bad TYPE line: {line:?}"
+            );
+        } else {
+            let mut it = line.split_whitespace();
+            let (name, value) = (it.next().unwrap_or(""), it.next().unwrap_or(""));
+            assert_metric_name(name);
+            assert!(value.parse::<f64>().is_ok(), "non-numeric sample value: {line:?}");
+            assert!(it.next().is_none(), "trailing tokens on sample line: {line:?}");
+        }
+    }
+}
+
+/// The `/sessions` table: a fixed header, then numbers and a closed
+/// state vocabulary — never request contents.
+fn assert_sessions_body_hygienic(body: &str) {
+    let mut lines = body.lines();
+    assert_eq!(
+        lines.next(),
+        Some(
+            "stream age_ms idle_ms state retransmits reconnects naks corrupt duplicates gaps misrouted"
+        ),
+        "unexpected /sessions header"
+    );
+    for row in lines.filter(|l| !l.is_empty()) {
+        for (i, tok) in row.split_whitespace().enumerate() {
+            if i == 3 {
+                assert!(matches!(tok, "open" | "closing"), "unexpected state {tok:?} in {row:?}");
+            } else {
+                assert!(
+                    tok.parse::<u64>().is_ok(),
+                    "non-numeric /sessions field {tok:?} in {row:?}"
+                );
+            }
+        }
+    }
+}
+
+/// Walks a flight-recorder dump and asserts every event name, category,
+/// argument key and argument value is structural (shapes, counts,
+/// timings, short reason strings) — no share values, no wire payloads.
+fn assert_flightrec_hygienic(doc: &aq2pnn_obs::json::Json) {
+    use aq2pnn_obs::json::Json;
+    let Some(Json::Arr(events)) = doc.get("traceEvents") else {
+        panic!("flightrec dump without traceEvents");
+    };
+    for ev in events {
+        let name = ev.get("name").and_then(Json::as_str).expect("event name");
+        assert!(FLIGHTREC_NAMES.contains(&name), "unreviewed flightrec event name {name:?}");
+        let cat = ev.get("cat").and_then(Json::as_str).unwrap_or("");
+        assert!(FLIGHTREC_CATS.contains(&cat), "unreviewed flightrec category {cat:?}");
+        let Some(Json::Obj(args)) = ev.get("args") else { continue };
+        for (key, value) in args {
+            assert!(
+                FLIGHTREC_ARG_KEYS.contains(&key.as_str()),
+                "unreviewed flightrec arg key {key:?} on {name}"
+            );
+            match value {
+                Json::Num(_) => {}
+                Json::Str(s) => assert_structural_string(&format!("{name}.{key}"), s),
+                other => panic!("non-scalar flightrec arg {key:?} on {name}: {other:?}"),
+            }
+        }
+    }
+}
+
+/// End to end: a real server with the admin endpoint, SLO tracking and
+/// flight recorder enabled serves one clean client and reaps one idle
+/// loris; every admin response body and the resulting flightrec dump
+/// must contain only public structure (names, numbers, shapes, counts,
+/// timings) under the allowlists above.
+#[test]
+fn admin_surface_and_flightrec_dumps_carry_public_structure_only() {
+    use aq2pnn_server::{
+        demo_model, mem_acceptor, run_client, ClientConfig, InferenceServer, ModelRegistry,
+        ServerConfig, ServerObs,
+    };
+    use aq2pnn_transport::{http_get, Frame, FrameKind, SessionConfig};
+
+    let dir = std::env::temp_dir().join(format!("aq2pnn-leak-flightrec-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (data, model) = demo_model("tiny").expect("demo model");
+    let mut registry = ModelRegistry::new();
+    registry.insert("tiny", model.clone());
+    let session = SessionConfig { probe_interval: Duration::from_millis(25), ..Default::default() };
+    let cfg = ServerConfig {
+        max_sessions: 4,
+        queue_depth: 4,
+        admission_timeout: Duration::from_secs(30),
+        idle_timeout: Duration::from_millis(300),
+        reap_interval: Duration::from_millis(10),
+        session,
+        slo_ms: Some(60_000),
+        flightrec_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    };
+    let (acceptor, dial) = mem_acceptor();
+    let obs = ServerObs { metrics: MetricsRegistry::new(), ..ServerObs::default() };
+    let mut server = InferenceServer::start(Box::new(acceptor), cfg, registry, obs);
+    let admin = server.start_admin("127.0.0.1:0").expect("admin endpoint");
+
+    // One clean client (populates SLO histograms and session counters)…
+    let images = data.test_images();
+    let refs: Vec<&[f32]> = images.iter().take(1).map(Vec::as_slice).collect();
+    let ccfg = ClientConfig {
+        model: "tiny".into(),
+        q1_bits: 16,
+        batch: 1,
+        session,
+        admission_timeout: Duration::from_secs(30),
+        io_deadline: Duration::from_secs(30),
+    };
+    run_client(dial.connect().expect("connect"), &ccfg, &model, &refs).expect("clean run");
+
+    // …and one admitted-then-silent loris, reaped on the idle timeout.
+    let loris = dial.connect().expect("connect");
+    loris.send(Frame::control(FrameKind::Hello, 0, 0).encode().into()).expect("hello");
+    let verdict = loris.recv(Some(Duration::from_secs(2))).expect("admission verdict");
+    let loris_stream = Frame::decode(&verdict).expect("frame").seq;
+    let dump_path = dir.join(format!("flightrec-{loris_stream}.json"));
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while !dump_path.exists() {
+        assert!(Instant::now() < deadline, "timed out waiting for the loris flightrec dump");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let deadline = Duration::from_secs(2);
+    let metrics = http_get(admin, "/metrics", deadline).expect("/metrics");
+    assert_metrics_body_hygienic(&metrics);
+    let sessions = http_get(admin, "/sessions", deadline).expect("/sessions");
+    assert_sessions_body_hygienic(&sessions);
+    let health = http_get(admin, "/healthz", deadline).expect("/healthz");
+    assert!(
+        matches!(health.trim(), "ok" | "overloaded" | "draining"),
+        "unexpected /healthz body: {health:?}"
+    );
+
+    let dump = std::fs::read_to_string(&dump_path).expect("read dump");
+    let doc = aq2pnn_obs::json::Json::parse(&dump).expect("dump parses");
+    assert_flightrec_hygienic(&doc);
+
+    let _ = server.drain();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
 // dudect-lite timing
 // ---------------------------------------------------------------------------
 

@@ -31,8 +31,7 @@ use aq2pnn_server::{
     MemConnector, ModelRegistry, ServerConfig, ServerObs,
 };
 use aq2pnn_transport::{
-    session_metric_name, FaultAction, FaultPlan, FaultyTransport, Frame, FrameKind,
-    SessionConfig,
+    session_metric_name, FaultAction, FaultPlan, FaultyTransport, Frame, FrameKind, SessionConfig,
 };
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
@@ -68,6 +67,7 @@ fn server_cfg() -> ServerConfig {
         drain_timeout: Duration::from_secs(10),
         session: fast_session(),
         dealer: None,
+        ..ServerConfig::default()
     }
 }
 
@@ -141,9 +141,7 @@ fn assert_stream_untouched(metrics: &MetricsRegistry, stream: u64) {
 }
 
 fn assert_no_leaks(server: &InferenceServer) {
-    wait_until("all sessions to unwind", Duration::from_secs(10), || {
-        server.active_sessions() == 0
-    });
+    wait_until("all sessions to unwind", Duration::from_secs(10), || server.active_sessions() == 0);
     assert_eq!(server.dealer_pools(), 0, "dealer lanes leaked");
 }
 
@@ -232,11 +230,8 @@ fn lossy_links_recover_bit_identically_and_clean_streams_stay_untouched() {
     // clean streams' recovery counters are untouched.
     let snap = metrics.snapshot();
     for stream in lossy_streams {
-        let corrupt = snap
-            .counters
-            .get(&session_metric_name(stream, "corrupt_frames"))
-            .copied()
-            .unwrap_or(0);
+        let corrupt =
+            snap.counters.get(&session_metric_name(stream, "corrupt_frames")).copied().unwrap_or(0);
         assert!(corrupt > 0, "server never saw the injected corruption on stream {stream}");
     }
     assert_stream_untouched(&metrics, reference.stream);
@@ -424,6 +419,135 @@ fn unknown_model_requests_are_rejected_with_the_reason() {
 }
 
 // ---------------------------------------------------------------------------
+// Live telemetry: concurrent admin scrapes during load return consistent
+// schema-v4 snapshots without blocking any worker, and a reaped session
+// leaves a parseable flight-recorder dump covering its final second.
+// ---------------------------------------------------------------------------
+
+/// A scraper thread hammering `/metrics`, `/sessions` and `/healthz`
+/// until told to stop. Asserts every `/metrics` body is schema-v4-valid
+/// and counters stay monotone across scrapes; panics propagate through
+/// the join.
+fn spawn_scraper(
+    admin: std::net::SocketAddr,
+    stop: Arc<std::sync::atomic::AtomicBool>,
+) -> std::thread::JoinHandle<u64> {
+    std::thread::spawn(move || {
+        let deadline = Duration::from_secs(2);
+        let mut scrapes = 0u64;
+        let mut last_admitted = 0u64;
+        while !stop.load(std::sync::atomic::Ordering::SeqCst) {
+            let body = aq2pnn_transport::http_get(admin, "/metrics", deadline).expect("/metrics");
+            assert_eq!(
+                aq2pnn_obs::text_schema_version(&body),
+                Some(aq2pnn_obs::METRICS_SCHEMA_VERSION),
+                "scrape must declare the current schema"
+            );
+            let snap = aq2pnn_obs::parse_text(&body).expect("exposition parses");
+            let admitted = snap.counters.get("server.sessions_admitted").copied().unwrap_or(0);
+            assert!(admitted >= last_admitted, "admitted counter went backwards");
+            last_admitted = admitted;
+            if admitted > 0 {
+                assert!(snap.gauges.contains_key("server.inflight"), "v4 inflight gauge missing");
+            }
+            let sessions =
+                aq2pnn_transport::http_get(admin, "/sessions", deadline).expect("/sessions");
+            assert!(sessions.starts_with("stream "), "sessions table must have its header");
+            let health = aq2pnn_transport::http_get(admin, "/healthz", deadline).expect("/healthz");
+            assert!(
+                ["ok", "overloaded", "draining"].contains(&health.trim()),
+                "unexpected health verdict {health:?}"
+            );
+            scrapes += 1;
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        scrapes
+    })
+}
+
+#[test]
+fn admin_scrapes_are_consistent_and_reaped_sessions_dump_flight_recorders() {
+    let dir = std::env::temp_dir().join(format!("aq2pnn-flightrec-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = ServerConfig {
+        // Long admission timeout so the reaper's idle deadline is what
+        // catches the loris (and attributes the dump).
+        admission_timeout: Duration::from_secs(30),
+        idle_timeout: Duration::from_millis(300),
+        slo_ms: Some(60_000),
+        flightrec_dir: Some(dir.clone()),
+        ..server_cfg()
+    };
+    let (mut server, dial, _metrics) = start(cfg);
+    let admin = server.start_admin("127.0.0.1:0").expect("admin endpoint");
+    let reference = clean_run(&dial, 2).expect("reference run");
+
+    // A loris completes admission, then goes silent until reaped.
+    let loris = dial.connect().expect("connect");
+    loris.send(Frame::control(FrameKind::Hello, 0, 0).encode().into()).expect("hello");
+    let verdict = loris.recv(Some(Duration::from_secs(2))).expect("verdict");
+    // The admission reply carries the assigned stream ID in `seq`
+    // (control frames always have `stream == 0`).
+    let loris_stream = Frame::decode(&verdict).expect("frame").seq;
+
+    // Scrape concurrently while real clients run: the admin surface must
+    // never block a session worker.
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let scraper = spawn_scraper(admin, Arc::clone(&stop));
+    let handles: Vec<_> = (0..3)
+        .map(|_| {
+            let dial = dial.clone();
+            std::thread::spawn(move || clean_run(&dial, 2))
+        })
+        .collect();
+    for h in handles {
+        let run = h.join().expect("client thread").expect("clean client under scraping");
+        assert_eq!(run.logits, reference.logits, "scraping perturbed an inference");
+    }
+    wait_until("loris to be reaped", Duration::from_secs(5), || server.counters().reaped >= 1);
+    stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    let scrapes = scraper.join().expect("scraper thread");
+    assert!(scrapes >= 3, "expected several successful scrapes, got {scrapes}");
+
+    // The reaped loris left a parseable Chrome-trace dump whose events
+    // cover the session's final second: the reaper's `reaping` stamp and
+    // the terminal `reaped` event land within the last 1000 ms.
+    let dump_path = dir.join(format!("flightrec-{loris_stream}.json"));
+    wait_until("flight recorder dump", Duration::from_secs(5), || dump_path.exists());
+    let text = std::fs::read_to_string(&dump_path).expect("read dump");
+    let doc = aq2pnn_obs::json::Json::parse(&text).expect("dump is valid JSON");
+    assert_eq!(doc.get("flightrec").and_then(aq2pnn_obs::json::Json::as_u64), Some(1));
+    let events = aq2pnn_obs::chrome::parse_chrome_trace(&doc).expect("chrome-trace compatible");
+    assert!(!events.is_empty());
+    assert!(events.iter().all(|e| e.pid == loris_stream));
+    assert!(events.iter().any(|e| e.name == "admitted"));
+    let last = events.iter().fold(0.0f64, |m, e| m.max(e.ts_us + e.dur_us));
+    let reaped = events.iter().find(|e| e.name == "reaped").expect("terminal reaped event");
+    let reaping = events.iter().find(|e| e.name == "reaping").expect("reaper attribution event");
+    assert!(last - reaped.ts_us <= 1_000_000.0, "terminal event must be in the final second");
+    assert!(last - reaping.ts_us <= 1_000_000.0, "reaper stamp must be in the final second");
+
+    // Clean completions leave no dumps behind.
+    let dumps = std::fs::read_dir(&dir).expect("dump dir").count();
+    assert_eq!(dumps, 1, "only the reaped session may dump");
+
+    drop(loris);
+    server.drain();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn admin_rejects_non_loopback_binds_and_unknown_paths() {
+    let (mut server, _dial, _metrics) = start(server_cfg());
+    assert!(server.start_admin("0.0.0.0:0").is_err(), "admin must refuse non-loopback binds");
+    let admin = server.start_admin("127.0.0.1:0").expect("loopback bind");
+    let err = aq2pnn_transport::http_get(admin, "/secrets", Duration::from_secs(2))
+        .expect_err("unknown paths are 404");
+    assert!(format!("{err}").contains("404"), "{err}");
+    server.drain();
+}
+
+// ---------------------------------------------------------------------------
 // The heavy matrix: rounds of mixed clean / lossy / disconnect / loris
 // clients under a dealer-enabled server. Release-mode CI soak
 // (`fault-matrix` job, `--include-ignored`); far too slow for debug tier-1.
@@ -432,15 +556,24 @@ fn unknown_model_requests_are_rejected_with_the_reason() {
 #[test]
 #[ignore = "heavy soak; run in release via the CI fault-matrix job"]
 fn chaos_matrix_soak() {
+    let dir = std::env::temp_dir().join(format!("aq2pnn-soak-flightrec-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
     let cfg = ServerConfig {
         max_sessions: 4,
         queue_depth: 8,
         idle_timeout: Duration::from_millis(400),
         admission_timeout: Duration::from_secs(30),
         dealer: Some(DealerConfig { depth: 8, policy: ExhaustionPolicy::GenerateInline }),
+        slo_ms: Some(60_000),
+        flightrec_dir: Some(dir.clone()),
         ..server_cfg()
     };
     let (mut server, dial, metrics) = start(cfg);
+    let admin = server.start_admin("127.0.0.1:0").expect("admin endpoint");
+    // Scrape the admin surface for the whole soak: every snapshot must
+    // stay schema-v4-valid and monotone while chaos runs.
+    let stop_scraper = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let scraper = spawn_scraper(admin, Arc::clone(&stop_scraper));
     let reference = clean_run(&dial, 2).expect("reference run");
 
     for round in 0..3u64 {
@@ -460,8 +593,7 @@ fn chaos_matrix_soak() {
             let dial = dial.clone();
             recoverable.push(std::thread::spawn(move || {
                 let plan = lossy_plan(0x5EED_0000 + round * 16 + i);
-                let link =
-                    Arc::new(FaultyTransport::new(dial.connect().expect("connect"), plan));
+                let link = Arc::new(FaultyTransport::new(dial.connect().expect("connect"), plan));
                 run_client(link, &client_cfg(), &fixture().1, &images(2))
             }));
         }
@@ -469,8 +601,7 @@ fn chaos_matrix_soak() {
             let dial = dial.clone();
             std::thread::spawn(move || {
                 let plan = FaultPlan { disconnect_at: vec![12 + round], ..FaultPlan::clean() };
-                let link =
-                    Arc::new(FaultyTransport::new(dial.connect().expect("connect"), plan));
+                let link = Arc::new(FaultyTransport::new(dial.connect().expect("connect"), plan));
                 run_client(link, &client_cfg(), &fixture().1, &images(2))
             })
         };
@@ -496,6 +627,22 @@ fn chaos_matrix_soak() {
     assert_eq!(c.completed, 1 + 3 * 5, "reference + 5 recoverable per round");
     assert_eq!(c.reaped, 3);
     assert_eq!(c.faulted + c.rejected, 3, "one disconnect per round");
+
+    stop_scraper.store(true, std::sync::atomic::Ordering::SeqCst);
+    let scrapes = scraper.join().expect("scraper thread");
+    assert!(scrapes >= 10, "the scraper must have run throughout the soak, got {scrapes}");
+    // Every reaped loris left a parseable flight-recorder dump.
+    let mut dumps = 0;
+    for entry in std::fs::read_dir(&dir).expect("dump dir") {
+        let text = std::fs::read_to_string(entry.expect("entry").path()).expect("read dump");
+        let doc = aq2pnn_obs::json::Json::parse(&text).expect("dump parses");
+        let events = aq2pnn_obs::chrome::parse_chrome_trace(&doc).expect("chrome-trace compatible");
+        assert!(!events.is_empty());
+        dumps += 1;
+    }
+    assert!(dumps >= 3, "each reaped loris must dump, got {dumps}");
+
     let report = server.drain();
     assert!(report.clean);
+    let _ = std::fs::remove_dir_all(&dir);
 }
